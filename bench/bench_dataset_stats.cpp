@@ -1,0 +1,56 @@
+// Reproduces the Section I.1 dataset-statistics paragraph (the paper's
+// de-facto "Table 1"): corpus volume, per-user record statistics,
+// sparsity, monthly distribution, and the active-user selection.
+//
+// Paper (Foursquare New York dump):
+//   227,428 check-ins, 1,083 users, ~11 months (Apr 2012 - Feb 2013)
+//   mean ~210 records/user, median ~153, <1 record per user-day (sparse)
+//   April-June is the richest period; active users = records on >50 days.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/summary.hpp"
+
+using namespace crowdweb;
+
+int main() {
+  const data::Dataset& full = bench::full_dataset();
+  const data::DatasetStats stats = full.stats();
+
+  std::printf("=== Section I.1 dataset statistics (paper vs synthetic corpus) ===\n\n");
+  std::printf("%-34s %14s %14s\n", "metric", "paper", "measured");
+  std::printf("%-34s %14s %14zu\n", "check-in records", "227,428", stats.checkin_count);
+  std::printf("%-34s %14s %14zu\n", "users", "1,083", stats.user_count);
+  std::printf("%-34s %14s %14zu\n", "collection days", "~334", stats.collection_days);
+  std::printf("%-34s %14s %14.1f\n", "mean records / user", "~210",
+              stats.mean_records_per_user);
+  std::printf("%-34s %14s %14.1f\n", "median records / user", "~153",
+              stats.median_records_per_user);
+  std::printf("%-34s %14s %14.2f\n", "records / user-day (sparsity)", "<1",
+              stats.mean_records_per_user_day);
+
+  std::printf("\nmonthly check-in volume (richest quarter should be Apr-Jun):\n");
+  std::size_t peak = 1;
+  const auto months = full.monthly_counts();
+  for (const auto& [month, count] : months) peak = std::max(peak, count);
+  for (const auto& [month, count] : months) {
+    const std::size_t bar = count * 40 / peak;
+    std::printf("  %s %7zu |%s\n", month.c_str(), count, std::string(bar, '#').c_str());
+  }
+
+  // Active-user selection (the experiment subset).
+  const data::Dataset& active = bench::experiment_dataset();
+  std::printf("\nactive-user filter (>50 recorded days in Apr-Jun):\n");
+  std::printf("  %zu of %zu users retained, %zu check-ins in the window\n",
+              active.user_count(), stats.user_count, active.checkin_count());
+
+  // Per-user record distribution for the retained subset.
+  std::vector<double> per_user;
+  for (const data::UserId user : active.users())
+    per_user.push_back(static_cast<double>(active.checkins_for(user).size()));
+  const stats::Summary summary = stats::summarize(per_user);
+  std::printf("  records/user in subset: mean %.1f, median %.1f, p25 %.1f, p75 %.1f\n",
+              summary.mean, summary.median, summary.p25, summary.p75);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Grid-resolution ablation: microcell size vs crowd-map fidelity and cost.
+//
+// The platform aggregates the crowd over a regular grid; the cell size
+// trades spatial fidelity (occupied cells, peak concentration) against
+// memory and query cost. This bench sweeps 100 m - 2 km cells, reports
+// the fidelity metrics, and times distribution construction per size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "crowd/model.hpp"
+#include "geo/grid.hpp"
+
+using namespace crowdweb;
+
+namespace {
+
+struct Shared {
+  std::vector<patterns::UserMobility> mobility;
+};
+
+const Shared& shared() {
+  static const Shared* instance = [] {
+    patterns::MobilityOptions options;
+    options.mining.min_support = 0.25;
+    auto mobility = patterns::mine_all_mobility(bench::experiment_dataset(),
+                                                data::Taxonomy::foursquare(), options);
+    return new Shared{std::move(mobility)};
+  }();
+  return *instance;
+}
+
+void BM_CrowdModelBuild(benchmark::State& state) {
+  const data::Dataset& active = bench::experiment_dataset();
+  const double cell_meters = static_cast<double>(state.range(0));
+  const auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), cell_meters);
+  if (!grid) {
+    state.SkipWithError(grid.status().to_string().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto model =
+        crowd::CrowdModel::build(active, shared().mobility, *grid, crowd::CrowdOptions{});
+    benchmark::DoNotOptimize(model);
+  }
+
+  // Fidelity metrics for this resolution (reported once as counters).
+  const auto model =
+      crowd::CrowdModel::build(active, shared().mobility, *grid, crowd::CrowdOptions{});
+  const auto dist = model->distribution(9);
+  state.counters["cells_total"] = static_cast<double>(grid->cell_count());
+  state.counters["cells_occupied_9am"] = static_cast<double>(dist.occupied_cells());
+  state.counters["peak_cell_9am"] =
+      static_cast<double>(dist.top_cells(1).empty() ? 0 : dist.top_cells(1)[0].second);
+}
+BENCHMARK(BM_CrowdModelBuild)
+    ->Arg(100)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridCellLookup(benchmark::State& state) {
+  const data::Dataset& active = bench::experiment_dataset();
+  const double cell_meters = static_cast<double>(state.range(0));
+  const auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), cell_meters);
+  const auto checkins = active.checkins();
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto cell = grid->clamped_cell_of(checkins[index].position);
+    benchmark::DoNotOptimize(cell);
+    index = (index + 1) % checkins.size();
+  }
+}
+BENCHMARK(BM_GridCellLookup)->Arg(100)->Arg(500)->Arg(2000)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

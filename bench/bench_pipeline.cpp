@@ -1,0 +1,103 @@
+// Figures 1/2: the three-phase framework — cost of each phase.
+//
+// google-benchmark timings for phase 1 (pre-processing), phase 2 (modified
+// PrefixSpan over every user), and phase 3 (crowd synchronization and
+// aggregation), plus the end-to-end pipeline on the small corpus.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "crowd/model.hpp"
+#include "geo/grid.hpp"
+
+using namespace crowdweb;
+
+namespace {
+
+void BM_Phase1_Preprocessing(benchmark::State& state) {
+  const data::Dataset& full = bench::full_dataset();
+  data::ActiveUserCriteria criteria;
+  criteria.from = to_epoch_seconds({2012, 4, 1, 0, 0, 0});
+  criteria.to = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+  criteria.min_days = 50;
+  criteria.max_gap_seconds = 0;
+  for (auto _ : state) {
+    const data::Dataset window = full.filter_time_range(criteria.from, criteria.to);
+    data::Dataset active = window.filter_active_users(criteria);
+    benchmark::DoNotOptimize(active);
+  }
+  state.counters["records"] =
+      benchmark::Counter(static_cast<double>(full.checkin_count()),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Phase1_Preprocessing)->Unit(benchmark::kMillisecond);
+
+void BM_Phase2_MiningAllUsers(benchmark::State& state) {
+  const data::Dataset& active = bench::experiment_dataset();
+  patterns::MobilityOptions options;
+  options.mining.min_support = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto mobility =
+        patterns::mine_all_mobility(active, data::Taxonomy::foursquare(), options);
+    benchmark::DoNotOptimize(mobility);
+  }
+  state.counters["users"] =
+      benchmark::Counter(static_cast<double>(active.user_count()),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Phase2_MiningAllUsers)->Arg(25)->Arg(50)->Arg(75)->Unit(benchmark::kMillisecond);
+
+void BM_Phase3_CrowdModel(benchmark::State& state) {
+  const data::Dataset& active = bench::experiment_dataset();
+  patterns::MobilityOptions options;
+  options.mining.min_support = 0.25;
+  const auto mobility =
+      patterns::mine_all_mobility(active, data::Taxonomy::foursquare(), options);
+  const auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), 500.0);
+  for (auto _ : state) {
+    auto model = crowd::CrowdModel::build(active, mobility, *grid, crowd::CrowdOptions{});
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_Phase3_CrowdModel)->Unit(benchmark::kMillisecond);
+
+void BM_Phase3_DistributionQuery(benchmark::State& state) {
+  const data::Dataset& active = bench::experiment_dataset();
+  patterns::MobilityOptions options;
+  options.mining.min_support = 0.25;
+  const auto mobility =
+      patterns::mine_all_mobility(active, data::Taxonomy::foursquare(), options);
+  const auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), 500.0);
+  const auto model = crowd::CrowdModel::build(active, mobility, *grid, crowd::CrowdOptions{});
+  int window = 0;
+  for (auto _ : state) {
+    auto dist = model->distribution(window);
+    benchmark::DoNotOptimize(dist);
+    window = (window + 1) % model->window_count();
+  }
+}
+BENCHMARK(BM_Phase3_DistributionQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEnd_SmallCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    auto corpus = synth::small_corpus(7);
+    data::ActiveUserCriteria criteria;
+    criteria.from = to_epoch_seconds({2012, 4, 1, 0, 0, 0});
+    criteria.to = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+    criteria.min_days = 20;
+    criteria.max_gap_seconds = 0;
+    data::Dataset active = corpus->dataset.filter_active_users(criteria);
+    patterns::MobilityOptions options;
+    options.mining.min_support = 0.25;
+    auto mobility =
+        patterns::mine_all_mobility(active, data::Taxonomy::foursquare(), options);
+    auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), 500.0);
+    auto model = crowd::CrowdModel::build(active, mobility, *grid, crowd::CrowdOptions{});
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_EndToEnd_SmallCorpus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Next-place prediction — the paper's motivating metric, measured.
+//
+// The paper opens with "the accuracy of current mobility prediction
+// models is less than 25%" and argues location abstraction exposes the
+// hidden regularity. This bench evaluates four predictors on the
+// experiment corpus (chronological 70/30 split per user, every test-day
+// visit is an event) and reports accuracy@1/@3 and MRR. Expected shape:
+// time- and pattern-aware predictors beat the frequency baseline, and
+// raw-venue prediction is far below labeled-place prediction.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "predict/evaluate.hpp"
+
+using namespace crowdweb;
+
+int main() {
+  std::printf("=== Next-place prediction over the experiment corpus ===\n\n");
+  const data::Dataset& active = bench::experiment_dataset();
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+
+  const std::pair<const char*, predict::PredictorFactory> predictors[] = {
+      {"frequency", [] { return predict::make_frequency_predictor(); }},
+      {"time-slot", [] { return predict::make_time_slot_predictor(); }},
+      {"markov-1", [] { return predict::make_markov_predictor(1); }},
+      {"markov-2", [] { return predict::make_markov_predictor(2); }},
+      {"pattern", [] { return predict::make_pattern_predictor(); }},
+      {"ensemble", [] { return predict::make_ensemble_predictor(); }},
+  };
+
+  std::printf("labeled places (root categories):\n");
+  std::printf("%12s %8s %8s %10s %10s %8s\n", "predictor", "users", "events", "acc@1",
+              "acc@3", "MRR");
+  double frequency_acc = 0.0, pattern_acc = 0.0, best_acc = 0.0;
+  for (const auto& [name, factory] : predictors) {
+    const predict::EvaluationResult r = predict::evaluate(active, tax, factory);
+    std::printf("%12s %8zu %8zu %9.1f%% %9.1f%% %8.3f\n", name, r.users, r.events,
+                100.0 * r.accuracy_at_1, 100.0 * r.accuracy_at_3, r.mrr);
+    if (std::string_view(name) == "frequency") frequency_acc = r.accuracy_at_1;
+    if (std::string_view(name) == "pattern") pattern_acc = r.accuracy_at_1;
+    best_acc = std::max(best_acc, r.accuracy_at_1);
+  }
+
+  // The abstraction argument: predict raw venues instead of labels.
+  mining::SequenceOptions venue_mode;
+  venue_mode.mode = mining::LabelMode::kVenue;
+  const predict::EvaluationResult venue_level = predict::evaluate(
+      active, tax, [] { return predict::make_markov_predictor(1); }, {}, venue_mode);
+  std::printf("\nraw venues (no abstraction), markov-1: acc@1 %.1f%% acc@3 %.1f%%\n",
+              100.0 * venue_level.accuracy_at_1, 100.0 * venue_level.accuracy_at_3);
+
+  const bool pattern_beats_frequency = pattern_acc > frequency_acc;
+  const bool abstraction_helps = best_acc > venue_level.accuracy_at_1;
+  std::printf("\nshape: pattern > frequency baseline = %s (%.1f%% vs %.1f%%)\n",
+              pattern_beats_frequency ? "yes" : "NO", 100.0 * pattern_acc,
+              100.0 * frequency_acc);
+  std::printf("shape: labeled-place prediction > raw-venue prediction = %s\n",
+              abstraction_helps ? "yes" : "NO");
+  std::printf(
+      "note: paper cites 8-25%% for real-world next-POI accuracy; the synthetic\n"
+      "      corpus is more regular than reality, so absolute numbers run higher —\n"
+      "      the ordering is the reproducible claim.\n");
+  return pattern_beats_frequency && abstraction_helps ? 0 : 1;
+}

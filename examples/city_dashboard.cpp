@@ -1,0 +1,177 @@
+// City dashboard — the CrowdWeb demo itself.
+//
+// Runs the full pipeline and then either serves the interactive viewer
+// (embedded single-page app + JSON API) over HTTP, or — with --offline —
+// dumps every artifact a booth visitor would click through (hourly crowd
+// maps, flow maps, GeoJSON layers) into a directory.
+//
+// Run:  ./city_dashboard [--seed N] [--port P] [--paper-scale] [--offline DIR]
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/api.hpp"
+#include "core/platform.hpp"
+#include "data/dataset_io.hpp"
+#include "http/server.hpp"
+#include "json/json.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "viz/citymap.hpp"
+#include "viz/geojson.hpp"
+
+using namespace crowdweb;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::uint64_t seed = 42;
+  std::uint16_t port = 8080;
+  bool paper_scale = false;
+  std::string offline_dir;  // empty = serve
+  std::string data_dir;     // load venues.csv/checkins.csv instead of generating
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--seed") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_int(v) : Result<std::int64_t>(parse_error(""));
+      if (!parsed) return false;
+      args.seed = static_cast<std::uint64_t>(*parsed);
+    } else if (flag == "--port") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_int(v) : Result<std::int64_t>(parse_error(""));
+      if (!parsed || *parsed < 0 || *parsed > 65535) return false;
+      args.port = static_cast<std::uint16_t>(*parsed);
+    } else if (flag == "--paper-scale") {
+      args.paper_scale = true;
+    } else if (flag == "--offline") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.offline_dir = v;
+    } else if (flag == "--data") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.data_dir = v;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int dump_offline(const core::Platform& platform, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const auto& model = platform.crowd_model();
+
+  for (int window = 0; window < model.window_count(); ++window) {
+    const auto distribution = model.distribution(window);
+    viz::CityMapOptions options;
+    options.title = crowdweb::format("Crowd {}", model.window_label(window));
+    Status status = data::write_file(
+        crowdweb::format("{}/crowd_{:02}.svg", dir, window),
+        viz::render_city_map(distribution, platform.grid(), platform.experiment_dataset(),
+                             options));
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+    status = data::write_file(
+        crowdweb::format("{}/crowd_{:02}.geojson", dir, window),
+        json::dump(viz::distribution_geojson(distribution, platform.grid())));
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+  }
+
+  // Morning -> noon -> evening flow maps.
+  for (const auto& [from, to] : {std::pair{8, 9}, {9, 12}, {12, 17}, {17, 20}}) {
+    const auto flow = model.flow(from, to);
+    viz::CityMapOptions options;
+    options.title = crowdweb::format("Flow {} to {}", model.window_label(from),
+                                     model.window_label(to));
+    const Status status = data::write_file(
+        crowdweb::format("{}/flow_{:02}_{:02}.svg", dir, from, to),
+        viz::render_flow_map(flow, model.distribution(to), platform.grid(),
+                             platform.experiment_dataset(), options));
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+  }
+
+  const Status venues = data::write_file(
+      crowdweb::format("{}/venues.geojson", dir),
+      json::dump(viz::venues_geojson(platform.experiment_dataset(), platform.taxonomy())));
+  if (!venues.is_ok()) {
+    std::fprintf(stderr, "%s\n", venues.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %d crowd maps, 4 flow maps, and GeoJSON layers to %s/\n",
+              model.window_count(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--port P] [--paper-scale] [--offline DIR] [--data DIR]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  core::PlatformConfig config;
+  config.seed = args.seed;
+  config.small_corpus = !args.paper_scale;
+  config.min_active_days = args.paper_scale ? 50 : 20;
+  config.mining.min_support = 0.25;
+  std::printf("building the CrowdWeb platform (%s)...\n",
+              !args.data_dir.empty() ? args.data_dir.c_str()
+                                     : (args.paper_scale ? "paper-scale corpus"
+                                                         : "small corpus"));
+  auto platform = args.data_dir.empty()
+                      ? core::Platform::create(config)
+                      : core::Platform::from_csv_files(args.data_dir + "/venues.csv",
+                                                       args.data_dir + "/checkins.csv",
+                                                       config);
+  if (!platform) {
+    std::fprintf(stderr, "platform failed: %s\n", platform.status().to_string().c_str());
+    return 1;
+  }
+
+  if (!args.offline_dir.empty()) return dump_offline(*platform, args.offline_dir);
+
+  http::ServerConfig server_config;
+  server_config.port = args.port;
+  http::Server server(core::make_api_router(*platform), server_config);
+  const Status started = server.start();
+  if (!started.is_ok()) {
+    std::fprintf(stderr, "server failed: %s\n", started.to_string().c_str());
+    return 1;
+  }
+  std::printf("CrowdWeb is up: http://127.0.0.1:%u/  (Ctrl-C to stop)\n", server.port());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0 && server.running()) {
+    timespec nap{0, 100'000'000};  // 100 ms
+    nanosleep(&nap, nullptr);
+  }
+  std::printf("\nshutting down\n");
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Dataset export tool: generate the calibrated synthetic GTSM corpus and
+// write it as the two-file CSV interchange format (venues + check-ins),
+// so external tools — or a CrowdWeb build fed via
+// `Platform::from_dataset` / `dataset_from_csv` — can consume it.
+//
+// Run:  ./make_dataset [--seed N] [--small] [--out DIR]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "data/dataset_io.hpp"
+#include "synth/generator.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+using namespace crowdweb;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  std::uint64_t seed = 42;
+  bool small = false;
+  std::string out_dir = "dataset_out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--seed" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "usage: %s [--seed N] [--small] [--out DIR]\n", argv[0]);
+        return 2;
+      }
+      seed = static_cast<std::uint64_t>(*parsed);
+    } else if (flag == "--small") {
+      small = true;
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N] [--small] [--out DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("generating %s corpus (seed %llu)...\n", small ? "small" : "paper-scale",
+              static_cast<unsigned long long>(seed));
+  auto corpus = small ? synth::small_corpus(seed) : synth::paper_corpus(seed);
+  if (!corpus) {
+    std::fprintf(stderr, "generation failed: %s\n", corpus.status().to_string().c_str());
+    return 1;
+  }
+
+  const data::DatasetStats stats = corpus->dataset.stats();
+  std::printf("  %zu check-ins, %zu users, %zu venues, mean %.1f / median %.1f per user\n",
+              stats.checkin_count, stats.user_count, stats.venue_count,
+              stats.mean_records_per_user, stats.median_records_per_user);
+
+  std::filesystem::create_directories(out_dir);
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  Status status = data::write_file(out_dir + "/venues.csv",
+                                   data::venues_to_csv(corpus->dataset, tax));
+  if (status.is_ok())
+    status = data::write_file(out_dir + "/checkins.csv",
+                              data::checkins_to_csv(corpus->dataset, tax));
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  // Verify the round trip before declaring success.
+  const auto venues = data::read_file(out_dir + "/venues.csv");
+  const auto checkins = data::read_file(out_dir + "/checkins.csv");
+  if (!venues || !checkins) {
+    std::fprintf(stderr, "read-back failed\n");
+    return 1;
+  }
+  const auto restored = data::dataset_from_csv(*venues, *checkins, tax);
+  if (!restored || restored->checkin_count() != corpus->dataset.checkin_count()) {
+    std::fprintf(stderr, "round-trip verification failed: %s\n",
+                 restored.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote and verified %s/venues.csv and %s/checkins.csv\n", out_dir.c_str(),
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: the whole CrowdWeb pipeline in one page.
+//
+// Generates a small synthetic check-in corpus, runs the three framework
+// phases (preprocess -> mine individual patterns -> synchronize the
+// crowd), and prints what the demo UI would show: one user's mobility
+// patterns and the city's crowd distribution at two time windows.
+//
+// Run:  ./quickstart [seed]
+
+#include <cstdio>
+#include <string>
+
+#include "core/platform.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+using namespace crowdweb;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  std::uint64_t seed = 42;
+  if (argc > 1) {
+    const auto parsed = parse_int(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "usage: %s [seed]\n", argv[0]);
+      return 2;
+    }
+    seed = static_cast<std::uint64_t>(*parsed);
+  }
+
+  // 1. Build the platform: synthesize a city + corpus and run all phases.
+  core::PlatformConfig config;
+  config.seed = seed;
+  config.small_corpus = true;    // 60 users, 3 months — fast
+  config.min_active_days = 20;   // scaled-down active-user rule
+  config.mining.min_support = 0.25;
+  auto platform = core::Platform::create(config);
+  if (!platform) {
+    std::fprintf(stderr, "platform failed: %s\n", platform.status().to_string().c_str());
+    return 1;
+  }
+
+  const auto stats = platform->full_dataset().stats();
+  std::printf("corpus: %zu check-ins by %zu users at %zu venues (%.1f records/user)\n",
+              stats.checkin_count, stats.user_count, stats.venue_count,
+              stats.mean_records_per_user);
+  std::printf("experiment subset: %zu active users, %zu check-ins\n\n",
+              platform->experiment_dataset().user_count(),
+              platform->experiment_dataset().checkin_count());
+
+  // 2. Individual view: the user with the most patterns.
+  const patterns::UserMobility* best = nullptr;
+  for (const patterns::UserMobility& user : platform->mobility()) {
+    if (best == nullptr || user.patterns.size() > best->patterns.size()) best = &user;
+  }
+  if (best != nullptr && !best->patterns.empty()) {
+    std::printf("user %u (%zu recorded days) - %zu mobility patterns:\n", best->user,
+                best->recorded_days, best->patterns.size());
+    for (const patterns::MobilityPattern& pattern : best->patterns) {
+      std::printf("  %s\n",
+                  patterns::describe_pattern(pattern, platform->taxonomy(),
+                                             platform->experiment_dataset(),
+                                             platform->config().sequences.mode)
+                      .c_str());
+    }
+  }
+
+  // 3. Crowd view: where is everyone at 9-10 am vs 8-9 pm?
+  for (const int window : {9, 20}) {
+    const auto distribution = platform->crowd_model().distribution(window);
+    std::printf("\ncrowd %s: %zu users placed over %zu microcells; busiest cells:\n",
+                platform->crowd_model().window_label(window).c_str(), distribution.total(),
+                distribution.occupied_cells());
+    for (const auto& [cell, count] : distribution.top_cells(3)) {
+      const geo::LatLon center = platform->grid().cell_center(cell);
+      std::printf("  cell %u (%.4f, %.4f): %zu users\n", cell, center.lat, center.lon,
+                  count);
+    }
+  }
+
+  // 4. Movement between the two windows.
+  const auto flow = platform->crowd_model().flow(9, 20);
+  std::printf("\n%zu users tracked from 09:00 to 20:00; largest moves:\n", flow.total());
+  for (const auto& [cells, count] : flow.top_flows(3)) {
+    std::printf("  cell %u -> cell %u: %zu users\n", cells.first, cells.second, count);
+  }
+  return 0;
+}

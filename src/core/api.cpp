@@ -1,0 +1,564 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "crowd/communities.hpp"
+#include "data/csv.hpp"
+#include "mining/prefixspan.hpp"
+#include "predict/predictor.hpp"
+#include "json/json.hpp"
+#include "util/civil_time.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+#include "viz/animation.hpp"
+#include "viz/charts.hpp"
+#include "viz/citymap.hpp"
+#include "viz/geojson.hpp"
+#include "viz/layout.hpp"
+#include "viz/timeline.hpp"
+
+namespace crowdweb::core {
+
+namespace {
+
+using http::PathParams;
+using http::Request;
+using http::Response;
+
+/// Parses an integer path parameter, returning nullopt on junk.
+std::optional<std::int64_t> int_param(const PathParams& params, std::string_view name) {
+  const auto it = params.find(name);
+  if (it == params.end()) return std::nullopt;
+  const auto value = parse_int(it->second);
+  if (!value) return std::nullopt;
+  return *value;
+}
+
+json::Value pattern_json(const patterns::MobilityPattern& pattern, const Platform& platform) {
+  json::Value elements = json::Value(json::Array{});
+  for (const patterns::TimedElement& element : pattern.elements) {
+    const int minute = static_cast<int>(element.mean_minute + 0.5);
+    elements.push_back(json::object(
+        {{"label", mining::label_name(element.label, platform.config().sequences.mode,
+                                      platform.taxonomy(), platform.experiment_dataset())},
+         {"mean_minute", element.mean_minute},
+         {"stddev_minute", element.stddev_minute},
+         {"time", crowdweb::format("{:02}:{:02}", minute / 60, minute % 60)}}));
+  }
+  return json::object({{"elements", std::move(elements)},
+                       {"support", pattern.support},
+                       {"support_count", static_cast<std::int64_t>(pattern.support_count)}});
+}
+
+Response status_handler(const Platform& platform) {
+  const data::DatasetStats full = platform.full_dataset().stats();
+  const data::DatasetStats experiment = platform.experiment_dataset().stats();
+  const json::Value payload = json::object(
+      {{"full",
+        json::object({{"checkins", static_cast<std::int64_t>(full.checkin_count)},
+                      {"users", static_cast<std::int64_t>(full.user_count)},
+                      {"venues", static_cast<std::int64_t>(full.venue_count)},
+                      {"mean_records_per_user", full.mean_records_per_user},
+                      {"median_records_per_user", full.median_records_per_user}})},
+       {"experiment",
+        json::object({{"checkins", static_cast<std::int64_t>(experiment.checkin_count)},
+                      {"users", static_cast<std::int64_t>(experiment.user_count)}})},
+       {"windows", platform.crowd_model().window_count()},
+       {"grid", json::object({{"rows", static_cast<std::int64_t>(platform.grid().rows())},
+                              {"cols", static_cast<std::int64_t>(platform.grid().cols())},
+                              {"cell_meters", platform.grid().cell_size_meters()}})},
+       {"placements", static_cast<std::int64_t>(platform.crowd_model().total_placements())},
+       {"timings_ms", json::object({{"acquisition", platform.timings().acquisition_ms},
+                                    {"mining", platform.timings().mining_ms},
+                                    {"crowd", platform.timings().crowd_ms}})}});
+  return Response::json(200, json::dump(payload));
+}
+
+Response users_handler(const Platform& platform) {
+  json::Value users = json::Value(json::Array{});
+  for (const patterns::UserMobility& mobility : platform.mobility()) {
+    users.push_back(json::object(
+        {{"id", static_cast<std::int64_t>(mobility.user)},
+         {"recorded_days", static_cast<std::int64_t>(mobility.recorded_days)},
+         {"patterns", static_cast<std::int64_t>(mobility.patterns.size())}}));
+  }
+  return Response::json(200, json::dump(json::object({{"users", std::move(users)}})));
+}
+
+Response user_patterns_handler(const Platform& platform, const PathParams& params) {
+  const auto id = int_param(params, "id");
+  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  const patterns::UserMobility* mobility =
+      platform.user_mobility(static_cast<data::UserId>(*id));
+  if (mobility == nullptr) return Response::not_found_404();
+  json::Value list = json::Value(json::Array{});
+  for (const patterns::MobilityPattern& pattern : mobility->patterns)
+    list.push_back(pattern_json(pattern, platform));
+  return Response::json(
+      200, json::dump(json::object(
+               {{"user", static_cast<std::int64_t>(mobility->user)},
+                {"recorded_days", static_cast<std::int64_t>(mobility->recorded_days)},
+                {"patterns", std::move(list)}})));
+}
+
+Response user_graph_handler(const Platform& platform, const PathParams& params) {
+  const auto id = int_param(params, "id");
+  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (platform.user_mobility(static_cast<data::UserId>(*id)) == nullptr)
+    return Response::not_found_404();
+  const patterns::PlaceGraph graph = platform.place_graph(static_cast<data::UserId>(*id));
+  viz::PlaceGraphRender render;
+  render.title = crowdweb::format("User {} - visited places", *id);
+  return Response::svg(200, viz::render_place_graph(graph, render));
+}
+
+Response user_timeline_handler(const Platform& platform, const PathParams& params) {
+  const auto id = int_param(params, "id");
+  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (platform.user_mobility(static_cast<data::UserId>(*id)) == nullptr)
+    return Response::not_found_404();
+  const mining::UserSequences sequences =
+      platform.sequences_for(static_cast<data::UserId>(*id));
+  viz::TimelineOptions options;
+  options.title = crowdweb::format("User {} - visit timeline", *id);
+  return Response::svg(
+      200, viz::render_timeline(sequences, platform.taxonomy(),
+                                platform.experiment_dataset(),
+                                platform.config().sequences.mode, options));
+}
+
+bool valid_window(const Platform& platform, std::int64_t window) {
+  return window >= 0 && window < platform.crowd_model().window_count();
+}
+
+Response crowd_handler(const Platform& platform, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(platform, *window))
+    return Response::bad_request_400("bad window index");
+  const crowd::CrowdDistribution distribution =
+      platform.crowd_model().distribution(static_cast<int>(*window));
+  json::Value cells = json::Value(json::Array{});
+  for (const auto& [cell, count] : distribution.top_cells(50)) {
+    const geo::LatLon center = platform.grid().cell_center(cell);
+    cells.push_back(json::object({{"cell", static_cast<std::int64_t>(cell)},
+                                  {"count", static_cast<std::int64_t>(count)},
+                                  {"lat", center.lat},
+                                  {"lon", center.lon}}));
+  }
+  return Response::json(
+      200,
+      json::dump(json::object(
+          {{"window", static_cast<std::int64_t>(*window)},
+           {"label", platform.crowd_model().window_label(static_cast<int>(*window))},
+           {"total", static_cast<std::int64_t>(distribution.total())},
+           {"occupied_cells", static_cast<std::int64_t>(distribution.occupied_cells())},
+           {"top_cells", std::move(cells)}})));
+}
+
+Response crowd_map_handler(const Platform& platform, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(platform, *window))
+    return Response::bad_request_400("bad window index");
+  const crowd::CrowdDistribution distribution =
+      platform.crowd_model().distribution(static_cast<int>(*window));
+  viz::CityMapOptions options;
+  options.title = crowdweb::format(
+      "Crowd {} ", platform.crowd_model().window_label(static_cast<int>(*window)));
+  return Response::svg(200, viz::render_city_map(distribution, platform.grid(),
+                                                 platform.experiment_dataset(), options));
+}
+
+Response crowd_geojson_handler(const Platform& platform, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(platform, *window))
+    return Response::bad_request_400("bad window index");
+  const crowd::CrowdDistribution distribution =
+      platform.crowd_model().distribution(static_cast<int>(*window));
+  return Response::json(200,
+                        json::dump(viz::distribution_geojson(distribution, platform.grid())));
+}
+
+Response groups_handler(const Platform& platform, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(platform, *window))
+    return Response::bad_request_400("bad window index");
+  json::Value list = json::Value(json::Array{});
+  for (const crowd::CrowdGroup& group :
+       platform.crowd_model().groups(static_cast<int>(*window))) {
+    json::Value members = json::Value(json::Array{});
+    for (const data::UserId user : group.users)
+      members.push_back(static_cast<std::int64_t>(user));
+    const geo::LatLon center = platform.grid().cell_center(group.cell);
+    list.push_back(json::object(
+        {{"cell", static_cast<std::int64_t>(group.cell)},
+         {"label", mining::label_name(group.label, platform.config().sequences.mode,
+                                      platform.taxonomy(), platform.experiment_dataset())},
+         {"lat", center.lat},
+         {"lon", center.lon},
+         {"users", std::move(members)}}));
+  }
+  return Response::json(200, json::dump(json::object({{"groups", std::move(list)}})));
+}
+
+Response flow_handler(const Platform& platform, const PathParams& params, bool as_map) {
+  const auto from = int_param(params, "from");
+  const auto to = int_param(params, "to");
+  if (!from || !to || !valid_window(platform, *from) || !valid_window(platform, *to))
+    return Response::bad_request_400("bad window index");
+  const crowd::FlowMatrix flow =
+      platform.crowd_model().flow(static_cast<int>(*from), static_cast<int>(*to));
+  if (as_map) {
+    const crowd::CrowdDistribution destination =
+        platform.crowd_model().distribution(static_cast<int>(*to));
+    viz::CityMapOptions options;
+    options.title = crowdweb::format(
+        "Crowd flow {} to {}", platform.crowd_model().window_label(static_cast<int>(*from)),
+        platform.crowd_model().window_label(static_cast<int>(*to)));
+    return Response::svg(200, viz::render_flow_map(flow, destination, platform.grid(),
+                                                   platform.experiment_dataset(), options));
+  }
+  json::Value moves = json::Value(json::Array{});
+  for (const auto& [pair, count] : flow.top_flows(50)) {
+    const geo::LatLon a = platform.grid().cell_center(pair.first);
+    const geo::LatLon b = platform.grid().cell_center(pair.second);
+    moves.push_back(json::object({{"from_cell", static_cast<std::int64_t>(pair.first)},
+                                  {"to_cell", static_cast<std::int64_t>(pair.second)},
+                                  {"count", static_cast<std::int64_t>(count)},
+                                  {"from", json::array({a.lon, a.lat})},
+                                  {"to", json::array({b.lon, b.lat})}}));
+  }
+  return Response::json(
+      200, json::dump(json::object({{"from_window", static_cast<std::int64_t>(*from)},
+                                    {"to_window", static_cast<std::int64_t>(*to)},
+                                    {"total", static_cast<std::int64_t>(flow.total())},
+                                    {"top_flows", std::move(moves)}})));
+}
+
+Response animation_handler(const Platform& platform, const Request& request) {
+  viz::AnimationOptions options;
+  options.title = "Crowd movement across the day";
+  if (const auto seconds = request.query_param("seconds")) {
+    const auto parsed = parse_double(*seconds);
+    if (!parsed || *parsed <= 0.0 || *parsed > 60.0)
+      return Response::bad_request_400("seconds must be in (0, 60]");
+    options.seconds_per_window = *parsed;
+  }
+  return Response::svg(200,
+                       viz::render_crowd_animation(platform.crowd_model(), options));
+}
+
+Response communities_handler(const Platform& platform) {
+  const crowd::UserGraph graph =
+      crowd::build_co_occurrence_graph(platform.crowd_model());
+  const auto communities = crowd::label_propagation(graph);
+  json::Value list = json::Value(json::Array{});
+  for (const crowd::Community& community : communities) {
+    json::Value members = json::Value(json::Array{});
+    for (const data::UserId user : community.members)
+      members.push_back(static_cast<std::int64_t>(user));
+    list.push_back(json::object({{"size", static_cast<std::int64_t>(community.members.size())},
+                                 {"members", std::move(members)}}));
+  }
+  return Response::json(
+      200, json::dump(json::object(
+               {{"graph", json::object({{"users", static_cast<std::int64_t>(graph.users.size())},
+                                        {"edges", static_cast<std::int64_t>(graph.edges.size())}})},
+                {"communities", std::move(list)}})));
+}
+
+/// Next-place prediction for a user: trains the pattern predictor on
+/// their history and ranks their likely next place at the given time.
+/// Training is per-request (a user's history is tiny), keeping the
+/// platform immutable.
+Response predict_handler(const Platform& platform, const Request& request,
+                         const PathParams& params) {
+  const auto id = int_param(params, "id");
+  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (platform.user_mobility(static_cast<data::UserId>(*id)) == nullptr)
+    return Response::not_found_404();
+  int minute = 9 * 60;
+  if (const auto minute_param = request.query_param("minute")) {
+    const auto parsed = parse_int(*minute_param);
+    if (!parsed || *parsed < 0 || *parsed >= 24 * 60)
+      return Response::bad_request_400("minute must be in [0, 1440)");
+    minute = static_cast<int>(*parsed);
+  }
+
+  const mining::UserSequences history =
+      platform.sequences_for(static_cast<data::UserId>(*id));
+  const auto predictor = predict::make_ensemble_predictor();
+  predictor->train(history);
+  predict::Query query;
+  query.minute = minute;
+  // "Today" context: visits of the user's last recorded day before `minute`.
+  std::vector<mining::Item> today;
+  if (!history.days.empty()) {
+    const auto& last_day = history.days.back();
+    const auto& last_minutes = history.minutes.back();
+    for (std::size_t i = 0; i < last_day.size(); ++i) {
+      if (last_minutes[i] < minute) today.push_back(last_day[i]);
+    }
+  }
+  query.today = today;
+  const auto ranked = predictor->predict(query);
+
+  json::Value predictions = json::Value(json::Array{});
+  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
+    predictions.push_back(json::object(
+        {{"label", mining::label_name(ranked[i].label, platform.config().sequences.mode,
+                                      platform.taxonomy(), platform.experiment_dataset())},
+         {"score", ranked[i].score}}));
+  }
+  return Response::json(
+      200, json::dump(json::object({{"user", *id},
+                                    {"minute", minute},
+                                    {"predictor", predictor->name()},
+                                    {"predictions", std::move(predictions)}})));
+}
+
+Response rhythm_handler(const Platform& platform) {
+  const crowd::CrowdModel::Rhythm rhythm = platform.crowd_model().rhythm();
+  viz::HeatmapSpec spec;
+  spec.title = "Crowd rhythm: place type by time window";
+  spec.size.width = 900;
+  for (const mining::Item label : rhythm.labels)
+    spec.row_labels.push_back(mining::label_name(label, platform.config().sequences.mode,
+                                                 platform.taxonomy(),
+                                                 platform.experiment_dataset()));
+  for (int w = 0; w < platform.crowd_model().window_count(); ++w)
+    spec.col_labels.push_back(
+        crowdweb::format("{:02}", w * platform.crowd_model().options().window_minutes / 60));
+  for (const auto& row : rhythm.counts) {
+    std::vector<double> values;
+    for (const std::size_t count : row) values.push_back(static_cast<double>(count));
+    spec.values.push_back(std::move(values));
+  }
+  return Response::svg(200, viz::render_heatmap(spec));
+}
+
+/// The booth feature: a visitor uploads their check-in history as CSV
+/// (category,lat,lon,timestamp) and gets their mined, time-annotated
+/// mobility patterns back. Purely functional — the platform is not
+/// mutated.
+Response analyze_handler(const Platform& platform, const Request& request) {
+  double min_support = 0.25;
+  if (const auto support = request.query_param("support")) {
+    const auto parsed = parse_double(*support);
+    if (!parsed || *parsed <= 0.0 || *parsed > 1.0)
+      return Response::bad_request_400("support must be in (0, 1]");
+    min_support = *parsed;
+  }
+
+  const auto rows = data::parse_csv(request.body);
+  if (!rows) return Response::bad_request_400(rows.status().to_string());
+  if (rows->empty() || (*rows)[0] != data::CsvRow{"category", "lat", "lon", "timestamp"})
+    return Response::bad_request_400(
+        "expected header: category,lat,lon,timestamp");
+
+  // Parse the visitor's records into (root label, timestamp) events.
+  struct Event {
+    mining::Item label;
+    std::int64_t timestamp;
+  };
+  std::vector<Event> events;
+  const data::Taxonomy& taxonomy = platform.taxonomy();
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const data::CsvRow& row = (*rows)[i];
+    if (row.size() != 4)
+      return Response::bad_request_400(
+          crowdweb::format("row {} has {} fields, expected 4", i + 1, row.size()));
+    const auto category = taxonomy.find(row[0]);
+    const auto lat = parse_double(row[1]);
+    const auto lon = parse_double(row[2]);
+    const auto timestamp = parse_timestamp(row[3]);
+    if (!category)
+      return Response::bad_request_400(
+          crowdweb::format("row {}: unknown category '{}'", i + 1, row[0]));
+    if (!lat || !lon || !geo::is_valid({*lat, *lon}))
+      return Response::bad_request_400(crowdweb::format("row {}: bad position", i + 1));
+    if (!timestamp)
+      return Response::bad_request_400(
+          crowdweb::format("row {}: bad timestamp '{}'", i + 1, row[3]));
+    events.push_back({taxonomy.root_of(*category), *timestamp});
+  }
+  if (events.empty()) return Response::bad_request_400("no check-in rows");
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.timestamp < b.timestamp; });
+
+  // Build per-day sequences (same abstraction pipeline as phase 2).
+  mining::UserSequences sequences;
+  std::int64_t current_day = 0;
+  bool have_day = false;
+  for (const Event& event : events) {
+    const std::int64_t day = day_index(event.timestamp);
+    if (!have_day || day != current_day) {
+      sequences.days.emplace_back();
+      sequences.minutes.emplace_back();
+      current_day = day;
+      have_day = true;
+    }
+    if (!sequences.days.back().empty() && sequences.days.back().back() == event.label)
+      continue;  // collapse repeats
+    sequences.days.back().push_back(event.label);
+    const CivilTime civil = to_civil(event.timestamp);
+    sequences.minutes.back().push_back(civil.hour * 60 + civil.minute);
+  }
+
+  mining::MiningOptions mining_options;
+  mining_options.min_support = min_support;
+  const auto mined = mining::prefixspan(sequences.days, mining_options);
+
+  json::Value list = json::Value(json::Array{});
+  for (const mining::Pattern& pattern : mined) {
+    const patterns::MobilityPattern annotated =
+        patterns::annotate_pattern(pattern, sequences);
+    list.push_back(pattern_json(annotated, platform));
+  }
+  return Response::json(
+      200, json::dump(json::object(
+               {{"records", static_cast<std::int64_t>(events.size())},
+                {"recorded_days", static_cast<std::int64_t>(sequences.days.size())},
+                {"min_support", min_support},
+                {"patterns", std::move(list)}})));
+}
+
+constexpr std::string_view kViewerHtml = R"html(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CrowdWeb - crowd mobility in a smart city</title>
+<style>
+  body { font-family: Helvetica, Arial, sans-serif; margin: 0; background: #f2f3f7; color: #23232b; }
+  header { background: #232a4d; color: #fff; padding: 12px 24px; }
+  header h1 { margin: 0; font-size: 20px; }
+  main { display: flex; gap: 16px; padding: 16px 24px; flex-wrap: wrap; }
+  section { background: #fff; border-radius: 8px; padding: 14px; box-shadow: 0 1px 4px rgba(0,0,0,.12); }
+  #map-panel { flex: 2 1 640px; } #side-panel { flex: 1 1 300px; }
+  #map { width: 100%; } #map svg { width: 100%; height: auto; }
+  label { font-size: 13px; margin-right: 8px; }
+  select, input[type=range] { margin: 4px 0; }
+  pre { background: #f6f7fa; padding: 8px; border-radius: 6px; font-size: 12px; overflow: auto; max-height: 300px; }
+</style>
+</head>
+<body>
+<header><h1>CrowdWeb &mdash; crowd mobility patterns in a smart city
+  <small style="font-size:13px;font-weight:normal;margin-left:14px">
+    <a href="/api/animation.svg" style="color:#bcd">day animation</a>
+  </small></h1></header>
+<main>
+  <section id="map-panel">
+    <label>Time window <input id="window" type="range" min="0" max="23" value="9"></label>
+    <span id="window-label"></span>
+    <div id="map"></div>
+  </section>
+  <section id="side-panel">
+    <h3>Platform</h3><pre id="status">loading...</pre>
+    <h3>User patterns</h3>
+    <label>User <select id="user"></select></label>
+    <pre id="patterns"></pre>
+    <div id="graph"></div>
+    <div id="timeline"></div>
+  </section>
+</main>
+<script>
+async function jsonOf(url) { const r = await fetch(url); return r.json(); }
+async function textOf(url) { const r = await fetch(url); return r.text(); }
+async function refreshMap() {
+  const w = document.getElementById('window').value;
+  const info = await jsonOf('/api/crowd/' + w);
+  document.getElementById('window-label').textContent =
+    info.label + ' - ' + info.total + ' users placed';
+  document.getElementById('map').innerHTML = await textOf('/api/crowd/' + w + '/map.svg');
+}
+async function refreshUser() {
+  const id = document.getElementById('user').value;
+  if (id === '') return;
+  const data = await jsonOf('/api/user/' + id + '/patterns');
+  document.getElementById('patterns').textContent = JSON.stringify(data.patterns, null, 1);
+  document.getElementById('graph').innerHTML = await textOf('/api/user/' + id + '/graph.svg');
+  document.getElementById('timeline').innerHTML =
+    await textOf('/api/user/' + id + '/timeline.svg');
+}
+async function init() {
+  document.getElementById('status').textContent =
+    JSON.stringify(await jsonOf('/api/status'), null, 1);
+  const users = (await jsonOf('/api/users')).users.filter(u => u.patterns > 0).slice(0, 200);
+  const select = document.getElementById('user');
+  for (const u of users) {
+    const option = document.createElement('option');
+    option.value = u.id;
+    option.textContent = 'user ' + u.id + ' (' + u.patterns + ' patterns)';
+    select.appendChild(option);
+  }
+  select.addEventListener('change', refreshUser);
+  document.getElementById('window').addEventListener('input', refreshMap);
+  await refreshMap();
+  if (users.length > 0) { select.value = users[0].id; await refreshUser(); }
+}
+init();
+</script>
+</body>
+</html>
+)html";
+
+}  // namespace
+
+http::Router make_api_router(const Platform& platform) {
+  http::Router router;
+  const Platform* p = &platform;
+
+  router.get("/", [](const Request&, const PathParams&) {
+    return Response::html(200, std::string(kViewerHtml));
+  });
+  router.get("/api/status",
+             [p](const Request&, const PathParams&) { return status_handler(*p); });
+  router.get("/api/users",
+             [p](const Request&, const PathParams&) { return users_handler(*p); });
+  router.get("/api/user/:id/patterns", [p](const Request&, const PathParams& params) {
+    return user_patterns_handler(*p, params);
+  });
+  router.get("/api/user/:id/graph.svg", [p](const Request&, const PathParams& params) {
+    return user_graph_handler(*p, params);
+  });
+  router.get("/api/user/:id/timeline.svg", [p](const Request&, const PathParams& params) {
+    return user_timeline_handler(*p, params);
+  });
+  router.get("/api/crowd/:window", [p](const Request&, const PathParams& params) {
+    return crowd_handler(*p, params);
+  });
+  router.get("/api/crowd/:window/map.svg", [p](const Request&, const PathParams& params) {
+    return crowd_map_handler(*p, params);
+  });
+  router.get("/api/crowd/:window/geojson", [p](const Request&, const PathParams& params) {
+    return crowd_geojson_handler(*p, params);
+  });
+  router.get("/api/groups/:window", [p](const Request&, const PathParams& params) {
+    return groups_handler(*p, params);
+  });
+  router.get("/api/flow/:from/:to", [p](const Request&, const PathParams& params) {
+    return flow_handler(*p, params, /*as_map=*/false);
+  });
+  router.get("/api/flow/:from/:to/map.svg", [p](const Request&, const PathParams& params) {
+    return flow_handler(*p, params, /*as_map=*/true);
+  });
+  router.get("/api/animation.svg", [p](const Request& request, const PathParams&) {
+    return animation_handler(*p, request);
+  });
+  router.get("/api/communities", [p](const Request&, const PathParams&) {
+    return communities_handler(*p);
+  });
+  router.post("/api/analyze", [p](const Request& request, const PathParams&) {
+    return analyze_handler(*p, request);
+  });
+  router.get("/api/rhythm.svg", [p](const Request&, const PathParams&) {
+    return rhythm_handler(*p);
+  });
+  router.get("/api/predict/:id", [p](const Request& request, const PathParams& params) {
+    return predict_handler(*p, request, params);
+  });
+  return router;
+}
+
+}  // namespace crowdweb::core

@@ -1,0 +1,37 @@
+// The CrowdWeb HTTP API — every interaction of the demo UI as a route.
+//
+//   GET /                           embedded single-page viewer
+//   GET /api/status                 corpus + pipeline summary
+//   GET /api/users                  users with pattern counts
+//   GET /api/user/:id/patterns      a user's mined mobility patterns
+//   GET /api/user/:id/graph.svg     the user's place graph (iMAP view)
+//   GET /api/user/:id/timeline.svg  the user's day-by-day visit timeline
+//   GET /api/crowd/:window          crowd distribution of a time window
+//   GET /api/crowd/:window/map.svg  the smart-city map (Figures 3/4)
+//   GET /api/crowd/:window/geojson  the distribution as GeoJSON
+//   GET /api/groups/:window         user groups per (cell, label)
+//   GET /api/flow/:from/:to         movements between two windows
+//   GET /api/flow/:from/:to/map.svg flow arrows over the city
+//   GET /api/animation.svg          animated crowd movement (full day);
+//                                   ?seconds=S scales playback speed
+//   GET /api/communities            co-occurrence communities of the crowd
+//   POST /api/analyze               mine an uploaded check-in history (the
+//                                   demo's "share your check-ins" booth
+//                                   feature); body = CSV with header
+//                                   category,lat,lon,timestamp and
+//                                   ?support=S sets min_support
+//
+// The router holds a pointer to the Platform, which must outlive any
+// server using the router. Platform state is immutable after
+// construction, so the single-threaded server needs no locks.
+#pragma once
+
+#include "core/platform.hpp"
+#include "http/router.hpp"
+
+namespace crowdweb::core {
+
+/// Builds the full API router over a platform.
+[[nodiscard]] http::Router make_api_router(const Platform& platform);
+
+}  // namespace crowdweb::core

@@ -1,0 +1,215 @@
+#include "core/snapshot.hpp"
+
+#include <filesystem>
+
+#include "data/dataset_io.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::core {
+
+json::Value mobility_to_json(std::span<const patterns::UserMobility> mobility) {
+  json::Value users = json::Value(json::Array{});
+  for (const patterns::UserMobility& user : mobility) {
+    json::Value pattern_list = json::Value(json::Array{});
+    for (const patterns::MobilityPattern& pattern : user.patterns) {
+      json::Value elements = json::Value(json::Array{});
+      for (const patterns::TimedElement& element : pattern.elements) {
+        elements.push_back(json::object({{"label", static_cast<std::int64_t>(element.label)},
+                                         {"mean_minute", element.mean_minute},
+                                         {"stddev_minute", element.stddev_minute}}));
+      }
+      pattern_list.push_back(json::object(
+          {{"elements", std::move(elements)},
+           {"support_count", static_cast<std::int64_t>(pattern.support_count)},
+           {"support", pattern.support}}));
+    }
+    users.push_back(json::object(
+        {{"user", static_cast<std::int64_t>(user.user)},
+         {"recorded_days", static_cast<std::int64_t>(user.recorded_days)},
+         {"patterns", std::move(pattern_list)}}));
+  }
+  return json::object({{"version", 1}, {"users", std::move(users)}});
+}
+
+namespace {
+
+/// Fetches a required member or fails.
+Result<const json::Value*> member(const json::Value& value, std::string_view key) {
+  const json::Value* found = value.find(key);
+  if (found == nullptr)
+    return parse_error(crowdweb::format("snapshot: missing field '{}'", key));
+  return found;
+}
+
+}  // namespace
+
+Result<std::vector<patterns::UserMobility>> mobility_from_json(const json::Value& value) {
+  auto version = member(value, "version");
+  if (!version) return version.status();
+  if (!(*version)->is_int() || (*version)->as_int() != 1)
+    return parse_error("snapshot: unsupported mobility version");
+  auto users_value = member(value, "users");
+  if (!users_value) return users_value.status();
+  if (!(*users_value)->is_array()) return parse_error("snapshot: 'users' must be an array");
+
+  std::vector<patterns::UserMobility> out;
+  for (const json::Value& user_value : (*users_value)->as_array()) {
+    patterns::UserMobility user;
+    auto id = member(user_value, "user");
+    auto days = member(user_value, "recorded_days");
+    auto pattern_list = member(user_value, "patterns");
+    if (!id || !days || !pattern_list) return parse_error("snapshot: malformed user entry");
+    if (!(*id)->is_int() || !(*days)->is_int() || !(*pattern_list)->is_array())
+      return parse_error("snapshot: malformed user entry");
+    user.user = static_cast<data::UserId>((*id)->as_int());
+    user.recorded_days = static_cast<std::size_t>((*days)->as_int());
+    for (const json::Value& pattern_value : (*pattern_list)->as_array()) {
+      patterns::MobilityPattern pattern;
+      auto elements = member(pattern_value, "elements");
+      auto support_count = member(pattern_value, "support_count");
+      auto support = member(pattern_value, "support");
+      if (!elements || !support_count || !support)
+        return parse_error("snapshot: malformed pattern entry");
+      if (!(*elements)->is_array() || !(*support_count)->is_int() ||
+          !(*support)->is_number())
+        return parse_error("snapshot: malformed pattern entry");
+      pattern.support_count = static_cast<std::size_t>((*support_count)->as_int());
+      pattern.support = (*support)->as_double();
+      for (const json::Value& element_value : (*elements)->as_array()) {
+        auto label = member(element_value, "label");
+        auto mean = member(element_value, "mean_minute");
+        auto stddev = member(element_value, "stddev_minute");
+        if (!label || !mean || !stddev)
+          return parse_error("snapshot: malformed element entry");
+        patterns::TimedElement element;
+        element.label = static_cast<mining::Item>((*label)->as_int());
+        element.mean_minute = (*mean)->as_double();
+        element.stddev_minute = (*stddev)->as_double();
+        pattern.elements.push_back(element);
+      }
+      user.patterns.push_back(std::move(pattern));
+    }
+    out.push_back(std::move(user));
+  }
+  return out;
+}
+
+json::Value config_to_json(const PlatformConfig& config) {
+  return json::object(
+      {{"version", 1},
+       {"seed", static_cast<std::int64_t>(config.seed)},
+       {"small_corpus", config.small_corpus},
+       {"experiment_start", config.experiment_start},
+       {"experiment_end", config.experiment_end},
+       {"min_active_days", config.min_active_days},
+       {"max_gap_seconds", config.max_gap_seconds},
+       {"label_mode", static_cast<int>(config.sequences.mode)},
+       {"collapse_repeats", config.sequences.collapse_repeats},
+       {"min_day_length", static_cast<std::int64_t>(config.sequences.min_day_length)},
+       {"min_support", config.mining.min_support},
+       {"max_pattern_length", static_cast<std::int64_t>(config.mining.max_pattern_length)},
+       {"grid_cell_meters", config.grid_cell_meters},
+       {"window_minutes", config.crowd.window_minutes},
+       {"min_pattern_support", config.crowd.min_pattern_support}});
+}
+
+Result<PlatformConfig> config_from_json(const json::Value& value) {
+  PlatformConfig config;
+  const auto get_int = [&](std::string_view key, auto& slot) -> Status {
+    auto field = member(value, key);
+    if (!field) return field.status();
+    if (!(*field)->is_int())
+      return parse_error(crowdweb::format("snapshot: '{}' must be an integer", key));
+    slot = static_cast<std::decay_t<decltype(slot)>>((*field)->as_int());
+    return Status::ok();
+  };
+  const auto get_double = [&](std::string_view key, double& slot) -> Status {
+    auto field = member(value, key);
+    if (!field) return field.status();
+    if (!(*field)->is_number())
+      return parse_error(crowdweb::format("snapshot: '{}' must be a number", key));
+    slot = (*field)->as_double();
+    return Status::ok();
+  };
+  const auto get_bool = [&](std::string_view key, bool& slot) -> Status {
+    auto field = member(value, key);
+    if (!field) return field.status();
+    if (!(*field)->is_bool())
+      return parse_error(crowdweb::format("snapshot: '{}' must be a bool", key));
+    slot = (*field)->as_bool();
+    return Status::ok();
+  };
+
+  std::int64_t version = 0;
+  Status status = get_int("version", version);
+  if (!status.is_ok()) return status;
+  if (version != 1) return parse_error("snapshot: unsupported config version");
+
+  int label_mode = 0;
+  for (const Status& step :
+       {get_int("seed", config.seed), get_bool("small_corpus", config.small_corpus),
+        get_int("experiment_start", config.experiment_start),
+        get_int("experiment_end", config.experiment_end),
+        get_int("min_active_days", config.min_active_days),
+        get_int("max_gap_seconds", config.max_gap_seconds),
+        get_int("label_mode", label_mode),
+        get_bool("collapse_repeats", config.sequences.collapse_repeats),
+        get_int("min_day_length", config.sequences.min_day_length),
+        get_double("min_support", config.mining.min_support),
+        get_int("max_pattern_length", config.mining.max_pattern_length),
+        get_double("grid_cell_meters", config.grid_cell_meters),
+        get_int("window_minutes", config.crowd.window_minutes),
+        get_double("min_pattern_support", config.crowd.min_pattern_support)}) {
+    if (!step.is_ok()) return step;
+  }
+  if (label_mode < 0 || label_mode > 2)
+    return parse_error("snapshot: label_mode out of range");
+  config.sequences.mode = static_cast<mining::LabelMode>(label_mode);
+  return config;
+}
+
+Status save_snapshot(const Platform& platform, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return io_error(crowdweb::format("cannot create '{}': {}", directory, ec.message()));
+
+  const data::Taxonomy& taxonomy = platform.taxonomy();
+  Status status = data::write_file(directory + "/venues.csv",
+                                   data::venues_to_csv(platform.full_dataset(), taxonomy));
+  if (!status.is_ok()) return status;
+  status = data::write_file(directory + "/checkins.csv",
+                            data::checkins_to_csv(platform.full_dataset(), taxonomy));
+  if (!status.is_ok()) return status;
+  status = data::write_file(directory + "/mobility.json",
+                            json::dump(mobility_to_json(platform.mobility())));
+  if (!status.is_ok()) return status;
+  return data::write_file(directory + "/config.json",
+                          json::dump(config_to_json(platform.config())));
+}
+
+Result<Platform> load_snapshot(const std::string& directory) {
+  auto venues = data::read_file(directory + "/venues.csv");
+  if (!venues) return venues.status();
+  auto checkins = data::read_file(directory + "/checkins.csv");
+  if (!checkins) return checkins.status();
+  auto mobility_text = data::read_file(directory + "/mobility.json");
+  if (!mobility_text) return mobility_text.status();
+  auto config_text = data::read_file(directory + "/config.json");
+  if (!config_text) return config_text.status();
+
+  auto dataset = data::dataset_from_csv(*venues, *checkins, data::Taxonomy::foursquare());
+  if (!dataset) return dataset.status();
+  auto mobility_json = json::parse(*mobility_text);
+  if (!mobility_json) return mobility_json.status();
+  auto mobility = mobility_from_json(*mobility_json);
+  if (!mobility) return mobility.status();
+  auto config_json = json::parse(*config_text);
+  if (!config_json) return config_json.status();
+  auto config = config_from_json(*config_json);
+  if (!config) return config.status();
+
+  return Platform::restore(std::move(dataset).value(), std::move(mobility).value(),
+                           *config);
+}
+
+}  // namespace crowdweb::core

@@ -1,0 +1,42 @@
+// Platform snapshots: persist phase-2 output and restore without mining.
+//
+// A deployment mines once and serves many sessions; snapshots make the
+// expensive phase restartable. A snapshot directory holds
+//   venues.csv / checkins.csv   the full corpus (interchange format)
+//   mobility.json               every user's time-annotated patterns
+//   config.json                 the PlatformConfig that produced them
+// `load_snapshot` re-runs phases 1 and 3 (cheap, deterministic) and
+// validates that the stored mobility matches the preprocessed user set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "json/json.hpp"
+
+namespace crowdweb::core {
+
+/// Serializes mined mobility (phase-2 output) to JSON.
+[[nodiscard]] json::Value mobility_to_json(std::span<const patterns::UserMobility> mobility);
+
+/// Inverse of `mobility_to_json`.
+[[nodiscard]] Result<std::vector<patterns::UserMobility>> mobility_from_json(
+    const json::Value& value);
+
+/// Serializes the platform configuration.
+[[nodiscard]] json::Value config_to_json(const PlatformConfig& config);
+
+/// Inverse of `config_to_json`.
+[[nodiscard]] Result<PlatformConfig> config_from_json(const json::Value& value);
+
+/// Writes the snapshot directory (created if missing).
+[[nodiscard]] Status save_snapshot(const Platform& platform, const std::string& directory);
+
+/// Restores a platform from a snapshot directory: loads the corpus,
+/// re-runs preprocessing and crowd synchronization, and adopts the stored
+/// patterns (no mining). Fails if the stored mobility does not cover the
+/// preprocessed user set.
+[[nodiscard]] Result<Platform> load_snapshot(const std::string& directory);
+
+}  // namespace crowdweb::core

@@ -1,0 +1,103 @@
+#include "crowd/communities.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace crowdweb::crowd {
+
+UserGraph build_co_occurrence_graph(const CrowdModel& model,
+                                    const CoOccurrenceOptions& options) {
+  // Accumulate pair weights over every window's (cell, label) groups.
+  std::map<std::pair<data::UserId, data::UserId>, double> weights;
+  std::map<data::UserId, bool> seen_users;
+  for (int window = 0; window < model.window_count(); ++window) {
+    for (const CrowdGroup& group : model.groups(window, 2)) {
+      const double weight =
+          group.users.size() > options.large_group
+              ? 1.0 / static_cast<double>(group.users.size())
+              : 1.0;
+      for (std::size_t i = 0; i < group.users.size(); ++i) {
+        seen_users.emplace(group.users[i], true);
+        for (std::size_t j = i + 1; j < group.users.size(); ++j)
+          weights[{group.users[i], group.users[j]}] += weight;
+      }
+    }
+  }
+
+  UserGraph graph;
+  std::map<data::UserId, std::size_t> index;
+  for (const auto& [user, unused] : seen_users) {
+    index[user] = graph.users.size();
+    graph.users.push_back(user);
+  }
+  for (const auto& [pair, weight] : weights) {
+    if (weight < options.min_weight) continue;
+    graph.edges.emplace_back(index[pair.first], index[pair.second], weight);
+  }
+  return graph;
+}
+
+std::vector<Community> label_propagation(const UserGraph& graph,
+                                         const LabelPropagationOptions& options) {
+  const std::size_t n = graph.node_count();
+  std::vector<Community> out;
+  if (n == 0) return out;
+
+  // Adjacency.
+  std::vector<std::vector<std::pair<std::size_t, double>>> adjacency(n);
+  for (const auto& [a, b, weight] : graph.edges) {
+    if (a >= n || b >= n || a == b) continue;
+    adjacency[a].push_back({b, weight});
+    adjacency[b].push_back({a, weight});
+  }
+
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i;
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::map<std::size_t, double> tally;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    rng.shuffle(order);
+    bool changed = false;
+    for (const std::size_t node : order) {
+      if (adjacency[node].empty()) continue;
+      tally.clear();
+      for (const auto& [neighbor, weight] : adjacency[node])
+        tally[labels[neighbor]] += weight;
+      // Heaviest neighbor label; ties break toward the smallest label so
+      // the result is independent of map iteration quirks.
+      std::size_t best_label = labels[node];
+      double best_weight = -1.0;
+      for (const auto& [label, weight] : tally) {
+        if (weight > best_weight) {
+          best_weight = weight;
+          best_label = label;
+        }
+      }
+      if (best_label != labels[node]) {
+        labels[node] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Materialize communities.
+  std::map<std::size_t, Community> by_label;
+  for (std::size_t i = 0; i < n; ++i) by_label[labels[i]].members.push_back(graph.users[i]);
+  for (auto& [label, community] : by_label) {
+    if (community.members.size() < std::max<std::size_t>(1, options.min_size)) continue;
+    std::sort(community.members.begin(), community.members.end());
+    out.push_back(std::move(community));
+  }
+  std::sort(out.begin(), out.end(), [](const Community& a, const Community& b) {
+    if (a.members.size() != b.members.size()) return a.members.size() > b.members.size();
+    return a.members < b.members;
+  });
+  return out;
+}
+
+}  // namespace crowdweb::crowd

@@ -1,0 +1,59 @@
+// Crowd communities via label propagation.
+//
+// The paper tags itself "Social Networks" and cites the authors' label
+// propagation work (ref [7]); the natural social structure in a crowd
+// model is co-occurrence: users who repeatedly share a (microcell, time
+// window) bucket move together. This module builds that weighted user
+// graph from the CrowdModel and partitions it with (deterministic,
+// seeded) label propagation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/model.hpp"
+#include "util/rng.hpp"
+
+namespace crowdweb::crowd {
+
+/// A weighted undirected user co-occurrence graph.
+struct UserGraph {
+  std::vector<data::UserId> users;  ///< node index -> user id (sorted)
+  /// (node a, node b, weight); a < b, each pair once.
+  std::vector<std::tuple<std::size_t, std::size_t, double>> edges;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return users.size(); }
+};
+
+struct CoOccurrenceOptions {
+  /// Two users need at least this many shared (cell, window) buckets to
+  /// get an edge.
+  double min_weight = 2.0;
+  /// Groups larger than this are down-weighted (1/size) so giant venues
+  /// don't connect everyone to everyone.
+  std::size_t large_group = 16;
+};
+
+/// Builds the co-occurrence graph from every window's groups.
+[[nodiscard]] UserGraph build_co_occurrence_graph(const CrowdModel& model,
+                                                  const CoOccurrenceOptions& options = {});
+
+/// One detected community (members sorted ascending).
+struct Community {
+  std::vector<data::UserId> members;
+};
+
+struct LabelPropagationOptions {
+  std::uint64_t seed = 7;
+  int max_iterations = 50;
+  /// Communities smaller than this are reported as singletons-dropped.
+  std::size_t min_size = 2;
+};
+
+/// Runs synchronous-free (sequential, random order) label propagation on
+/// the graph; returns communities of at least `min_size`, largest first.
+/// Deterministic for a given seed.
+[[nodiscard]] std::vector<Community> label_propagation(
+    const UserGraph& graph, const LabelPropagationOptions& options = {});
+
+}  // namespace crowdweb::crowd

@@ -1,0 +1,49 @@
+#include "crowd/distribution.hpp"
+
+#include <algorithm>
+
+namespace crowdweb::crowd {
+
+std::vector<std::pair<geo::CellId, std::size_t>> CrowdDistribution::top_cells(
+    std::size_t n) const {
+  std::vector<std::pair<geo::CellId, std::size_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::size_t FlowMatrix::outflow(geo::CellId cell) const noexcept {
+  std::size_t total = 0;
+  for (const auto& [pair, count] : flows_) {
+    if (pair.first == cell && pair.second != cell) total += count;
+  }
+  return total;
+}
+
+std::size_t FlowMatrix::inflow(geo::CellId cell) const noexcept {
+  std::size_t total = 0;
+  for (const auto& [pair, count] : flows_) {
+    if (pair.second == cell && pair.first != cell) total += count;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::pair<geo::CellId, geo::CellId>, std::size_t>>
+FlowMatrix::top_flows(std::size_t n, bool include_stays) const {
+  std::vector<std::pair<std::pair<geo::CellId, geo::CellId>, std::size_t>> out;
+  for (const auto& entry : flows_) {
+    if (!include_stays && entry.first.first == entry.first.second) continue;
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace crowdweb::crowd

@@ -1,0 +1,95 @@
+// Crowd distributions and flows over the microcell grid.
+//
+// A `CrowdDistribution` is the per-cell headcount for one time window —
+// what the CrowdWeb map colors at "9-10 am". A `FlowMatrix` counts users
+// moving between cells across consecutive windows — the movement the demo
+// animates when the selected time changes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "data/checkin.hpp"
+#include "geo/grid.hpp"
+
+namespace crowdweb::crowd {
+
+/// Sparse per-cell headcount for one time window.
+class CrowdDistribution {
+ public:
+  CrowdDistribution() = default;
+  explicit CrowdDistribution(int window) : window_(window) {}
+
+  void add(geo::CellId cell, std::size_t count = 1) {
+    counts_[cell] += count;
+    total_ += count;
+  }
+
+  [[nodiscard]] int window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(geo::CellId cell) const noexcept {
+    const auto it = counts_.find(cell);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<geo::CellId, std::size_t>& cells() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::size_t occupied_cells() const noexcept { return counts_.size(); }
+
+  /// The `n` most crowded cells, descending by count (ties by cell id).
+  [[nodiscard]] std::vector<std::pair<geo::CellId, std::size_t>> top_cells(
+      std::size_t n) const;
+
+ private:
+  int window_ = 0;
+  std::map<geo::CellId, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Sparse cell-to-cell movement counts between two time windows.
+class FlowMatrix {
+ public:
+  FlowMatrix() = default;
+  FlowMatrix(int from_window, int to_window)
+      : from_window_(from_window), to_window_(to_window) {}
+
+  void add(geo::CellId from, geo::CellId to, std::size_t count = 1) {
+    flows_[{from, to}] += count;
+    total_ += count;
+  }
+
+  [[nodiscard]] int from_window() const noexcept { return from_window_; }
+  [[nodiscard]] int to_window() const noexcept { return to_window_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(geo::CellId from, geo::CellId to) const noexcept {
+    const auto it = flows_.find({from, to});
+    return it == flows_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::pair<geo::CellId, geo::CellId>, std::size_t>& flows()
+      const noexcept {
+    return flows_;
+  }
+
+  /// Users leaving `cell` (excluding those staying).
+  [[nodiscard]] std::size_t outflow(geo::CellId cell) const noexcept;
+  /// Users arriving at `cell` (excluding those staying).
+  [[nodiscard]] std::size_t inflow(geo::CellId cell) const noexcept;
+  /// Users staying in `cell`.
+  [[nodiscard]] std::size_t stayers(geo::CellId cell) const noexcept {
+    return count(cell, cell);
+  }
+
+  /// The `n` largest movements (optionally excluding stay-in-place),
+  /// descending by count.
+  [[nodiscard]] std::vector<std::pair<std::pair<geo::CellId, geo::CellId>, std::size_t>>
+  top_flows(std::size_t n, bool include_stays = false) const;
+
+ private:
+  int from_window_ = 0;
+  int to_window_ = 0;
+  std::map<std::pair<geo::CellId, geo::CellId>, std::size_t> flows_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace crowdweb::crowd

@@ -1,0 +1,200 @@
+#include "crowd/model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/civil_time.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::crowd {
+
+namespace {
+
+/// Picks, per (label, window), the venue the user checked into most often
+/// during that window; falls back to their most-visited venue of that
+/// label at any time.
+class RepresentativeVenues {
+ public:
+  RepresentativeVenues(const data::Dataset& dataset, data::UserId user,
+                       const data::Taxonomy& taxonomy, int window_minutes,
+                       mining::LabelMode mode) {
+    for (const data::CheckIn& checkin : dataset.checkins_for(user)) {
+      const mining::Item label = label_of(checkin, taxonomy, mode);
+      const CivilTime civil = to_civil(checkin.timestamp);
+      const int window = (civil.hour * 60 + civil.minute) / window_minutes;
+      ++windowed_[{label, window}][checkin.venue];
+      ++overall_[label][checkin.venue];
+    }
+  }
+
+  [[nodiscard]] std::optional<data::VenueId> pick(mining::Item label, int window) const {
+    if (const auto it = windowed_.find({label, window}); it != windowed_.end())
+      return best(it->second);
+    if (const auto it = overall_.find(label); it != overall_.end()) return best(it->second);
+    return std::nullopt;
+  }
+
+  static mining::Item label_of(const data::CheckIn& checkin, const data::Taxonomy& taxonomy,
+                               mining::LabelMode mode) {
+    switch (mode) {
+      case mining::LabelMode::kRootCategory:
+        return taxonomy.root_of(checkin.category);
+      case mining::LabelMode::kLeafCategory:
+        return checkin.category;
+      case mining::LabelMode::kVenue:
+        return checkin.venue;
+    }
+    return checkin.category;
+  }
+
+ private:
+  using VenueCounts = std::map<data::VenueId, std::size_t>;
+
+  static data::VenueId best(const VenueCounts& counts) {
+    data::VenueId best_venue = counts.begin()->first;
+    std::size_t best_count = 0;
+    for (const auto& [venue, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_venue = venue;
+      }
+    }
+    return best_venue;
+  }
+
+  std::map<std::pair<mining::Item, int>, VenueCounts> windowed_;
+  std::map<mining::Item, VenueCounts> overall_;
+};
+
+}  // namespace
+
+Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
+                                     std::span<const patterns::UserMobility> mobility,
+                                     const geo::SpatialGrid& grid,
+                                     const CrowdOptions& options) {
+  if (options.window_minutes <= 0 || (24 * 60) % options.window_minutes != 0)
+    return invalid_argument(
+        crowdweb::format("window_minutes must divide a day, got {}", options.window_minutes));
+
+  CrowdModel model(grid, options);
+  const int windows = (24 * 60) / options.window_minutes;
+  model.placements_.resize(static_cast<std::size_t>(windows));
+
+  // NOTE: synchronization assumes root-category labels, the platform
+  // default; the representative-venue lookup below mirrors that.
+  const mining::LabelMode mode = mining::LabelMode::kRootCategory;
+  const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+
+  for (const patterns::UserMobility& user : mobility) {
+    if (user.patterns.empty()) continue;
+    const RepresentativeVenues venues(dataset, user.user, taxonomy, options.window_minutes,
+                                      mode);
+    // A user appears at most once per (window, label): dedupe elements of
+    // different patterns that land in the same window.
+    std::set<std::pair<int, mining::Item>> placed;
+    for (const patterns::MobilityPattern& pattern : user.patterns) {
+      if (pattern.support < options.min_pattern_support) continue;
+      for (const patterns::TimedElement& element : pattern.elements) {
+        const int minute = static_cast<int>(element.mean_minute);
+        const int window =
+            std::clamp(minute / options.window_minutes, 0, windows - 1);
+        if (!placed.insert({window, element.label}).second) continue;
+        const auto venue_id = venues.pick(element.label, window);
+        if (!venue_id) continue;
+        const data::Venue* venue = dataset.venue(*venue_id);
+        if (venue == nullptr) continue;
+        CrowdPlacement placement;
+        placement.user = user.user;
+        placement.label = element.label;
+        placement.venue = *venue_id;
+        placement.position = venue->position;
+        placement.cell = model.grid_.clamped_cell_of(venue->position);
+        placement.pattern_support = pattern.support;
+        model.placements_[static_cast<std::size_t>(window)].push_back(placement);
+      }
+    }
+  }
+  return model;
+}
+
+std::string CrowdModel::window_label(int window) const {
+  const int start = window * options_.window_minutes;
+  const int end = start + options_.window_minutes;
+  return crowdweb::format("{:02}:{:02}-{:02}:{:02}", start / 60, start % 60,
+                          (end / 60) % 25, end % 60);
+}
+
+std::span<const CrowdPlacement> CrowdModel::placements(int window) const {
+  if (window < 0 || window >= window_count()) return {};
+  return placements_[static_cast<std::size_t>(window)];
+}
+
+CrowdDistribution CrowdModel::distribution(int window) const {
+  CrowdDistribution dist(window);
+  for (const CrowdPlacement& placement : placements(window)) dist.add(placement.cell);
+  return dist;
+}
+
+FlowMatrix CrowdModel::flow(int from_window, int to_window) const {
+  FlowMatrix matrix(from_window, to_window);
+  // Index the destination window by user; a user may occupy several
+  // labels per window — use their first placement in each.
+  std::map<data::UserId, geo::CellId> destination;
+  for (const CrowdPlacement& placement : placements(to_window))
+    destination.try_emplace(placement.user, placement.cell);
+  std::set<data::UserId> moved;
+  for (const CrowdPlacement& placement : placements(from_window)) {
+    if (!moved.insert(placement.user).second) continue;
+    const auto it = destination.find(placement.user);
+    if (it == destination.end()) continue;
+    matrix.add(placement.cell, it->second);
+  }
+  return matrix;
+}
+
+std::vector<CrowdGroup> CrowdModel::groups(int window, std::size_t min_size) const {
+  std::map<std::pair<geo::CellId, mining::Item>, std::vector<data::UserId>> buckets;
+  for (const CrowdPlacement& placement : placements(window))
+    buckets[{placement.cell, placement.label}].push_back(placement.user);
+  std::vector<CrowdGroup> out;
+  for (auto& [key, users] : buckets) {
+    if (users.size() < std::max<std::size_t>(1, min_size)) continue;
+    std::sort(users.begin(), users.end());
+    out.push_back({key.first, key.second, std::move(users)});
+  }
+  std::sort(out.begin(), out.end(), [](const CrowdGroup& a, const CrowdGroup& b) {
+    if (a.users.size() != b.users.size()) return a.users.size() > b.users.size();
+    if (a.cell != b.cell) return a.cell < b.cell;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+std::size_t CrowdModel::total_placements() const noexcept {
+  std::size_t total = 0;
+  for (const auto& window : placements_) total += window.size();
+  return total;
+}
+
+CrowdModel::Rhythm CrowdModel::rhythm() const {
+  Rhythm out;
+  std::map<mining::Item, std::size_t> index;
+  for (const auto& window : placements_) {
+    for (const CrowdPlacement& placement : window) index.emplace(placement.label, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [label, slot] : index) {
+    slot = next++;
+    out.labels.push_back(label);
+  }
+  out.counts.assign(out.labels.size(),
+                    std::vector<std::size_t>(placements_.size(), 0));
+  for (std::size_t w = 0; w < placements_.size(); ++w) {
+    for (const CrowdPlacement& placement : placements_[w])
+      ++out.counts[index[placement.label]][w];
+  }
+  return out;
+}
+
+}  // namespace crowdweb::crowd

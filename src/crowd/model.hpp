@@ -1,0 +1,102 @@
+// Crowd synchronization and aggregation — phase 3 of the framework.
+//
+// Takes every user's time-annotated mobility patterns and aligns them on
+// wall-clock time windows: a user whose pattern says "Eatery around
+// 12:20" *appears* in the city during the 12:00-13:00 window, placed at
+// their representative eatery (their most-visited venue of that label in
+// that window). Aggregating the placements over the microcell grid gives
+// the crowd distribution the map displays; following users across
+// consecutive windows gives the crowd flows.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crowd/distribution.hpp"
+#include "data/dataset.hpp"
+#include "geo/grid.hpp"
+#include "patterns/mobility.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::crowd {
+
+/// One user's presence in one time window.
+struct CrowdPlacement {
+  data::UserId user = 0;
+  mining::Item label = 0;        ///< the pattern element's place label
+  data::VenueId venue = 0;       ///< representative venue for that label
+  geo::LatLon position;
+  geo::CellId cell = 0;
+  double pattern_support = 0.0;  ///< support of the pattern that placed them
+};
+
+/// Users sharing a (cell, label) in one window — the paper's "group".
+struct CrowdGroup {
+  geo::CellId cell = 0;
+  mining::Item label = 0;
+  std::vector<data::UserId> users;
+};
+
+struct CrowdOptions {
+  /// Minutes per synchronization window (60 = the demo's hourly view).
+  int window_minutes = 60;
+  /// Only pattern elements from patterns at or above this support place a
+  /// user on the map.
+  double min_pattern_support = 0.25;
+};
+
+/// The synchronized, aggregated crowd — queryable per time window.
+class CrowdModel {
+ public:
+  /// Builds the model. `grid` is copied; `dataset` is only read during
+  /// construction. Fails when window_minutes does not divide a day.
+  static Result<CrowdModel> build(const data::Dataset& dataset,
+                                  std::span<const patterns::UserMobility> mobility,
+                                  const geo::SpatialGrid& grid,
+                                  const CrowdOptions& options = {});
+
+  [[nodiscard]] const geo::SpatialGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const CrowdOptions& options() const noexcept { return options_; }
+  [[nodiscard]] int window_count() const noexcept {
+    return static_cast<int>(placements_.size());
+  }
+  /// "09:00-10:00" style label of a window index.
+  [[nodiscard]] std::string window_label(int window) const;
+
+  /// All user placements of a window.
+  [[nodiscard]] std::span<const CrowdPlacement> placements(int window) const;
+
+  /// Per-cell headcount for a window. Total equals placements(window).size().
+  [[nodiscard]] CrowdDistribution distribution(int window) const;
+
+  /// Movements of users present in both windows.
+  [[nodiscard]] FlowMatrix flow(int from_window, int to_window) const;
+
+  /// Groups of at least `min_size` users sharing (cell, label) in a window,
+  /// largest first.
+  [[nodiscard]] std::vector<CrowdGroup> groups(int window, std::size_t min_size = 2) const;
+
+  /// Total placements across all windows.
+  [[nodiscard]] std::size_t total_placements() const noexcept;
+
+  /// Placement counts per (label, window) — the city's daily rhythm.
+  /// labels are sorted ascending; counts[l][w] is label l's headcount in
+  /// window w.
+  struct Rhythm {
+    std::vector<mining::Item> labels;
+    std::vector<std::vector<std::size_t>> counts;
+  };
+  [[nodiscard]] Rhythm rhythm() const;
+
+ private:
+  CrowdModel(geo::SpatialGrid grid, CrowdOptions options)
+      : grid_(grid), options_(options) {}
+
+  geo::SpatialGrid grid_;
+  CrowdOptions options_;
+  std::vector<std::vector<CrowdPlacement>> placements_;  // one vector per window
+};
+
+}  // namespace crowdweb::crowd

@@ -1,0 +1,61 @@
+#include "crowd/streaming.hpp"
+
+#include "util/format.hpp"
+
+namespace crowdweb::crowd {
+
+Result<StreamingCrowd> StreamingCrowd::create(const geo::SpatialGrid& grid,
+                                              const StreamingOptions& options) {
+  if (options.window_minutes <= 0 || (24 * 60) % options.window_minutes != 0)
+    return invalid_argument(
+        crowdweb::format("window_minutes must divide a day, got {}", options.window_minutes));
+  if (options.history == 0) return invalid_argument("history must be positive");
+  return StreamingCrowd(grid, options);
+}
+
+std::int64_t StreamingCrowd::window_index(std::int64_t timestamp) const noexcept {
+  const std::int64_t window_seconds = static_cast<std::int64_t>(options_.window_minutes) * 60;
+  // Floor division handles pre-epoch timestamps too.
+  std::int64_t index = timestamp / window_seconds;
+  if (timestamp % window_seconds != 0 && timestamp < 0) --index;
+  return index;
+}
+
+void StreamingCrowd::roll_to(std::int64_t window_index_value) {
+  const int windows_per_day = (24 * 60) / options_.window_minutes;
+  if (current_index_ >= 0 && window_index_value > current_index_) {
+    history_.push_back(std::move(current_));
+    while (history_.size() > options_.history) history_.pop_front();
+    // Intermediate empty windows are recorded too, so history spacing is
+    // uniform (a dashboard can rely on one entry per window).
+    for (std::int64_t w = current_index_ + 1; w < window_index_value; ++w) {
+      history_.emplace_back(static_cast<int>(w % windows_per_day));
+      while (history_.size() > options_.history) history_.pop_front();
+    }
+  }
+  current_ = CrowdDistribution(static_cast<int>(window_index_value % windows_per_day));
+  current_index_ = window_index_value;
+}
+
+Status StreamingCrowd::observe(const data::CheckIn& checkin) {
+  const std::int64_t index = window_index(checkin.timestamp);
+  if (current_index_ >= 0 && index < current_index_)
+    return failed_precondition(
+        crowdweb::format("out-of-order check-in: window {} after window {}", index,
+                         current_index_));
+  if (current_index_ < 0 || index > current_index_) roll_to(index);
+  current_.add(grid_.clamped_cell_of(checkin.position));
+  ++observed_;
+  return Status::ok();
+}
+
+void StreamingCrowd::advance_to(std::int64_t timestamp) {
+  const std::int64_t index = window_index(timestamp);
+  if (current_index_ < 0) {
+    roll_to(index);
+    return;
+  }
+  if (index > current_index_) roll_to(index);
+}
+
+}  // namespace crowdweb::crowd

@@ -1,0 +1,72 @@
+// Streaming crowd monitor — the live half of the demo.
+//
+// `CrowdModel` answers "where does the crowd *usually* sit at 9 am" from
+// mined patterns; this class answers "where is the crowd *right now*"
+// from the raw check-in stream. Check-ins are observed in timestamp
+// order; the monitor maintains per-cell counts for the current time
+// window and a ring of recently closed windows, so a dashboard can show
+// the live map plus a short history without touching the miner.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "crowd/distribution.hpp"
+#include "data/checkin.hpp"
+#include "geo/grid.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::crowd {
+
+struct StreamingOptions {
+  /// Minutes per window; must divide a day.
+  int window_minutes = 60;
+  /// Closed windows kept in history (oldest evicted first).
+  std::size_t history = 48;
+};
+
+class StreamingCrowd {
+ public:
+  /// Fails when window_minutes does not divide a day or history is 0.
+  static Result<StreamingCrowd> create(const geo::SpatialGrid& grid,
+                                       const StreamingOptions& options = {});
+
+  /// Observes one check-in. Timestamps must be non-decreasing; a check-in
+  /// older than the current window is rejected (out-of-order stream).
+  Status observe(const data::CheckIn& checkin);
+
+  /// Advances the clock without an observation (e.g. idle periods); closes
+  /// windows the time has passed.
+  void advance_to(std::int64_t timestamp);
+
+  /// Index of the window containing `timestamp` since the epoch.
+  [[nodiscard]] std::int64_t window_index(std::int64_t timestamp) const noexcept;
+
+  /// The still-open window's distribution (CrowdDistribution::window() is
+  /// the *hour-of-day style* index: window_index % windows_per_day).
+  [[nodiscard]] const CrowdDistribution& current() const noexcept { return current_; }
+  [[nodiscard]] std::int64_t current_window_index() const noexcept { return current_index_; }
+
+  /// Recently closed windows, oldest first.
+  [[nodiscard]] const std::deque<CrowdDistribution>& history() const noexcept {
+    return history_;
+  }
+
+  /// Total observations accepted since construction.
+  [[nodiscard]] std::size_t observed() const noexcept { return observed_; }
+
+ private:
+  StreamingCrowd(const geo::SpatialGrid& grid, const StreamingOptions& options)
+      : grid_(grid), options_(options) {}
+
+  void roll_to(std::int64_t window_index_value);
+
+  geo::SpatialGrid grid_;
+  StreamingOptions options_;
+  CrowdDistribution current_;
+  std::int64_t current_index_ = -1;  ///< -1 = no observation yet
+  std::deque<CrowdDistribution> history_;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace crowdweb::crowd

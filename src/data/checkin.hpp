@@ -1,0 +1,34 @@
+// Core record types of the CrowdWeb data model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/categories.hpp"
+#include "geo/point.hpp"
+
+namespace crowdweb::data {
+
+using UserId = std::uint32_t;
+using VenueId = std::uint32_t;
+
+/// A place a user can check in at (a Foursquare "venue").
+struct Venue {
+  VenueId id = 0;
+  std::string name;
+  CategoryId category = kNoCategory;  ///< leaf category (venue type)
+  geo::LatLon position;
+};
+
+/// One geotagged check-in record: user U visited venue V at time T.
+struct CheckIn {
+  UserId user = 0;
+  VenueId venue = 0;
+  CategoryId category = kNoCategory;  ///< leaf category of the venue
+  geo::LatLon position;
+  std::int64_t timestamp = 0;  ///< epoch seconds, local city time
+
+  friend bool operator==(const CheckIn&, const CheckIn&) = default;
+};
+
+}  // namespace crowdweb::data

@@ -1,0 +1,99 @@
+#include "data/csv.hpp"
+
+#include "util/format.hpp"
+
+namespace crowdweb::data {
+
+Result<std::vector<CsvRow>> parse_csv(std::string_view text, CsvOptions options) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  std::size_t line = 1;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty() || field_was_quoted)
+          return parse_error(crowdweb::format("stray quote at line {}", line));
+        in_quotes = true;
+        field_was_quoted = true;
+        break;
+      case '\r':
+        // Swallow CR of CRLF; a bare CR is treated as a row break too.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        [[fallthrough]];
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      default:
+        if (c == options.delimiter) {
+          end_field();
+        } else {
+          field += c;
+        }
+    }
+  }
+  if (in_quotes) return parse_error(crowdweb::format("unterminated quote at line {}", line));
+  // Flush a final row without trailing newline.
+  if (!field.empty() || field_was_quoted || !row.empty()) end_row();
+  return rows;
+}
+
+std::string csv_escape(std::string_view field, char delimiter) {
+  const bool needs_quoting =
+      field.find_first_of("\"\r\n") != std::string_view::npos ||
+      field.find(delimiter) != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string write_csv(const std::vector<CsvRow>& rows, CsvOptions options) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += options.delimiter;
+      out += csv_escape(row[i], options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace crowdweb::data

@@ -1,0 +1,34 @@
+// RFC 4180-style CSV reading and writing.
+//
+// Used to persist datasets and benchmark series. Fields containing the
+// delimiter, quotes, or newlines are quoted; quotes are doubled. The
+// reader handles quoted fields spanning lines and reports row/column on
+// failure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace crowdweb::data {
+
+using CsvRow = std::vector<std::string>;
+
+struct CsvOptions {
+  char delimiter = ',';
+};
+
+/// Parses a full CSV document into rows. A trailing newline does not
+/// produce an empty row; completely empty input yields no rows.
+[[nodiscard]] Result<std::vector<CsvRow>> parse_csv(std::string_view text,
+                                                    CsvOptions options = {});
+
+/// Serializes rows; every output row ends with '\n'.
+[[nodiscard]] std::string write_csv(const std::vector<CsvRow>& rows, CsvOptions options = {});
+
+/// Quotes a single field if needed.
+[[nodiscard]] std::string csv_escape(std::string_view field, char delimiter = ',');
+
+}  // namespace crowdweb::data

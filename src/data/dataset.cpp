@@ -1,0 +1,212 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "stats/summary.hpp"
+#include "util/civil_time.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::data {
+
+const Venue* Dataset::venue(VenueId id) const noexcept {
+  if (id >= venues_.size()) return nullptr;
+  return &venues_[id];
+}
+
+std::span<const CheckIn> Dataset::checkins_for(UserId user) const noexcept {
+  const auto it = std::lower_bound(users_.begin(), users_.end(), user);
+  if (it == users_.end() || *it != user) return {};
+  const std::size_t index = static_cast<std::size_t>(it - users_.begin());
+  return {checkins_.data() + offsets_[index], offsets_[index + 1] - offsets_[index]};
+}
+
+DatasetStats Dataset::stats() const {
+  DatasetStats s;
+  s.checkin_count = checkins_.size();
+  s.user_count = users_.size();
+  s.venue_count = venues_.size();
+  if (checkins_.empty()) return s;
+
+  std::vector<double> per_user;
+  per_user.reserve(users_.size());
+  for (std::size_t i = 0; i < users_.size(); ++i)
+    per_user.push_back(static_cast<double>(offsets_[i + 1] - offsets_[i]));
+  s.mean_records_per_user = stats::mean(per_user);
+  s.median_records_per_user = stats::median(per_user);
+
+  std::int64_t first = checkins_.front().timestamp;
+  std::int64_t last = first;
+  for (const CheckIn& c : checkins_) {
+    first = std::min(first, c.timestamp);
+    last = std::max(last, c.timestamp);
+  }
+  s.first_timestamp = first;
+  s.last_timestamp = last;
+  s.collection_days = static_cast<std::size_t>(day_index(last) - day_index(first)) + 1;
+  if (s.collection_days > 0)
+    s.mean_records_per_user_day =
+        s.mean_records_per_user / static_cast<double>(s.collection_days);
+  return s;
+}
+
+std::vector<std::pair<std::string, std::size_t>> Dataset::monthly_counts() const {
+  // Month key = year * 12 + (month - 1), kept ordered.
+  std::vector<std::pair<std::int64_t, std::size_t>> keyed;
+  for (const CheckIn& c : checkins_) {
+    const CivilTime civil = to_civil(c.timestamp);
+    const std::int64_t key = static_cast<std::int64_t>(civil.year) * 12 + civil.month - 1;
+    const auto it = std::lower_bound(
+        keyed.begin(), keyed.end(), key,
+        [](const auto& entry, std::int64_t k) { return entry.first < k; });
+    if (it != keyed.end() && it->first == key) {
+      ++it->second;
+    } else {
+      keyed.insert(it, {key, 1});
+    }
+  }
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, count] : keyed) {
+    out.emplace_back(
+        crowdweb::format("{:04}-{:02}", key / 12, key % 12 + 1), count);
+  }
+  return out;
+}
+
+std::size_t Dataset::active_days(UserId user, std::int64_t from, std::int64_t to) const {
+  std::set<std::int64_t> days;
+  for (const CheckIn& c : checkins_for(user)) {
+    if (c.timestamp < from) continue;
+    if (to != 0 && c.timestamp >= to) continue;
+    days.insert(day_index(c.timestamp));
+  }
+  return days.size();
+}
+
+bool Dataset::is_active_user(UserId user, const ActiveUserCriteria& criteria) const {
+  const auto records = checkins_for(user);
+  // Count qualifying days. Records are time-sorted, so a single pass
+  // suffices: a day qualifies when the gap rule is disabled (any record)
+  // or when two consecutive records on that day are close enough.
+  std::set<std::int64_t> qualifying;
+  std::int64_t prev_time = 0;
+  std::int64_t prev_day = -1;
+  bool have_prev = false;
+  for (const CheckIn& c : records) {
+    if (c.timestamp < criteria.from || c.timestamp >= criteria.to) {
+      have_prev = false;
+      continue;
+    }
+    const std::int64_t day = day_index(c.timestamp);
+    if (criteria.max_gap_seconds <= 0) {
+      qualifying.insert(day);
+    } else if (have_prev && prev_day == day &&
+               c.timestamp - prev_time <= criteria.max_gap_seconds) {
+      qualifying.insert(day);
+    }
+    prev_time = c.timestamp;
+    prev_day = day;
+    have_prev = true;
+  }
+  return static_cast<int>(qualifying.size()) > criteria.min_days;
+}
+
+namespace {
+
+Dataset subset(const Dataset& source, const std::vector<CheckIn>& keep) {
+  DatasetBuilder builder;
+  for (const Venue& v : source.venues()) {
+    const Status status = builder.add_venue(v);
+    (void)status;  // venues come from a built dataset; always valid
+  }
+  for (const CheckIn& c : keep) {
+    const Status status = builder.add_checkin(c);
+    (void)status;
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+Dataset Dataset::filter_time_range(std::int64_t from, std::int64_t to) const {
+  std::vector<CheckIn> keep;
+  for (const CheckIn& c : checkins_) {
+    if (c.timestamp >= from && c.timestamp < to) keep.push_back(c);
+  }
+  return subset(*this, keep);
+}
+
+Dataset Dataset::filter_active_users(const ActiveUserCriteria& criteria) const {
+  std::vector<UserId> selected;
+  for (const UserId user : users_) {
+    if (is_active_user(user, criteria)) selected.push_back(user);
+  }
+  return filter_users(selected);
+}
+
+Dataset Dataset::filter_users(std::span<const UserId> users) const {
+  const std::unordered_set<UserId> wanted(users.begin(), users.end());
+  std::vector<CheckIn> keep;
+  for (const CheckIn& c : checkins_) {
+    if (wanted.contains(c.user)) keep.push_back(c);
+  }
+  return subset(*this, keep);
+}
+
+void Dataset::rebuild_index() {
+  std::sort(checkins_.begin(), checkins_.end(), [](const CheckIn& a, const CheckIn& b) {
+    if (a.user != b.user) return a.user < b.user;
+    return a.timestamp < b.timestamp;
+  });
+  users_.clear();
+  offsets_.clear();
+  bounds_ = geo::BoundingBox{};
+  for (std::size_t i = 0; i < checkins_.size(); ++i) {
+    if (i == 0 || checkins_[i].user != checkins_[i - 1].user) {
+      users_.push_back(checkins_[i].user);
+      offsets_.push_back(i);
+    }
+    bounds_.extend(checkins_[i].position);
+  }
+  offsets_.push_back(checkins_.size());
+}
+
+Status DatasetBuilder::add_venue(Venue venue) {
+  if (venue.id != venues_.size())
+    return invalid_argument(
+        crowdweb::format("venue ids must be dense: expected {}, got {}", venues_.size(),
+                         venue.id));
+  if (!geo::is_valid(venue.position))
+    return invalid_argument(crowdweb::format("venue '{}' has an invalid position", venue.name));
+  if (venue.category == kNoCategory)
+    return invalid_argument(crowdweb::format("venue '{}' has no category", venue.name));
+  venues_.push_back(std::move(venue));
+  return Status::ok();
+}
+
+Status DatasetBuilder::add_checkin(CheckIn checkin) {
+  if (checkin.venue >= venues_.size())
+    return invalid_argument(crowdweb::format("check-in references unknown venue {}", checkin.venue));
+  if (!geo::is_valid(checkin.position))
+    return invalid_argument("check-in has an invalid position");
+  if (checkin.category != venues_[checkin.venue].category)
+    return invalid_argument(
+        crowdweb::format("check-in category {} does not match venue category {}",
+                         checkin.category, venues_[checkin.venue].category));
+  checkins_.push_back(checkin);
+  return Status::ok();
+}
+
+Dataset DatasetBuilder::build() {
+  Dataset dataset;
+  dataset.venues_ = std::move(venues_);
+  dataset.checkins_ = std::move(checkins_);
+  venues_.clear();
+  checkins_.clear();
+  dataset.rebuild_index();
+  return dataset;
+}
+
+}  // namespace crowdweb::data

@@ -1,0 +1,136 @@
+// The check-in dataset container and the paper's preprocessing steps.
+//
+// Holds venues and check-ins, indexes records per user, and implements
+// Section I.1 of the paper: corpus statistics (record counts, per-user
+// mean/median, sparsity), month-window restriction (April-June is the
+// richest period), and active-user selection ("users with less than
+// 2 hours check-in records for more than 50 days within the 3-month
+// period" — i.e. users whose records include, on more than `min_days`
+// distinct days, check-ins less than two hours apart).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/checkin.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::data {
+
+/// Corpus statistics reported in Section I.1 of the paper.
+struct DatasetStats {
+  std::size_t checkin_count = 0;
+  std::size_t user_count = 0;
+  std::size_t venue_count = 0;
+  double mean_records_per_user = 0.0;
+  double median_records_per_user = 0.0;
+  std::int64_t first_timestamp = 0;
+  std::int64_t last_timestamp = 0;
+  std::size_t collection_days = 0;        ///< days spanned by the data
+  double mean_records_per_user_day = 0.0; ///< mean/collection_days; <1 = sparse
+};
+
+/// Criteria for the paper's active-user filter.
+struct ActiveUserCriteria {
+  std::int64_t from = 0;  ///< inclusive epoch seconds
+  std::int64_t to = 0;    ///< exclusive epoch seconds
+  /// A user qualifies with *more than* this many qualifying days.
+  int min_days = 50;
+  /// A day qualifies when it contains two check-ins at most this many
+  /// seconds apart (the paper's "less than 2 hours" richness rule).
+  /// Zero disables the gap rule: any day with a record qualifies.
+  std::int64_t max_gap_seconds = 2 * 3600;
+};
+
+/// An immutable, indexed check-in corpus.
+///
+/// Build with `DatasetBuilder`; all accessors require the built state.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  [[nodiscard]] std::size_t checkin_count() const noexcept { return checkins_.size(); }
+  [[nodiscard]] std::size_t user_count() const noexcept { return users_.size(); }
+  [[nodiscard]] std::size_t venue_count() const noexcept { return venues_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return checkins_.empty(); }
+
+  /// All check-ins, sorted by (user, timestamp).
+  [[nodiscard]] std::span<const CheckIn> checkins() const noexcept { return checkins_; }
+
+  /// Distinct user ids, ascending.
+  [[nodiscard]] std::span<const UserId> users() const noexcept { return users_; }
+
+  /// All venues, indexed by VenueId.
+  [[nodiscard]] std::span<const Venue> venues() const noexcept { return venues_; }
+  [[nodiscard]] const Venue* venue(VenueId id) const noexcept;
+
+  /// This user's check-ins sorted by time (empty when unknown).
+  [[nodiscard]] std::span<const CheckIn> checkins_for(UserId user) const noexcept;
+
+  /// Geographic extent of all check-ins (empty box for an empty dataset).
+  [[nodiscard]] const geo::BoundingBox& bounds() const noexcept { return bounds_; }
+
+  /// Section I.1 corpus statistics.
+  [[nodiscard]] DatasetStats stats() const;
+
+  /// Number of check-ins per calendar month, as ("YYYY-MM", count) pairs
+  /// in chronological order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> monthly_counts() const;
+
+  /// Distinct days on which `user` has at least one check-in in
+  /// [from, to); to == 0 means unbounded.
+  [[nodiscard]] std::size_t active_days(UserId user, std::int64_t from = 0,
+                                        std::int64_t to = 0) const;
+
+  /// True when `user` satisfies `criteria` (see ActiveUserCriteria).
+  [[nodiscard]] bool is_active_user(UserId user, const ActiveUserCriteria& criteria) const;
+
+  /// New dataset restricted to [from, to) epoch seconds.
+  [[nodiscard]] Dataset filter_time_range(std::int64_t from, std::int64_t to) const;
+
+  /// New dataset keeping only users satisfying `criteria` (all their
+  /// records, not just those inside the window).
+  [[nodiscard]] Dataset filter_active_users(const ActiveUserCriteria& criteria) const;
+
+  /// New dataset keeping only the given users.
+  [[nodiscard]] Dataset filter_users(std::span<const UserId> users) const;
+
+ private:
+  friend class DatasetBuilder;
+
+  void rebuild_index();
+
+  std::vector<Venue> venues_;        // indexed by VenueId
+  std::vector<CheckIn> checkins_;    // sorted by (user, timestamp)
+  std::vector<UserId> users_;        // distinct, ascending
+  std::vector<std::size_t> offsets_; // users_[i] owns [offsets_[i], offsets_[i+1])
+  geo::BoundingBox bounds_;
+};
+
+/// Accumulates venues and check-ins, validates them, and produces a
+/// `Dataset`.
+class DatasetBuilder {
+ public:
+  /// Registers a venue; its id must equal the number of venues added so
+  /// far (dense ids).
+  Status add_venue(Venue venue);
+
+  /// Adds a check-in; the venue must exist, the position must be valid,
+  /// and the category must match the venue's.
+  Status add_checkin(CheckIn checkin);
+
+  /// Number of records added so far.
+  [[nodiscard]] std::size_t checkin_count() const noexcept { return checkins_.size(); }
+
+  /// Sorts, indexes, and returns the dataset; the builder is left empty.
+  [[nodiscard]] Dataset build();
+
+ private:
+  std::vector<Venue> venues_;
+  std::vector<CheckIn> checkins_;
+};
+
+}  // namespace crowdweb::data

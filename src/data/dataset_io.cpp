@@ -1,0 +1,146 @@
+#include "data/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "data/csv.hpp"
+#include "util/civil_time.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace crowdweb::data {
+
+namespace {
+
+std::string double_to_string(double value) {
+  return crowdweb::format("{:.7f}", value);
+}
+
+}  // namespace
+
+std::string venues_to_csv(const Dataset& dataset, const Taxonomy& taxonomy) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"venue_id", "name", "category", "lat", "lon"});
+  for (const Venue& v : dataset.venues()) {
+    rows.push_back({std::to_string(v.id), v.name, taxonomy.name(v.category),
+                    double_to_string(v.position.lat), double_to_string(v.position.lon)});
+  }
+  return write_csv(rows);
+}
+
+std::string checkins_to_csv(const Dataset& dataset, const Taxonomy& taxonomy) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"user_id", "venue_id", "category", "lat", "lon", "timestamp"});
+  for (const CheckIn& c : dataset.checkins()) {
+    rows.push_back({std::to_string(c.user), std::to_string(c.venue),
+                    taxonomy.name(c.category), double_to_string(c.position.lat),
+                    double_to_string(c.position.lon), format_timestamp(c.timestamp)});
+  }
+  return write_csv(rows);
+}
+
+namespace {
+
+Status check_header(const CsvRow& row, std::initializer_list<std::string_view> expected,
+                    std::string_view what) {
+  if (row.size() != expected.size())
+    return parse_error(crowdweb::format("{} header has {} fields, expected {}", what,
+                                        row.size(), expected.size()));
+  std::size_t i = 0;
+  for (const std::string_view name : expected) {
+    if (row[i] != name)
+      return parse_error(
+          crowdweb::format("{} header field {} is '{}', expected '{}'", what, i, row[i], name));
+    ++i;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<Dataset> dataset_from_csv(std::string_view venues_csv, std::string_view checkins_csv,
+                                 const Taxonomy& taxonomy) {
+  auto venue_rows = parse_csv(venues_csv);
+  if (!venue_rows) return venue_rows.status();
+  auto checkin_rows = parse_csv(checkins_csv);
+  if (!checkin_rows) return checkin_rows.status();
+  if (venue_rows->empty()) return parse_error("venues file is empty");
+  if (checkin_rows->empty()) return parse_error("checkins file is empty");
+
+  Status status =
+      check_header((*venue_rows)[0], {"venue_id", "name", "category", "lat", "lon"}, "venues");
+  if (!status.is_ok()) return status;
+  status = check_header((*checkin_rows)[0],
+                        {"user_id", "venue_id", "category", "lat", "lon", "timestamp"},
+                        "checkins");
+  if (!status.is_ok()) return status;
+
+  DatasetBuilder builder;
+  for (std::size_t i = 1; i < venue_rows->size(); ++i) {
+    const CsvRow& row = (*venue_rows)[i];
+    if (row.size() != 5)
+      return parse_error(crowdweb::format("venues row {} has {} fields", i + 1, row.size()));
+    const auto id = parse_int(row[0]);
+    const auto lat = parse_double(row[3]);
+    const auto lon = parse_double(row[4]);
+    const auto category = taxonomy.find(row[2]);
+    if (!id || !lat || !lon)
+      return parse_error(crowdweb::format("venues row {} is malformed", i + 1));
+    if (!category)
+      return parse_error(crowdweb::format("venues row {}: unknown category '{}'", i + 1, row[2]));
+    Venue venue;
+    venue.id = static_cast<VenueId>(*id);
+    venue.name = row[1];
+    venue.category = *category;
+    venue.position = {*lat, *lon};
+    status = builder.add_venue(std::move(venue));
+    if (!status.is_ok()) return status;
+  }
+
+  for (std::size_t i = 1; i < checkin_rows->size(); ++i) {
+    const CsvRow& row = (*checkin_rows)[i];
+    if (row.size() != 6)
+      return parse_error(crowdweb::format("checkins row {} has {} fields", i + 1, row.size()));
+    const auto user = parse_int(row[0]);
+    const auto venue = parse_int(row[1]);
+    const auto category = taxonomy.find(row[2]);
+    const auto lat = parse_double(row[3]);
+    const auto lon = parse_double(row[4]);
+    const auto timestamp = parse_timestamp(row[5]);
+    if (!user || !venue || !lat || !lon || !timestamp)
+      return parse_error(crowdweb::format("checkins row {} is malformed", i + 1));
+    if (!category)
+      return parse_error(
+          crowdweb::format("checkins row {}: unknown category '{}'", i + 1, row[2]));
+    CheckIn checkin;
+    checkin.user = static_cast<UserId>(*user);
+    checkin.venue = static_cast<VenueId>(*venue);
+    checkin.category = *category;
+    checkin.position = {*lat, *lon};
+    checkin.timestamp = *timestamp;
+    status = builder.add_checkin(checkin);
+    if (!status.is_ok())
+      return parse_error(
+          crowdweb::format("checkins row {}: {}", i + 1, status.to_string()));
+  }
+  return builder.build();
+}
+
+Status write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return io_error(crowdweb::format("cannot open '{}' for writing", path));
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return io_error(crowdweb::format("short write to '{}'", path));
+  return Status::ok();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return io_error(crowdweb::format("cannot open '{}'", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return io_error(crowdweb::format("read error on '{}'", path));
+  return std::move(buffer).str();
+}
+
+}  // namespace crowdweb::data

@@ -1,0 +1,94 @@
+#include "geo/geohash.hpp"
+
+#include <algorithm>
+#include <array>
+#include "util/format.hpp"
+
+namespace crowdweb::geo {
+
+namespace {
+
+constexpr std::string_view kBase32 = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int base32_index(char c) noexcept {
+  const auto pos = kBase32.find(c);
+  return pos == std::string_view::npos ? -1 : static_cast<int>(pos);
+}
+
+}  // namespace
+
+std::string geohash_encode(const LatLon& p, int precision) {
+  precision = std::clamp(precision, 1, 12);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string hash;
+  hash.reserve(static_cast<std::size_t>(precision));
+  bool even_bit = true;  // longitude first
+  int bit = 0;
+  int index = 0;
+  while (static_cast<int>(hash.size()) < precision) {
+    if (even_bit) {
+      const double mid = (lon_lo + lon_hi) / 2.0;
+      if (p.lon >= mid) {
+        index = index * 2 + 1;
+        lon_lo = mid;
+      } else {
+        index *= 2;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (p.lat >= mid) {
+        index = index * 2 + 1;
+        lat_lo = mid;
+      } else {
+        index *= 2;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash += kBase32[static_cast<std::size_t>(index)];
+      bit = 0;
+      index = 0;
+    }
+  }
+  return hash;
+}
+
+Result<BoundingBox> geohash_decode_bounds(std::string_view hash) {
+  if (hash.empty() || hash.size() > 12)
+    return invalid_argument(crowdweb::format("geohash length {} out of range", hash.size()));
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even_bit = true;
+  for (const char c : hash) {
+    const int index = base32_index(c);
+    if (index < 0) return parse_error(crowdweb::format("invalid geohash character '{}'", c));
+    for (int bit = 4; bit >= 0; --bit) {
+      const int value = (index >> bit) & 1;
+      if (even_bit) {
+        const double mid = (lon_lo + lon_hi) / 2.0;
+        (value != 0 ? lon_lo : lon_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        (value != 0 ? lat_lo : lat_hi) = mid;
+      }
+      even_bit = !even_bit;
+    }
+  }
+  BoundingBox box;
+  box.min_lat = lat_lo;
+  box.max_lat = lat_hi;
+  box.min_lon = lon_lo;
+  box.max_lon = lon_hi;
+  return box;
+}
+
+Result<LatLon> geohash_decode(std::string_view hash) {
+  auto bounds = geohash_decode_bounds(hash);
+  if (!bounds) return bounds.status();
+  return bounds->center();
+}
+
+}  // namespace crowdweb::geo

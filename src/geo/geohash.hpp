@@ -1,0 +1,24 @@
+// Geohash encoding/decoding (base-32, Gustavo Niemeyer's scheme).
+//
+// Geohashes give the platform stable, shareable identifiers for microcells
+// and let the API address map regions by prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "geo/point.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::geo {
+
+/// Encodes `p` to a geohash of `precision` characters (1..12).
+[[nodiscard]] std::string geohash_encode(const LatLon& p, int precision);
+
+/// Decodes to the center of the geohash cell.
+[[nodiscard]] Result<LatLon> geohash_decode(std::string_view hash);
+
+/// Decodes to the full cell bounds.
+[[nodiscard]] Result<BoundingBox> geohash_decode_bounds(std::string_view hash);
+
+}  // namespace crowdweb::geo

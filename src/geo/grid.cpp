@@ -1,0 +1,85 @@
+#include "geo/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "util/format.hpp"
+
+namespace crowdweb::geo {
+
+Result<SpatialGrid> SpatialGrid::create(const BoundingBox& bounds,
+                                        double cell_size_meters) {
+  if (bounds.empty()) return invalid_argument("grid bounds are empty");
+  if (!(cell_size_meters > 0.0))
+    return invalid_argument(crowdweb::format("cell size must be positive, got {}", cell_size_meters));
+
+  const double height_m =
+      haversine_meters({bounds.min_lat, bounds.min_lon}, {bounds.max_lat, bounds.min_lon});
+  const double mid_lat = (bounds.min_lat + bounds.max_lat) / 2.0;
+  const double width_m =
+      haversine_meters({mid_lat, bounds.min_lon}, {mid_lat, bounds.max_lon});
+
+  const auto dim = [cell_size_meters](double extent_m) {
+    const double n = std::ceil(extent_m / cell_size_meters);
+    return static_cast<std::uint32_t>(std::max(1.0, n));
+  };
+  const std::uint32_t rows = dim(height_m);
+  const std::uint32_t cols = dim(width_m);
+  if (static_cast<std::uint64_t>(rows) * cols > 16'000'000ULL)
+    return invalid_argument(
+        crowdweb::format("grid too fine: {}x{} cells exceeds the 16M limit", rows, cols));
+  return SpatialGrid(bounds, rows, cols, cell_size_meters);
+}
+
+std::optional<CellId> SpatialGrid::cell_of(const LatLon& p) const noexcept {
+  if (!bounds_.contains(p)) return std::nullopt;
+  return clamped_cell_of(p);
+}
+
+CellId SpatialGrid::clamped_cell_of(const LatLon& p) const noexcept {
+  const double lat_span = bounds_.max_lat - bounds_.min_lat;
+  const double lon_span = bounds_.max_lon - bounds_.min_lon;
+  const double fr = lat_span > 0.0 ? (p.lat - bounds_.min_lat) / lat_span : 0.0;
+  const double fc = lon_span > 0.0 ? (p.lon - bounds_.min_lon) / lon_span : 0.0;
+  const auto row = static_cast<std::uint32_t>(
+      std::clamp(fr * rows_, 0.0, static_cast<double>(rows_ - 1)));
+  const auto col = static_cast<std::uint32_t>(
+      std::clamp(fc * cols_, 0.0, static_cast<double>(cols_ - 1)));
+  return row * cols_ + col;
+}
+
+LatLon SpatialGrid::cell_center(CellId cell) const noexcept {
+  const BoundingBox box = cell_bounds(cell);
+  return box.center();
+}
+
+BoundingBox SpatialGrid::cell_bounds(CellId cell) const noexcept {
+  const std::uint32_t row = row_of(cell);
+  const std::uint32_t col = col_of(cell);
+  const double lat_step = (bounds_.max_lat - bounds_.min_lat) / rows_;
+  const double lon_step = (bounds_.max_lon - bounds_.min_lon) / cols_;
+  BoundingBox box;
+  box.min_lat = bounds_.min_lat + row * lat_step;
+  box.max_lat = box.min_lat + lat_step;
+  box.min_lon = bounds_.min_lon + col * lon_step;
+  box.max_lon = box.min_lon + lon_step;
+  return box;
+}
+
+std::vector<CellId> SpatialGrid::neighbors(CellId cell) const {
+  std::vector<CellId> out;
+  out.reserve(8);
+  const auto row = static_cast<std::int64_t>(row_of(cell));
+  const auto col = static_cast<std::int64_t>(col_of(cell));
+  for (std::int64_t dr = -1; dr <= 1; ++dr) {
+    for (std::int64_t dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const std::int64_t r = row + dr;
+      const std::int64_t c = col + dc;
+      if (r < 0 || c < 0 || r >= rows_ || c >= cols_) continue;
+      out.push_back(static_cast<CellId>(r * cols_ + c));
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdweb::geo

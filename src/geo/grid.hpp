@@ -1,0 +1,64 @@
+// Spatial grid of "microcells".
+//
+// CrowdWeb aggregates the crowd over a regular grid laid over the city
+// bounding box; each cell is a *microcell* in the paper's terminology
+// ("any user with a pattern of visiting a certain microcell ... will
+// appear in the smart city at the selected time"). The grid maps lat/lon
+// to a dense cell index so crowd distributions are plain vectors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::geo {
+
+/// Dense identifier of a grid cell: `row * cols + col`.
+using CellId = std::uint32_t;
+
+/// Regular lat/lon grid over a bounding box with ~square cells of a
+/// requested edge length in meters.
+class SpatialGrid {
+ public:
+  /// Builds a grid covering `bounds` with cells of roughly
+  /// `cell_size_meters` on each side. Fails on empty bounds or a
+  /// non-positive cell size.
+  static Result<SpatialGrid> create(const BoundingBox& bounds, double cell_size_meters);
+
+  [[nodiscard]] const BoundingBox& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return static_cast<std::size_t>(rows_) * cols_;
+  }
+  [[nodiscard]] double cell_size_meters() const noexcept { return cell_size_meters_; }
+
+  /// Cell containing `p`, or nullopt when outside the bounds.
+  [[nodiscard]] std::optional<CellId> cell_of(const LatLon& p) const noexcept;
+
+  /// Cell containing `p`, clamping out-of-bounds points to the edge.
+  [[nodiscard]] CellId clamped_cell_of(const LatLon& p) const noexcept;
+
+  [[nodiscard]] LatLon cell_center(CellId cell) const noexcept;
+  [[nodiscard]] BoundingBox cell_bounds(CellId cell) const noexcept;
+  [[nodiscard]] std::uint32_t row_of(CellId cell) const noexcept { return cell / cols_; }
+  [[nodiscard]] std::uint32_t col_of(CellId cell) const noexcept { return cell % cols_; }
+
+  /// The up-to-8 neighbours of a cell (edge cells have fewer).
+  [[nodiscard]] std::vector<CellId> neighbors(CellId cell) const;
+
+ private:
+  SpatialGrid(BoundingBox bounds, std::uint32_t rows, std::uint32_t cols,
+              double cell_size_meters) noexcept
+      : bounds_(bounds), rows_(rows), cols_(cols), cell_size_meters_(cell_size_meters) {}
+
+  BoundingBox bounds_;
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  double cell_size_meters_;
+};
+
+}  // namespace crowdweb::geo

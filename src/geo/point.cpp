@@ -1,0 +1,49 @@
+#include "geo/point.hpp"
+
+namespace crowdweb::geo {
+
+bool is_valid(const LatLon& p) noexcept {
+  return p.lat >= -90.0 && p.lat <= 90.0 && p.lon >= -180.0 && p.lon <= 180.0 &&
+         std::isfinite(p.lat) && std::isfinite(p.lon);
+}
+
+double haversine_meters(const LatLon& a, const LatLon& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat);
+  const double lat2 = deg_to_rad(b.lat);
+  const double dlat = deg_to_rad(b.lat - a.lat);
+  const double dlon = deg_to_rad(b.lon - a.lon);
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h < 1.0 ? h : 1.0));
+}
+
+double equirect_meters(const LatLon& a, const LatLon& b) noexcept {
+  const double mean_lat = deg_to_rad((a.lat + b.lat) / 2.0);
+  const double dx = deg_to_rad(b.lon - a.lon) * std::cos(mean_lat);
+  const double dy = deg_to_rad(b.lat - a.lat);
+  return kEarthRadiusMeters * std::sqrt(dx * dx + dy * dy);
+}
+
+Projection::Projection(LatLon origin) noexcept
+    : origin_(origin), cos_lat_(std::cos(deg_to_rad(origin.lat))) {}
+
+XY Projection::to_xy(const LatLon& p) const noexcept {
+  return {deg_to_rad(p.lon - origin_.lon) * cos_lat_ * kEarthRadiusMeters,
+          deg_to_rad(p.lat - origin_.lat) * kEarthRadiusMeters};
+}
+
+LatLon Projection::to_latlon(const XY& p) const noexcept {
+  return {origin_.lat + rad_to_deg(p.y / kEarthRadiusMeters),
+          origin_.lon + rad_to_deg(p.x / (kEarthRadiusMeters * cos_lat_))};
+}
+
+LatLon offset_meters(const LatLon& p, double east_m, double north_m) noexcept {
+  const double dlat = rad_to_deg(north_m / kEarthRadiusMeters);
+  const double dlon =
+      rad_to_deg(east_m / (kEarthRadiusMeters * std::cos(deg_to_rad(p.lat))));
+  return {p.lat + dlat, p.lon + dlon};
+}
+
+}  // namespace crowdweb::geo

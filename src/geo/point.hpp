@@ -1,0 +1,104 @@
+// Geographic primitives: WGS-84 points, bounding boxes, distances, and a
+// local equirectangular projection used by the grid and the renderers.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace crowdweb::geo {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6'371'008.8;
+
+[[nodiscard]] constexpr double deg_to_rad(double degrees) noexcept {
+  return degrees * std::numbers::pi / 180.0;
+}
+[[nodiscard]] constexpr double rad_to_deg(double radians) noexcept {
+  return radians * 180.0 / std::numbers::pi;
+}
+
+/// A WGS-84 coordinate. Latitude in [-90, 90], longitude in [-180, 180).
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// True when both fields are within WGS-84 bounds.
+[[nodiscard]] bool is_valid(const LatLon& p) noexcept;
+
+/// Great-circle distance in meters (haversine).
+[[nodiscard]] double haversine_meters(const LatLon& a, const LatLon& b) noexcept;
+
+/// Fast approximate distance via local equirectangular flattening —
+/// accurate to <0.5% at city scale, ~5x cheaper than haversine.
+[[nodiscard]] double equirect_meters(const LatLon& a, const LatLon& b) noexcept;
+
+/// An axis-aligned lat/lon rectangle (min <= max on both axes; does not
+/// model antimeridian wrapping, which city-scale data never needs).
+struct BoundingBox {
+  double min_lat = 90.0;
+  double max_lat = -90.0;
+  double min_lon = 180.0;
+  double max_lon = -180.0;
+
+  /// An empty box: contains nothing, extends to anything.
+  [[nodiscard]] bool empty() const noexcept { return min_lat > max_lat || min_lon > max_lon; }
+  void extend(const LatLon& p) noexcept {
+    min_lat = p.lat < min_lat ? p.lat : min_lat;
+    max_lat = p.lat > max_lat ? p.lat : max_lat;
+    min_lon = p.lon < min_lon ? p.lon : min_lon;
+    max_lon = p.lon > max_lon ? p.lon : max_lon;
+  }
+  void extend(const BoundingBox& other) noexcept {
+    if (other.empty()) return;
+    extend(LatLon{other.min_lat, other.min_lon});
+    extend(LatLon{other.max_lat, other.max_lon});
+  }
+  [[nodiscard]] bool contains(const LatLon& p) const noexcept {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon && p.lon <= max_lon;
+  }
+  [[nodiscard]] bool intersects(const BoundingBox& other) const noexcept {
+    if (empty() || other.empty()) return false;
+    return min_lat <= other.max_lat && other.min_lat <= max_lat &&
+           min_lon <= other.max_lon && other.min_lon <= max_lon;
+  }
+  [[nodiscard]] LatLon center() const noexcept {
+    return {(min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0};
+  }
+  /// Expands every edge outward by `margin_deg` degrees.
+  [[nodiscard]] BoundingBox inflated(double margin_deg) const noexcept {
+    return {min_lat - margin_deg, max_lat + margin_deg, min_lon - margin_deg,
+            max_lon + margin_deg};
+  }
+
+  friend bool operator==(const BoundingBox&, const BoundingBox&) = default;
+};
+
+/// Local Cartesian coordinates in meters (x east, y north).
+struct XY {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const XY&, const XY&) = default;
+};
+
+/// Equirectangular projection anchored at `origin`; good at city scale.
+class Projection {
+ public:
+  explicit Projection(LatLon origin) noexcept;
+
+  [[nodiscard]] XY to_xy(const LatLon& p) const noexcept;
+  [[nodiscard]] LatLon to_latlon(const XY& p) const noexcept;
+  [[nodiscard]] LatLon origin() const noexcept { return origin_; }
+
+ private:
+  LatLon origin_;
+  double cos_lat_;
+};
+
+/// Displaces `p` by (east, north) meters.
+[[nodiscard]] LatLon offset_meters(const LatLon& p, double east_m, double north_m) noexcept;
+
+}  // namespace crowdweb::geo

@@ -1,0 +1,174 @@
+#include "geo/quadtree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace crowdweb::geo {
+
+struct QuadTree::Node {
+  BoundingBox bounds;
+  std::vector<QuadPoint> points;                 // leaf payload
+  std::array<std::unique_ptr<Node>, 4> children; // NW, NE, SW, SE when split
+
+  [[nodiscard]] bool is_leaf() const noexcept { return children[0] == nullptr; }
+
+  [[nodiscard]] int quadrant_of(const LatLon& p) const noexcept {
+    const LatLon c = bounds.center();
+    const bool north = p.lat >= c.lat;
+    const bool east = p.lon >= c.lon;
+    return (north ? 0 : 2) + (east ? 1 : 0);
+  }
+
+  [[nodiscard]] BoundingBox quadrant_bounds(int quadrant) const noexcept {
+    const LatLon c = bounds.center();
+    BoundingBox box;
+    const bool north = quadrant < 2;
+    const bool east = (quadrant % 2) == 1;
+    box.min_lat = north ? c.lat : bounds.min_lat;
+    box.max_lat = north ? bounds.max_lat : c.lat;
+    box.min_lon = east ? c.lon : bounds.min_lon;
+    box.max_lon = east ? bounds.max_lon : c.lon;
+    return box;
+  }
+};
+
+QuadTree::QuadTree(BoundingBox bounds, std::size_t bucket_capacity)
+    : bounds_(bounds),
+      bucket_capacity_(std::max<std::size_t>(1, bucket_capacity)),
+      root_(std::make_unique<Node>()) {
+  root_->bounds = bounds;
+}
+
+QuadTree::~QuadTree() = default;
+QuadTree::QuadTree(QuadTree&&) noexcept = default;
+QuadTree& QuadTree::operator=(QuadTree&&) noexcept = default;
+
+bool QuadTree::insert(const LatLon& position, std::uint32_t id) {
+  if (!bounds_.contains(position)) return false;
+  Node* node = root_.get();
+  // Descend to a leaf, splitting full leaves on the way.
+  for (int depth = 0;; ++depth) {
+    if (node->is_leaf()) {
+      // Stop splitting past a reasonable depth to bound degenerate inputs
+      // (many duplicate points); the leaf simply grows.
+      if (node->points.size() < bucket_capacity_ || depth >= 32) {
+        node->points.push_back({position, id});
+        ++size_;
+        return true;
+      }
+      // Split: redistribute the bucket into four children.
+      for (int q = 0; q < 4; ++q) {
+        node->children[static_cast<std::size_t>(q)] = std::make_unique<Node>();
+        node->children[static_cast<std::size_t>(q)]->bounds = node->quadrant_bounds(q);
+      }
+      for (const QuadPoint& p : node->points) {
+        const int q = node->quadrant_of(p.position);
+        node->children[static_cast<std::size_t>(q)]->points.push_back(p);
+      }
+      node->points.clear();
+      node->points.shrink_to_fit();
+    }
+    node = node->children[static_cast<std::size_t>(node->quadrant_of(position))].get();
+  }
+}
+
+std::vector<std::uint32_t> QuadTree::query_range(const BoundingBox& query) const {
+  std::vector<std::uint32_t> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->bounds.intersects(query)) continue;
+    if (node->is_leaf()) {
+      for (const QuadPoint& p : node->points) {
+        if (query.contains(p.position)) out.push_back(p.id);
+      }
+      continue;
+    }
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> QuadTree::query_radius(const LatLon& center,
+                                                  double radius_m) const {
+  // Prefilter with a bounding box around the circle, then verify distance.
+  const double dlat = rad_to_deg(radius_m / kEarthRadiusMeters);
+  const double cos_lat = std::max(0.01, std::cos(deg_to_rad(center.lat)));
+  const double dlon = rad_to_deg(radius_m / (kEarthRadiusMeters * cos_lat));
+  BoundingBox query;
+  query.min_lat = center.lat - dlat;
+  query.max_lat = center.lat + dlat;
+  query.min_lon = center.lon - dlon;
+  query.max_lon = center.lon + dlon;
+
+  std::vector<std::uint32_t> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->bounds.intersects(query)) continue;
+    if (node->is_leaf()) {
+      for (const QuadPoint& p : node->points) {
+        if (haversine_meters(center, p.position) <= radius_m) out.push_back(p.id);
+      }
+      continue;
+    }
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return out;
+}
+
+namespace {
+
+/// Lower bound on the distance from `p` to any point of `box`, in meters.
+double min_distance_meters(const LatLon& p, const BoundingBox& box) noexcept {
+  const double lat = std::clamp(p.lat, box.min_lat, box.max_lat);
+  const double lon = std::clamp(p.lon, box.min_lon, box.max_lon);
+  return haversine_meters(p, {lat, lon});
+}
+
+}  // namespace
+
+std::optional<QuadPoint> QuadTree::nearest(const LatLon& target) const {
+  if (size_ == 0) return std::nullopt;
+  std::optional<QuadPoint> best;
+  double best_dist = std::numeric_limits<double>::infinity();
+
+  // Best-first search over nodes ordered by min possible distance.
+  struct Entry {
+    double min_dist;
+    const Node* node;
+  };
+  std::vector<Entry> heap{{0.0, root_.get()}};
+  const auto cmp = [](const Entry& a, const Entry& b) { return a.min_dist > b.min_dist; };
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const Entry entry = heap.back();
+    heap.pop_back();
+    if (entry.min_dist >= best_dist) continue;
+    const Node* node = entry.node;
+    if (node->is_leaf()) {
+      for (const QuadPoint& p : node->points) {
+        const double d = haversine_meters(target, p.position);
+        if (d < best_dist) {
+          best_dist = d;
+          best = p;
+        }
+      }
+      continue;
+    }
+    for (const auto& child : node->children) {
+      const double d = min_distance_meters(target, child->bounds);
+      if (d < best_dist) {
+        heap.push_back({d, child.get()});
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace crowdweb::geo

@@ -1,0 +1,59 @@
+// Point quadtree over lat/lon with payload ids.
+//
+// Used by the synthetic-city builder (nearest venue of a category) and the
+// map renderer (viewport queries). Stores points in leaf buckets and
+// splits on overflow; queries return payload ids.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace crowdweb::geo {
+
+/// A payload point inserted into the tree.
+struct QuadPoint {
+  LatLon position;
+  std::uint32_t id = 0;
+};
+
+class QuadTree {
+ public:
+  /// `bounds` must enclose every inserted point; `bucket_capacity` is the
+  /// leaf size before a split.
+  explicit QuadTree(BoundingBox bounds, std::size_t bucket_capacity = 16);
+  ~QuadTree();
+  QuadTree(QuadTree&&) noexcept;
+  QuadTree& operator=(QuadTree&&) noexcept;
+  QuadTree(const QuadTree&) = delete;
+  QuadTree& operator=(const QuadTree&) = delete;
+
+  /// Inserts a point; returns false (and ignores it) when outside bounds.
+  bool insert(const LatLon& position, std::uint32_t id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const BoundingBox& bounds() const noexcept { return bounds_; }
+
+  /// Ids of all points inside `query` (inclusive bounds).
+  [[nodiscard]] std::vector<std::uint32_t> query_range(const BoundingBox& query) const;
+
+  /// Ids of all points within `radius_m` meters of `center` (haversine).
+  [[nodiscard]] std::vector<std::uint32_t> query_radius(const LatLon& center,
+                                                        double radius_m) const;
+
+  /// Nearest point to `target`, or nullopt when the tree is empty.
+  [[nodiscard]] std::optional<QuadPoint> nearest(const LatLon& target) const;
+
+ private:
+  struct Node;
+  BoundingBox bounds_;
+  std::size_t bucket_capacity_;
+  std::size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace crowdweb::geo

@@ -1,0 +1,184 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace crowdweb::http {
+
+std::optional<std::string_view> Request::header(std::string_view name) const {
+  const auto it = headers.find(to_lower(name));
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Request::query_param(std::string_view name) const {
+  for (const std::string_view pair : split(query, '&')) {
+    const std::size_t eq = pair.find('=');
+    const std::string_view key = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (key != name) continue;
+    const std::string_view raw =
+        eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+    auto decoded = url_decode(raw);
+    if (!decoded) return std::nullopt;
+    return std::move(decoded).value();
+  }
+  return std::nullopt;
+}
+
+bool Request::keep_alive() const {
+  if (const auto connection = header("connection")) {
+    const std::string value = to_lower(*connection);
+    if (value.find("close") != std::string::npos) return false;
+    if (value.find("keep-alive") != std::string::npos) return true;
+  }
+  return version == "HTTP/1.1";  // 1.1 defaults to persistent
+}
+
+Response Response::text(int status, std::string body, std::string content_type) {
+  Response r;
+  r.status = status;
+  r.headers["Content-Type"] = std::move(content_type);
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::json(int status, std::string body) {
+  return text(status, std::move(body), "application/json; charset=utf-8");
+}
+
+Response Response::html(int status, std::string body) {
+  return text(status, std::move(body), "text/html; charset=utf-8");
+}
+
+Response Response::svg(int status, std::string body) {
+  return text(status, std::move(body), "image/svg+xml");
+}
+
+Response Response::not_found_404() { return text(404, "not found\n"); }
+
+Response Response::bad_request_400(std::string message) {
+  message += '\n';
+  return text(400, std::move(message));
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const Response& response, bool keep_alive) {
+  std::string out =
+      crowdweb::format("HTTP/1.1 {} {}\r\n", response.status, reason_phrase(response.status));
+  bool has_content_length = false;
+  for (const auto& [name, value] : response.headers) {
+    out += crowdweb::format("{}: {}\r\n", name, value);
+    if (to_lower(name) == "content-length") has_content_length = true;
+  }
+  if (!has_content_length)
+    out += crowdweb::format("Content-Length: {}\r\n", response.body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+namespace {
+
+ParseResult parse_failure(std::string message) {
+  ParseResult result;
+  result.state = ParseState::kError;
+  result.error = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+ParseResult parse_request(std::string_view buffer, ParseLimits limits) {
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_head_bytes)
+      return parse_failure("request head too large");
+    return {};  // need more
+  }
+  if (head_end > limits.max_head_bytes) return parse_failure("request head too large");
+
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // Request line: METHOD SP target SP version.
+  const auto parts = split(request_line, ' ');
+  if (parts.size() != 3) return parse_failure("malformed request line");
+
+  Request request;
+  request.method.reserve(parts[0].size());
+  for (const char c : parts[0])
+    request.method += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  request.version = std::string(parts[2]);
+  if (request.version != "HTTP/1.0" && request.version != "HTTP/1.1")
+    return parse_failure("unsupported HTTP version");
+
+  const std::string_view target = parts[1];
+  if (target.empty() || target[0] != '/') return parse_failure("malformed request target");
+  const std::size_t question = target.find('?');
+  const std::string_view raw_path =
+      question == std::string_view::npos ? target : target.substr(0, question);
+  auto decoded_path = url_decode(raw_path);
+  if (!decoded_path) return parse_failure("malformed percent-encoding in path");
+  request.path = std::move(decoded_path).value();
+  if (question != std::string_view::npos) request.query = std::string(target.substr(question + 1));
+
+  // Headers.
+  std::size_t cursor = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t next = head.find("\r\n", cursor);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return parse_failure("malformed header line");
+    const std::string name = to_lower(trim(line.substr(0, colon)));
+    if (name.empty()) return parse_failure("empty header name");
+    request.headers[name] = std::string(trim(line.substr(colon + 1)));
+  }
+
+  // Body via Content-Length (chunked is out of scope and rejected).
+  std::size_t body_length = 0;
+  if (request.header("transfer-encoding").has_value())
+    return parse_failure("chunked transfer encoding is not supported");
+  if (const auto cl = request.header("content-length")) {
+    const auto parsed = parse_int(*cl);
+    if (!parsed || *parsed < 0) return parse_failure("bad Content-Length");
+    body_length = static_cast<std::size_t>(*parsed);
+    if (body_length > limits.max_body_bytes) return parse_failure("request body too large");
+  }
+
+  const std::size_t total = head_end + 4 + body_length;
+  if (buffer.size() < total) return {};  // need body bytes
+
+  request.body = std::string(buffer.substr(head_end + 4, body_length));
+  ParseResult result;
+  result.state = ParseState::kComplete;
+  result.request = std::move(request);
+  result.consumed = total;
+  return result;
+}
+
+}  // namespace crowdweb::http

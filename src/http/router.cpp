@@ -1,0 +1,68 @@
+#include "http/router.hpp"
+
+#include <cctype>
+#include <exception>
+
+#include "util/format.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace crowdweb::http {
+
+std::vector<std::string> Router::split_path(std::string_view path) {
+  std::vector<std::string> segments;
+  for (const std::string_view part : split(path, '/')) {
+    if (!part.empty()) segments.emplace_back(part);
+  }
+  return segments;
+}
+
+void Router::add(std::string_view method, std::string_view pattern, Handler handler) {
+  Route route;
+  for (const char c : method)
+    route.method += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  route.segments = split_path(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& segments,
+                   PathParams& params) {
+  if (route.segments.size() != segments.size()) return false;
+  PathParams captured;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pattern = route.segments[i];
+    if (!pattern.empty() && pattern[0] == ':') {
+      captured[pattern.substr(1)] = segments[i];
+    } else if (pattern != segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+Response Router::dispatch(const Request& request) const {
+  const std::vector<std::string> segments = split_path(request.path);
+  bool path_exists = false;
+  for (const Route& route : routes_) {
+    PathParams params;
+    if (!match(route, segments, params)) continue;
+    path_exists = true;
+    // HEAD is served by GET handlers (the server strips the body).
+    const bool method_matches =
+        route.method == request.method ||
+        (request.method == "HEAD" && route.method == "GET");
+    if (!method_matches) continue;
+    try {
+      return route.handler(request, params);
+    } catch (const std::exception& e) {
+      log_error("handler for {} {} threw: {}", request.method, request.path, e.what());
+      return Response::text(500, "internal server error\n");
+    }
+  }
+  if (path_exists) return Response::text(405, "method not allowed\n");
+  return Response::not_found_404();
+}
+
+}  // namespace crowdweb::http

@@ -1,0 +1,53 @@
+// Path router: method + pattern -> handler.
+//
+// Patterns are '/'-separated; a segment starting with ':' captures the
+// corresponding request segment into named params ("/api/user/:id"). The
+// first registered matching route wins; a path that matches with a
+// different method yields 405.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.hpp"
+
+namespace crowdweb::http {
+
+/// Captured ":name" path parameters.
+using PathParams = std::map<std::string, std::string, std::less<>>;
+
+using Handler = std::function<Response(const Request&, const PathParams&)>;
+
+class Router {
+ public:
+  /// Registers a handler ("GET", "/api/user/:id", ...). Method is
+  /// uppercased; duplicate registrations stack (first match wins).
+  void add(std::string_view method, std::string_view pattern, Handler handler);
+
+  void get(std::string_view pattern, Handler handler) { add("GET", pattern, std::move(handler)); }
+  void post(std::string_view pattern, Handler handler) {
+    add("POST", pattern, std::move(handler));
+  }
+
+  /// Routes the request; 404 for unknown paths, 405 for known paths with
+  /// the wrong method. Handler exceptions become 500s.
+  [[nodiscard]] Response dispatch(const Request& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< ":x" marks a capture
+    Handler handler;
+  };
+
+  static std::vector<std::string> split_path(std::string_view path);
+  static bool match(const Route& route, const std::vector<std::string>& segments,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace crowdweb::http

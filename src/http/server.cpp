@@ -1,0 +1,299 @@
+#include "http/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::http {
+
+namespace {
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+struct Connection {
+  Fd fd;
+  std::string inbox;   ///< bytes read, not yet parsed
+  std::string outbox;  ///< bytes to write
+  bool close_after_write = false;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Router router;
+  ServerConfig config;
+  Fd listener;
+  Fd wakeup;  // eventfd to interrupt epoll_wait on stop()
+  Fd epoll;
+  std::uint16_t bound_port = 0;
+  std::thread loop_thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> bad_requests{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::map<int, Connection> connections;
+
+  Status bind_and_listen() {
+    listener = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+    if (!listener.valid()) return io_error("socket() failed");
+    const int one = 1;
+    ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.bind_address.c_str(), &address.sin_addr) != 1)
+      return invalid_argument(crowdweb::format("bad bind address '{}'", config.bind_address));
+    if (::bind(listener.get(), reinterpret_cast<sockaddr*>(&address), sizeof address) != 0)
+      return io_error(crowdweb::format("bind({}:{}) failed: {}", config.bind_address,
+                                       config.port, std::strerror(errno)));
+    if (::listen(listener.get(), 64) != 0)
+      return io_error(crowdweb::format("listen() failed: {}", std::strerror(errno)));
+
+    sockaddr_in bound{};
+    socklen_t length = sizeof bound;
+    if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&bound), &length) == 0)
+      bound_port = ntohs(bound.sin_port);
+    return Status::ok();
+  }
+
+  Status setup_epoll() {
+    epoll = Fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll.valid()) return io_error("epoll_create1() failed");
+    wakeup = Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!wakeup.valid()) return io_error("eventfd() failed");
+    if (!watch(listener.get(), EPOLLIN) || !watch(wakeup.get(), EPOLLIN))
+      return io_error("epoll_ctl(ADD) failed");
+    return Status::ok();
+  }
+
+  bool watch(int fd, std::uint32_t events) {
+    epoll_event event{};
+    event.events = events;
+    event.data.fd = fd;
+    return ::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, fd, &event) == 0;
+  }
+
+  bool rearm(int fd, std::uint32_t events) {
+    epoll_event event{};
+    event.events = events;
+    event.data.fd = fd;
+    return ::epoll_ctl(epoll.get(), EPOLL_CTL_MOD, fd, &event) == 0;
+  }
+
+  void close_connection(int fd) {
+    ::epoll_ctl(epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
+    connections.erase(fd);  // Fd destructor closes
+  }
+
+  void accept_new() {
+    while (true) {
+      const int fd = ::accept4(listener.get(), nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or transient error: try again on next event
+      if (connections.size() >= static_cast<std::size_t>(config.max_connections)) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      Connection connection;
+      connection.fd = Fd(fd);
+      if (!watch(fd, EPOLLIN)) {
+        continue;  // connection's Fd closes on scope exit
+      }
+      connections.emplace(fd, std::move(connection));
+    }
+  }
+
+  void handle_readable(Connection& connection) {
+    char buffer[16 * 1024];
+    while (true) {
+      const ssize_t n = ::read(connection.fd.get(), buffer, sizeof buffer);
+      if (n > 0) {
+        connection.inbox.append(buffer, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        connection.close_after_write = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      connection.close_after_write = true;
+      break;
+    }
+
+    // Serve every complete pipelined request in the buffer.
+    while (true) {
+      const ParseResult parsed = parse_request(connection.inbox, config.limits);
+      if (parsed.state == ParseState::kNeedMore) break;
+      if (parsed.state == ParseState::kError) {
+        bad_requests.fetch_add(1, std::memory_order_relaxed);
+        const Response response = Response::bad_request_400(parsed.error);
+        connection.outbox += serialize(response, false);
+        connection.close_after_write = true;
+        connection.inbox.clear();
+        break;
+      }
+      const bool keep_alive = parsed.request.keep_alive();
+      requests.fetch_add(1, std::memory_order_relaxed);
+      Response response = router.dispatch(parsed.request);
+      if (parsed.request.method == "HEAD") response.body.clear();
+      connection.outbox += serialize(response, keep_alive);
+      if (!keep_alive) connection.close_after_write = true;
+      connection.inbox.erase(0, parsed.consumed);
+      if (!keep_alive) break;
+    }
+  }
+
+  /// Returns false when the connection should be closed now.
+  bool handle_writable(Connection& connection) {
+    while (!connection.outbox.empty()) {
+      const ssize_t n =
+          ::write(connection.fd.get(), connection.outbox.data(), connection.outbox.size());
+      if (n > 0) {
+        connection.outbox.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // wait for EPOLLOUT
+      return false;
+    }
+    return !(connection.close_after_write && connection.outbox.empty());
+  }
+
+  void loop() {
+    epoll_event events[64];
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(epoll.get(), events, std::size(events), 500);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        log_error("epoll_wait failed: {}", std::strerror(errno));
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wakeup.get()) {
+          std::uint64_t drained = 0;
+          [[maybe_unused]] const ssize_t r =
+              ::read(wakeup.get(), &drained, sizeof drained);
+          continue;
+        }
+        if (fd == listener.get()) {
+          accept_new();
+          continue;
+        }
+        const auto it = connections.find(fd);
+        if (it == connections.end()) continue;
+        Connection& connection = it->second;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          close_connection(fd);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) handle_readable(connection);
+        if (!handle_writable(connection)) {
+          close_connection(fd);
+          continue;
+        }
+        // Wait for writability only while output is pending.
+        const std::uint32_t wanted =
+            EPOLLIN | (connection.outbox.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
+        rearm(fd, wanted);
+        if (connection.close_after_write && connection.outbox.empty())
+          close_connection(fd);
+      }
+    }
+    connections.clear();
+    running.store(false, std::memory_order_release);
+  }
+};
+
+Server::Server(Router router, ServerConfig config) : impl_(std::make_unique<Impl>()) {
+  impl_->router = std::move(router);
+  impl_->config = std::move(config);
+}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (impl_->running.load(std::memory_order_acquire))
+    return failed_precondition("server already running");
+  Status status = impl_->bind_and_listen();
+  if (!status.is_ok()) return status;
+  status = impl_->setup_epoll();
+  if (!status.is_ok()) return status;
+  impl_->stop_requested.store(false, std::memory_order_release);
+  impl_->running.store(true, std::memory_order_release);
+  impl_->loop_thread = std::thread([this] { impl_->loop(); });
+  log_info("http server listening on {}:{}", impl_->config.bind_address, impl_->bound_port);
+  return Status::ok();
+}
+
+void Server::stop() {
+  if (!impl_->loop_thread.joinable()) return;
+  impl_->stop_requested.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  if (impl_->wakeup.valid()) {
+    [[maybe_unused]] const ssize_t r = ::write(impl_->wakeup.get(), &one, sizeof one);
+  }
+  impl_->loop_thread.join();
+  impl_->listener.reset();
+  impl_->epoll.reset();
+  impl_->wakeup.reset();
+}
+
+bool Server::running() const noexcept {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+ServerStats Server::stats() const noexcept {
+  ServerStats stats;
+  stats.requests = impl_->requests.load(std::memory_order_relaxed);
+  stats.bad_requests = impl_->bad_requests.load(std::memory_order_relaxed);
+  stats.connections = impl_->accepted.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace crowdweb::http

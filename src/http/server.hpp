@@ -1,0 +1,64 @@
+// Single-threaded epoll HTTP/1.1 server.
+//
+// Serves a Router on a loopback (or any) TCP port from one event-loop
+// thread: non-blocking accept/read/write, per-connection buffers,
+// keep-alive, and bounded request sizes. start() binds and spawns the
+// loop; stop() (or the destructor) wakes it via an eventfd and joins.
+// Handlers run on the loop thread — CrowdWeb handlers only read immutable
+// platform state, so no locking is needed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "http/router.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::http {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port (see Server::port()).
+  std::uint16_t port = 0;
+  ParseLimits limits;
+  int max_connections = 256;
+};
+
+/// Monotonic counters exposed by a running server.
+struct ServerStats {
+  std::uint64_t requests = 0;    ///< requests dispatched to the router
+  std::uint64_t bad_requests = 0;  ///< parse failures answered with 400
+  std::uint64_t connections = 0;   ///< connections accepted
+};
+
+class Server {
+ public:
+  /// The router is copied; register all routes before starting.
+  Server(Router router, ServerConfig config = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event loop.
+  [[nodiscard]] Status start();
+
+  /// Stops the loop and joins (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// The bound port (useful with port 0). 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Lifetime counters (monotonic across restarts of the same Server).
+  [[nodiscard]] ServerStats stats() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crowdweb::http

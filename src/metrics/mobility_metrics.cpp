@@ -1,0 +1,123 @@
+#include "metrics/mobility_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geo/point.hpp"
+
+namespace crowdweb::metrics {
+
+double radius_of_gyration(const data::Dataset& dataset, data::UserId user) {
+  const auto records = dataset.checkins_for(user);
+  if (records.empty()) return 0.0;
+
+  // Center of mass in a local projection anchored at the first record
+  // (city-scale distances, so the flat approximation is exact enough).
+  const geo::Projection projection(records.front().position);
+  double cx = 0.0, cy = 0.0;
+  for (const data::CheckIn& record : records) {
+    const geo::XY p = projection.to_xy(record.position);
+    cx += p.x;
+    cy += p.y;
+  }
+  const auto n = static_cast<double>(records.size());
+  cx /= n;
+  cy /= n;
+
+  double sum_sq = 0.0;
+  for (const data::CheckIn& record : records) {
+    const geo::XY p = projection.to_xy(record.position);
+    const double dx = p.x - cx;
+    const double dy = p.y - cy;
+    sum_sq += dx * dx + dy * dy;
+  }
+  return std::sqrt(sum_sq / n);
+}
+
+std::vector<double> all_radii_of_gyration(const data::Dataset& dataset) {
+  std::vector<double> out;
+  out.reserve(dataset.user_count());
+  for (const data::UserId user : dataset.users())
+    out.push_back(radius_of_gyration(dataset, user));
+  return out;
+}
+
+std::vector<double> jump_lengths(const data::Dataset& dataset, data::UserId user) {
+  const auto records = dataset.checkins_for(user);
+  std::vector<double> out;
+  if (records.size() < 2) return out;
+  out.reserve(records.size() - 1);
+  for (std::size_t i = 1; i < records.size(); ++i)
+    out.push_back(geo::haversine_meters(records[i - 1].position, records[i].position));
+  return out;
+}
+
+std::vector<double> all_jump_lengths(const data::Dataset& dataset) {
+  std::vector<double> out;
+  for (const data::UserId user : dataset.users()) {
+    const auto jumps = jump_lengths(dataset, user);
+    out.insert(out.end(), jumps.begin(), jumps.end());
+  }
+  return out;
+}
+
+std::vector<std::size_t> visitation_frequency(const data::Dataset& dataset,
+                                              data::UserId user) {
+  std::map<data::VenueId, std::size_t> counts;
+  for (const data::CheckIn& record : dataset.checkins_for(user)) ++counts[record.venue];
+  std::vector<std::size_t> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [venue, count] : counts) frequencies.push_back(count);
+  std::sort(frequencies.rbegin(), frequencies.rend());
+  return frequencies;
+}
+
+double location_entropy(const data::Dataset& dataset, data::UserId user) {
+  const auto frequencies = visitation_frequency(dataset, user);
+  std::size_t total = 0;
+  for (const std::size_t f : frequencies) total += f;
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (const std::size_t f : frequencies) {
+    const double p = static_cast<double>(f) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+std::vector<std::size_t> distinct_locations_over_time(const data::Dataset& dataset,
+                                                      data::UserId user) {
+  std::vector<std::size_t> out;
+  std::map<data::VenueId, bool> seen;
+  for (const data::CheckIn& record : dataset.checkins_for(user)) {
+    seen.emplace(record.venue, true);
+    out.push_back(seen.size());
+  }
+  return out;
+}
+
+double zipf_exponent(const std::vector<std::size_t>& frequencies) {
+  // Least squares on (log k, log f_k), k = 1..n, skipping zero counts.
+  std::vector<double> xs, ys;
+  for (std::size_t k = 0; k < frequencies.size(); ++k) {
+    if (frequencies[k] == 0) continue;
+    xs.push_back(std::log(static_cast<double>(k + 1)));
+    ys.push_back(std::log(static_cast<double>(frequencies[k])));
+  }
+  if (xs.size() < 2) return 0.0;
+  const auto n = static_cast<double>(xs.size());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+  }
+  const double denominator = n * sum_xx - sum_x * sum_x;
+  if (std::abs(denominator) < 1e-12) return 0.0;
+  const double slope = (n * sum_xy - sum_x * sum_y) / denominator;
+  return -slope;  // positive exponent for decaying frequencies
+}
+
+}  // namespace crowdweb::metrics

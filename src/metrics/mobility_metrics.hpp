@@ -1,0 +1,51 @@
+// Classical human-mobility metrics (Gonzalez, Hidalgo & Barabasi, Nature
+// 2008 — the paper's reference [1]).
+//
+// These validate that a check-in corpus behaves like human movement:
+// radius of gyration per user, jump-length distribution, rank-ordered
+// visitation frequency (Zipf-like), and location entropy. The test suite
+// uses them to hold the synthetic generator to realistic structure, and
+// `bench_mobility_metrics` reports them for the experiment corpus.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace crowdweb::metrics {
+
+/// Radius of gyration of one user's check-ins, in meters: RMS distance of
+/// visit positions from their center of mass. 0 for fewer than 1 record.
+[[nodiscard]] double radius_of_gyration(const data::Dataset& dataset, data::UserId user);
+
+/// Radii of gyration for every user, in dataset user order.
+[[nodiscard]] std::vector<double> all_radii_of_gyration(const data::Dataset& dataset);
+
+/// Distances (meters) between consecutive check-ins of a user; jumps
+/// across midnight are included (human displacement is continuous).
+[[nodiscard]] std::vector<double> jump_lengths(const data::Dataset& dataset,
+                                               data::UserId user);
+
+/// Pooled jump lengths across every user.
+[[nodiscard]] std::vector<double> all_jump_lengths(const data::Dataset& dataset);
+
+/// Visit counts of a user's venues, sorted descending (rank-frequency;
+/// Zipf-like in real corpora: f_k ~ k^-alpha).
+[[nodiscard]] std::vector<std::size_t> visitation_frequency(const data::Dataset& dataset,
+                                                            data::UserId user);
+
+/// Shannon entropy (bits) of a user's venue visitation distribution.
+/// 0 when the user always visits one venue.
+[[nodiscard]] double location_entropy(const data::Dataset& dataset, data::UserId user);
+
+/// Number of distinct venues a user has visited after each check-in —
+/// S(n), sublinear for routine-driven movement.
+[[nodiscard]] std::vector<std::size_t> distinct_locations_over_time(
+    const data::Dataset& dataset, data::UserId user);
+
+/// Least-squares slope of log(f_k) vs log(k) for a rank-frequency sample
+/// (the Zipf exponent, negated); 0 for degenerate inputs.
+[[nodiscard]] double zipf_exponent(const std::vector<std::size_t>& frequencies);
+
+}  // namespace crowdweb::metrics

@@ -1,0 +1,64 @@
+#include "mining/naive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace crowdweb::mining {
+
+namespace {
+
+void extend(const SequenceDb& db, const std::vector<Item>& alphabet, std::size_t min_count,
+            const MiningOptions& options, std::vector<Item>& prefix,
+            std::vector<Pattern>& results) {
+  if (prefix.size() >= options.max_pattern_length) return;
+  for (const Item item : alphabet) {
+    if (results.size() >= options.max_patterns) return;
+    prefix.push_back(item);
+    const std::size_t count = count_support(prefix, db);
+    if (count >= min_count) {
+      Pattern p;
+      p.items = prefix;
+      p.support_count = count;
+      p.support = static_cast<double>(count) / static_cast<double>(db.size());
+      results.push_back(std::move(p));
+      extend(db, alphabet, min_count, options, prefix, results);
+    }
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> naive_miner(const SequenceDb& db, const MiningOptions& options) {
+  if (db.empty()) return {};
+  std::size_t min_count = static_cast<std::size_t>(
+      std::ceil(options.min_support * static_cast<double>(db.size())));
+  if (min_count == 0) min_count = 1;
+
+  // Alphabet: the globally frequent items (anything else cannot appear in
+  // a frequent pattern).
+  std::unordered_map<Item, std::size_t> counts;
+  for (const auto& sequence : db) {
+    std::vector<Item> seen;
+    for (const Item item : sequence) {
+      if (std::find(seen.begin(), seen.end(), item) == seen.end()) {
+        seen.push_back(item);
+        ++counts[item];
+      }
+    }
+  }
+  std::vector<Item> alphabet;
+  for (const auto& [item, count] : counts) {
+    if (count >= min_count) alphabet.push_back(item);
+  }
+  std::sort(alphabet.begin(), alphabet.end());
+
+  std::vector<Pattern> results;
+  std::vector<Item> prefix;
+  extend(db, alphabet, min_count, options, prefix, results);
+  sort_patterns(results);
+  return results;
+}
+
+}  // namespace crowdweb::mining

@@ -1,0 +1,20 @@
+// Naive DFS sequence miner.
+//
+// The simplest correct miner: extend each frequent pattern by every
+// frequent item and recount support with a full database scan. Sound and
+// complete by the anti-monotonicity of subsequence support, but pays a
+// whole-DB scan per candidate — the lower baseline of the miner-ablation
+// bench and the ground truth for the property tests.
+#pragma once
+
+#include <vector>
+
+#include "mining/pattern.hpp"
+
+namespace crowdweb::mining {
+
+/// Mines the same pattern set as `prefixspan` (identical output order).
+[[nodiscard]] std::vector<Pattern> naive_miner(const SequenceDb& db,
+                                               const MiningOptions& options = {});
+
+}  // namespace crowdweb::mining

@@ -1,0 +1,58 @@
+#include "mining/pattern.hpp"
+
+#include <algorithm>
+
+namespace crowdweb::mining {
+
+bool is_subsequence(std::span<const Item> needle, std::span<const Item> haystack) noexcept {
+  std::size_t n = 0;
+  for (const Item item : haystack) {
+    if (n == needle.size()) return true;
+    if (item == needle[n]) ++n;
+  }
+  return n == needle.size();
+}
+
+std::size_t count_support(std::span<const Item> pattern, const SequenceDb& db) {
+  std::size_t count = 0;
+  for (const auto& sequence : db) {
+    if (is_subsequence(pattern, sequence)) ++count;
+  }
+  return count;
+}
+
+void sort_patterns(std::vector<Pattern>& patterns) {
+  std::sort(patterns.begin(), patterns.end(), [](const Pattern& a, const Pattern& b) {
+    if (a.items.size() != b.items.size()) return a.items.size() < b.items.size();
+    return a.items < b.items;
+  });
+}
+
+std::vector<Pattern> closed_patterns(std::vector<Pattern> patterns) {
+  std::vector<Pattern> out;
+  for (const Pattern& candidate : patterns) {
+    const bool subsumed = std::any_of(
+        patterns.begin(), patterns.end(), [&](const Pattern& other) {
+          return other.items.size() > candidate.items.size() &&
+                 other.support_count == candidate.support_count &&
+                 is_subsequence(candidate.items, other.items);
+        });
+    if (!subsumed) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<Pattern> maximal_patterns(std::vector<Pattern> patterns) {
+  std::vector<Pattern> out;
+  for (const Pattern& candidate : patterns) {
+    const bool subsumed = std::any_of(
+        patterns.begin(), patterns.end(), [&](const Pattern& other) {
+          return other.items.size() > candidate.items.size() &&
+                 is_subsequence(candidate.items, other.items);
+        });
+    if (!subsumed) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace crowdweb::mining

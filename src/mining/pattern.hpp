@@ -1,0 +1,62 @@
+// Sequential-pattern vocabulary shared by the miners.
+//
+// A *sequence* is one day of a user's visits, reduced to labels (items).
+// A *pattern* is a subsequence that occurs in at least `min_support`
+// fraction of the user's day-sequences (relative support, as the paper
+// sweeps it from 0.25 to 0.75). All three miners (PrefixSpan, GSP, naive)
+// emit the same `Pattern` type so tests can cross-check them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crowdweb::mining {
+
+/// A mined label. Wide enough for venue ids in raw-venue mode.
+using Item = std::uint32_t;
+
+/// One sequence database: items[d] is day d's time-ordered label sequence.
+using SequenceDb = std::vector<std::vector<Item>>;
+
+/// A frequent sequential pattern.
+struct Pattern {
+  std::vector<Item> items;
+  std::size_t support_count = 0;  ///< sequences containing the pattern
+  double support = 0.0;           ///< support_count / |db|
+
+  friend bool operator==(const Pattern&, const Pattern&) = default;
+};
+
+/// True when `needle` is a (not necessarily contiguous) subsequence of
+/// `haystack`.
+[[nodiscard]] bool is_subsequence(std::span<const Item> needle,
+                                  std::span<const Item> haystack) noexcept;
+
+/// Number of sequences in `db` containing `pattern` (each counts once).
+[[nodiscard]] std::size_t count_support(std::span<const Item> pattern, const SequenceDb& db);
+
+/// Canonical order: by length, then lexicographically by items. Makes
+/// miner outputs directly comparable.
+void sort_patterns(std::vector<Pattern>& patterns);
+
+/// Keeps only *closed* patterns: those with no super-pattern of equal
+/// support in `patterns`.
+[[nodiscard]] std::vector<Pattern> closed_patterns(std::vector<Pattern> patterns);
+
+/// Keeps only *maximal* patterns: those with no frequent super-pattern in
+/// `patterns` at all.
+[[nodiscard]] std::vector<Pattern> maximal_patterns(std::vector<Pattern> patterns);
+
+/// Shared mining parameters.
+struct MiningOptions {
+  /// Relative minimum support in (0, 1]: fraction of day-sequences that
+  /// must contain a pattern.
+  double min_support = 0.5;
+  /// Longest pattern to emit.
+  std::size_t max_pattern_length = 12;
+  /// Hard cap on emitted patterns (safety valve for tiny supports).
+  std::size_t max_patterns = 200'000;
+};
+
+}  // namespace crowdweb::mining

@@ -1,0 +1,115 @@
+#include "mining/prefixspan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace crowdweb::mining {
+
+namespace {
+
+/// One entry of a pseudo-projected database: the suffix of sequence
+/// `sequence` starting at `offset`.
+struct Projection {
+  std::uint32_t sequence;
+  std::uint32_t offset;
+};
+
+class Miner {
+ public:
+  Miner(const SequenceDb& db, const MiningOptions& options)
+      : db_(db), options_(options) {
+    min_count_ = static_cast<std::size_t>(
+        std::ceil(options.min_support * static_cast<double>(db.size())));
+    if (min_count_ == 0) min_count_ = 1;
+  }
+
+  std::vector<Pattern> run() {
+    // Root projection: every sequence from offset 0.
+    std::vector<Projection> root;
+    root.reserve(db_.size());
+    for (std::uint32_t i = 0; i < db_.size(); ++i) root.push_back({i, 0});
+    grow(root);
+    sort_patterns(results_);
+    return std::move(results_);
+  }
+
+ private:
+  /// Extends the current prefix by every frequent item of `projection`.
+  void grow(const std::vector<Projection>& projection) {
+    if (prefix_.size() >= options_.max_pattern_length) return;
+    if (results_.size() >= options_.max_patterns) return;
+
+    // Count each item once per projected sequence.
+    counts_.clear();
+    for (const Projection& p : projection) {
+      const auto& sequence = db_[p.sequence];
+      seen_.clear();
+      for (std::size_t i = p.offset; i < sequence.size(); ++i) {
+        const Item item = sequence[i];
+        if (seen_.insert(item).second) ++counts_[item];
+      }
+    }
+
+    // Deterministic order: ascending item id. Local because the recursive
+    // grow() below reuses the shared scratch buffers.
+    std::vector<std::pair<Item, std::size_t>> frequent;
+    for (const auto& [item, count] : counts_) {
+      if (count >= min_count_) frequent.push_back({item, count});
+    }
+    std::sort(frequent.begin(), frequent.end());
+
+    for (const auto& [item, count] : frequent) {
+      if (results_.size() >= options_.max_patterns) return;
+      prefix_.push_back(item);
+      Pattern pattern;
+      pattern.items = prefix_;
+      pattern.support_count = count;
+      pattern.support =
+          db_.empty() ? 0.0 : static_cast<double>(count) / static_cast<double>(db_.size());
+      results_.push_back(std::move(pattern));
+
+      // Project: advance each sequence past its first occurrence of item.
+      std::vector<Projection> next;
+      next.reserve(count);
+      for (const Projection& p : projection) {
+        const auto& sequence = db_[p.sequence];
+        for (std::size_t i = p.offset; i < sequence.size(); ++i) {
+          if (sequence[i] == item) {
+            next.push_back({p.sequence, static_cast<std::uint32_t>(i + 1)});
+            break;
+          }
+        }
+      }
+      grow(next);
+      prefix_.pop_back();
+    }
+  }
+
+  const SequenceDb& db_;
+  const MiningOptions& options_;
+  std::size_t min_count_ = 1;
+  std::vector<Item> prefix_;
+  std::vector<Pattern> results_;
+  // Scratch buffers reused across calls to avoid churn; only used before
+  // the recursion point of grow().
+  std::unordered_map<Item, std::size_t> counts_;
+  struct SeenSet {
+    std::vector<Item> items;
+    void clear() { items.clear(); }
+    std::pair<int, bool> insert(Item item) {
+      if (std::find(items.begin(), items.end(), item) != items.end()) return {0, false};
+      items.push_back(item);
+      return {0, true};
+    }
+  } seen_;
+};
+
+}  // namespace
+
+std::vector<Pattern> prefixspan(const SequenceDb& db, const MiningOptions& options) {
+  if (db.empty()) return {};
+  return Miner(db, options).run();
+}
+
+}  // namespace crowdweb::mining

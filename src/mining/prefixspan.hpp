@@ -1,0 +1,26 @@
+// PrefixSpan sequential-pattern mining (Pei et al., TKDE 2004).
+//
+// Depth-first pattern growth over pseudo-projected databases: for a
+// current prefix, the projection holds (sequence, offset) pairs pointing
+// at the suffix after the prefix's first embedding. Extending by item `x`
+// keeps only sequences whose suffix contains `x` and advances the offset —
+// no sequence data is ever copied, which is the algorithm's contribution
+// over Apriori/GSP-style candidate generation.
+//
+// This is the miner behind the paper's "modified PrefixSpan" (the
+// modifications — location abstraction, per-day sequences, relative
+// support, time annotation — live in `seqdb` and `patterns`).
+#pragma once
+
+#include <vector>
+
+#include "mining/pattern.hpp"
+
+namespace crowdweb::mining {
+
+/// Mines all frequent sequential patterns of `db` at `options.min_support`
+/// (relative). Results are in canonical order (see sort_patterns).
+[[nodiscard]] std::vector<Pattern> prefixspan(const SequenceDb& db,
+                                              const MiningOptions& options = {});
+
+}  // namespace crowdweb::mining

@@ -1,0 +1,89 @@
+#include "mining/seqdb.hpp"
+
+#include <algorithm>
+
+#include "util/civil_time.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::mining {
+
+namespace {
+
+Item label_of(const data::CheckIn& checkin, LabelMode mode, const data::Taxonomy& taxonomy) {
+  switch (mode) {
+    case LabelMode::kRootCategory:
+      return taxonomy.root_of(checkin.category);
+    case LabelMode::kLeafCategory:
+      return checkin.category;
+    case LabelMode::kVenue:
+      return checkin.venue;
+  }
+  return checkin.category;
+}
+
+}  // namespace
+
+UserSequences build_user_sequences(const data::Dataset& dataset, data::UserId user,
+                                   const data::Taxonomy& taxonomy,
+                                   const SequenceOptions& options) {
+  UserSequences out;
+  out.user = user;
+
+  const auto records = dataset.checkins_for(user);  // already time-sorted
+  std::vector<Item> day_items;
+  std::vector<int> day_minutes;
+  std::int64_t current_day = 0;
+  bool have_day = false;
+
+  const auto flush = [&] {
+    if (have_day && day_items.size() >= std::max<std::size_t>(1, options.min_day_length)) {
+      out.days.push_back(day_items);
+      out.minutes.push_back(day_minutes);
+    }
+    day_items.clear();
+    day_minutes.clear();
+  };
+
+  for (const data::CheckIn& checkin : records) {
+    const std::int64_t day = day_index(checkin.timestamp);
+    if (!have_day || day != current_day) {
+      flush();
+      current_day = day;
+      have_day = true;
+    }
+    const Item item = label_of(checkin, options.mode, taxonomy);
+    if (options.collapse_repeats && !day_items.empty() && day_items.back() == item) continue;
+    day_items.push_back(item);
+    const CivilTime civil = to_civil(checkin.timestamp);
+    day_minutes.push_back(civil.hour * 60 + civil.minute);
+  }
+  flush();
+  return out;
+}
+
+std::vector<UserSequences> build_all_sequences(const data::Dataset& dataset,
+                                               const data::Taxonomy& taxonomy,
+                                               const SequenceOptions& options) {
+  std::vector<UserSequences> out;
+  out.reserve(dataset.user_count());
+  for (const data::UserId user : dataset.users())
+    out.push_back(build_user_sequences(dataset, user, taxonomy, options));
+  return out;
+}
+
+std::string label_name(Item item, LabelMode mode, const data::Taxonomy& taxonomy,
+                       const data::Dataset& dataset) {
+  switch (mode) {
+    case LabelMode::kRootCategory:
+    case LabelMode::kLeafCategory:
+      if (item < taxonomy.size()) return taxonomy.name(static_cast<data::CategoryId>(item));
+      return crowdweb::format("category#{}", item);
+    case LabelMode::kVenue:
+      if (const data::Venue* venue = dataset.venue(static_cast<data::VenueId>(item)))
+        return venue->name;
+      return crowdweb::format("venue#{}", item);
+  }
+  return crowdweb::format("label#{}", item);
+}
+
+}  // namespace crowdweb::mining

@@ -1,0 +1,64 @@
+// Sequence-database construction — the "modified" half of the paper's
+// modified PrefixSpan.
+//
+// Raw check-ins become mineable sequences through three steps:
+//   1. *Location abstraction*: each check-in is reduced to a label — the
+//      venue's root category ("Eatery"), its leaf category ("Thai
+//      Restaurant"), or the raw venue id. Root-category labels are what
+//      make flexible patterns detectable (the paper's central idea).
+//   2. *Per-day sequencing*: a user's check-ins are grouped by calendar
+//      day and ordered by time; each day is one sequence.
+//   3. *Time retention*: the minute-of-day of every element is kept so
+//      mined patterns can be annotated with representative time windows
+//      (needed later for crowd synchronization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "mining/pattern.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::mining {
+
+enum class LabelMode {
+  kRootCategory,  ///< the paper's abstraction (default)
+  kLeafCategory,  ///< venue type ("Thai Restaurant")
+  kVenue,         ///< raw venue id (the ablation baseline)
+};
+
+struct SequenceOptions {
+  LabelMode mode = LabelMode::kRootCategory;
+  /// Collapse immediately repeated labels within a day ("Eatery, Eatery"
+  /// from two nearby check-ins becomes one element).
+  bool collapse_repeats = true;
+  /// Ignore days with fewer check-ins than this (0/1 keeps everything).
+  std::size_t min_day_length = 1;
+};
+
+/// A user's mineable history: one entry per day with >= min_day_length
+/// check-ins; `days[i]` and `minutes[i]` are parallel.
+struct UserSequences {
+  data::UserId user = 0;
+  SequenceDb days;                         ///< label sequences
+  std::vector<std::vector<int>> minutes;   ///< minute-of-day per element
+};
+
+/// Builds the per-day sequence database of one user.
+[[nodiscard]] UserSequences build_user_sequences(const data::Dataset& dataset,
+                                                 data::UserId user,
+                                                 const data::Taxonomy& taxonomy,
+                                                 const SequenceOptions& options = {});
+
+/// Builds sequence databases for every user of the dataset.
+[[nodiscard]] std::vector<UserSequences> build_all_sequences(
+    const data::Dataset& dataset, const data::Taxonomy& taxonomy,
+    const SequenceOptions& options = {});
+
+/// Human-readable name of a mined item under the given mode.
+[[nodiscard]] std::string label_name(Item item, LabelMode mode,
+                                     const data::Taxonomy& taxonomy,
+                                     const data::Dataset& dataset);
+
+}  // namespace crowdweb::mining

@@ -1,0 +1,132 @@
+#include "patterns/mobility.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "mining/prefixspan.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::patterns {
+
+MobilityPattern annotate_pattern(const mining::Pattern& pattern,
+                                 const mining::UserSequences& sequences) {
+  MobilityPattern out;
+  out.support_count = pattern.support_count;
+  out.support = pattern.support;
+  out.elements.reserve(pattern.items.size());
+  for (const mining::Item item : pattern.items) out.elements.push_back({item, 0.0, 0.0});
+
+  // Accumulate minute-of-day per position over the greedy first embedding
+  // in every day that contains the pattern.
+  std::vector<double> sum(pattern.items.size(), 0.0);
+  std::vector<double> sum_sq(pattern.items.size(), 0.0);
+  std::vector<int> embedding(pattern.items.size(), 0);
+  std::size_t matched_days = 0;
+  for (std::size_t d = 0; d < sequences.days.size(); ++d) {
+    const auto& day = sequences.days[d];
+    const auto& minutes = sequences.minutes[d];
+    std::size_t position = 0;
+    for (std::size_t i = 0; i < day.size() && position < pattern.items.size(); ++i) {
+      if (day[i] == pattern.items[position]) {
+        embedding[position] = minutes[i];
+        ++position;
+      }
+    }
+    if (position != pattern.items.size()) continue;  // day does not support it
+    ++matched_days;
+    for (std::size_t p = 0; p < embedding.size(); ++p) {
+      sum[p] += embedding[p];
+      sum_sq[p] += static_cast<double>(embedding[p]) * embedding[p];
+    }
+  }
+  if (matched_days > 0) {
+    for (std::size_t p = 0; p < out.elements.size(); ++p) {
+      const double mean = sum[p] / static_cast<double>(matched_days);
+      const double variance =
+          std::max(0.0, sum_sq[p] / static_cast<double>(matched_days) - mean * mean);
+      out.elements[p].mean_minute = mean;
+      out.elements[p].stddev_minute = std::sqrt(variance);
+    }
+  }
+  return out;
+}
+
+UserMobility mine_user_mobility(const data::Dataset& dataset, data::UserId user,
+                                const data::Taxonomy& taxonomy,
+                                const MobilityOptions& options) {
+  UserMobility out;
+  out.user = user;
+  const mining::UserSequences sequences =
+      mining::build_user_sequences(dataset, user, taxonomy, options.sequences);
+  out.recorded_days = sequences.days.size();
+  if (sequences.days.empty()) return out;
+
+  const std::vector<mining::Pattern> mined =
+      mining::prefixspan(sequences.days, options.mining);
+  out.patterns.reserve(mined.size());
+  for (const mining::Pattern& pattern : mined)
+    out.patterns.push_back(annotate_pattern(pattern, sequences));
+  return out;
+}
+
+std::vector<UserMobility> mine_all_mobility(const data::Dataset& dataset,
+                                            const data::Taxonomy& taxonomy,
+                                            const MobilityOptions& options) {
+  std::vector<UserMobility> out;
+  out.reserve(dataset.user_count());
+  for (const data::UserId user : dataset.users())
+    out.push_back(mine_user_mobility(dataset, user, taxonomy, options));
+  return out;
+}
+
+std::vector<UserMobility> mine_all_mobility_parallel(const data::Dataset& dataset,
+                                                     const data::Taxonomy& taxonomy,
+                                                     const MobilityOptions& options,
+                                                     unsigned threads) {
+  const auto users = dataset.users();
+  std::vector<UserMobility> out(users.size());
+  if (users.empty()) return out;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(users.size()));
+  if (threads <= 1) return mine_all_mobility(dataset, taxonomy, options);
+
+  // Users are claimed from a shared atomic counter; each result lands in
+  // its own slot, so no further synchronization is needed.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= users.size()) return;
+      out[index] = mine_user_mobility(dataset, users[index], taxonomy, options);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  return out;
+}
+
+double average_pattern_length(const std::vector<MobilityPattern>& patterns) {
+  if (patterns.empty()) return 0.0;
+  double total = 0.0;
+  for (const MobilityPattern& p : patterns) total += static_cast<double>(p.length());
+  return total / static_cast<double>(patterns.size());
+}
+
+std::string describe_pattern(const MobilityPattern& pattern, const data::Taxonomy& taxonomy,
+                             const data::Dataset& dataset, mining::LabelMode mode) {
+  std::string out;
+  for (std::size_t i = 0; i < pattern.elements.size(); ++i) {
+    if (i > 0) out += " -> ";
+    const TimedElement& e = pattern.elements[i];
+    const int minute = static_cast<int>(e.mean_minute + 0.5);
+    out += crowdweb::format("{}@{:02}:{:02}", mining::label_name(e.label, mode, taxonomy, dataset),
+                            minute / 60, minute % 60);
+  }
+  out += crowdweb::format(" (support {:.2f})", pattern.support);
+  return out;
+}
+
+}  // namespace crowdweb::patterns

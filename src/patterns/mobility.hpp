@@ -1,0 +1,83 @@
+// Individual mobility patterns — the output of the paper's phase 2.
+//
+// A mobility pattern is a frequent sequential pattern of labeled places
+// annotated with representative times of day: "Eatery ~08:20 -> Office
+// ~09:05" with its support among the user's recorded days. The time
+// annotation is what lets phase 3 place users on the city map for a
+// selected time window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "mining/pattern.hpp"
+#include "mining/seqdb.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::patterns {
+
+/// One element of a mobility pattern: a labeled place and its typical
+/// visit time.
+struct TimedElement {
+  mining::Item label = 0;
+  double mean_minute = 0.0;    ///< mean minute-of-day across occurrences
+  double stddev_minute = 0.0;  ///< spread across occurrences
+};
+
+/// A time-annotated frequent movement pattern of one user.
+struct MobilityPattern {
+  std::vector<TimedElement> elements;
+  std::size_t support_count = 0;  ///< days containing the pattern
+  double support = 0.0;           ///< fraction of recorded days
+
+  [[nodiscard]] std::size_t length() const noexcept { return elements.size(); }
+};
+
+/// Everything phase 2 derives for one user.
+struct UserMobility {
+  data::UserId user = 0;
+  std::size_t recorded_days = 0;  ///< sequences in the user's database
+  std::vector<MobilityPattern> patterns;
+};
+
+struct MobilityOptions {
+  mining::SequenceOptions sequences;
+  mining::MiningOptions mining;
+};
+
+/// Phase 2 of the framework: builds the user's day-sequence database and
+/// mines it with PrefixSpan, annotating each pattern with times.
+[[nodiscard]] UserMobility mine_user_mobility(const data::Dataset& dataset,
+                                              data::UserId user,
+                                              const data::Taxonomy& taxonomy,
+                                              const MobilityOptions& options = {});
+
+/// Phase 2 over every user of the dataset (sequential).
+[[nodiscard]] std::vector<UserMobility> mine_all_mobility(const data::Dataset& dataset,
+                                                          const data::Taxonomy& taxonomy,
+                                                          const MobilityOptions& options = {});
+
+/// Phase 2 over every user, sharded across `threads` worker threads
+/// (0 = hardware concurrency). Users are independent, so the result is
+/// identical to the sequential version, in the same order.
+[[nodiscard]] std::vector<UserMobility> mine_all_mobility_parallel(
+    const data::Dataset& dataset, const data::Taxonomy& taxonomy,
+    const MobilityOptions& options = {}, unsigned threads = 0);
+
+/// Annotates an already-mined pattern with per-position visit times by
+/// scanning the greedy first embedding in every supporting day.
+[[nodiscard]] MobilityPattern annotate_pattern(const mining::Pattern& pattern,
+                                               const mining::UserSequences& sequences);
+
+/// Mean pattern length of a user (0 for no patterns) — the Figure 7/8
+/// metric.
+[[nodiscard]] double average_pattern_length(const std::vector<MobilityPattern>& patterns);
+
+/// "Eatery@08:20 -> Office@09:05 (support 0.62)".
+[[nodiscard]] std::string describe_pattern(const MobilityPattern& pattern,
+                                           const data::Taxonomy& taxonomy,
+                                           const data::Dataset& dataset,
+                                           mining::LabelMode mode);
+
+}  // namespace crowdweb::patterns

@@ -1,0 +1,76 @@
+#include "patterns/place_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace crowdweb::patterns {
+
+std::optional<std::size_t> PlaceGraph::node_of(mining::Item label) const noexcept {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].label == label) return i;
+  }
+  return std::nullopt;
+}
+
+PlaceGraph build_place_graph(const mining::UserSequences& sequences,
+                             const data::Taxonomy& taxonomy, const data::Dataset& dataset,
+                             mining::LabelMode mode, const PlaceGraphOptions& options) {
+  PlaceGraph graph;
+  graph.user = sequences.user;
+
+  // Optional restriction to pattern places.
+  std::set<mining::Item> allowed;
+  if (options.restrict_to_patterns != nullptr) {
+    for (const MobilityPattern& pattern : *options.restrict_to_patterns) {
+      for (const TimedElement& element : pattern.elements) allowed.insert(element.label);
+    }
+  }
+  const auto is_allowed = [&](mining::Item label) {
+    return options.restrict_to_patterns == nullptr || allowed.contains(label);
+  };
+
+  // Node statistics.
+  std::map<mining::Item, std::pair<std::size_t, double>> visit_stats;  // count, minute sum
+  std::map<std::pair<mining::Item, mining::Item>, std::size_t> transition_counts;
+  for (std::size_t d = 0; d < sequences.days.size(); ++d) {
+    const auto& day = sequences.days[d];
+    const auto& minutes = sequences.minutes[d];
+    for (std::size_t i = 0; i < day.size(); ++i) {
+      if (!is_allowed(day[i])) continue;
+      auto& [count, minute_sum] = visit_stats[day[i]];
+      ++count;
+      minute_sum += minutes[i];
+      // Edge to the next allowed visit of the same day.
+      for (std::size_t j = i + 1; j < day.size(); ++j) {
+        if (!is_allowed(day[j])) continue;
+        ++transition_counts[{day[i], day[j]}];
+        break;
+      }
+    }
+  }
+
+  // Materialize nodes above the visit threshold.
+  std::map<mining::Item, std::size_t> node_index;
+  for (const auto& [label, stats] : visit_stats) {
+    const auto& [count, minute_sum] = stats;
+    if (count < std::max<std::size_t>(1, options.min_visits)) continue;
+    PlaceNode node;
+    node.label = label;
+    node.name = mining::label_name(label, mode, taxonomy, dataset);
+    node.visits = count;
+    node.mean_minute = minute_sum / static_cast<double>(count);
+    node_index[label] = graph.nodes.size();
+    graph.nodes.push_back(std::move(node));
+  }
+
+  for (const auto& [pair, count] : transition_counts) {
+    const auto from = node_index.find(pair.first);
+    const auto to = node_index.find(pair.second);
+    if (from == node_index.end() || to == node_index.end()) continue;
+    graph.edges.push_back({from->second, to->second, count});
+  }
+  return graph;
+}
+
+}  // namespace crowdweb::patterns

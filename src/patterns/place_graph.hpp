@@ -1,0 +1,56 @@
+// The place graph — the structure the iMAP/CrowdWeb UI draws for a user.
+//
+// Nodes are the user's labeled places, weighted by visit count; directed
+// edges are same-day transitions between consecutive visits, weighted by
+// how often they occur. The graph is built from the day-sequence database
+// and can be restricted to the places that participate in mined patterns.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mining/seqdb.hpp"
+#include "patterns/mobility.hpp"
+
+namespace crowdweb::patterns {
+
+struct PlaceNode {
+  mining::Item label = 0;
+  std::string name;
+  std::size_t visits = 0;       ///< total check-ins with this label
+  double mean_minute = 0.0;     ///< mean visit time of day
+};
+
+struct PlaceEdge {
+  std::size_t from = 0;  ///< index into nodes
+  std::size_t to = 0;
+  std::size_t count = 0;  ///< observed same-day transitions
+};
+
+/// A user's visited-places graph.
+struct PlaceGraph {
+  data::UserId user = 0;
+  std::vector<PlaceNode> nodes;
+  std::vector<PlaceEdge> edges;
+
+  /// Index of the node with the given label, if present.
+  [[nodiscard]] std::optional<std::size_t> node_of(mining::Item label) const noexcept;
+};
+
+struct PlaceGraphOptions {
+  /// Keep only places appearing in at least one of these patterns
+  /// (empty = keep everything).
+  const std::vector<MobilityPattern>* restrict_to_patterns = nullptr;
+  /// Drop nodes with fewer visits.
+  std::size_t min_visits = 1;
+};
+
+/// Builds the graph from a user's sequences.
+[[nodiscard]] PlaceGraph build_place_graph(const mining::UserSequences& sequences,
+                                           const data::Taxonomy& taxonomy,
+                                           const data::Dataset& dataset,
+                                           mining::LabelMode mode,
+                                           const PlaceGraphOptions& options = {});
+
+}  // namespace crowdweb::patterns

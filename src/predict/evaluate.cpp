@@ -1,0 +1,66 @@
+#include "predict/evaluate.hpp"
+
+#include <algorithm>
+
+namespace crowdweb::predict {
+
+EvaluationResult evaluate(const data::Dataset& dataset, const data::Taxonomy& taxonomy,
+                          const PredictorFactory& factory,
+                          const EvaluationOptions& options,
+                          const mining::SequenceOptions& sequences) {
+  EvaluationResult result;
+  std::size_t hits_at_1 = 0;
+  std::size_t hits_at_3 = 0;
+  double reciprocal_rank_sum = 0.0;
+
+  for (const data::UserId user : dataset.users()) {
+    const mining::UserSequences history =
+        mining::build_user_sequences(dataset, user, taxonomy, sequences);
+    if (history.days.size() < std::max<std::size_t>(2, options.min_days)) continue;
+
+    const auto split = static_cast<std::size_t>(
+        static_cast<double>(history.days.size()) * options.train_fraction);
+    if (split == 0 || split >= history.days.size()) continue;
+
+    mining::UserSequences train;
+    train.user = user;
+    train.days.assign(history.days.begin(), history.days.begin() + split);
+    train.minutes.assign(history.minutes.begin(), history.minutes.begin() + split);
+
+    const std::unique_ptr<Predictor> predictor = factory();
+    predictor->train(train);
+    bool counted_user = false;
+
+    for (std::size_t d = split; d < history.days.size(); ++d) {
+      const auto& day = history.days[d];
+      const auto& minutes = history.minutes[d];
+      for (std::size_t i = 0; i < day.size(); ++i) {
+        Query query;
+        query.today = std::span<const mining::Item>(day.data(), i);
+        query.minute = minutes[i];
+        const auto ranked = predictor->predict(query);
+        ++result.events;
+        counted_user = true;
+        for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+          if (ranked[rank].label != day[i]) continue;
+          if (rank == 0) ++hits_at_1;
+          if (rank < 3) ++hits_at_3;
+          reciprocal_rank_sum += 1.0 / static_cast<double>(rank + 1);
+          break;
+        }
+      }
+    }
+    if (counted_user) ++result.users;
+  }
+
+  result.predictor = factory()->name();
+  if (result.events > 0) {
+    const auto events = static_cast<double>(result.events);
+    result.accuracy_at_1 = static_cast<double>(hits_at_1) / events;
+    result.accuracy_at_3 = static_cast<double>(hits_at_3) / events;
+    result.mrr = reciprocal_rank_sum / events;
+  }
+  return result;
+}
+
+}  // namespace crowdweb::predict

@@ -1,0 +1,44 @@
+// Next-place prediction evaluation harness.
+//
+// Chronological per-user split: the first `train_fraction` of a user's
+// recorded days train the predictor, the rest are replayed visit by
+// visit — each visit is a prediction event given the day's earlier visits
+// and the visit's start time. Reports accuracy@k and mean reciprocal rank
+// over all events of all users, the standard next-POI metrics the paper's
+// 8-25% figure refers to.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "predict/predictor.hpp"
+
+namespace crowdweb::predict {
+
+struct EvaluationOptions {
+  double train_fraction = 0.7;
+  /// Users need at least this many recorded days to participate.
+  std::size_t min_days = 10;
+};
+
+struct EvaluationResult {
+  std::string predictor;
+  std::size_t users = 0;
+  std::size_t events = 0;  ///< prediction events scored
+  double accuracy_at_1 = 0.0;
+  double accuracy_at_3 = 0.0;
+  double mrr = 0.0;  ///< mean reciprocal rank (0 when never ranked)
+};
+
+using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
+
+/// Evaluates one predictor family over every eligible user of `dataset`.
+[[nodiscard]] EvaluationResult evaluate(const data::Dataset& dataset,
+                                        const data::Taxonomy& taxonomy,
+                                        const PredictorFactory& factory,
+                                        const EvaluationOptions& options = {},
+                                        const mining::SequenceOptions& sequences = {});
+
+}  // namespace crowdweb::predict

@@ -1,0 +1,85 @@
+// Next-place prediction over labeled-place sequences.
+//
+// The paper motivates CrowdWeb with the low accuracy (8-25%) of
+// next-point-of-interest predictors and argues that location abstraction
+// exposes the hidden regularity. This module makes that argument
+// executable: four predictors over the same per-user day-sequence
+// histories, from a frequency baseline up to a pattern-based predictor
+// that consumes the platform's mined, time-annotated mobility patterns.
+//
+// All predictors are *per user* (mobility is individual): train on a
+// user's historical days, then query with the visits made so far today
+// and the current time.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mining/pattern.hpp"
+#include "mining/seqdb.hpp"
+#include "patterns/mobility.hpp"
+
+namespace crowdweb::predict {
+
+/// One ranked guess.
+struct Prediction {
+  mining::Item label = 0;
+  double score = 0.0;  ///< higher = more likely; comparable within one query
+};
+
+/// What the predictor knows at query time.
+struct Query {
+  /// Labels visited so far today, in order (may be empty: first visit).
+  std::span<const mining::Item> today;
+  /// Current minute of day 0..1439 (the time the next visit would start).
+  int minute = 0;
+};
+
+/// A trained per-user next-place predictor.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Trains on a user's historical days. May be called once only.
+  virtual void train(const mining::UserSequences& history) = 0;
+
+  /// Ranked predictions, best first, deduplicated by label. May be empty
+  /// when the user has no history.
+  [[nodiscard]] virtual std::vector<Prediction> predict(const Query& query) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Predicts the user's globally most frequent labels (time-blind).
+[[nodiscard]] std::unique_ptr<Predictor> make_frequency_predictor();
+
+/// Predicts the most frequent label of the current time slot
+/// (`slot_minutes` wide buckets; falls back to global frequency).
+[[nodiscard]] std::unique_ptr<Predictor> make_time_slot_predictor(int slot_minutes = 120);
+
+/// Order-k Markov chain over within-day transitions, with recursive
+/// fallback to shorter contexts and finally global frequency.
+[[nodiscard]] std::unique_ptr<Predictor> make_markov_predictor(int order = 1);
+
+/// The CrowdWeb-style predictor: mines the training days with the
+/// modified PrefixSpan, keeps time-annotated patterns, and at query time
+/// scores each pattern whose prefix is consistent with today's visits and
+/// whose next element lies ahead of the current time. Falls back to the
+/// time-slot predictor when no pattern applies.
+struct PatternPredictorOptions {
+  double min_support = 0.2;
+  /// Weight of time proximity: the next element's annotated time must be
+  /// within this many minutes ahead to score fully (decays beyond).
+  double time_tolerance_minutes = 180.0;
+};
+[[nodiscard]] std::unique_ptr<Predictor> make_pattern_predictor(
+    PatternPredictorOptions options = {});
+
+/// Weighted rank-fusion ensemble of the pattern, time-slot, and Markov
+/// predictors: each member contributes reciprocal-rank votes. Usually the
+/// strongest single predictor on routine-driven corpora.
+[[nodiscard]] std::unique_ptr<Predictor> make_ensemble_predictor();
+
+}  // namespace crowdweb::predict

@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "util/format.hpp"
+
+namespace crowdweb::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count) : lo_(lo), hi_(hi) {
+  bins_.resize(bin_count);
+  const double width = (hi - lo) / static_cast<double>(bin_count);
+  for (std::size_t i = 0; i < bin_count; ++i) {
+    bins_[i].lo = lo + width * static_cast<double>(i);
+    bins_[i].hi = (i + 1 == bin_count) ? hi : lo + width * static_cast<double>(i + 1);
+  }
+}
+
+Result<Histogram> Histogram::create(double lo, double hi, std::size_t bin_count) {
+  if (bin_count == 0) return invalid_argument("histogram needs at least one bin");
+  if (!(hi > lo)) return invalid_argument(crowdweb::format("bad histogram range [{}, {}]", lo, hi));
+  return Histogram(lo, hi, bin_count);
+}
+
+Histogram Histogram::from_samples(std::span<const double> values, std::size_t bin_count) {
+  bin_count = std::max<std::size_t>(1, bin_count);
+  double lo = 0.0, hi = 1.0;
+  if (!values.empty()) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (hi <= lo) hi = lo + 1.0;  // degenerate sample: one unit-wide bin range
+  }
+  Histogram h(lo, hi, bin_count);
+  h.add_all(values);
+  return h;
+}
+
+void Histogram::add(double value) noexcept {
+  const double span = hi_ - lo_;
+  const double fraction = (value - lo_) / span;
+  auto index = static_cast<std::int64_t>(std::floor(fraction * static_cast<double>(bins_.size())));
+  index = std::clamp<std::int64_t>(index, 0, static_cast<std::int64_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(index)].count;
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+std::vector<double> Histogram::densities() const {
+  std::vector<double> out(bins_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    out[i] = static_cast<double>(bins_[i].count) / static_cast<double>(total_);
+  return out;
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::size_t max_count = 0;
+  for (const Bin& bin : bins_) max_count = std::max(max_count, bin.count);
+  std::string out;
+  for (const Bin& bin : bins_) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : bin.count * width / max_count;
+    out += crowdweb::format("[{:>9.2f}, {:>9.2f}) {:>7} |{}\n", bin.lo, bin.hi, bin.count,
+                       std::string(bar, '#'));
+  }
+  return out;
+}
+
+}  // namespace crowdweb::stats

@@ -1,0 +1,56 @@
+// Fixed-bin histograms for the paper's distribution plots (Figures 6, 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace crowdweb::stats {
+
+/// One histogram bin [lo, hi) — the last bin is closed on the right.
+struct Bin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+};
+
+/// Equal-width histogram over [min, max].
+class Histogram {
+ public:
+  /// Builds `bin_count` equal bins over [lo, hi]; fails on bin_count == 0
+  /// or hi <= lo.
+  static Result<Histogram> create(double lo, double hi, std::size_t bin_count);
+
+  /// Builds a histogram spanning the sample range with `bin_count` bins
+  /// (a single degenerate bin when all values are equal).
+  static Histogram from_samples(std::span<const double> values, std::size_t bin_count);
+
+  /// Counts `value` into its bin; out-of-range values are clamped into the
+  /// first/last bin so totals always match the sample size.
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  [[nodiscard]] const std::vector<Bin>& bins() const noexcept { return bins_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  /// Per-bin fraction of the total (empty histogram -> all zeros).
+  [[nodiscard]] std::vector<double> densities() const;
+
+  /// Multi-line ASCII rendering for terminal output of the benches.
+  [[nodiscard]] std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  double lo_;
+  double hi_;
+  std::vector<Bin> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace crowdweb::stats

@@ -1,0 +1,49 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/summary.hpp"
+
+namespace crowdweb::stats {
+
+double scott_bandwidth(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 1.0;
+  const Summary s = summarize(values);
+  const double n = static_cast<double>(values.size());
+  const double h = 1.06 * s.stddev * std::pow(n, -0.2);
+  return std::max(h, 1e-9);
+}
+
+double kde_at(std::span<const double> values, double x, double h) noexcept {
+  if (values.empty() || h <= 0.0) return 0.0;
+  const double norm =
+      1.0 / (static_cast<double>(values.size()) * h * std::sqrt(2.0 * std::numbers::pi));
+  double total = 0.0;
+  for (const double v : values) {
+    const double z = (x - v) / h;
+    total += std::exp(-0.5 * z * z);
+  }
+  return norm * total;
+}
+
+DensityCurve kde_curve(std::span<const double> values, std::size_t points,
+                       double bandwidth) {
+  DensityCurve curve;
+  if (values.empty() || points == 0) return curve;
+  const double h = bandwidth > 0.0 ? bandwidth : scott_bandwidth(values);
+  const double lo = *std::min_element(values.begin(), values.end()) - h;
+  const double hi = *std::max_element(values.begin(), values.end()) + h;
+  curve.x.reserve(points);
+  curve.density.reserve(points);
+  const double step = points > 1 ? (hi - lo) / static_cast<double>(points - 1) : 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    curve.x.push_back(x);
+    curve.density.push_back(kde_at(values, x, h));
+  }
+  return curve;
+}
+
+}  // namespace crowdweb::stats

@@ -1,0 +1,30 @@
+// Gaussian kernel density estimation.
+//
+// The paper's Figures 6 and 8 are seaborn-style distribution plots
+// (histogram + smooth density); this provides the smooth curve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace crowdweb::stats {
+
+/// A sampled density curve.
+struct DensityCurve {
+  std::vector<double> x;
+  std::vector<double> density;
+};
+
+/// Scott's rule bandwidth: 1.06 * sigma * n^(-1/5); >= epsilon.
+[[nodiscard]] double scott_bandwidth(std::span<const double> values) noexcept;
+
+/// Evaluates the Gaussian KDE of `values` at `x` with bandwidth `h`.
+[[nodiscard]] double kde_at(std::span<const double> values, double x, double h) noexcept;
+
+/// Samples the KDE on `points` evenly spaced x values spanning the sample
+/// range padded by one bandwidth on each side. `bandwidth <= 0` selects
+/// Scott's rule. Empty input yields an empty curve.
+[[nodiscard]] DensityCurve kde_curve(std::span<const double> values, std::size_t points = 128,
+                                     double bandwidth = 0.0);
+
+}  // namespace crowdweb::stats

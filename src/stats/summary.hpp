@@ -1,0 +1,69 @@
+// Descriptive statistics over samples.
+//
+// The evaluation reports means, medians, and distribution summaries
+// (Section I.1 corpus statistics, Figures 5-8); this module provides the
+// shared reductions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace crowdweb::stats {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Computes the summary; all fields are zero for an empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0,1]; 0 for an empty sample.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Pearson correlation of two equal-length samples (0 when degenerate).
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Two-sample Kolmogorov-Smirnov statistic: the supremum distance between
+/// the empirical CDFs of `a` and `b`. 0 when either sample is empty.
+/// Used to compare mobility distributions (jump lengths, radii) across
+/// seeds or cities.
+[[nodiscard]] double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Approximate two-sample KS test: true when the samples are consistent
+/// with one distribution at significance `alpha` (0.05 or 0.01). Uses the
+/// asymptotic critical value c(alpha) * sqrt((n+m)/(n*m)).
+[[nodiscard]] bool ks_same_distribution(std::span<const double> a, std::span<const double> b,
+                                        double alpha = 0.05);
+
+/// Welford-style streaming accumulator for mean/variance.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace crowdweb::stats

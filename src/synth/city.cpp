@@ -1,0 +1,175 @@
+#include "synth/city.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/format.hpp"
+
+namespace crowdweb::synth {
+
+namespace {
+
+// Base popularity of each root category (fraction of all venues), in the
+// order of Taxonomy::foursquare().roots(): Arts, College, Eatery,
+// Nightlife, Outdoors, Professional, Residence, Shops, Travel. Mirrors
+// the skew of the Foursquare NYC venue table (food and shops dominate).
+constexpr double kBaseRootWeights[] = {0.05, 0.03, 0.28, 0.07, 0.08, 0.13, 0.16, 0.15, 0.05};
+
+enum class District { kResidential, kCommercial, kNightlife, kCampus };
+
+District pick_district(std::size_t index) {
+  // Deterministic mix: roughly half residential, a third commercial, the
+  // rest nightlife/campus, interleaved across the city.
+  switch (index % 6) {
+    case 0:
+    case 2:
+    case 4:
+      return District::kResidential;
+    case 1:
+    case 3:
+      return District::kCommercial;
+    default:
+      return index % 12 == 5 ? District::kCampus : District::kNightlife;
+  }
+}
+
+std::vector<double> district_mix(District district, std::size_t root_count) {
+  std::vector<double> mix(root_count);
+  for (std::size_t i = 0; i < root_count; ++i)
+    mix[i] = i < std::size(kBaseRootWeights) ? kBaseRootWeights[i] : 0.01;
+  // Root positions (foursquare order): 2=Eatery, 5=Professional,
+  // 6=Residence, 7=Shops, 3=Nightlife, 1=College, 8=Travel.
+  switch (district) {
+    case District::kResidential:
+      if (root_count > 6) mix[6] *= 3.5;
+      if (root_count > 7) mix[7] *= 1.3;
+      break;
+    case District::kCommercial:
+      if (root_count > 5) mix[5] *= 3.0;
+      if (root_count > 2) mix[2] *= 1.6;
+      if (root_count > 8) mix[8] *= 1.5;
+      break;
+    case District::kNightlife:
+      if (root_count > 3) mix[3] *= 4.0;
+      if (root_count > 2) mix[2] *= 1.4;
+      break;
+    case District::kCampus:
+      if (root_count > 1) mix[1] *= 6.0;
+      break;
+  }
+  return mix;
+}
+
+}  // namespace
+
+City::City(CityConfig config, const data::Taxonomy& taxonomy)
+    : config_(config), taxonomy_(&taxonomy) {}
+
+Result<City> City::generate(const CityConfig& config, const data::Taxonomy& taxonomy) {
+  if (config.bounds.empty()) return invalid_argument("city bounds are empty");
+  if (config.neighborhood_count == 0) return invalid_argument("need at least one neighborhood");
+  if (config.venue_count == 0) return invalid_argument("need at least one venue");
+  if (taxonomy.roots().empty()) return invalid_argument("taxonomy has no root categories");
+
+  City city(config, taxonomy);
+  Rng rng(config.seed);
+
+  const std::size_t root_count = taxonomy.roots().size();
+  const geo::BoundingBox& bounds = config.bounds;
+
+  // Lay neighborhood centers; keep them inside an inner margin so venue
+  // clusters stay mostly within bounds.
+  const double lat_margin = (bounds.max_lat - bounds.min_lat) * 0.08;
+  const double lon_margin = (bounds.max_lon - bounds.min_lon) * 0.08;
+  city.neighborhoods_.reserve(config.neighborhood_count);
+  for (std::size_t i = 0; i < config.neighborhood_count; ++i) {
+    Neighborhood hood;
+    hood.center = {rng.uniform(bounds.min_lat + lat_margin, bounds.max_lat - lat_margin),
+                   rng.uniform(bounds.min_lon + lon_margin, bounds.max_lon - lon_margin)};
+    hood.spread_meters = rng.uniform(400.0, 1'200.0);
+    hood.category_mix = district_mix(pick_district(i), root_count);
+    city.neighborhoods_.push_back(std::move(hood));
+  }
+
+  // Neighborhood size follows a soft power law: a few dense districts.
+  std::vector<double> hood_weights(config.neighborhood_count);
+  for (std::size_t i = 0; i < hood_weights.size(); ++i)
+    hood_weights[i] = 1.0 / static_cast<double>(i + 1);
+
+  city.by_root_.resize(root_count);
+  city.root_trees_.reserve(root_count);
+  for (std::size_t i = 0; i < root_count; ++i)
+    city.root_trees_.emplace_back(bounds.inflated(0.02));
+
+  city.venues_.reserve(config.venue_count);
+  for (std::size_t v = 0; v < config.venue_count; ++v) {
+    const std::size_t hood_index = rng.weighted_index(hood_weights);
+    const Neighborhood& hood = city.neighborhoods_[hood_index % city.neighborhoods_.size()];
+
+    // Position: Gaussian around the neighborhood center, clamped to bounds.
+    geo::LatLon position = geo::offset_meters(hood.center,
+                                              rng.normal(0.0, hood.spread_meters),
+                                              rng.normal(0.0, hood.spread_meters));
+    position.lat = std::clamp(position.lat, bounds.min_lat, bounds.max_lat);
+    position.lon = std::clamp(position.lon, bounds.min_lon, bounds.max_lon);
+
+    // Category: root by neighborhood mix, leaf uniform under the root.
+    const std::size_t root_pos = rng.weighted_index(hood.category_mix);
+    const data::CategoryId root = taxonomy.roots()[root_pos % root_count];
+    const auto leaves = taxonomy.children(root);
+    const data::CategoryId leaf =
+        leaves.empty()
+            ? root
+            : leaves[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(leaves.size()) - 1))];
+
+    data::Venue venue;
+    venue.id = static_cast<data::VenueId>(v);
+    venue.category = leaf;
+    venue.position = position;
+    venue.name = crowdweb::format("{} #{}", taxonomy.name(leaf), v);
+    city.by_root_[root_pos % root_count].push_back(venue.id);
+    city.root_trees_[root_pos % root_count].insert(position, venue.id);
+    city.venues_.push_back(std::move(venue));
+  }
+  return city;
+}
+
+std::span<const data::VenueId> City::venues_of_root(data::CategoryId root) const {
+  const auto& roots = taxonomy_->roots();
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (roots[i] == root) return by_root_[i];
+  }
+  return {};
+}
+
+std::optional<data::VenueId> City::random_venue_near(const geo::LatLon& near,
+                                                     data::CategoryId root, double radius_m,
+                                                     Rng& rng) const {
+  const auto& roots = taxonomy_->roots();
+  std::size_t root_pos = roots.size();
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (roots[i] == root) {
+      root_pos = i;
+      break;
+    }
+  }
+  if (root_pos == roots.size() || by_root_[root_pos].empty()) return std::nullopt;
+
+  const auto nearby = root_trees_[root_pos].query_radius(near, radius_m);
+  if (!nearby.empty()) {
+    return nearby[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nearby.size()) - 1))];
+  }
+  if (const auto nearest = root_trees_[root_pos].nearest(near)) return nearest->id;
+  return by_root_[root_pos].front();
+}
+
+std::optional<data::VenueId> City::random_venue(data::CategoryId root, Rng& rng) const {
+  const auto ids = venues_of_root(root);
+  if (ids.empty()) return std::nullopt;
+  return ids[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+}
+
+}  // namespace crowdweb::synth

@@ -1,0 +1,87 @@
+// Synthetic city builder.
+//
+// Generates a venue database with the spatial structure of a real GTSM
+// city: venues clump into neighborhoods (Gaussian clusters around
+// neighborhood centers), each neighborhood has its own category mix
+// (residential vs. commercial vs. nightlife districts), and category
+// frequencies follow the skew observed in Foursquare data (eateries and
+// shops dominate; airports are rare).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/categories.hpp"
+#include "data/checkin.hpp"
+#include "geo/grid.hpp"
+#include "geo/point.hpp"
+#include "geo/quadtree.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::synth {
+
+struct Neighborhood {
+  geo::LatLon center;
+  double spread_meters = 800.0;
+  /// Sampling weight of each root category inside this neighborhood,
+  /// indexed by position in Taxonomy::roots().
+  std::vector<double> category_mix;
+};
+
+struct CityConfig {
+  /// Defaults to the New York City box of the paper's dataset.
+  geo::BoundingBox bounds = [] {
+    geo::BoundingBox box;
+    box.min_lat = 40.55;
+    box.max_lat = 40.92;
+    box.min_lon = -74.05;
+    box.max_lon = -73.70;
+    return box;
+  }();
+  std::size_t neighborhood_count = 24;
+  std::size_t venue_count = 4000;
+  std::uint64_t seed = 42;
+};
+
+/// An immutable generated city: venues, neighborhoods, and spatial/category
+/// indexes for fast venue selection during agenda simulation.
+class City {
+ public:
+  static Result<City> generate(const CityConfig& config, const data::Taxonomy& taxonomy);
+
+  [[nodiscard]] const CityConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const data::Taxonomy& taxonomy() const noexcept { return *taxonomy_; }
+  [[nodiscard]] std::span<const data::Venue> venues() const noexcept { return venues_; }
+  [[nodiscard]] std::span<const Neighborhood> neighborhoods() const noexcept {
+    return neighborhoods_;
+  }
+
+  /// Venue ids whose *root* category is `root`.
+  [[nodiscard]] std::span<const data::VenueId> venues_of_root(data::CategoryId root) const;
+
+  /// A uniformly random venue of the given root category within
+  /// `radius_m` of `near`; falls back to the nearest such venue, then to
+  /// any venue of the category. Returns nullopt only when the city has no
+  /// venue of that root category at all.
+  [[nodiscard]] std::optional<data::VenueId> random_venue_near(
+      const geo::LatLon& near, data::CategoryId root, double radius_m, Rng& rng) const;
+
+  /// A uniformly random venue of the root category anywhere in the city.
+  [[nodiscard]] std::optional<data::VenueId> random_venue(data::CategoryId root,
+                                                          Rng& rng) const;
+
+ private:
+  City(CityConfig config, const data::Taxonomy& taxonomy);
+
+  CityConfig config_;
+  const data::Taxonomy* taxonomy_;
+  std::vector<data::Venue> venues_;
+  std::vector<Neighborhood> neighborhoods_;
+  std::vector<std::vector<data::VenueId>> by_root_;  // indexed by root position
+  std::vector<geo::QuadTree> root_trees_;            // one spatial index per root
+};
+
+}  // namespace crowdweb::synth

@@ -1,0 +1,176 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::synth {
+
+namespace {
+
+/// Index of `timestamp`'s month relative to the month of `start` (0-based).
+std::size_t month_offset(std::int64_t start, std::int64_t timestamp) {
+  const CivilTime a = to_civil(start);
+  const CivilTime b = to_civil(timestamp);
+  return static_cast<std::size_t>((b.year - a.year) * 12 + (b.month - a.month));
+}
+
+}  // namespace
+
+Result<SyntheticCorpus> generate_corpus(const GeneratorConfig& config,
+                                        CityConfig city_config) {
+  if (config.user_count == 0) return invalid_argument("user_count must be positive");
+  if (config.period_end <= config.period_start)
+    return invalid_argument("collection period is empty");
+  const std::size_t months =
+      month_offset(config.period_start, config.period_end - 1) + 1;
+  if (config.monthly_activity.size() < months)
+    return invalid_argument(
+        crowdweb::format("monthly_activity has {} entries but the period spans {} months",
+                         config.monthly_activity.size(), months));
+
+  city_config.seed = config.seed;
+  auto city = City::generate(city_config, data::Taxonomy::foursquare());
+  if (!city) return city.status();
+
+  auto routines = RoutineGenerator::create(*city, config.routine);
+  if (!routines) return routines.status();
+
+  data::DatasetBuilder builder;
+  for (const data::Venue& venue : city->venues()) {
+    const Status status = builder.add_venue(venue);
+    if (!status.is_ok()) return status;
+  }
+
+  std::vector<UserProfile> profiles;
+  profiles.reserve(config.user_count);
+
+  Rng corpus_rng(config.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  const std::int64_t first_day = day_index(config.period_start);
+  const std::int64_t last_day = day_index(config.period_end - 1);
+
+  // Root categories drawn for unplanned "exploration" visits.
+  const data::Taxonomy& tax = city->taxonomy();
+  const std::vector<data::CategoryId> roots(tax.roots().begin(), tax.roots().end());
+  std::vector<double> exploration_weights(roots.size(), 1.0);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const std::string& name = tax.name(roots[i]);
+    if (name == "Eatery" || name == "Shop & Service") exploration_weights[i] = 2.5;
+    if (name == "Residence") exploration_weights[i] = 0.2;
+  }
+
+  for (data::UserId user = 0; user < config.user_count; ++user) {
+    UserProfile profile = routines->make_profile(user);
+    Rng rng = corpus_rng.fork(user + 1);
+
+    for (std::int64_t day = first_day; day <= last_day; ++day) {
+      const std::int64_t day_start = day * 86'400;
+      const int weekday = day_of_week(day_start + 12 * 3'600);
+      const std::size_t month = month_offset(config.period_start, day_start + 12 * 3'600);
+      const double activity = config.monthly_activity[month];
+      const double record_probability =
+          std::min(1.0, profile.checkin_propensity * activity);
+
+      // Planned routine visits.
+      for (const RoutineSlot& slot : profile.slots) {
+        if ((slot.day_mask & (1u << weekday)) == 0) continue;
+        if (!rng.bernoulli(slot.participation)) continue;
+
+        // Visit time: normal around the window middle, clamped inside.
+        const double mid = (slot.start_minute + slot.end_minute) / 2.0;
+        const double spread = std::max(1.0, (slot.end_minute - slot.start_minute) / 4.0);
+        const int minute = static_cast<int>(std::clamp(
+            rng.normal(mid, spread), static_cast<double>(slot.start_minute),
+            static_cast<double>(slot.end_minute - 1)));
+
+        data::VenueId venue_id = slot.anchor;
+        if (venue_id == kNoVenue) {
+          const geo::LatLon ref =
+              (slot.near_home || profile.work == kNoVenue)
+                  ? city->venues()[profile.home].position
+                  : city->venues()[profile.work].position;
+          const auto chosen = city->random_venue_near(ref, slot.root, slot.radius_m, rng);
+          if (!chosen) continue;  // city lacks this category entirely
+          venue_id = *chosen;
+        }
+
+        // The visit happened; record it only if the user checks in.
+        if (!rng.bernoulli(record_probability)) continue;
+
+        const data::Venue& venue = city->venues()[venue_id];
+        data::CheckIn checkin;
+        checkin.user = user;
+        checkin.venue = venue_id;
+        checkin.category = venue.category;
+        checkin.position = venue.position;
+        checkin.timestamp = day_start + minute * 60 + rng.uniform_int(0, 59);
+        const Status status = builder.add_checkin(checkin);
+        if (!status.is_ok()) return status;
+      }
+
+      // Unplanned exploration visits.
+      const std::uint32_t extras = rng.poisson(profile.exploration_rate);
+      for (std::uint32_t e = 0; e < extras; ++e) {
+        const std::size_t root_pos = rng.weighted_index(exploration_weights);
+        if (root_pos >= roots.size()) continue;
+        const auto venue_id = city->random_venue(roots[root_pos], rng);
+        if (!venue_id) continue;
+        if (!rng.bernoulli(record_probability)) continue;
+        const data::Venue& venue = city->venues()[*venue_id];
+        data::CheckIn checkin;
+        checkin.user = user;
+        checkin.venue = *venue_id;
+        checkin.category = venue.category;
+        checkin.position = venue.position;
+        checkin.timestamp =
+            day_start + rng.uniform_int(10 * 3'600, 22 * 3'600);  // 10:00-22:00
+        const Status status = builder.add_checkin(checkin);
+        if (!status.is_ok()) return status;
+      }
+    }
+    profiles.push_back(std::move(profile));
+  }
+
+  SyntheticCorpus corpus{std::move(city).value(), std::move(profiles), builder.build()};
+  log_info("synthetic corpus: {} users, {} venues, {} check-ins",
+           corpus.dataset.user_count(), corpus.dataset.venue_count(),
+           corpus.dataset.checkin_count());
+  return corpus;
+}
+
+Result<SyntheticCorpus> paper_corpus(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  return generate_corpus(config);
+}
+
+CityConfig nyc_city_config() { return CityConfig{}; }
+
+CityConfig tokyo_city_config() {
+  CityConfig config;
+  geo::BoundingBox box;
+  box.min_lat = 35.53;
+  box.max_lat = 35.82;
+  box.min_lon = 139.55;
+  box.max_lon = 139.92;
+  config.bounds = box;
+  config.neighborhood_count = 30;  // denser polycentric structure
+  config.venue_count = 5'000;
+  return config;
+}
+
+Result<SyntheticCorpus> small_corpus(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.user_count = 60;
+  config.period_end = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+  config.monthly_activity = {1.35, 1.45, 1.30};
+  CityConfig city;
+  city.venue_count = 800;
+  city.neighborhood_count = 12;
+  return generate_corpus(config, city);
+}
+
+}  // namespace crowdweb::synth

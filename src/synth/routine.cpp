@@ -1,0 +1,151 @@
+#include "synth/routine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace crowdweb::synth {
+
+namespace {
+
+Result<data::CategoryId> resolve(const data::Taxonomy& taxonomy, std::string_view name) {
+  if (const auto id = taxonomy.find(name)) return *id;
+  return not_found(crowdweb::format("taxonomy lacks root category '{}'", name));
+}
+
+}  // namespace
+
+RoutineGenerator::RoutineGenerator(const City& city, RoutineConfig config)
+    : city_(&city), config_(config), eatery_(0), nightlife_(0), outdoors_(0),
+      professional_(0), residence_(0), shops_(0), college_(0), arts_(0), travel_(0) {}
+
+Result<RoutineGenerator> RoutineGenerator::create(const City& city, RoutineConfig config) {
+  RoutineGenerator gen(city, config);
+  const data::Taxonomy& tax = city.taxonomy();
+  const auto bind = [&](data::CategoryId& slot, std::string_view name) -> Status {
+    auto id = resolve(tax, name);
+    if (!id) return id.status();
+    slot = *id;
+    return Status::ok();
+  };
+  for (const auto& [slot, name] :
+       std::initializer_list<std::pair<data::CategoryId*, std::string_view>>{
+           {&gen.eatery_, "Eatery"},
+           {&gen.nightlife_, "Nightlife Spot"},
+           {&gen.outdoors_, "Outdoors & Recreation"},
+           {&gen.professional_, "Professional & Other Places"},
+           {&gen.residence_, "Residence"},
+           {&gen.shops_, "Shop & Service"},
+           {&gen.college_, "College & University"},
+           {&gen.arts_, "Arts & Entertainment"},
+           {&gen.travel_, "Travel & Transport"}}) {
+    const Status status = bind(*slot, name);
+    if (!status.is_ok()) return status;
+  }
+  if (city.venues_of_root(gen.residence_).empty())
+    return failed_precondition("city has no residence venues to anchor homes");
+  return gen;
+}
+
+UserProfile RoutineGenerator::make_profile(data::UserId id) const {
+  // Stream the user's randomness off the city seed so profiles are stable
+  // regardless of generation order.
+  Rng rng(city_->config().seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+
+  UserProfile profile;
+  profile.id = id;
+  profile.is_student = rng.bernoulli(config_.student_fraction);
+  const bool works = !profile.is_student && rng.bernoulli(config_.worker_fraction /
+                                                          (1.0 - config_.student_fraction));
+
+  profile.home = city_->random_venue(residence_, rng).value_or(kNoVenue);
+  const geo::LatLon home_pos = city_->venues()[profile.home].position;
+  if (profile.is_student) {
+    profile.work = city_->random_venue_near(home_pos, college_, 15'000.0, rng)
+                       .value_or(kNoVenue);
+  } else if (works) {
+    profile.work = city_->random_venue_near(home_pos, professional_, 20'000.0, rng)
+                       .value_or(kNoVenue);
+  }
+
+  // Per-user jitter so the crowd is not perfectly synchronized: shift all
+  // windows by up to +/-40 minutes and scale participation a little.
+  const int shift = static_cast<int>(rng.uniform_int(-40, 40));
+  const double zeal = rng.uniform(0.85, 1.15);
+  const auto window = [shift](int start, int end) {
+    return std::pair<int, int>{start + shift, end + shift};
+  };
+  const auto add_slot = [&](std::string label, std::pair<int, int> w, data::CategoryId root,
+                            double participation, std::uint8_t mask, data::VenueId anchor,
+                            bool near_home, double radius) {
+    RoutineSlot slot;
+    slot.label = std::move(label);
+    slot.start_minute = std::max(0, w.first);
+    slot.end_minute = std::min(24 * 60 - 1, w.second);
+    slot.root = root;
+    slot.participation = std::clamp(participation * zeal, 0.02, 0.98);
+    slot.day_mask = mask;
+    slot.anchor = anchor;
+    slot.near_home = near_home;
+    slot.radius_m = radius;
+    profile.slots.push_back(std::move(slot));
+  };
+
+  // Morning coffee near home (flexible venue — the Thai-lunch effect).
+  if (rng.bernoulli(0.7))
+    add_slot("coffee", window(7 * 60 + 15, 8 * 60 + 45), eatery_, 0.50, kWeekdays,
+             kNoVenue, true, 1'500.0);
+
+  if (profile.work != kNoVenue) {
+    add_slot(profile.is_student ? "campus" : "work", window(8 * 60 + 30, 9 * 60 + 45),
+             profile.is_student ? college_ : professional_, 0.90, kWeekdays, profile.work,
+             false, 0.0);
+    // Lunch near the workplace, different eatery every day.
+    add_slot("lunch", window(12 * 60, 13 * 60), eatery_, 0.80, kWeekdays, kNoVenue, false,
+             1'200.0);
+  } else {
+    // Non-workers run errands around home instead.
+    add_slot("errands", window(10 * 60, 12 * 60), shops_, 0.55, kWeekdays, kNoVenue, true,
+             2'000.0);
+    add_slot("lunch", window(12 * 60, 13 * 60 + 30), eatery_, 0.50, kAllDays, kNoVenue,
+             true, 2'000.0);
+  }
+
+  // Evening activity: one dominant habit per user.
+  const double habit_roll = rng.uniform();
+  if (habit_roll < 0.40) {
+    add_slot("gym", window(17 * 60 + 30, 19 * 60), outdoors_, 0.45, kWeekdays, kNoVenue,
+             true, 3'000.0);
+  } else if (habit_roll < 0.70) {
+    add_slot("shopping", window(17 * 60 + 30, 19 * 60 + 30), shops_, 0.40, kWeekdays,
+             kNoVenue, true, 3'000.0);
+  } else {
+    add_slot("night out", window(19 * 60, 22 * 60), nightlife_, 0.35,
+             kWeekdays | kWeekend, kNoVenue, true, 4'000.0);
+  }
+
+  // Home in the evening (fixed anchor).
+  add_slot("home", window(19 * 60 + 30, 21 * 60 + 30), residence_, 0.70, kAllDays,
+           profile.home, true, 0.0);
+
+  // Weekend outing: parks, culture, or shopping further afield.
+  const double outing_roll = rng.uniform();
+  const data::CategoryId outing_root =
+      outing_roll < 0.45 ? outdoors_ : (outing_roll < 0.75 ? arts_ : shops_);
+  add_slot("weekend outing", window(11 * 60, 16 * 60), outing_root, 0.60, kWeekend,
+           kNoVenue, true, 8'000.0);
+
+  // Occasional travel hub visits (commute check-ins).
+  if (rng.bernoulli(0.25))
+    add_slot("transit", window(8 * 60, 8 * 60 + 50), travel_, 0.30, kWeekdays, kNoVenue,
+             true, 2'000.0);
+
+  profile.checkin_propensity =
+      std::min(config_.propensity_cap,
+               std::exp(rng.normal(config_.propensity_log_mean, config_.propensity_log_stddev)));
+  profile.exploration_rate = rng.uniform(0.05, 0.25);
+  return profile;
+}
+
+}  // namespace crowdweb::synth

@@ -1,0 +1,87 @@
+// User routine profiles.
+//
+// Each synthetic user has anchors (home, and for most users a workplace or
+// campus) plus a set of *routine slots* — recurring visit intentions like
+// "coffee near home on weekday mornings" or "lunch at an eatery near work
+// around noon". Slots reference a root *category*, not a venue: a flexible
+// slot picks a different concrete venue each day (the paper's Thai-lunch
+// example), which is exactly the behaviour location abstraction recovers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/categories.hpp"
+#include "data/checkin.hpp"
+#include "synth/city.hpp"
+#include "util/rng.hpp"
+
+namespace crowdweb::synth {
+
+/// Sentinel venue id for "no fixed venue".
+inline constexpr data::VenueId kNoVenue = 0xFFFFFFFF;
+
+/// A recurring visit intention.
+struct RoutineSlot {
+  std::string label;           ///< "work", "lunch", ... (for inspection)
+  int start_minute = 0;        ///< window start, minutes after midnight
+  int end_minute = 0;          ///< window end (exclusive)
+  data::CategoryId root = data::kNoCategory;  ///< root category visited
+  double participation = 1.0;  ///< probability of making the visit on an eligible day
+  std::uint8_t day_mask = 0x7F;  ///< bit d (0=Sunday) set = eligible weekday
+  data::VenueId anchor = kNoVenue;  ///< fixed venue; kNoVenue = flexible choice
+  bool near_home = true;       ///< flexible slots search near home (else near work)
+  double radius_m = 2'500.0;   ///< flexible search radius
+};
+
+inline constexpr std::uint8_t kWeekdays = 0b0111110;  // Mon..Fri
+inline constexpr std::uint8_t kWeekend = 0b1000001;   // Sun, Sat
+inline constexpr std::uint8_t kAllDays = 0b1111111;
+
+/// One synthetic user's behavioural parameters.
+struct UserProfile {
+  data::UserId id = 0;
+  data::VenueId home = kNoVenue;
+  data::VenueId work = kNoVenue;  ///< kNoVenue for non-workers
+  bool is_student = false;
+  std::vector<RoutineSlot> slots;
+  /// Probability that a made visit is voluntarily checked in (the GTSM
+  /// sparsity mechanism). Drawn from a right-skewed distribution so the
+  /// per-user record counts have median < mean like the real corpus.
+  double checkin_propensity = 0.2;
+  /// Expected number of extra unplanned visits per day.
+  double exploration_rate = 0.10;
+};
+
+struct RoutineConfig {
+  double worker_fraction = 0.78;
+  double student_fraction = 0.10;
+  /// Parameters of the lognormal check-in propensity (see UserProfile).
+  double propensity_log_mean = -1.79;
+  double propensity_log_stddev = 0.75;
+  double propensity_cap = 0.95;
+};
+
+/// Builds per-user profiles over a generated city.
+class RoutineGenerator {
+ public:
+  /// `city` must outlive the generator. Fails if the taxonomy lacks the
+  /// root categories the routine templates reference.
+  static Result<RoutineGenerator> create(const City& city, RoutineConfig config = {});
+
+  /// Deterministically builds the profile of user `id` (seeded by the
+  /// city seed and the user id).
+  [[nodiscard]] UserProfile make_profile(data::UserId id) const;
+
+ private:
+  RoutineGenerator(const City& city, RoutineConfig config);
+
+  const City* city_;
+  RoutineConfig config_;
+  // Resolved root category ids.
+  data::CategoryId eatery_, nightlife_, outdoors_, professional_, residence_, shops_,
+      college_, arts_, travel_;
+};
+
+}  // namespace crowdweb::synth

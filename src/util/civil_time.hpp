@@ -1,0 +1,69 @@
+// Civil (calendar) time without timezone machinery.
+//
+// Check-in timestamps are Unix epoch seconds interpreted as local city
+// time; the dataset model only ever needs calendar fields (month windows,
+// day-of-week routines, hour-of-day time windows), so the conversions here
+// use Howard Hinnant's proleptic-Gregorian algorithms directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace crowdweb {
+
+/// Broken-down calendar time (proleptic Gregorian, no timezone).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;   ///< 0..23
+  int minute = 0; ///< 0..59
+  int second = 0; ///< 0..59
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (negative before the epoch).
+[[nodiscard]] std::int64_t days_from_civil(int year, int month, int day) noexcept;
+
+/// Inverse of `days_from_civil`.
+[[nodiscard]] CivilTime civil_from_days(std::int64_t days) noexcept;
+
+/// Epoch seconds for a civil time; no validation of field ranges.
+[[nodiscard]] std::int64_t to_epoch_seconds(const CivilTime& civil) noexcept;
+
+/// Civil fields of an epoch-seconds timestamp.
+[[nodiscard]] CivilTime to_civil(std::int64_t epoch_seconds) noexcept;
+
+/// Day of week, 0 = Sunday .. 6 = Saturday.
+[[nodiscard]] int day_of_week(std::int64_t epoch_seconds) noexcept;
+
+/// True for Saturday/Sunday.
+[[nodiscard]] bool is_weekend(std::int64_t epoch_seconds) noexcept;
+
+/// Day index since the epoch (floor division of seconds by 86400).
+[[nodiscard]] std::int64_t day_index(std::int64_t epoch_seconds) noexcept;
+
+/// Hour of day 0..23.
+[[nodiscard]] int hour_of_day(std::int64_t epoch_seconds) noexcept;
+
+/// "YYYY-MM-DD HH:MM:SS".
+[[nodiscard]] std::string format_timestamp(std::int64_t epoch_seconds);
+
+/// "YYYY-MM-DD".
+[[nodiscard]] std::string format_date(std::int64_t epoch_seconds);
+
+/// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS" (also accepts 'T' as the
+/// separator) and validates field ranges.
+[[nodiscard]] Result<std::int64_t> parse_timestamp(std::string_view text);
+
+/// True if `year` is a Gregorian leap year.
+[[nodiscard]] bool is_leap_year(int year) noexcept;
+
+/// Number of days in `month` of `year` (month 1..12).
+[[nodiscard]] int days_in_month(int year, int month) noexcept;
+
+}  // namespace crowdweb

@@ -1,0 +1,214 @@
+#include "util/format.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace crowdweb::detail {
+
+namespace {
+
+bool parse_int(std::string_view text, std::size_t& pos, int& value) noexcept {
+  const std::size_t start = pos;
+  long parsed = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    parsed = parsed * 10 + (text[pos] - '0');
+    if (parsed > 4096) return false;  // sane limit for widths/precisions
+    ++pos;
+  }
+  if (pos == start) return false;
+  value = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace
+
+bool parse_spec(std::string_view text, FormatSpec& spec) noexcept {
+  std::size_t pos = 0;
+  // [[fill]align]
+  if (text.size() >= 2 && (text[1] == '<' || text[1] == '>' || text[1] == '^')) {
+    spec.fill = text[0];
+    spec.align = text[1];
+    pos = 2;
+  } else if (!text.empty() && (text[0] == '<' || text[0] == '>' || text[0] == '^')) {
+    spec.align = text[0];
+    pos = 1;
+  }
+  // [0]
+  if (pos < text.size() && text[pos] == '0') {
+    spec.zero_pad = true;
+    ++pos;
+  }
+  // [width]
+  if (pos < text.size() && text[pos] >= '1' && text[pos] <= '9') {
+    if (!parse_int(text, pos, spec.width)) return false;
+  }
+  // [.precision]
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    if (!parse_int(text, pos, spec.precision)) return false;
+  }
+  // [type]
+  if (pos < text.size()) {
+    const char t = text[pos];
+    if (t != 'd' && t != 'f' && t != 'e' && t != 'x' && t != 's') return false;
+    spec.type = t;
+    ++pos;
+  }
+  return pos == text.size();
+}
+
+void pad_into(std::string& out, std::string_view body, const FormatSpec& spec,
+              bool is_numeric) {
+  const std::size_t width = spec.width > 0 ? static_cast<std::size_t>(spec.width) : 0;
+  if (body.size() >= width) {
+    out += body;
+    return;
+  }
+  const std::size_t padding = width - body.size();
+  char align = spec.align;
+  if (align == 0) align = is_numeric ? '>' : '<';
+  char fill = spec.fill;
+  if (spec.zero_pad && is_numeric && spec.align == 0) {
+    fill = '0';
+    align = '>';
+    // Zero padding goes after the sign: "-007", not "00-7".
+    if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+      out += body[0];
+      out.append(padding, '0');
+      out += body.substr(1);
+      return;
+    }
+  }
+  switch (align) {
+    case '<':
+      out += body;
+      out.append(padding, fill);
+      return;
+    case '^': {
+      const std::size_t left = padding / 2;
+      out.append(left, fill);
+      out += body;
+      out.append(padding - left, fill);
+      return;
+    }
+    case '>':
+    default:
+      out.append(padding, fill);
+      out += body;
+      return;
+  }
+}
+
+void format_arg(std::string& out, const FormatSpec& spec, bool value) {
+  if (spec.type == 'd' || spec.type == 'x') {
+    format_arg(out, spec, static_cast<std::int64_t>(value));
+    return;
+  }
+  pad_into(out, value ? "true" : "false", spec, false);
+}
+
+void format_arg(std::string& out, const FormatSpec& spec, char value) {
+  pad_into(out, std::string_view(&value, 1), spec, false);
+}
+
+namespace {
+
+void format_integer(std::string& out, const FormatSpec& spec, char buffer[],
+                    std::to_chars_result result, const char* begin) {
+  pad_into(out,
+           std::string_view(begin, static_cast<std::size_t>(result.ptr - begin)),
+           spec, true);
+  (void)buffer;
+}
+
+}  // namespace
+
+void format_arg(std::string& out, const FormatSpec& spec, std::int64_t value) {
+  char buffer[24];
+  const int base = spec.type == 'x' ? 16 : 10;
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value, base);
+  format_integer(out, spec, buffer, result, buffer);
+}
+
+void format_arg(std::string& out, const FormatSpec& spec, std::uint64_t value) {
+  char buffer[24];
+  const int base = spec.type == 'x' ? 16 : 10;
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value, base);
+  format_integer(out, spec, buffer, result, buffer);
+}
+
+void format_arg(std::string& out, const FormatSpec& spec, double value) {
+  char buffer[64];
+  std::to_chars_result result{buffer, std::errc{}};
+  if (spec.type == 'f' || (spec.precision >= 0 && spec.type == 0)) {
+    const int precision = spec.precision >= 0 ? spec.precision : 6;
+    result = std::to_chars(buffer, buffer + sizeof buffer, value,
+                           std::chars_format::fixed, precision);
+  } else if (spec.type == 'e') {
+    const int precision = spec.precision >= 0 ? spec.precision : 6;
+    result = std::to_chars(buffer, buffer + sizeof buffer, value,
+                           std::chars_format::scientific, precision);
+  } else {
+    result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  }
+  if (result.ec != std::errc{}) {
+    pad_into(out, "?", spec, true);
+    return;
+  }
+  pad_into(out, std::string_view(buffer, static_cast<std::size_t>(result.ptr - buffer)),
+           spec, true);
+}
+
+void format_arg(std::string& out, const FormatSpec& spec, std::string_view value) {
+  if (spec.precision >= 0 && static_cast<std::size_t>(spec.precision) < value.size())
+    value = value.substr(0, static_cast<std::size_t>(spec.precision));
+  pad_into(out, value, spec, false);
+}
+
+std::string vformat(std::string_view fmt, const ArgRef* args, std::size_t count) {
+  std::string out;
+  out.reserve(fmt.size() + count * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i + 1);
+      if (close == std::string_view::npos) {
+        out += "{?}";
+        return out;
+      }
+      std::string_view inner = fmt.substr(i + 1, close - i - 1);
+      FormatSpec spec;
+      bool ok = true;
+      if (!inner.empty()) {
+        if (inner[0] == ':') {
+          ok = parse_spec(inner.substr(1), spec);
+        } else {
+          ok = false;  // positional indexes are not supported
+        }
+      }
+      if (!ok || next_arg >= count) {
+        out += "{?}";
+      } else {
+        args[next_arg].render(out, spec);
+      }
+      ++next_arg;
+      i = close;
+      continue;
+    }
+    if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out += '}';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace crowdweb::detail

@@ -1,0 +1,110 @@
+// Minimal std::format-style string formatting.
+//
+// The toolchain this library targets (GCC 12) ships C++20 without
+// <format>, so this header provides the subset the codebase needs:
+// positional `{}` placeholders with specs `[[fill]align][0][width]
+// [.precision][type]` where align is one of `<`, `>`, `^` and type is one
+// of `d`, `f`, `e`, `x`, `s` (or empty). `{{` and `}}` escape braces.
+// Formatting never throws: a malformed spec renders as `{?}` so log lines
+// degrade instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+namespace crowdweb {
+
+namespace detail {
+
+struct FormatSpec {
+  char fill = ' ';
+  char align = 0;     // '<', '>', '^' or 0 (type default)
+  bool zero_pad = false;
+  int width = 0;
+  int precision = -1;  // -1 = unset
+  char type = 0;       // 'd', 'f', 'e', 'x', 's' or 0
+};
+
+/// Parses the text between ':' and '}' of a placeholder. Returns false on
+/// a malformed spec.
+bool parse_spec(std::string_view text, FormatSpec& spec) noexcept;
+
+/// Pads `body` into `out` per fill/align/width.
+void pad_into(std::string& out, std::string_view body, const FormatSpec& spec,
+              bool is_numeric);
+
+void format_arg(std::string& out, const FormatSpec& spec, bool value);
+void format_arg(std::string& out, const FormatSpec& spec, char value);
+void format_arg(std::string& out, const FormatSpec& spec, std::int64_t value);
+void format_arg(std::string& out, const FormatSpec& spec, std::uint64_t value);
+void format_arg(std::string& out, const FormatSpec& spec, double value);
+void format_arg(std::string& out, const FormatSpec& spec, std::string_view value);
+
+inline void format_arg(std::string& out, const FormatSpec& spec, const char* value) {
+  format_arg(out, spec, std::string_view(value == nullptr ? "(null)" : value));
+}
+inline void format_arg(std::string& out, const FormatSpec& spec, const std::string& value) {
+  format_arg(out, spec, std::string_view(value));
+}
+inline void format_arg(std::string& out, const FormatSpec& spec, float value) {
+  format_arg(out, spec, static_cast<double>(value));
+}
+
+template <typename T>
+  requires(std::is_integral_v<T> && std::is_signed_v<T> && !std::is_same_v<T, char> &&
+           !std::is_same_v<T, bool>)
+void format_arg(std::string& out, const FormatSpec& spec, T value) {
+  format_arg(out, spec, static_cast<std::int64_t>(value));
+}
+
+template <typename T>
+  requires(std::is_integral_v<T> && std::is_unsigned_v<T> && !std::is_same_v<T, char> &&
+           !std::is_same_v<T, bool>)
+void format_arg(std::string& out, const FormatSpec& spec, T value) {
+  format_arg(out, spec, static_cast<std::uint64_t>(value));
+}
+
+template <typename T>
+  requires std::is_enum_v<T>
+void format_arg(std::string& out, const FormatSpec& spec, T value) {
+  format_arg(out, spec, static_cast<std::int64_t>(value));
+}
+
+/// Type-erased argument reference used by the formatting loop.
+class ArgRef {
+ public:
+  template <typename T>
+  explicit ArgRef(const T& value)
+      : pointer_(&value), invoke_([](std::string& out, const FormatSpec& spec,
+                                     const void* p) {
+          format_arg(out, spec, *static_cast<const T*>(p));
+        }) {}
+
+  void render(std::string& out, const FormatSpec& spec) const {
+    invoke_(out, spec, pointer_);
+  }
+
+ private:
+  const void* pointer_;
+  void (*invoke_)(std::string&, const FormatSpec&, const void*);
+};
+
+std::string vformat(std::string_view fmt, const ArgRef* args, std::size_t count);
+
+}  // namespace detail
+
+/// Formats `fmt` with positional `{}` placeholders (see file comment).
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return detail::vformat(fmt, nullptr, 0);
+  } else {
+    const detail::ArgRef refs[] = {detail::ArgRef(args)...};
+    return detail::vformat(fmt, refs, sizeof...(Args));
+  }
+}
+
+}  // namespace crowdweb

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace crowdweb {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::scoped_lock lock(g_sink_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace crowdweb

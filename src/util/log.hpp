@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The libraries log sparingly (server lifecycle, pipeline phase timings);
+// the sink and level are process-global and default to stderr/info.
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+#include "util/format.hpp"
+
+namespace crowdweb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted (thread-safe).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line: "[level] message\n". Thread-safe.
+void log_message(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, format(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(std::string_view fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, format(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(std::string_view fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, format(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(std::string_view fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, format(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace crowdweb

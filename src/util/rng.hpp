@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic components of CrowdWeb (the synthetic city, user routines,
+// the sparsity model) draw from `Rng`, a xoshiro256** generator seeded via
+// splitmix64. Runs with the same seed are bit-for-bit reproducible across
+// platforms, which the experiment harness relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crowdweb {
+
+/// splitmix64 step; used for seeding and hashing small integers.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit draw (UniformRandomBitGenerator interface).
+  std::uint64_t operator()() noexcept;
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  /// Poisson draw (Knuth for small lambda, normal approximation above 64).
+  std::uint32_t poisson(double lambda) noexcept;
+  /// Exponential with rate `lambda` (> 0).
+  double exponential(double lambda) noexcept;
+  /// Index drawn proportionally to non-negative `weights`; returns
+  /// weights.size() when all weights are zero or the span is empty.
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+  /// Derives an independent generator; distinct `stream` values give
+  /// decorrelated child streams from the same parent seed.
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace crowdweb

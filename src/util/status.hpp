@@ -1,0 +1,132 @@
+// Lightweight error-handling vocabulary for the CrowdWeb libraries.
+//
+// Fallible operations that cross module boundaries return `Status` (for
+// actions) or `Result<T>` (for producers) instead of throwing, so callers
+// can branch on failures from untrusted inputs (files, sockets, user
+// parameters) without exception control flow. Programming errors still
+// use assertions/exceptions per the C++ Core Guidelines.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace crowdweb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kIoError,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("ok", "invalid_argument", ...).
+std::string_view to_string(StatusCode code) noexcept;
+
+/// Value-semantic success/error outcome of an operation.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+inline Status not_found(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+inline Status out_of_range(std::string message) {
+  return {StatusCode::kOutOfRange, std::move(message)};
+}
+inline Status failed_precondition(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+inline Status parse_error(std::string message) {
+  return {StatusCode::kParseError, std::move(message)};
+}
+inline Status io_error(std::string message) {
+  return {StatusCode::kIoError, std::move(message)};
+}
+inline Status unavailable(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+inline Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+/// Either a value of `T` or a non-OK `Status` explaining its absence.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(storage_).is_ok() &&
+           "Result constructed from an OK status carries no value");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// The error; `Status::ok()` when a value is present.
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(storage_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok() && "Result::value() on an error result");
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok() && "Result::value() on an error result");
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok() && "Result::value() on an error result");
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace crowdweb

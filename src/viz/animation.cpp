@@ -1,0 +1,130 @@
+#include "viz/animation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/format.hpp"
+#include "viz/svg.hpp"
+
+namespace crowdweb::viz {
+
+namespace {
+
+/// Maps lat/lon into the canvas with aspect preserved (same math as the
+/// static city map).
+struct Frame {
+  const geo::BoundingBox bounds;
+  double scale_x, scale_y, margin;
+
+  Frame(const geo::BoundingBox& box, double width, double height, double margin_px)
+      : bounds(box), margin(margin_px) {
+    const double lat_span = std::max(1e-9, box.max_lat - box.min_lat);
+    const double lon_span = std::max(1e-9, box.max_lon - box.min_lon);
+    const double aspect =
+        lon_span * std::cos(geo::deg_to_rad((box.min_lat + box.max_lat) / 2)) / lat_span;
+    const double usable_w = width - 2 * margin_px;
+    const double usable_h = height - 2 * margin_px;
+    if (usable_w / usable_h > aspect) {
+      scale_y = usable_h / lat_span;
+      scale_x = usable_h * aspect / lon_span;
+    } else {
+      scale_x = usable_w / lon_span;
+      scale_y = usable_w / aspect / lat_span;
+    }
+  }
+  [[nodiscard]] double x(double lon) const { return margin + (lon - bounds.min_lon) * scale_x; }
+  [[nodiscard]] double y(double lat) const { return margin + (bounds.max_lat - lat) * scale_y; }
+};
+
+}  // namespace
+
+std::string render_crowd_animation(const crowd::CrowdModel& model,
+                                   const AnimationOptions& options) {
+  const int windows = model.window_count();
+  const double cycle_seconds =
+      std::max(0.1, options.seconds_per_window) * std::max(1, windows);
+
+  // Collect per-cell counts across all windows and the global peak.
+  std::map<geo::CellId, std::vector<std::size_t>> cell_series;
+  std::size_t peak = 1;
+  for (int w = 0; w < windows; ++w) {
+    const crowd::CrowdDistribution distribution = model.distribution(w);
+    for (const auto& [cell, count] : distribution.cells()) {
+      auto& series = cell_series[cell];
+      if (series.empty()) series.assign(static_cast<std::size_t>(windows), 0);
+      series[static_cast<std::size_t>(w)] = count;
+      peak = std::max(peak, count);
+    }
+  }
+  // Keep only the busiest cells if the map would get too heavy.
+  if (cell_series.size() > options.max_cells) {
+    std::vector<std::pair<std::size_t, geo::CellId>> ranked;
+    ranked.reserve(cell_series.size());
+    for (const auto& [cell, series] : cell_series) {
+      std::size_t total = 0;
+      for (const std::size_t c : series) total += c;
+      ranked.push_back({total, cell});
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    ranked.resize(options.max_cells);
+    std::map<geo::CellId, std::vector<std::size_t>> kept;
+    for (const auto& [total, cell] : ranked) kept.emplace(cell, cell_series[cell]);
+    cell_series = std::move(kept);
+  }
+
+  SvgDocument svg(options.width, options.height);
+  svg.rect(0, 0, options.width, options.height, fill_style({247, 248, 250}));
+  const Frame frame(model.grid().bounds(), options.width, options.height, 28.0);
+
+  for (const auto& [cell, series] : cell_series) {
+    const geo::BoundingBox box = model.grid().cell_bounds(cell);
+    const double x = frame.x(box.min_lon);
+    const double y = frame.y(box.max_lat);
+    const double w = frame.x(box.max_lon) - x;
+    const double h = frame.y(box.min_lat) - y;
+
+    // Color by the cell's own peak; opacity animates with the count.
+    std::size_t cell_peak = 0;
+    for (const std::size_t c : series) cell_peak = std::max(cell_peak, c);
+    const double t = std::log1p(static_cast<double>(cell_peak)) /
+                     std::log1p(static_cast<double>(peak));
+    std::string values;
+    for (std::size_t w_index = 0; w_index < series.size(); ++w_index) {
+      if (w_index > 0) values += ';';
+      const double opacity =
+          cell_peak == 0
+              ? 0.0
+              : 0.9 * static_cast<double>(series[w_index]) / static_cast<double>(cell_peak);
+      values += crowdweb::format("{:.3f}", opacity);
+    }
+    svg.raw(crowdweb::format(
+        "<rect x=\"{:.2f}\" y=\"{:.2f}\" width=\"{:.2f}\" height=\"{:.2f}\" fill=\"{}\""
+        " opacity=\"0\"><animate attributeName=\"opacity\" dur=\"{:.2f}s\""
+        " repeatCount=\"indefinite\" values=\"{}\"/></rect>\n",
+        x, y, w, h, to_hex(sequential_scale(t)), cycle_seconds, values));
+  }
+
+  // Animated clock: one label per window, visible only during its slot.
+  for (int w = 0; w < windows; ++w) {
+    std::string values;
+    for (int k = 0; k < windows; ++k) {
+      if (k > 0) values += ';';
+      values += (k == w) ? "1" : "0";
+    }
+    svg.raw(crowdweb::format(
+        "<text x=\"{:.2f}\" y=\"{:.2f}\" font-size=\"18\" font-weight=\"bold\""
+        " fill=\"#28282f\" font-family=\"Helvetica,Arial,sans-serif\" opacity=\"0\">{}"
+        "<animate attributeName=\"opacity\" dur=\"{:.2f}s\" repeatCount=\"indefinite\""
+        " calcMode=\"discrete\" values=\"{}\"/></text>\n",
+        options.width - 170.0, 30.0, xml_escape(model.window_label(w)), cycle_seconds,
+        values));
+  }
+
+  if (!options.title.empty())
+    svg.text(options.width / 2, 22, options.title, 15, {40, 40, 48}, TextAnchor::kMiddle,
+             true);
+  return svg.to_string();
+}
+
+}  // namespace crowdweb::viz

@@ -1,0 +1,33 @@
+// Animated crowd movement — the paper's stated future work ("we plan to
+// allow users to scale the time frames for the crowd movement and
+// automate the crowd movement animation").
+//
+// Renders one self-contained SVG whose microcells pulse through the
+// day: each occupied cell carries a SMIL <animate> over its opacity with
+// one keyframe per time window, plus an animated clock label. The window
+// scale is whatever the CrowdModel was built with (hourly, 30-minute,
+// ...), so time-frame scaling comes for free.
+#pragma once
+
+#include <string>
+
+#include "crowd/model.hpp"
+#include "data/dataset.hpp"
+
+namespace crowdweb::viz {
+
+struct AnimationOptions {
+  double width = 760.0;
+  double height = 640.0;
+  /// Wall-clock seconds each window is displayed.
+  double seconds_per_window = 0.5;
+  /// At most this many cells participate (the busiest across the day).
+  std::size_t max_cells = 600;
+  std::string title = "Crowd movement";
+};
+
+/// Renders the full-day crowd animation of `model` as an SVG document.
+[[nodiscard]] std::string render_crowd_animation(const crowd::CrowdModel& model,
+                                                 const AnimationOptions& options = {});
+
+}  // namespace crowdweb::viz

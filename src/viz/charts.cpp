@@ -1,0 +1,272 @@
+#include "viz/charts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace crowdweb::viz {
+
+namespace {
+
+constexpr Color kInk{40, 40, 48};
+constexpr Color kGridline{225, 225, 230};
+
+struct PlotArea {
+  double left, top, right, bottom;
+  double x_lo, x_hi, y_lo, y_hi;
+
+  [[nodiscard]] double x_of(double x) const noexcept {
+    const double span = x_hi - x_lo;
+    const double t = span > 0 ? (x - x_lo) / span : 0.5;
+    return left + t * (right - left);
+  }
+  [[nodiscard]] double y_of(double y) const noexcept {
+    const double span = y_hi - y_lo;
+    const double t = span > 0 ? (y - y_lo) / span : 0.5;
+    return bottom - t * (bottom - top);
+  }
+};
+
+std::string tick_label(double value) {
+  if (std::abs(value - std::round(value)) < 1e-9 && std::abs(value) < 1e7)
+    return crowdweb::format("{}", static_cast<long long>(std::llround(value)));
+  return crowdweb::format("{:.2f}", value);
+}
+
+void draw_frame(SvgDocument& svg, const PlotArea& area, const std::string& title,
+                const std::string& x_label, const std::string& y_label) {
+  if (!title.empty())
+    svg.text((area.left + area.right) / 2, area.top - 14, title, 15, kInk,
+             TextAnchor::kMiddle, true);
+  if (!x_label.empty())
+    svg.text((area.left + area.right) / 2, area.bottom + 36, x_label, 12, kInk,
+             TextAnchor::kMiddle);
+  if (!y_label.empty()) {
+    // Rotated y-axis label.
+    svg.raw(crowdweb::format(
+        "<text x=\"{:.2f}\" y=\"{:.2f}\" font-size=\"12\" fill=\"{}\""
+        " text-anchor=\"middle\" font-family=\"Helvetica,Arial,sans-serif\""
+        " transform=\"rotate(-90 {:.2f} {:.2f})\">{}</text>\n",
+        area.left - 42.0, (area.top + area.bottom) / 2, to_hex(kInk), area.left - 42.0,
+        (area.top + area.bottom) / 2, xml_escape(y_label)));
+  }
+  svg.line(area.left, area.bottom, area.right, area.bottom, stroke_style(kInk, 1.2));
+  svg.line(area.left, area.top, area.left, area.bottom, stroke_style(kInk, 1.2));
+}
+
+void draw_x_ticks(SvgDocument& svg, const PlotArea& area, const std::vector<double>& ticks) {
+  for (const double tick : ticks) {
+    const double x = area.x_of(tick);
+    svg.line(x, area.bottom, x, area.bottom + 4, stroke_style(kInk, 1.0));
+    svg.line(x, area.top, x, area.bottom, stroke_style(kGridline, 0.8));
+    svg.text(x, area.bottom + 17, tick_label(tick), 11, kInk, TextAnchor::kMiddle);
+  }
+}
+
+void draw_y_ticks(SvgDocument& svg, const PlotArea& area, const std::vector<double>& ticks) {
+  for (const double tick : ticks) {
+    const double y = area.y_of(tick);
+    svg.line(area.left - 4, y, area.left, y, stroke_style(kInk, 1.0));
+    svg.line(area.left, y, area.right, y, stroke_style(kGridline, 0.8));
+    svg.text(area.left - 7, y + 4, tick_label(tick), 11, kInk, TextAnchor::kEnd);
+  }
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(double lo, double hi, std::size_t count) {
+  if (count == 0) return {};
+  if (hi <= lo) return {lo};
+  const double raw_step = (hi - lo) / static_cast<double>(count);
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (const double mult : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (magnitude * mult >= raw_step) {
+      step = magnitude * mult;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double start = std::ceil(lo / step - 1e-9) * step;
+  for (double tick = start; tick <= hi + step * 1e-6; tick += step) {
+    // Snap tiny float error to zero.
+    ticks.push_back(std::abs(tick) < step * 1e-6 ? 0.0 : tick);
+  }
+  return ticks;
+}
+
+std::string render_line_chart(const LineChartSpec& spec) {
+  SvgDocument svg(spec.size.width, spec.size.height);
+  svg.rect(0, 0, spec.size.width, spec.size.height, fill_style({255, 255, 255}));
+
+  double x_lo = 0.0, x_hi = 1.0, y_lo = 0.0, y_hi = 1.0;
+  bool first = true;
+  for (const Series& series : spec.series) {
+    for (std::size_t i = 0; i < series.x.size() && i < series.y.size(); ++i) {
+      if (first) {
+        x_lo = x_hi = series.x[i];
+        y_lo = y_hi = series.y[i];
+        first = false;
+      }
+      x_lo = std::min(x_lo, series.x[i]);
+      x_hi = std::max(x_hi, series.x[i]);
+      y_lo = std::min(y_lo, series.y[i]);
+      y_hi = std::max(y_hi, series.y[i]);
+    }
+  }
+  if (spec.y_from_zero) y_lo = std::min(0.0, y_lo);
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+  y_hi += (y_hi - y_lo) * 0.06;  // headroom
+
+  PlotArea area{64, 40, spec.size.width - 20, spec.size.height - 56, x_lo, x_hi, y_lo, y_hi};
+  draw_x_ticks(svg, area, nice_ticks(x_lo, x_hi, 6));
+  draw_y_ticks(svg, area, nice_ticks(y_lo, y_hi, 6));
+  draw_frame(svg, area, spec.title, spec.x_label, spec.y_label);
+
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    const Series& series = spec.series[s];
+    const Color color = categorical(s);
+    std::vector<std::pair<double, double>> points;
+    for (std::size_t i = 0; i < series.x.size() && i < series.y.size(); ++i)
+      points.emplace_back(area.x_of(series.x[i]), area.y_of(series.y[i]));
+    svg.polyline(points, stroke_style(color, 2.0));
+    if (spec.draw_markers) {
+      for (const auto& [x, y] : points) svg.circle(x, y, 3.5, fill_style(color));
+    }
+    // Legend entry.
+    if (spec.series.size() > 1 || !series.name.empty()) {
+      const double ly = area.top + 16 * static_cast<double>(s);
+      svg.line(area.right - 120, ly, area.right - 96, ly, stroke_style(color, 2.5));
+      svg.text(area.right - 90, ly + 4, series.name, 11, kInk);
+    }
+  }
+  return svg.to_string();
+}
+
+std::string render_bar_chart(const BarChartSpec& spec) {
+  SvgDocument svg(spec.size.width, spec.size.height);
+  svg.rect(0, 0, spec.size.width, spec.size.height, fill_style({255, 255, 255}));
+
+  double y_hi = 1.0;
+  for (const auto& [label, value] : spec.bars) y_hi = std::max(y_hi, value);
+  y_hi *= 1.08;
+
+  PlotArea area{64, 40, spec.size.width - 20, spec.size.height - 56, 0,
+                static_cast<double>(std::max<std::size_t>(1, spec.bars.size())), 0, y_hi};
+  draw_y_ticks(svg, area, nice_ticks(0, y_hi, 6));
+  draw_frame(svg, area, spec.title, spec.x_label, spec.y_label);
+
+  const double slot = (area.right - area.left) /
+                      static_cast<double>(std::max<std::size_t>(1, spec.bars.size()));
+  for (std::size_t i = 0; i < spec.bars.size(); ++i) {
+    const auto& [label, value] = spec.bars[i];
+    const double x = area.left + slot * static_cast<double>(i);
+    const double y = area.y_of(value);
+    svg.rect(x + slot * 0.15, y, slot * 0.7, area.bottom - y,
+             fill_style(categorical(0), 0.9));
+    svg.text(x + slot * 0.5, area.bottom + 15, label, 10, kInk, TextAnchor::kMiddle);
+  }
+  return svg.to_string();
+}
+
+std::string render_distribution_plot(const DistributionPlotSpec& spec) {
+  SvgDocument svg(spec.size.width, spec.size.height);
+  svg.rect(0, 0, spec.size.width, spec.size.height, fill_style({255, 255, 255}));
+
+  const stats::Histogram histogram =
+      stats::Histogram::from_samples(spec.values, std::max<std::size_t>(1, spec.bins));
+  const stats::DensityCurve curve = stats::kde_curve(spec.values, 160);
+
+  // Convert histogram counts to density so the KDE overlays correctly.
+  double y_hi = 1e-12;
+  const double total = static_cast<double>(std::max<std::size_t>(1, histogram.total()));
+  std::vector<double> bin_density(histogram.bins().size(), 0.0);
+  for (std::size_t i = 0; i < histogram.bins().size(); ++i) {
+    const auto& bin = histogram.bins()[i];
+    const double width = std::max(1e-12, bin.hi - bin.lo);
+    bin_density[i] = static_cast<double>(bin.count) / (total * width);
+    y_hi = std::max(y_hi, bin_density[i]);
+  }
+  for (const double d : curve.density) y_hi = std::max(y_hi, d);
+  y_hi *= 1.08;
+
+  double x_lo = histogram.lo();
+  double x_hi = histogram.hi();
+  if (!curve.x.empty()) {
+    x_lo = std::min(x_lo, curve.x.front());
+    x_hi = std::max(x_hi, curve.x.back());
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+
+  PlotArea area{64, 40, spec.size.width - 20, spec.size.height - 56, x_lo, x_hi, 0, y_hi};
+  draw_x_ticks(svg, area, nice_ticks(x_lo, x_hi, 6));
+  draw_y_ticks(svg, area, nice_ticks(0, y_hi, 5));
+  draw_frame(svg, area, spec.title, spec.x_label, "density");
+
+  for (std::size_t i = 0; i < histogram.bins().size(); ++i) {
+    const auto& bin = histogram.bins()[i];
+    const double x0 = area.x_of(bin.lo);
+    const double x1 = area.x_of(bin.hi);
+    const double y = area.y_of(bin_density[i]);
+    svg.rect(x0, y, std::max(0.5, x1 - x0 - 1.0), area.bottom - y,
+             fill_style(categorical(0), 0.55));
+  }
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t i = 0; i < curve.x.size(); ++i)
+    points.emplace_back(area.x_of(curve.x[i]), area.y_of(curve.density[i]));
+  svg.polyline(points, stroke_style(categorical(1), 2.2));
+  return svg.to_string();
+}
+
+std::string render_heatmap(const HeatmapSpec& spec) {
+  SvgDocument svg(spec.size.width, spec.size.height);
+  svg.rect(0, 0, spec.size.width, spec.size.height, fill_style({255, 255, 255}));
+
+  const std::size_t rows = spec.row_labels.size();
+  const std::size_t cols = spec.col_labels.size();
+  const double left = 170.0;
+  const double top = 46.0;
+  const double right = spec.size.width - 16.0;
+  const double bottom = spec.size.height - 40.0;
+  if (!spec.title.empty())
+    svg.text(spec.size.width / 2, 24, spec.title, 15, kInk, TextAnchor::kMiddle, true);
+  if (rows == 0 || cols == 0) return svg.to_string();
+
+  double max_value = 1e-12;
+  for (const auto& row : spec.values) {
+    for (const double v : row) max_value = std::max(max_value, v);
+  }
+  const auto intensity = [&](double v) {
+    if (v <= 0.0) return 0.0;
+    return spec.log_scale ? std::log1p(v) / std::log1p(max_value) : v / max_value;
+  };
+
+  const double cell_w = (right - left) / static_cast<double>(cols);
+  const double cell_h = (bottom - top) / static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    svg.text(left - 8, top + cell_h * (static_cast<double>(r) + 0.5) + 4,
+             spec.row_labels[r], 11, kInk, TextAnchor::kEnd);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v =
+          r < spec.values.size() && c < spec.values[r].size() ? spec.values[r][c] : 0.0;
+      const double x = left + cell_w * static_cast<double>(c);
+      const double y = top + cell_h * static_cast<double>(r);
+      if (v <= 0.0) {
+        svg.rect(x, y, cell_w - 1, cell_h - 1, fill_style({240, 241, 245}));
+      } else {
+        svg.rect(x, y, cell_w - 1, cell_h - 1, fill_style(sequential_scale(intensity(v))));
+      }
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    // Label every column when they fit, else every other one.
+    if (cols > 16 && c % 2 == 1) continue;
+    svg.text(left + cell_w * (static_cast<double>(c) + 0.5), bottom + 16,
+             spec.col_labels[c], 10, kInk, TextAnchor::kMiddle);
+  }
+  return svg.to_string();
+}
+
+}  // namespace crowdweb::viz

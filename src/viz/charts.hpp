@@ -1,0 +1,83 @@
+// Chart renderers for the evaluation figures.
+//
+// Three chart types cover everything the paper plots: line charts with
+// markers (Figures 5 and 7 — metric vs. minimum support), bar charts
+// (monthly corpus volumes), and distribution plots (Figures 6 and 8 —
+// histogram plus KDE curve, seaborn-displot style). All emit standalone
+// SVG documents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "viz/svg.hpp"
+
+namespace crowdweb::viz {
+
+struct ChartSize {
+  double width = 640.0;
+  double height = 420.0;
+};
+
+/// One line-chart series.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;  ///< same length as x
+};
+
+struct LineChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<Series> series;
+  ChartSize size;
+  bool draw_markers = true;
+  bool y_from_zero = true;
+};
+
+/// Renders a multi-series line chart with axes, ticks, and a legend.
+[[nodiscard]] std::string render_line_chart(const LineChartSpec& spec);
+
+struct BarChartSpec {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::pair<std::string, double>> bars;  ///< (label, value)
+  ChartSize size;
+};
+
+[[nodiscard]] std::string render_bar_chart(const BarChartSpec& spec);
+
+struct DistributionPlotSpec {
+  std::string title;
+  std::string x_label;
+  std::vector<double> values;
+  std::size_t bins = 20;
+  ChartSize size;
+};
+
+/// Histogram of the sample with the Gaussian-KDE curve overlaid —
+/// the paper's "distribution plot".
+[[nodiscard]] std::string render_distribution_plot(const DistributionPlotSpec& spec);
+
+struct HeatmapSpec {
+  std::string title;
+  std::vector<std::string> row_labels;
+  std::vector<std::string> col_labels;
+  /// values[row][col]; rows may be ragged (missing cells render empty).
+  std::vector<std::vector<double>> values;
+  ChartSize size;
+  /// Log-compress the color scale (good for skewed counts).
+  bool log_scale = true;
+};
+
+/// Renders a labeled matrix heat map (e.g. place type x hour rhythm).
+[[nodiscard]] std::string render_heatmap(const HeatmapSpec& spec);
+
+/// Picks `count` round tick values covering [lo, hi].
+[[nodiscard]] std::vector<double> nice_ticks(double lo, double hi, std::size_t count);
+
+}  // namespace crowdweb::viz

@@ -1,0 +1,154 @@
+#include "viz/citymap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "viz/svg.hpp"
+
+namespace crowdweb::viz {
+
+namespace {
+
+/// Maps lat/lon to canvas pixels preserving aspect ratio.
+class MapFrame {
+ public:
+  MapFrame(const geo::BoundingBox& bounds, double width, double height, double margin)
+      : bounds_(bounds), margin_(margin) {
+    const double lat_span = std::max(1e-9, bounds.max_lat - bounds.min_lat);
+    const double lon_span = std::max(1e-9, bounds.max_lon - bounds.min_lon);
+    // Approximate aspect correction: shrink longitude by cos(latitude).
+    const double aspect =
+        lon_span * std::cos(geo::deg_to_rad((bounds.min_lat + bounds.max_lat) / 2)) /
+        lat_span;
+    const double usable_w = width - 2 * margin;
+    const double usable_h = height - 2 * margin;
+    if (usable_w / usable_h > aspect) {
+      scale_y_ = usable_h / lat_span;
+      scale_x_ = usable_h * aspect / lon_span;
+    } else {
+      scale_x_ = usable_w / lon_span;
+      scale_y_ = usable_w / aspect / lat_span;
+    }
+    origin_x_ = margin;
+    origin_y_ = margin;
+  }
+
+  [[nodiscard]] double x_of(double lon) const noexcept {
+    return origin_x_ + (lon - bounds_.min_lon) * scale_x_;
+  }
+  [[nodiscard]] double y_of(double lat) const noexcept {
+    return origin_y_ + (bounds_.max_lat - lat) * scale_y_;
+  }
+
+ private:
+  geo::BoundingBox bounds_;
+  double margin_;
+  double scale_x_ = 1.0;
+  double scale_y_ = 1.0;
+  double origin_x_ = 0.0;
+  double origin_y_ = 0.0;
+};
+
+void draw_heat_cells(SvgDocument& svg, const MapFrame& frame,
+                     const crowd::CrowdDistribution& distribution,
+                     const geo::SpatialGrid& grid) {
+  std::size_t max_count = 1;
+  for (const auto& [cell, count] : distribution.cells()) max_count = std::max(max_count, count);
+  for (const auto& [cell, count] : distribution.cells()) {
+    const geo::BoundingBox box = grid.cell_bounds(cell);
+    const double x = frame.x_of(box.min_lon);
+    const double y = frame.y_of(box.max_lat);
+    const double w = frame.x_of(box.max_lon) - x;
+    const double h = frame.y_of(box.min_lat) - y;
+    const double t = std::log1p(static_cast<double>(count)) /
+                     std::log1p(static_cast<double>(max_count));
+    svg.rect(x, y, w, h, fill_style(sequential_scale(t), 0.85));
+  }
+}
+
+void draw_bubbles(SvgDocument& svg, const MapFrame& frame,
+                  const crowd::CrowdDistribution& distribution,
+                  const geo::SpatialGrid& grid, std::size_t bubble_count) {
+  const auto top = distribution.top_cells(bubble_count);
+  std::size_t max_count = top.empty() ? 1 : top.front().second;
+  for (const auto& [cell, count] : top) {
+    const geo::LatLon center = grid.cell_center(cell);
+    const double x = frame.x_of(center.lon);
+    const double y = frame.y_of(center.lat);
+    const double radius =
+        8.0 + 14.0 * std::sqrt(static_cast<double>(count) / static_cast<double>(max_count));
+    svg.circle(x, y, radius, fill_style({214, 39, 40}, 0.35));
+    svg.circle(x, y, radius, stroke_style({214, 39, 40}, 1.5));
+    svg.text(x, y + 4, crowdweb::format("{}", count), 11, {120, 10, 10},
+             TextAnchor::kMiddle, true);
+  }
+}
+
+void draw_legend(SvgDocument& svg, double width, double height, std::size_t total,
+                 std::string_view what) {
+  const double x = width - 190;
+  const double y = height - 46;
+  svg.rect(x, y, 176, 34, fill_style({255, 255, 255}, 0.85), 4);
+  for (int i = 0; i < 100; ++i)
+    svg.rect(x + 8 + i * 1.2, y + 8, 1.2, 10, fill_style(sequential_scale(i / 99.0)));
+  svg.text(x + 8, y + 30, "low", 9, {60, 60, 70});
+  svg.text(x + 128, y + 30, "high", 9, {60, 60, 70});
+  svg.text(x + 8, y - 4, crowdweb::format("{} {}", total, what), 11, {40, 40, 48});
+}
+
+void draw_venues(SvgDocument& svg, const MapFrame& frame, const data::Dataset& dataset) {
+  for (const data::Venue& venue : dataset.venues()) {
+    svg.circle(frame.x_of(venue.position.lon), frame.y_of(venue.position.lat), 0.8,
+               fill_style({120, 125, 140}, 0.35));
+  }
+}
+
+}  // namespace
+
+std::string render_city_map(const crowd::CrowdDistribution& distribution,
+                            const geo::SpatialGrid& grid, const data::Dataset& dataset,
+                            const CityMapOptions& options) {
+  SvgDocument svg(options.width, options.height);
+  svg.rect(0, 0, options.width, options.height, fill_style({247, 248, 250}));
+  const MapFrame frame(grid.bounds(), options.width, options.height, 28.0);
+
+  if (options.draw_venues) draw_venues(svg, frame, dataset);
+  draw_heat_cells(svg, frame, distribution, grid);
+  draw_bubbles(svg, frame, distribution, grid, options.bubble_count);
+  if (!options.title.empty())
+    svg.text(options.width / 2, 20, options.title, 15, {40, 40, 48}, TextAnchor::kMiddle,
+             true);
+  draw_legend(svg, options.width, options.height, distribution.total(), "users placed");
+  return svg.to_string();
+}
+
+std::string render_flow_map(const crowd::FlowMatrix& flow,
+                            const crowd::CrowdDistribution& destination,
+                            const geo::SpatialGrid& grid, const data::Dataset& dataset,
+                            const CityMapOptions& options) {
+  SvgDocument svg(options.width, options.height);
+  svg.rect(0, 0, options.width, options.height, fill_style({247, 248, 250}));
+  const MapFrame frame(grid.bounds(), options.width, options.height, 28.0);
+
+  if (options.draw_venues) draw_venues(svg, frame, dataset);
+  draw_heat_cells(svg, frame, destination, grid);
+
+  const auto top = flow.top_flows(std::max<std::size_t>(options.bubble_count, 12));
+  std::size_t max_flow = top.empty() ? 1 : top.front().second;
+  for (const auto& [pair, count] : top) {
+    const geo::LatLon from = grid.cell_center(pair.first);
+    const geo::LatLon to = grid.cell_center(pair.second);
+    const double width =
+        1.0 + 4.0 * static_cast<double>(count) / static_cast<double>(max_flow);
+    svg.arrow(frame.x_of(from.lon), frame.y_of(from.lat), frame.x_of(to.lon),
+              frame.y_of(to.lat), {214, 39, 40}, width);
+  }
+  if (!options.title.empty())
+    svg.text(options.width / 2, 20, options.title, 15, {40, 40, 48}, TextAnchor::kMiddle,
+             true);
+  draw_legend(svg, options.width, options.height, flow.total(), "users tracked");
+  return svg.to_string();
+}
+
+}  // namespace crowdweb::viz

@@ -1,0 +1,42 @@
+// City map renderer — the CrowdWeb smart-city view (Figures 3 and 4).
+//
+// Draws the microcell grid as a heat map of the crowd distribution for a
+// selected time window, with bubbles over the most crowded cells, an
+// optional venue underlay, and a legend. Pure SVG; the HTTP viewer embeds
+// these documents directly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crowd/distribution.hpp"
+#include "crowd/model.hpp"
+#include "data/dataset.hpp"
+
+namespace crowdweb::viz {
+
+struct CityMapOptions {
+  double width = 760.0;
+  double height = 640.0;
+  std::string title;
+  /// Draw the venue point cloud under the heat map.
+  bool draw_venues = false;
+  /// Label this many of the busiest cells with their headcount.
+  std::size_t bubble_count = 8;
+};
+
+/// Renders the crowd distribution of one window over its grid.
+[[nodiscard]] std::string render_city_map(const crowd::CrowdDistribution& distribution,
+                                          const geo::SpatialGrid& grid,
+                                          const data::Dataset& dataset,
+                                          const CityMapOptions& options = {});
+
+/// Renders the movement between two windows: the destination distribution
+/// as the heat map plus arrows for the largest flows.
+[[nodiscard]] std::string render_flow_map(const crowd::FlowMatrix& flow,
+                                          const crowd::CrowdDistribution& destination,
+                                          const geo::SpatialGrid& grid,
+                                          const data::Dataset& dataset,
+                                          const CityMapOptions& options = {});
+
+}  // namespace crowdweb::viz

@@ -1,0 +1,78 @@
+#include "viz/geojson.hpp"
+
+namespace crowdweb::viz {
+
+namespace {
+
+json::Value position(const geo::LatLon& p) {
+  // GeoJSON order is [lon, lat].
+  return json::array({p.lon, p.lat});
+}
+
+json::Value polygon_of(const geo::BoundingBox& box) {
+  json::Value ring;
+  ring.push_back(position({box.min_lat, box.min_lon}));
+  ring.push_back(position({box.min_lat, box.max_lon}));
+  ring.push_back(position({box.max_lat, box.max_lon}));
+  ring.push_back(position({box.max_lat, box.min_lon}));
+  ring.push_back(position({box.min_lat, box.min_lon}));  // closed ring
+  json::Value rings;
+  rings.push_back(std::move(ring));
+  return json::object({{"type", "Polygon"}, {"coordinates", std::move(rings)}});
+}
+
+json::Value feature(json::Value geometry, json::Value properties) {
+  return json::object({{"type", "Feature"},
+                       {"geometry", std::move(geometry)},
+                       {"properties", std::move(properties)}});
+}
+
+json::Value collection(json::Value features) {
+  return json::object({{"type", "FeatureCollection"}, {"features", std::move(features)}});
+}
+
+}  // namespace
+
+json::Value distribution_geojson(const crowd::CrowdDistribution& distribution,
+                                 const geo::SpatialGrid& grid) {
+  json::Value features;
+  features = json::Value(json::Array{});
+  for (const auto& [cell, count] : distribution.cells()) {
+    features.push_back(feature(
+        polygon_of(grid.cell_bounds(cell)),
+        json::object({{"cell", static_cast<std::int64_t>(cell)},
+                      {"count", static_cast<std::int64_t>(count)},
+                      {"window", distribution.window()}})));
+  }
+  return collection(std::move(features));
+}
+
+json::Value flow_geojson(const crowd::FlowMatrix& flow, const geo::SpatialGrid& grid) {
+  json::Value features = json::Value(json::Array{});
+  for (const auto& [pair, count] : flow.flows()) {
+    if (pair.first == pair.second) continue;
+    json::Value coordinates;
+    coordinates.push_back(position(grid.cell_center(pair.first)));
+    coordinates.push_back(position(grid.cell_center(pair.second)));
+    features.push_back(feature(
+        json::object({{"type", "LineString"}, {"coordinates", std::move(coordinates)}}),
+        json::object({{"from", static_cast<std::int64_t>(pair.first)},
+                      {"to", static_cast<std::int64_t>(pair.second)},
+                      {"count", static_cast<std::int64_t>(count)}})));
+  }
+  return collection(std::move(features));
+}
+
+json::Value venues_geojson(const data::Dataset& dataset, const data::Taxonomy& taxonomy) {
+  json::Value features = json::Value(json::Array{});
+  for (const data::Venue& venue : dataset.venues()) {
+    features.push_back(feature(
+        json::object({{"type", "Point"}, {"coordinates", position(venue.position)}}),
+        json::object({{"id", static_cast<std::int64_t>(venue.id)},
+                      {"name", venue.name},
+                      {"category", taxonomy.name(venue.category)}})));
+  }
+  return collection(std::move(features));
+}
+
+}  // namespace crowdweb::viz

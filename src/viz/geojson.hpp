@@ -1,0 +1,28 @@
+// GeoJSON (RFC 7946) export.
+//
+// Gives downstream GIS tools (kepler.gl, QGIS, Leaflet) direct access to
+// the crowd model: distributions as cell polygons with headcount
+// properties, flows as LineStrings, and venues as Points.
+#pragma once
+
+#include <string>
+
+#include "crowd/distribution.hpp"
+#include "data/dataset.hpp"
+#include "json/json.hpp"
+
+namespace crowdweb::viz {
+
+/// FeatureCollection of cell polygons with {cell, count, window}.
+[[nodiscard]] json::Value distribution_geojson(const crowd::CrowdDistribution& distribution,
+                                               const geo::SpatialGrid& grid);
+
+/// FeatureCollection of LineStrings with {from, to, count} (stays omitted).
+[[nodiscard]] json::Value flow_geojson(const crowd::FlowMatrix& flow,
+                                       const geo::SpatialGrid& grid);
+
+/// FeatureCollection of venue Points with {id, name, category}.
+[[nodiscard]] json::Value venues_geojson(const data::Dataset& dataset,
+                                         const data::Taxonomy& taxonomy);
+
+}  // namespace crowdweb::viz

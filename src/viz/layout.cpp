@@ -1,0 +1,129 @@
+#include "viz/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "viz/svg.hpp"
+
+namespace crowdweb::viz {
+
+std::vector<std::pair<double, double>> force_layout(
+    std::size_t node_count, const std::vector<patterns::PlaceEdge>& edges,
+    const LayoutOptions& options) {
+  std::vector<std::pair<double, double>> positions(node_count);
+  if (node_count == 0) return positions;
+
+  Rng rng(options.seed);
+  const double margin = 40.0;
+  const double usable_w = std::max(1.0, options.width - 2 * margin);
+  const double usable_h = std::max(1.0, options.height - 2 * margin);
+  for (auto& [x, y] : positions) {
+    x = margin + rng.uniform() * usable_w;
+    y = margin + rng.uniform() * usable_h;
+  }
+  if (node_count == 1) {
+    positions[0] = {options.width / 2, options.height / 2};
+    return positions;
+  }
+
+  const double area = usable_w * usable_h;
+  const double k = std::sqrt(area / static_cast<double>(node_count));  // ideal distance
+  double temperature = std::max(usable_w, usable_h) / 8.0;
+  const double cooling =
+      std::pow(0.02, 1.0 / std::max(1, options.iterations));  // ends at 2% of start
+
+  std::vector<std::pair<double, double>> displacement(node_count);
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    for (auto& d : displacement) d = {0.0, 0.0};
+
+    // Repulsion between every pair.
+    for (std::size_t i = 0; i < node_count; ++i) {
+      for (std::size_t j = i + 1; j < node_count; ++j) {
+        double dx = positions[i].first - positions[j].first;
+        double dy = positions[i].second - positions[j].second;
+        double dist = std::hypot(dx, dy);
+        if (dist < 1e-6) {
+          // Coincident nodes: nudge apart deterministically.
+          dx = 1e-3 * static_cast<double>(i - j);
+          dy = 1e-3;
+          dist = std::hypot(dx, dy);
+        }
+        const double force = k * k / dist;
+        displacement[i].first += dx / dist * force;
+        displacement[i].second += dy / dist * force;
+        displacement[j].first -= dx / dist * force;
+        displacement[j].second -= dy / dist * force;
+      }
+    }
+    // Attraction along edges (weight-scaled).
+    for (const patterns::PlaceEdge& edge : edges) {
+      if (edge.from >= node_count || edge.to >= node_count || edge.from == edge.to) continue;
+      double dx = positions[edge.from].first - positions[edge.to].first;
+      double dy = positions[edge.from].second - positions[edge.to].second;
+      const double dist = std::max(1e-6, std::hypot(dx, dy));
+      const double weight = 1.0 + std::log1p(static_cast<double>(edge.count));
+      const double force = dist * dist / k * weight * 0.1;
+      displacement[edge.from].first -= dx / dist * force;
+      displacement[edge.from].second -= dy / dist * force;
+      displacement[edge.to].first += dx / dist * force;
+      displacement[edge.to].second += dy / dist * force;
+    }
+    // Apply, capped by temperature, clamped to the canvas.
+    for (std::size_t i = 0; i < node_count; ++i) {
+      const double length = std::hypot(displacement[i].first, displacement[i].second);
+      if (length < 1e-9) continue;
+      const double capped = std::min(length, temperature);
+      positions[i].first += displacement[i].first / length * capped;
+      positions[i].second += displacement[i].second / length * capped;
+      positions[i].first = std::clamp(positions[i].first, margin, options.width - margin);
+      positions[i].second = std::clamp(positions[i].second, margin, options.height - margin);
+    }
+    temperature *= cooling;
+  }
+  return positions;
+}
+
+std::string render_place_graph(const patterns::PlaceGraph& graph,
+                               const PlaceGraphRender& options) {
+  SvgDocument svg(options.layout.width, options.layout.height);
+  svg.rect(0, 0, options.layout.width, options.layout.height, fill_style({252, 252, 254}));
+  if (!options.title.empty())
+    svg.text(options.layout.width / 2, 22, options.title, 15, {40, 40, 48},
+             TextAnchor::kMiddle, true);
+
+  const auto positions = force_layout(graph.nodes.size(), graph.edges, options.layout);
+
+  std::size_t max_visits = 1;
+  std::size_t max_edge = 1;
+  for (const patterns::PlaceNode& node : graph.nodes)
+    max_visits = std::max(max_visits, node.visits);
+  for (const patterns::PlaceEdge& edge : graph.edges)
+    max_edge = std::max(max_edge, edge.count);
+
+  for (const patterns::PlaceEdge& edge : graph.edges) {
+    if (edge.from >= positions.size() || edge.to >= positions.size()) continue;
+    const auto& [x1, y1] = positions[edge.from];
+    const auto& [x2, y2] = positions[edge.to];
+    const double width =
+        1.0 + 3.0 * static_cast<double>(edge.count) / static_cast<double>(max_edge);
+    svg.arrow(x1, y1, x2, y2, {150, 155, 170}, width);
+  }
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const patterns::PlaceNode& node = graph.nodes[i];
+    const auto& [x, y] = positions[i];
+    const double radius =
+        10.0 + 14.0 * std::sqrt(static_cast<double>(node.visits) /
+                                static_cast<double>(max_visits));
+    svg.circle(x, y, radius, fill_style(categorical(i), 0.9));
+    svg.circle(x, y, radius, stroke_style({60, 60, 70}, 1.0));
+    const int minute = static_cast<int>(node.mean_minute + 0.5);
+    svg.text(x, y - radius - 6, node.name, 11, {40, 40, 48}, TextAnchor::kMiddle, true);
+    svg.text(x, y + 4,
+             crowdweb::format("{} @{:02}:{:02}", node.visits, minute / 60, minute % 60), 9,
+             {255, 255, 255}, TextAnchor::kMiddle);
+  }
+  return svg.to_string();
+}
+
+}  // namespace crowdweb::viz

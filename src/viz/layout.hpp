@@ -1,0 +1,38 @@
+// Force-directed graph layout and place-graph rendering.
+//
+// The iMAP/CrowdWeb user view draws the visited-places graph; this module
+// lays it out with Fruchterman-Reingold (spring-electrical) iterations
+// and renders nodes sized by visit count and edges weighted by transition
+// frequency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "patterns/place_graph.hpp"
+#include "util/rng.hpp"
+
+namespace crowdweb::viz {
+
+struct LayoutOptions {
+  double width = 640.0;
+  double height = 480.0;
+  int iterations = 300;
+  std::uint64_t seed = 1;  ///< initial placement seed (layout is deterministic)
+};
+
+/// Node positions after force-directed iteration, in [0,width]x[0,height].
+[[nodiscard]] std::vector<std::pair<double, double>> force_layout(
+    std::size_t node_count, const std::vector<patterns::PlaceEdge>& edges,
+    const LayoutOptions& options = {});
+
+struct PlaceGraphRender {
+  LayoutOptions layout;
+  std::string title;
+};
+
+/// Renders a user's place graph to SVG.
+[[nodiscard]] std::string render_place_graph(const patterns::PlaceGraph& graph,
+                                             const PlaceGraphRender& options = {});
+
+}  // namespace crowdweb::viz

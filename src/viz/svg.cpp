@@ -1,0 +1,143 @@
+#include "viz/svg.hpp"
+
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace crowdweb::viz {
+
+namespace {
+
+std::string num(double value) {
+  if (!std::isfinite(value)) return "0";
+  // Two decimals is below half a pixel everywhere we draw.
+  return crowdweb::format("{:.2f}", value);
+}
+
+}  // namespace
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+SvgDocument::SvgDocument(double width, double height) : width_(width), height_(height) {}
+
+void SvgDocument::append_style(const Style& style) {
+  body_ += crowdweb::format(" fill=\"{}\" stroke=\"{}\"", xml_escape(style.fill),
+                            xml_escape(style.stroke));
+  if (style.stroke != "none")
+    body_ += crowdweb::format(" stroke-width=\"{}\"", num(style.stroke_width));
+  if (style.opacity < 1.0) body_ += crowdweb::format(" opacity=\"{}\"", num(style.opacity));
+}
+
+void SvgDocument::rect(double x, double y, double w, double h, const Style& style,
+                       double rx) {
+  body_ += crowdweb::format("<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\"", num(x),
+                            num(y), num(w), num(h));
+  if (rx > 0.0) body_ += crowdweb::format(" rx=\"{}\"", num(rx));
+  append_style(style);
+  body_ += "/>\n";
+}
+
+void SvgDocument::circle(double cx, double cy, double r, const Style& style) {
+  body_ += crowdweb::format("<circle cx=\"{}\" cy=\"{}\" r=\"{}\"", num(cx), num(cy), num(r));
+  append_style(style);
+  body_ += "/>\n";
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2, const Style& style) {
+  body_ += crowdweb::format("<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"", num(x1), num(y1),
+                            num(x2), num(y2));
+  append_style(style);
+  body_ += "/>\n";
+}
+
+namespace {
+
+std::string points_attribute(const std::vector<std::pair<double, double>>& points) {
+  std::string out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += num(points[i].first);
+    out += ',';
+    out += num(points[i].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SvgDocument::polyline(const std::vector<std::pair<double, double>>& points,
+                           const Style& style) {
+  if (points.size() < 2) return;
+  body_ += crowdweb::format("<polyline points=\"{}\"", points_attribute(points));
+  append_style(style);
+  body_ += "/>\n";
+}
+
+void SvgDocument::polygon(const std::vector<std::pair<double, double>>& points,
+                          const Style& style) {
+  if (points.size() < 3) return;
+  body_ += crowdweb::format("<polygon points=\"{}\"", points_attribute(points));
+  append_style(style);
+  body_ += "/>\n";
+}
+
+void SvgDocument::arrow(double x1, double y1, double x2, double y2, const Color& color,
+                        double width) {
+  const double dx = x2 - x1;
+  const double dy = y2 - y1;
+  const double length = std::hypot(dx, dy);
+  if (length < 1e-9) return;
+  line(x1, y1, x2, y2, stroke_style(color, width));
+  // Arrow head: an isosceles triangle at the target.
+  const double ux = dx / length;
+  const double uy = dy / length;
+  const double head = std::max(4.0, 3.0 * width);
+  const double bx = x2 - ux * head;
+  const double by = y2 - uy * head;
+  polygon({{x2, y2},
+           {bx - uy * head * 0.5, by + ux * head * 0.5},
+           {bx + uy * head * 0.5, by - ux * head * 0.5}},
+          fill_style(color));
+}
+
+void SvgDocument::text(double x, double y, std::string_view content, double size_px,
+                       const Color& color, TextAnchor anchor, bool bold) {
+  const std::string_view anchor_name =
+      anchor == TextAnchor::kStart ? "start" : (anchor == TextAnchor::kMiddle ? "middle" : "end");
+  body_ += crowdweb::format(
+      "<text x=\"{}\" y=\"{}\" font-size=\"{}\" fill=\"{}\" text-anchor=\"{}\""
+      " font-family=\"Helvetica,Arial,sans-serif\"",
+      num(x), num(y), num(size_px), to_hex(color), anchor_name);
+  if (bold) body_ += " font-weight=\"bold\"";
+  body_ += ">";
+  body_ += xml_escape(content);
+  body_ += "</text>\n";
+}
+
+void SvgDocument::raw(std::string_view fragment) { body_ += fragment; }
+
+std::string SvgDocument::to_string() const {
+  std::string out = crowdweb::format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\""
+      " viewBox=\"0 0 {} {}\">\n",
+      num(width_), num(height_), num(width_), num(height_));
+  out += body_;
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace crowdweb::viz

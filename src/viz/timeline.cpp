@@ -1,0 +1,79 @@
+#include "viz/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/format.hpp"
+#include "viz/svg.hpp"
+
+namespace crowdweb::viz {
+
+std::string render_timeline(const mining::UserSequences& sequences,
+                            const data::Taxonomy& taxonomy, const data::Dataset& dataset,
+                            mining::LabelMode mode, const TimelineOptions& options) {
+  const std::size_t total_days = sequences.days.size();
+  const std::size_t days = std::min(options.max_days, total_days);
+  const std::size_t first_day = total_days - days;
+
+  // Stable color per label, in order of first appearance.
+  std::map<mining::Item, std::size_t> color_index;
+  for (std::size_t d = first_day; d < total_days; ++d) {
+    for (const mining::Item label : sequences.days[d])
+      color_index.emplace(label, color_index.size());
+  }
+
+  const double top = 46.0;
+  const double left = 70.0;
+  const double right = options.width - 16.0;
+  const double legend_height = 18.0 * (static_cast<double>(color_index.size() + 2) / 3.0);
+  const double height =
+      top + options.row_height * static_cast<double>(std::max<std::size_t>(1, days)) +
+      40.0 + legend_height;
+
+  SvgDocument svg(options.width, height);
+  svg.rect(0, 0, options.width, height, fill_style({255, 255, 255}));
+  if (!options.title.empty())
+    svg.text(options.width / 2, 24, options.title, 15, {40, 40, 48}, TextAnchor::kMiddle,
+             true);
+
+  // Hour grid.
+  const double bottom = top + options.row_height * static_cast<double>(days);
+  for (int hour = 0; hour <= 24; hour += 3) {
+    const double x = left + (right - left) * hour / 24.0;
+    svg.line(x, top, x, bottom, stroke_style({228, 229, 234}, 0.8));
+    svg.text(x, bottom + 14, crowdweb::format("{:02}h", hour), 10, {80, 82, 92},
+             TextAnchor::kMiddle);
+  }
+
+  // Day rows.
+  for (std::size_t row = 0; row < days; ++row) {
+    const std::size_t d = first_day + row;
+    const double y = top + options.row_height * (static_cast<double>(row) + 0.5);
+    if (row % 5 == 0)
+      svg.text(left - 8, y + 3, crowdweb::format("day {}", d + 1), 9, {80, 82, 92},
+               TextAnchor::kEnd);
+    for (std::size_t i = 0; i < sequences.days[d].size(); ++i) {
+      const double x =
+          left + (right - left) * static_cast<double>(sequences.minutes[d][i]) / 1440.0;
+      svg.circle(x, y, options.row_height * 0.32,
+                 fill_style(categorical(color_index[sequences.days[d][i]]), 0.9));
+    }
+  }
+
+  // Legend.
+  double legend_y = bottom + 34.0;
+  double legend_x = left;
+  for (const auto& [label, index] : color_index) {
+    const std::string name = mining::label_name(label, mode, taxonomy, dataset);
+    svg.circle(legend_x, legend_y - 3, 5, fill_style(categorical(index), 0.9));
+    svg.text(legend_x + 10, legend_y, name, 10, {40, 40, 48});
+    legend_x += 12.0 + 7.0 * static_cast<double>(name.size());
+    if (legend_x > right - 140.0) {
+      legend_x = left;
+      legend_y += 18.0;
+    }
+  }
+  return svg.to_string();
+}
+
+}  // namespace crowdweb::viz

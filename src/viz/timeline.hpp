@@ -1,0 +1,32 @@
+// Per-user visit timeline — the iMAP individual view's second panel.
+//
+// One row per recorded day (most recent at the bottom), x = hour of day,
+// one colored marker per visit; colors are assigned per label with a
+// legend. Makes a user's routine visible at a glance: vertical stripes
+// are fixed habits (the 9 am office column), scattered marks are
+// exploration.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "mining/seqdb.hpp"
+
+namespace crowdweb::viz {
+
+struct TimelineOptions {
+  double width = 760.0;
+  double row_height = 14.0;
+  /// Render at most this many most-recent days.
+  std::size_t max_days = 60;
+  std::string title;
+};
+
+/// Renders the visit timeline of one user's day sequences.
+[[nodiscard]] std::string render_timeline(const mining::UserSequences& sequences,
+                                          const data::Taxonomy& taxonomy,
+                                          const data::Dataset& dataset,
+                                          mining::LabelMode mode,
+                                          const TimelineOptions& options = {});
+
+}  // namespace crowdweb::viz

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crowd/model.hpp"
+#include "synth/generator.hpp"
+#include "util/civil_time.hpp"
+#include "util/log.hpp"
+#include "viz/animation.hpp"
+#include "viz/timeline.hpp"
+
+namespace crowdweb::viz {
+namespace {
+
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);  // NOLINT(cert-err58-cpp)
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1))
+    ++count;
+  return count;
+}
+
+struct Fixture {
+  data::Dataset active;
+  crowd::CrowdModel model;        // hourly
+  crowd::CrowdModel fine_model;   // 30-minute windows
+};
+
+const Fixture& fixture() {
+  static const Fixture* instance = [] {
+    auto corpus = synth::small_corpus(7);
+    EXPECT_TRUE(corpus.is_ok());
+    data::ActiveUserCriteria criteria;
+    criteria.from = to_epoch_seconds({2012, 4, 1, 0, 0, 0});
+    criteria.to = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+    criteria.min_days = 20;
+    criteria.max_gap_seconds = 0;
+    data::Dataset active = corpus->dataset.filter_active_users(criteria);
+    patterns::MobilityOptions options;
+    options.mining.min_support = 0.25;
+    auto mobility =
+        patterns::mine_all_mobility(active, data::Taxonomy::foursquare(), options);
+    auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), 500.0);
+    auto hourly = crowd::CrowdModel::build(active, mobility, *grid, crowd::CrowdOptions{});
+    crowd::CrowdOptions fine;
+    fine.window_minutes = 30;
+    auto half = crowd::CrowdModel::build(active, mobility, *grid, fine);
+    EXPECT_TRUE(hourly.is_ok() && half.is_ok());
+    return new Fixture{std::move(active), std::move(hourly).value(),
+                       std::move(half).value()};
+  }();
+  return *instance;
+}
+
+TEST(AnimationTest, WellFormedSvgWithAnimateElements) {
+  const std::string svg = render_crowd_animation(fixture().model);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_GT(count_occurrences(svg, "<animate "), 10u);
+  EXPECT_NE(svg.find("repeatCount=\"indefinite\""), std::string::npos);
+  EXPECT_NE(svg.find("Crowd movement"), std::string::npos);
+}
+
+TEST(AnimationTest, OneKeyframePerWindow) {
+  const std::string svg = render_crowd_animation(fixture().model);
+  // Every values="..." list on a cell has exactly window_count entries
+  // (window_count - 1 semicolons). Check the first one.
+  const std::size_t values_pos = svg.find("values=\"");
+  ASSERT_NE(values_pos, std::string::npos);
+  const std::size_t end = svg.find('"', values_pos + 8);
+  const std::string values = svg.substr(values_pos + 8, end - values_pos - 8);
+  EXPECT_EQ(count_occurrences(values, ";"),
+            static_cast<std::size_t>(fixture().model.window_count()) - 1);
+}
+
+TEST(AnimationTest, DurationScalesWithSecondsPerWindow) {
+  AnimationOptions slow;
+  slow.seconds_per_window = 2.0;
+  const std::string svg = render_crowd_animation(fixture().model, slow);
+  // 24 windows x 2 s = 48 s cycle.
+  EXPECT_NE(svg.find("dur=\"48.00s\""), std::string::npos);
+}
+
+TEST(AnimationTest, TimeFrameScalingChangesKeyframeCount) {
+  // The paper's future work: scale the time frames. A 30-minute model
+  // produces 48 keyframes per cell instead of 24.
+  const std::string svg = render_crowd_animation(fixture().fine_model);
+  const std::size_t values_pos = svg.find("values=\"");
+  ASSERT_NE(values_pos, std::string::npos);
+  const std::size_t end = svg.find('"', values_pos + 8);
+  const std::string values = svg.substr(values_pos + 8, end - values_pos - 8);
+  EXPECT_EQ(count_occurrences(values, ";"), 47u);
+}
+
+TEST(AnimationTest, ClockLabelsPresent) {
+  const std::string svg = render_crowd_animation(fixture().model);
+  EXPECT_NE(svg.find("09:00-10:00"), std::string::npos);
+  EXPECT_NE(svg.find("20:00-21:00"), std::string::npos);
+}
+
+TEST(AnimationTest, MaxCellsCapsOutputSize) {
+  AnimationOptions tight;
+  tight.max_cells = 5;
+  const std::string svg = render_crowd_animation(fixture().model, tight);
+  // 5 cells + 24 clock labels.
+  EXPECT_EQ(count_occurrences(svg, "<animate "),
+            5u + static_cast<std::size_t>(fixture().model.window_count()));
+}
+
+TEST(AnimationTest, EmptyModelStillRenders) {
+  // A model over mobility with no patterns has zero placements.
+  auto grid = geo::SpatialGrid::create(fixture().active.bounds().inflated(0.002), 500.0);
+  ASSERT_TRUE(grid.is_ok());
+  const auto empty_model = crowd::CrowdModel::build(
+      fixture().active, std::span<const patterns::UserMobility>{}, *grid,
+      crowd::CrowdOptions{});
+  ASSERT_TRUE(empty_model.is_ok());
+  const std::string svg = render_crowd_animation(*empty_model);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(TimelineTest, RendersRowsMarkersAndLegend) {
+  const data::Dataset& active = fixture().active;
+  const data::UserId user = active.users()[0];
+  const auto sequences = mining::build_user_sequences(
+      active, user, data::Taxonomy::foursquare());
+  ASSERT_FALSE(sequences.days.empty());
+  TimelineOptions options;
+  options.title = "User timeline";
+  const std::string svg = render_timeline(sequences, data::Taxonomy::foursquare(),
+                                          active, mining::LabelMode::kRootCategory,
+                                          options);
+  EXPECT_NE(svg.find("User timeline"), std::string::npos);
+  EXPECT_NE(svg.find("00h"), std::string::npos);
+  EXPECT_NE(svg.find("12h"), std::string::npos);
+  // One circle per visit (capped at max_days) plus legend dots.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1))
+    ++circles;
+  std::size_t visits = 0;
+  const std::size_t days = std::min<std::size_t>(options.max_days, sequences.days.size());
+  for (std::size_t d = sequences.days.size() - days; d < sequences.days.size(); ++d)
+    visits += sequences.days[d].size();
+  EXPECT_GE(circles, visits);  // visits + legend markers
+  // Legend names at least one place label.
+  EXPECT_NE(svg.find("Eatery"), std::string::npos);
+}
+
+TEST(TimelineTest, EmptySequencesStillRender) {
+  const mining::UserSequences empty;
+  const std::string svg = render_timeline(empty, data::Taxonomy::foursquare(),
+                                          fixture().active,
+                                          mining::LabelMode::kRootCategory);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(TimelineTest, MaxDaysCapsRows) {
+  const data::Dataset& active = fixture().active;
+  const auto sequences = mining::build_user_sequences(
+      active, active.users()[0], data::Taxonomy::foursquare());
+  TimelineOptions tight;
+  tight.max_days = 3;
+  const std::string svg = render_timeline(sequences, data::Taxonomy::foursquare(), active,
+                                          mining::LabelMode::kRootCategory, tight);
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1))
+    ++circles;
+  std::size_t last3 = 0;
+  for (std::size_t d = sequences.days.size() - 3; d < sequences.days.size(); ++d)
+    last3 += sequences.days[d].size();
+  // visits in the last 3 days + legend markers (bounded by label count).
+  EXPECT_LE(circles, last3 + 12);
+}
+
+}  // namespace
+}  // namespace crowdweb::viz

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "crowd/communities.hpp"
+#include "synth/generator.hpp"
+#include "util/civil_time.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::crowd {
+namespace {
+
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);  // NOLINT(cert-err58-cpp)
+
+// ------------------------------------------------------ LabelPropagation
+
+UserGraph two_cliques(std::size_t clique_size, double bridge_weight) {
+  // Users 0..k-1 form clique A, k..2k-1 clique B, one weak bridge.
+  UserGraph graph;
+  for (std::size_t i = 0; i < 2 * clique_size; ++i)
+    graph.users.push_back(static_cast<data::UserId>(i));
+  const auto clique = [&](std::size_t base) {
+    for (std::size_t i = 0; i < clique_size; ++i) {
+      for (std::size_t j = i + 1; j < clique_size; ++j)
+        graph.edges.emplace_back(base + i, base + j, 5.0);
+    }
+  };
+  clique(0);
+  clique(clique_size);
+  if (bridge_weight > 0.0)
+    graph.edges.emplace_back(clique_size - 1, clique_size, bridge_weight);
+  return graph;
+}
+
+TEST(LabelPropagationTest, EmptyGraph) {
+  EXPECT_TRUE(label_propagation(UserGraph{}).empty());
+}
+
+TEST(LabelPropagationTest, TwoCliquesSeparate) {
+  const UserGraph graph = two_cliques(6, 0.5);
+  const auto communities = label_propagation(graph);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].members.size(), 6u);
+  EXPECT_EQ(communities[1].members.size(), 6u);
+  // No user in both.
+  std::set<data::UserId> all;
+  for (const Community& c : communities)
+    for (const data::UserId u : c.members) EXPECT_TRUE(all.insert(u).second);
+  // Clique A stays together.
+  const std::set<data::UserId> a(communities[0].members.begin(),
+                                 communities[0].members.end());
+  EXPECT_TRUE(a == std::set<data::UserId>({0, 1, 2, 3, 4, 5}) ||
+              a == std::set<data::UserId>({6, 7, 8, 9, 10, 11}));
+}
+
+TEST(LabelPropagationTest, SingleCliqueIsOneCommunity) {
+  const UserGraph graph = two_cliques(5, 0.0);
+  // Remove clique B by only keeping the first clique's nodes/edges.
+  UserGraph single;
+  for (std::size_t i = 0; i < 5; ++i) single.users.push_back(graph.users[i]);
+  for (const auto& [a, b, w] : graph.edges) {
+    if (a < 5 && b < 5) single.edges.emplace_back(a, b, w);
+  }
+  const auto communities = label_propagation(single);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].members.size(), 5u);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesDropBelowMinSize) {
+  UserGraph graph;
+  for (std::size_t i = 0; i < 4; ++i)
+    graph.users.push_back(static_cast<data::UserId>(i));
+  graph.edges.emplace_back(0, 1, 3.0);  // nodes 2 and 3 isolated
+  const auto communities = label_propagation(graph);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].members, (std::vector<data::UserId>{0, 1}));
+
+  LabelPropagationOptions keep_singletons;
+  keep_singletons.min_size = 1;
+  EXPECT_EQ(label_propagation(graph, keep_singletons).size(), 3u);
+}
+
+TEST(LabelPropagationTest, DeterministicForSeed) {
+  const UserGraph graph = two_cliques(8, 1.0);
+  const auto a = label_propagation(graph);
+  const auto b = label_propagation(graph);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].members, b[i].members);
+}
+
+TEST(LabelPropagationTest, MembersSortedAndLargestFirst) {
+  UserGraph graph;
+  for (std::size_t i = 0; i < 7; ++i)
+    graph.users.push_back(static_cast<data::UserId>(100 - i));  // reverse ids
+  // Triangle {0,1,2} and heavy 4-clique {3,4,5,6}.
+  graph.edges.emplace_back(0, 1, 2.0);
+  graph.edges.emplace_back(1, 2, 2.0);
+  graph.edges.emplace_back(0, 2, 2.0);
+  for (std::size_t i = 3; i < 7; ++i)
+    for (std::size_t j = i + 1; j < 7; ++j) graph.edges.emplace_back(i, j, 2.0);
+  const auto communities = label_propagation(graph);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_GE(communities[0].members.size(), communities[1].members.size());
+  for (const Community& community : communities)
+    EXPECT_TRUE(std::is_sorted(community.members.begin(), community.members.end()));
+}
+
+// ----------------------------------------------------- CoOccurrenceGraph
+
+struct Fixture {
+  data::Dataset active;
+  std::vector<patterns::UserMobility> mobility;
+  geo::SpatialGrid grid;
+  CrowdModel model;
+};
+
+const Fixture& fixture() {
+  static const Fixture* instance = [] {
+    auto corpus = synth::small_corpus(7);
+    EXPECT_TRUE(corpus.is_ok());
+    data::ActiveUserCriteria criteria;
+    criteria.from = to_epoch_seconds({2012, 4, 1, 0, 0, 0});
+    criteria.to = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+    criteria.min_days = 20;
+    criteria.max_gap_seconds = 0;
+    data::Dataset active = corpus->dataset.filter_active_users(criteria);
+    patterns::MobilityOptions options;
+    options.mining.min_support = 0.25;
+    auto mobility =
+        patterns::mine_all_mobility(active, data::Taxonomy::foursquare(), options);
+    auto grid = geo::SpatialGrid::create(active.bounds().inflated(0.002), 500.0);
+    auto model = CrowdModel::build(active, mobility, *grid, CrowdOptions{});
+    EXPECT_TRUE(model.is_ok());
+    return new Fixture{std::move(active), std::move(mobility), *grid,
+                       std::move(model).value()};
+  }();
+  return *instance;
+}
+
+TEST(CoOccurrenceGraphTest, NodesAreCrowdUsers) {
+  CoOccurrenceOptions options;
+  options.min_weight = 0.5;
+  const UserGraph graph = build_co_occurrence_graph(fixture().model, options);
+  // Every node actually appears in some group of the model.
+  std::set<data::UserId> in_groups;
+  for (int w = 0; w < fixture().model.window_count(); ++w) {
+    for (const CrowdGroup& group : fixture().model.groups(w, 2))
+      in_groups.insert(group.users.begin(), group.users.end());
+  }
+  EXPECT_EQ(graph.users.size(), in_groups.size());
+  EXPECT_TRUE(std::is_sorted(graph.users.begin(), graph.users.end()));
+}
+
+TEST(CoOccurrenceGraphTest, EdgesRespectMinWeightAndIndexes) {
+  CoOccurrenceOptions loose;
+  loose.min_weight = 0.5;
+  CoOccurrenceOptions strict;
+  strict.min_weight = 3.0;
+  const UserGraph a = build_co_occurrence_graph(fixture().model, loose);
+  const UserGraph b = build_co_occurrence_graph(fixture().model, strict);
+  EXPECT_GE(a.edges.size(), b.edges.size());
+  for (const auto& [from, to, weight] : a.edges) {
+    EXPECT_LT(from, a.users.size());
+    EXPECT_LT(to, a.users.size());
+    EXPECT_LT(from, to);
+    EXPECT_GE(weight, loose.min_weight);
+  }
+}
+
+TEST(CoOccurrenceGraphTest, EndToEndCommunitiesAreConsistent) {
+  CoOccurrenceOptions options;
+  options.min_weight = 1.0;
+  const UserGraph graph = build_co_occurrence_graph(fixture().model, options);
+  const auto communities = label_propagation(graph);
+  // Communities partition a subset of graph users.
+  std::set<data::UserId> seen;
+  const std::set<data::UserId> nodes(graph.users.begin(), graph.users.end());
+  for (const Community& community : communities) {
+    EXPECT_GE(community.members.size(), 2u);
+    for (const data::UserId user : community.members) {
+      EXPECT_TRUE(nodes.contains(user));
+      EXPECT_TRUE(seen.insert(user).second) << "user in two communities";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdweb::crowd

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/categories.hpp"
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "data/dataset_io.hpp"
+#include "util/civil_time.hpp"
+#include "util/rng.hpp"
+
+namespace crowdweb::data {
+namespace {
+
+// ------------------------------------------------------------- Taxonomy
+
+TEST(TaxonomyTest, FoursquareHasNineRoots) {
+  const Taxonomy& tax = Taxonomy::foursquare();
+  EXPECT_EQ(tax.roots().size(), 9u);
+  EXPECT_GT(tax.size(), 60u);  // roots + leaves
+}
+
+TEST(TaxonomyTest, PaperCategoriesExist) {
+  const Taxonomy& tax = Taxonomy::foursquare();
+  // The labels the paper uses verbatim.
+  for (const std::string_view name :
+       {"Eatery", "Shop & Service", "Residence", "Thai Restaurant"}) {
+    EXPECT_TRUE(tax.find(name).has_value()) << name;
+  }
+}
+
+TEST(TaxonomyTest, RootOfLeafIsItsParent) {
+  const Taxonomy& tax = Taxonomy::foursquare();
+  const auto thai = tax.find("Thai Restaurant");
+  const auto eatery = tax.find("Eatery");
+  ASSERT_TRUE(thai && eatery);
+  EXPECT_EQ(tax.root_of(*thai), *eatery);
+  EXPECT_EQ(tax.root_of(*eatery), *eatery);  // roots map to themselves
+}
+
+TEST(TaxonomyTest, ChildrenBelongToRoot) {
+  const Taxonomy& tax = Taxonomy::foursquare();
+  for (const CategoryId root : tax.roots()) {
+    EXPECT_FALSE(tax.children(root).empty());
+    for (const CategoryId child : tax.children(root)) {
+      EXPECT_EQ(tax.category(child).parent, root);
+      EXPECT_EQ(tax.root_of(child), root);
+    }
+  }
+}
+
+TEST(TaxonomyTest, FindUnknownReturnsNullopt) {
+  EXPECT_FALSE(Taxonomy::foursquare().find("Space Elevator").has_value());
+}
+
+TEST(TaxonomyTest, CreateValidation) {
+  // Non-dense ids.
+  EXPECT_FALSE(Taxonomy::create({{5, "X", kNoCategory}}).is_ok());
+  // Parent referencing a later entry.
+  EXPECT_FALSE(Taxonomy::create({{0, "Leaf", 1}, {1, "Root", kNoCategory}}).is_ok());
+  // Three-level nesting is rejected.
+  EXPECT_FALSE(
+      Taxonomy::create({{0, "Root", kNoCategory}, {1, "Mid", 0}, {2, "Deep", 1}}).is_ok());
+  // Empty names are rejected.
+  EXPECT_FALSE(Taxonomy::create({{0, "", kNoCategory}}).is_ok());
+  // A valid two-level tree works.
+  const auto tax = Taxonomy::create({{0, "Root", kNoCategory}, {1, "Leaf", 0}});
+  ASSERT_TRUE(tax.is_ok());
+  EXPECT_EQ(tax->roots().size(), 1u);
+  EXPECT_EQ(tax->children(0).size(), 1u);
+}
+
+// -------------------------------------------------------- DatasetBuilder
+
+Venue make_venue(VenueId id, CategoryId category, double lat = 40.7, double lon = -74.0) {
+  Venue v;
+  v.id = id;
+  v.name = "venue " + std::to_string(id);
+  v.category = category;
+  v.position = {lat, lon};
+  return v;
+}
+
+CheckIn make_checkin(UserId user, VenueId venue, CategoryId category, std::int64_t t,
+                     double lat = 40.7, double lon = -74.0) {
+  CheckIn c;
+  c.user = user;
+  c.venue = venue;
+  c.category = category;
+  c.position = {lat, lon};
+  c.timestamp = t;
+  return c;
+}
+
+CategoryId thai() { return *Taxonomy::foursquare().find("Thai Restaurant"); }
+CategoryId office() { return *Taxonomy::foursquare().find("Office"); }
+
+TEST(DatasetBuilderTest, RejectsNonDenseVenueIds) {
+  DatasetBuilder builder;
+  EXPECT_FALSE(builder.add_venue(make_venue(3, thai())).is_ok());
+  EXPECT_TRUE(builder.add_venue(make_venue(0, thai())).is_ok());
+  EXPECT_FALSE(builder.add_venue(make_venue(0, thai())).is_ok());  // duplicate
+}
+
+TEST(DatasetBuilderTest, RejectsBadVenues) {
+  DatasetBuilder builder;
+  EXPECT_FALSE(builder.add_venue(make_venue(0, thai(), 95.0, 0.0)).is_ok());  // bad lat
+  Venue no_category = make_venue(0, thai());
+  no_category.category = kNoCategory;
+  EXPECT_FALSE(builder.add_venue(no_category).is_ok());
+}
+
+TEST(DatasetBuilderTest, RejectsBadCheckins) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.add_venue(make_venue(0, thai())).is_ok());
+  EXPECT_FALSE(builder.add_checkin(make_checkin(1, 7, thai(), 1000)).is_ok());  // no venue
+  EXPECT_FALSE(builder.add_checkin(make_checkin(1, 0, office(), 1000)).is_ok());  // wrong cat
+  EXPECT_FALSE(
+      builder.add_checkin(make_checkin(1, 0, thai(), 1000, 99.0, 0.0)).is_ok());  // bad pos
+  EXPECT_TRUE(builder.add_checkin(make_checkin(1, 0, thai(), 1000)).is_ok());
+}
+
+// ---------------------------------------------------------------- Dataset
+
+Dataset two_user_dataset() {
+  DatasetBuilder builder;
+  EXPECT_TRUE(builder.add_venue(make_venue(0, thai(), 40.70, -74.00)).is_ok());
+  EXPECT_TRUE(builder.add_venue(make_venue(1, office(), 40.75, -73.98)).is_ok());
+  const std::int64_t day1 = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  const std::int64_t day2 = to_epoch_seconds({2012, 4, 3, 9, 0, 0});
+  // User 5: 3 records over 2 days; user 9: 1 record.
+  EXPECT_TRUE(builder.add_checkin(make_checkin(5, 1, office(), day1)).is_ok());
+  EXPECT_TRUE(builder.add_checkin(make_checkin(5, 0, thai(), day1 + 3 * 3600)).is_ok());
+  EXPECT_TRUE(builder.add_checkin(make_checkin(5, 1, office(), day2)).is_ok());
+  EXPECT_TRUE(builder.add_checkin(make_checkin(9, 0, thai(), day2 + 1800)).is_ok());
+  return builder.build();
+}
+
+TEST(DatasetTest, CountsAndUsers) {
+  const Dataset d = two_user_dataset();
+  EXPECT_EQ(d.checkin_count(), 4u);
+  EXPECT_EQ(d.user_count(), 2u);
+  EXPECT_EQ(d.venue_count(), 2u);
+  ASSERT_EQ(d.users().size(), 2u);
+  EXPECT_EQ(d.users()[0], 5u);
+  EXPECT_EQ(d.users()[1], 9u);
+}
+
+TEST(DatasetTest, PerUserRecordsAreTimeSorted) {
+  const Dataset d = two_user_dataset();
+  const auto records = d.checkins_for(5);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_LT(records[0].timestamp, records[1].timestamp);
+  EXPECT_LT(records[1].timestamp, records[2].timestamp);
+  EXPECT_TRUE(d.checkins_for(12345).empty());
+}
+
+TEST(DatasetTest, VenueLookup) {
+  const Dataset d = two_user_dataset();
+  ASSERT_NE(d.venue(0), nullptr);
+  EXPECT_EQ(d.venue(0)->category, thai());
+  EXPECT_EQ(d.venue(99), nullptr);
+}
+
+TEST(DatasetTest, BoundsCoverAllPositions) {
+  const Dataset d = two_user_dataset();
+  for (const CheckIn& c : d.checkins()) EXPECT_TRUE(d.bounds().contains(c.position));
+}
+
+TEST(DatasetTest, StatsOnKnownCorpus) {
+  const Dataset d = two_user_dataset();
+  const DatasetStats s = d.stats();
+  EXPECT_EQ(s.checkin_count, 4u);
+  EXPECT_EQ(s.user_count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_records_per_user, 2.0);
+  EXPECT_DOUBLE_EQ(s.median_records_per_user, 2.0);
+  EXPECT_EQ(s.collection_days, 2u);
+}
+
+TEST(DatasetTest, StatsEmptyDataset) {
+  const Dataset d;
+  const DatasetStats s = d.stats();
+  EXPECT_EQ(s.checkin_count, 0u);
+  EXPECT_EQ(s.collection_days, 0u);
+}
+
+TEST(DatasetTest, MonthlyCountsOrdered) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.add_venue(make_venue(0, thai())).is_ok());
+  for (const int month : {6, 4, 4, 5, 4}) {
+    ASSERT_TRUE(builder
+                    .add_checkin(make_checkin(1, 0, thai(),
+                                              to_epoch_seconds({2012, month, 10, 12, 0, 0})))
+                    .is_ok());
+  }
+  const auto months = builder.build().monthly_counts();
+  ASSERT_EQ(months.size(), 3u);
+  EXPECT_EQ(months[0], (std::pair<std::string, std::size_t>{"2012-04", 3}));
+  EXPECT_EQ(months[1], (std::pair<std::string, std::size_t>{"2012-05", 1}));
+  EXPECT_EQ(months[2], (std::pair<std::string, std::size_t>{"2012-06", 1}));
+}
+
+TEST(DatasetTest, ActiveDaysWindowed) {
+  const Dataset d = two_user_dataset();
+  EXPECT_EQ(d.active_days(5), 2u);
+  EXPECT_EQ(d.active_days(9), 1u);
+  const std::int64_t day2 = to_epoch_seconds({2012, 4, 3, 0, 0, 0});
+  EXPECT_EQ(d.active_days(5, day2), 1u);      // only day 2 onward
+  EXPECT_EQ(d.active_days(5, 0, day2), 1u);   // only day 1
+}
+
+TEST(DatasetTest, ActiveUserCriteriaDayRule) {
+  const Dataset d = two_user_dataset();
+  ActiveUserCriteria criteria;
+  criteria.from = 0;
+  criteria.to = to_epoch_seconds({2013, 1, 1, 0, 0, 0});
+  criteria.max_gap_seconds = 0;  // any recorded day counts
+  criteria.min_days = 1;
+  EXPECT_TRUE(d.is_active_user(5, criteria));   // 2 days > 1
+  EXPECT_FALSE(d.is_active_user(9, criteria));  // 1 day is not > 1
+}
+
+TEST(DatasetTest, ActiveUserCriteriaGapRule) {
+  DatasetBuilder builder;
+  ASSERT_TRUE(builder.add_venue(make_venue(0, thai())).is_ok());
+  const std::int64_t base = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  // Day 1: two check-ins 1h apart (qualifies under 2h rule).
+  ASSERT_TRUE(builder.add_checkin(make_checkin(1, 0, thai(), base)).is_ok());
+  ASSERT_TRUE(builder.add_checkin(make_checkin(1, 0, thai(), base + 3600)).is_ok());
+  // Day 2: two check-ins 5h apart (does not qualify).
+  ASSERT_TRUE(builder.add_checkin(make_checkin(1, 0, thai(), base + 86400)).is_ok());
+  ASSERT_TRUE(builder.add_checkin(make_checkin(1, 0, thai(), base + 86400 + 5 * 3600)).is_ok());
+  const Dataset d = builder.build();
+
+  ActiveUserCriteria criteria;
+  criteria.from = 0;
+  criteria.to = base + 10 * 86400;
+  criteria.max_gap_seconds = 2 * 3600;
+  criteria.min_days = 0;
+  EXPECT_TRUE(d.is_active_user(1, criteria));  // day 1 qualifies -> 1 > 0
+  criteria.min_days = 1;
+  EXPECT_FALSE(d.is_active_user(1, criteria));  // only one qualifying day
+}
+
+TEST(DatasetTest, FilterTimeRange) {
+  const Dataset d = two_user_dataset();
+  const std::int64_t day2 = to_epoch_seconds({2012, 4, 3, 0, 0, 0});
+  const Dataset filtered = d.filter_time_range(0, day2);
+  EXPECT_EQ(filtered.checkin_count(), 2u);
+  for (const CheckIn& c : filtered.checkins()) EXPECT_LT(c.timestamp, day2);
+  // Venues carry over.
+  EXPECT_EQ(filtered.venue_count(), 2u);
+}
+
+TEST(DatasetTest, FilterUsers) {
+  const Dataset d = two_user_dataset();
+  const std::vector<UserId> keep{9};
+  const Dataset filtered = d.filter_users(keep);
+  EXPECT_EQ(filtered.user_count(), 1u);
+  EXPECT_EQ(filtered.checkin_count(), 1u);
+  EXPECT_EQ(filtered.users()[0], 9u);
+}
+
+TEST(DatasetTest, FilterActiveUsers) {
+  const Dataset d = two_user_dataset();
+  ActiveUserCriteria criteria;
+  criteria.from = 0;
+  criteria.to = to_epoch_seconds({2013, 1, 1, 0, 0, 0});
+  criteria.max_gap_seconds = 0;
+  criteria.min_days = 1;
+  const Dataset active = d.filter_active_users(criteria);
+  EXPECT_EQ(active.user_count(), 1u);
+  EXPECT_EQ(active.users()[0], 5u);
+}
+
+// -------------------------------------------------------------------- CSV
+
+TEST(CsvTest, SimpleRoundTrip) {
+  const std::vector<CsvRow> rows{{"a", "b"}, {"1", "2"}};
+  const auto parsed = parse_csv(write_csv(rows));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  const std::vector<CsvRow> rows{{"with,comma", "with\"quote", "with\nnewline", "plain"}};
+  const auto parsed = parse_csv(write_csv(rows));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto parsed = parse_csv("a,,c\n,,\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (CsvRow{"a", "", "c"}));
+  EXPECT_EQ((*parsed)[1], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvTest, NoTrailingNewline) {
+  const auto parsed = parse_csv("a,b\nc,d");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  const auto parsed = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvTest, EmptyInput) {
+  const auto parsed = parse_csv("");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(CsvTest, MalformedQuotesRejected) {
+  EXPECT_FALSE(parse_csv("a,\"unterminated\n").is_ok());
+  EXPECT_FALSE(parse_csv("a,b\"stray\n").is_ok());
+}
+
+TEST(CsvTest, TsvDelimiter) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  const auto parsed = parse_csv("a\tb\nc\td\n", options);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ((*parsed)[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(write_csv({{"x", "y"}}, options), "x\ty\n");
+}
+
+class CsvFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomTablesRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<CsvRow> rows;
+  const int n_rows = static_cast<int>(rng.uniform_int(0, 20));
+  for (int r = 0; r < n_rows; ++r) {
+    CsvRow row;
+    const int n_fields = static_cast<int>(rng.uniform_int(1, 6));
+    for (int f = 0; f < n_fields; ++f) {
+      std::string field;
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      for (int i = 0; i < len; ++i) {
+        // Bias toward the troublesome characters.
+        const char pool[] = {'a', 'b', ',', '"', '\n', '\r', ' ', '\t', 'z'};
+        field += pool[rng.uniform_int(0, std::size(pool) - 1)];
+      }
+      row.push_back(std::move(field));
+    }
+    rows.push_back(std::move(row));
+  }
+  const auto parsed = parse_csv(write_csv(rows));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// -------------------------------------------------------------- DatasetIO
+
+TEST(DatasetIoTest, RoundTrip) {
+  const Dataset original = two_user_dataset();
+  const Taxonomy& tax = Taxonomy::foursquare();
+  const std::string venues = venues_to_csv(original, tax);
+  const std::string checkins = checkins_to_csv(original, tax);
+  const auto restored = dataset_from_csv(venues, checkins, tax);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->checkin_count(), original.checkin_count());
+  EXPECT_EQ(restored->user_count(), original.user_count());
+  EXPECT_EQ(restored->venue_count(), original.venue_count());
+  // Record-level equality after the same (user, time) sort.
+  const auto a = original.checkins();
+  const auto b = restored->checkins();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].venue, b[i].venue);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_NEAR(a[i].position.lat, b[i].position.lat, 1e-6);
+  }
+}
+
+TEST(DatasetIoTest, RejectsUnknownCategory) {
+  const std::string venues = "venue_id,name,category,lat,lon\n0,X,Martian Diner,40.7,-74.0\n";
+  const std::string checkins = "user_id,venue_id,category,lat,lon,timestamp\n";
+  EXPECT_FALSE(dataset_from_csv(venues, checkins, Taxonomy::foursquare()).is_ok());
+}
+
+TEST(DatasetIoTest, RejectsWrongHeader) {
+  const std::string venues = "id,name,category,lat,lon\n";
+  const std::string checkins = "user_id,venue_id,category,lat,lon,timestamp\n";
+  EXPECT_FALSE(dataset_from_csv(venues, checkins, Taxonomy::foursquare()).is_ok());
+}
+
+TEST(DatasetIoTest, RejectsMalformedRows) {
+  const Taxonomy& tax = Taxonomy::foursquare();
+  const std::string venues =
+      "venue_id,name,category,lat,lon\n0,X,Thai Restaurant,40.7,-74.0\n";
+  const std::string bad_time =
+      "user_id,venue_id,category,lat,lon,timestamp\n"
+      "1,0,Thai Restaurant,40.7,-74.0,yesterday\n";
+  EXPECT_FALSE(dataset_from_csv(venues, bad_time, tax).is_ok());
+  const std::string missing_venue =
+      "user_id,venue_id,category,lat,lon,timestamp\n"
+      "1,7,Thai Restaurant,40.7,-74.0,2012-04-02 09:00:00\n";
+  EXPECT_FALSE(dataset_from_csv(venues, missing_venue, tax).is_ok());
+  const std::string short_row =
+      "user_id,venue_id,category,lat,lon,timestamp\n1,0\n";
+  EXPECT_FALSE(dataset_from_csv(venues, short_row, tax).is_ok());
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/crowdweb_io_test.csv";
+  ASSERT_TRUE(write_file(path, "hello\nworld\n").is_ok());
+  const auto content = read_file(path);
+  ASSERT_TRUE(content.is_ok());
+  EXPECT_EQ(*content, "hello\nworld\n");
+  EXPECT_FALSE(read_file("/nonexistent/path/file.csv").is_ok());
+}
+
+}  // namespace
+}  // namespace crowdweb::data

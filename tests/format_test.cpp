@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/format.hpp"
+
+namespace crowdweb {
+namespace {
+
+TEST(FormatTest, NoPlaceholders) {
+  EXPECT_EQ(format("plain text"), "plain text");
+  EXPECT_EQ(format(""), "");
+}
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("hello {}", "world"), "hello world");
+  EXPECT_EQ(format("{}", std::string("owned")), "owned");
+  EXPECT_EQ(format("{}", std::string_view("view")), "view");
+}
+
+TEST(FormatTest, IntegerTypes) {
+  EXPECT_EQ(format("{}", 42), "42");
+  EXPECT_EQ(format("{}", -7), "-7");
+  EXPECT_EQ(format("{}", std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+  EXPECT_EQ(format("{}", std::int64_t{-9223372036854775807LL}),
+            "-9223372036854775807");
+  EXPECT_EQ(format("{}", static_cast<std::uint16_t>(9)), "9");
+  EXPECT_EQ(format("{}", static_cast<std::size_t>(123)), "123");
+}
+
+TEST(FormatTest, BoolAndChar) {
+  EXPECT_EQ(format("{}", true), "true");
+  EXPECT_EQ(format("{}", false), "false");
+  EXPECT_EQ(format("{:d}", true), "1");
+  EXPECT_EQ(format("{}", 'x'), "x");
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(format("{}", 2.5), "2.5");
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.6), "3");
+  EXPECT_EQ(format("{:.3f}", -0.5), "-0.500");
+  EXPECT_EQ(format("{:e}", 12345.0).substr(0, 7), "1.23450");
+  EXPECT_EQ(format("{}", 1.0f), "1");  // float promotes to shortest repr
+}
+
+TEST(FormatTest, PrecisionWithoutTypeIsFixed) {
+  EXPECT_EQ(format("{:.1}", 2.55), "2.5");  // treated as fixed precision
+}
+
+TEST(FormatTest, WidthAndAlignment) {
+  EXPECT_EQ(format("{:5}", 42), "   42");      // numeric default: right
+  EXPECT_EQ(format("{:5}", "ab"), "ab   ");    // string default: left
+  EXPECT_EQ(format("{:<5}", 42), "42   ");
+  EXPECT_EQ(format("{:>5}", "ab"), "   ab");
+  EXPECT_EQ(format("{:^6}", "ab"), "  ab  ");
+  EXPECT_EQ(format("{:^7}", "ab"), "  ab   ");  // extra fill goes right
+  EXPECT_EQ(format("{:2}", "abcdef"), "abcdef");  // width never truncates
+}
+
+TEST(FormatTest, CustomFill) {
+  EXPECT_EQ(format("{:*>6}", 42), "****42");
+  EXPECT_EQ(format("{:.<6}", "ab"), "ab....");
+  EXPECT_EQ(format("{:=^6}", "ab"), "==ab==");
+}
+
+TEST(FormatTest, ZeroPadding) {
+  EXPECT_EQ(format("{:04}", 7), "0007");
+  EXPECT_EQ(format("{:04}", -7), "-007");  // sign before zeros
+  EXPECT_EQ(format("{:02}", 123), "123");
+  EXPECT_EQ(format("{:06.2f}", 3.5), "003.50");
+}
+
+TEST(FormatTest, Hex) {
+  EXPECT_EQ(format("{:x}", 255), "ff");
+  EXPECT_EQ(format("{:04x}", 255), "00ff");
+  EXPECT_EQ(format("{:x}", std::uint64_t{0xdeadbeef}), "deadbeef");
+}
+
+TEST(FormatTest, StringPrecisionTruncates) {
+  EXPECT_EQ(format("{:.3}", "abcdef"), "abc");
+  EXPECT_EQ(format("{:6.3}", "abcdef"), "abc   ");
+}
+
+TEST(FormatTest, EscapedBraces) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 5), "{5}");
+  EXPECT_EQ(format("a}}b"), "a}b");
+}
+
+TEST(FormatTest, MalformedSpecsDegradeGracefully) {
+  // Never throws; malformed placeholders render as {?}.
+  EXPECT_EQ(format("{:Z}", 1), "{?}");
+  EXPECT_EQ(format("{0}", 1), "{?}");       // positional args unsupported
+  EXPECT_EQ(format("{unclosed", 1), "{?}"); // unterminated placeholder
+}
+
+TEST(FormatTest, MissingArgumentsRenderPlaceholder) {
+  EXPECT_EQ(format("{} {}", 1), "1 {?}");
+}
+
+TEST(FormatTest, ExtraArgumentsIgnored) {
+  EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+TEST(FormatTest, NullCString) {
+  const char* null_string = nullptr;
+  EXPECT_EQ(format("{}", null_string), "(null)");
+}
+
+TEST(FormatTest, EnumsFormatAsUnderlying) {
+  enum class Level { kHigh = 3 };
+  EXPECT_EQ(format("{}", Level::kHigh), "3");
+}
+
+TEST(FormatTest, ManyArguments) {
+  EXPECT_EQ(format("{}{}{}{}{}{}{}{}", 1, 2, 3, 4, "a", "b", 7.5, true),
+            "1234ab7.5true");
+}
+
+TEST(FormatTest, TimestampStylePattern) {
+  // The exact pattern civil_time relies on.
+  EXPECT_EQ(format("{:04}-{:02}-{:02} {:02}:{:02}:{:02}", 2012, 4, 3, 9, 5, 7),
+            "2012-04-03 09:05:07");
+}
+
+}  // namespace
+}  // namespace crowdweb

@@ -1,0 +1,515 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "mining/gsp.hpp"
+#include "mining/naive.hpp"
+#include "mining/pattern.hpp"
+#include "mining/prefixspan.hpp"
+#include "mining/seqdb.hpp"
+#include "mining/spade.hpp"
+#include "util/civil_time.hpp"
+#include "util/rng.hpp"
+
+namespace crowdweb::mining {
+namespace {
+
+// ---------------------------------------------------------------- Pattern
+
+TEST(PatternTest, IsSubsequenceBasics) {
+  const std::vector<Item> haystack{1, 2, 3, 2, 4};
+  EXPECT_TRUE(is_subsequence(std::vector<Item>{}, haystack));
+  EXPECT_TRUE(is_subsequence(std::vector<Item>{1}, haystack));
+  EXPECT_TRUE(is_subsequence(std::vector<Item>{1, 3, 4}, haystack));
+  EXPECT_TRUE(is_subsequence(std::vector<Item>{2, 2}, haystack));
+  EXPECT_FALSE(is_subsequence(std::vector<Item>{3, 1}, haystack));  // order matters
+  EXPECT_FALSE(is_subsequence(std::vector<Item>{5}, haystack));
+  EXPECT_FALSE(is_subsequence(std::vector<Item>{1, 1}, haystack));  // multiplicity matters
+  EXPECT_FALSE(is_subsequence(std::vector<Item>{1}, std::vector<Item>{}));
+}
+
+TEST(PatternTest, CountSupportCountsSequencesOnce) {
+  const SequenceDb db{{1, 2, 1, 2}, {2, 1}, {3}};
+  EXPECT_EQ(count_support(std::vector<Item>{1, 2}, db), 1u);  // only first sequence
+  EXPECT_EQ(count_support(std::vector<Item>{2}, db), 2u);
+  EXPECT_EQ(count_support(std::vector<Item>{3}, db), 1u);
+  EXPECT_EQ(count_support(std::vector<Item>{4}, db), 0u);
+}
+
+TEST(PatternTest, SortPatternsCanonicalOrder) {
+  std::vector<Pattern> patterns{{{2, 1}, 1, 0.5}, {{1}, 2, 1.0}, {{1, 2}, 1, 0.5}, {{2}, 1, 0.5}};
+  sort_patterns(patterns);
+  ASSERT_EQ(patterns.size(), 4u);
+  EXPECT_EQ(patterns[0].items, (std::vector<Item>{1}));
+  EXPECT_EQ(patterns[1].items, (std::vector<Item>{2}));
+  EXPECT_EQ(patterns[2].items, (std::vector<Item>{1, 2}));
+  EXPECT_EQ(patterns[3].items, (std::vector<Item>{2, 1}));
+}
+
+TEST(PatternTest, ClosedAndMaximalFilters) {
+  // db: {a b} x2, {a} x1 -> patterns: a(3), b(2), ab(2).
+  const SequenceDb db{{1, 2}, {1, 2}, {1}};
+  MiningOptions options;
+  options.min_support = 0.5;
+  const auto all = prefixspan(db, options);
+  ASSERT_EQ(all.size(), 3u);
+
+  const auto closed = closed_patterns(all);
+  // b(2) is subsumed by ab(2) (same support); a(3) is closed.
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].items, (std::vector<Item>{1}));
+  EXPECT_EQ(closed[1].items, (std::vector<Item>{1, 2}));
+
+  const auto maximal = maximal_patterns(all);
+  // Only ab survives: a and b have the frequent super-pattern ab.
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].items, (std::vector<Item>{1, 2}));
+}
+
+// ------------------------------------------------------------- PrefixSpan
+
+TEST(PrefixSpanTest, EmptyDatabase) {
+  EXPECT_TRUE(prefixspan({}, {}).empty());
+}
+
+TEST(PrefixSpanTest, TextbookExample) {
+  // Classic PrefixSpan paper-style db (single-item elements).
+  const SequenceDb db{{1, 2, 3}, {1, 3, 2}, {1, 2, 2}, {4}};
+  MiningOptions options;
+  options.min_support = 0.5;  // min count 2
+  const auto patterns = prefixspan(db, options);
+
+  const auto find = [&](std::vector<Item> items) -> const Pattern* {
+    for (const Pattern& p : patterns)
+      if (p.items == items) return &p;
+    return nullptr;
+  };
+  ASSERT_NE(find({1}), nullptr);
+  EXPECT_EQ(find({1})->support_count, 3u);
+  ASSERT_NE(find({2}), nullptr);
+  EXPECT_EQ(find({2})->support_count, 3u);
+  ASSERT_NE(find({3}), nullptr);
+  EXPECT_EQ(find({3})->support_count, 2u);
+  ASSERT_NE(find({1, 2}), nullptr);
+  EXPECT_EQ(find({1, 2})->support_count, 3u);
+  ASSERT_NE(find({1, 3}), nullptr);
+  EXPECT_EQ(find({1, 3})->support_count, 2u);
+  EXPECT_EQ(find({4}), nullptr);       // support 1 < 2
+  EXPECT_EQ(find({2, 3}), nullptr);    // only in sequence 0
+  EXPECT_EQ(find({2, 2}), nullptr);    // only in sequence 2
+}
+
+TEST(PrefixSpanTest, SupportsAreExact) {
+  Rng rng(7);
+  SequenceDb db;
+  for (int s = 0; s < 40; ++s) {
+    std::vector<Item> sequence;
+    const int length = static_cast<int>(rng.uniform_int(0, 8));
+    for (int i = 0; i < length; ++i)
+      sequence.push_back(static_cast<Item>(rng.uniform_int(0, 4)));
+    db.push_back(std::move(sequence));
+  }
+  MiningOptions options;
+  options.min_support = 0.2;
+  for (const Pattern& pattern : prefixspan(db, options)) {
+    EXPECT_EQ(pattern.support_count, count_support(pattern.items, db));
+    EXPECT_DOUBLE_EQ(pattern.support,
+                     static_cast<double>(pattern.support_count) / static_cast<double>(db.size()));
+  }
+}
+
+TEST(PrefixSpanTest, MaxLengthCap) {
+  const SequenceDb db{{1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}};
+  MiningOptions options;
+  options.min_support = 1.0;
+  options.max_pattern_length = 3;
+  const auto patterns = prefixspan(db, options);
+  ASSERT_EQ(patterns.size(), 3u);
+  EXPECT_EQ(patterns.back().items.size(), 3u);
+}
+
+TEST(PrefixSpanTest, MaxPatternsCap) {
+  SequenceDb db;
+  std::vector<Item> alphabet_sequence;
+  for (Item i = 0; i < 12; ++i) alphabet_sequence.push_back(i);
+  db.push_back(alphabet_sequence);
+  MiningOptions options;
+  options.min_support = 1.0;
+  options.max_patterns = 50;
+  EXPECT_EQ(prefixspan(db, options).size(), 50u);
+}
+
+TEST(PrefixSpanTest, MinSupportOneRequiresAllSequences) {
+  const SequenceDb db{{1, 2}, {1, 3}, {1}};
+  MiningOptions options;
+  options.min_support = 1.0;
+  const auto patterns = prefixspan(db, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].items, (std::vector<Item>{1}));
+}
+
+// Anti-monotonicity property: raising min_support can only shrink the
+// result, and every pattern's own support obeys the threshold.
+class SupportSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SupportSweepTest, AntiMonotoneAndThresholded) {
+  Rng rng(1234);
+  SequenceDb db;
+  for (int s = 0; s < 60; ++s) {
+    std::vector<Item> sequence;
+    const int length = static_cast<int>(rng.uniform_int(1, 7));
+    for (int i = 0; i < length; ++i)
+      sequence.push_back(static_cast<Item>(rng.uniform_int(0, 5)));
+    db.push_back(std::move(sequence));
+  }
+  const double support = GetParam();
+  MiningOptions options;
+  options.min_support = support;
+  const auto patterns = prefixspan(db, options);
+  for (const Pattern& pattern : patterns)
+    EXPECT_GE(pattern.support, support - 1e-12);
+
+  // Tighter threshold yields a subset.
+  MiningOptions tighter = options;
+  tighter.min_support = std::min(1.0, support + 0.15);
+  const auto fewer = prefixspan(db, tighter);
+  EXPECT_LE(fewer.size(), patterns.size());
+  for (const Pattern& pattern : fewer) {
+    const bool present = std::any_of(patterns.begin(), patterns.end(),
+                                     [&](const Pattern& p) { return p.items == pattern.items; });
+    EXPECT_TRUE(present);
+  }
+
+  // Every prefix of a frequent pattern is itself frequent (and present).
+  for (const Pattern& pattern : patterns) {
+    if (pattern.items.size() < 2) continue;
+    std::vector<Item> prefix(pattern.items.begin(), pattern.items.end() - 1);
+    const bool present = std::any_of(patterns.begin(), patterns.end(),
+                                     [&](const Pattern& p) { return p.items == prefix; });
+    EXPECT_TRUE(present);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SupportSweepTest,
+                         ::testing::Values(0.1, 0.25, 0.375, 0.5, 0.625, 0.75, 0.9));
+
+TEST(PatternTest, ClosedMaximalPropertiesOnRandomDbs) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    SequenceDb db;
+    for (int s2 = 0; s2 < 25; ++s2) {
+      std::vector<Item> sequence;
+      const int length = static_cast<int>(rng.uniform_int(0, 6));
+      for (int i = 0; i < length; ++i)
+        sequence.push_back(static_cast<Item>(rng.uniform_int(0, 3)));
+      db.push_back(std::move(sequence));
+    }
+    MiningOptions options;
+    options.min_support = 0.2;
+    const auto all = prefixspan(db, options);
+    const auto closed = closed_patterns(all);
+    const auto maximal = maximal_patterns(all);
+
+    // maximal subset-of closed subset-of all.
+    EXPECT_LE(maximal.size(), closed.size());
+    EXPECT_LE(closed.size(), all.size());
+    const auto contains = [](const std::vector<Pattern>& set, const Pattern& p) {
+      return std::any_of(set.begin(), set.end(),
+                         [&](const Pattern& q) { return q.items == p.items; });
+    };
+    for (const Pattern& p : maximal) EXPECT_TRUE(contains(closed, p));
+    for (const Pattern& p : closed) EXPECT_TRUE(contains(all, p));
+
+    // Definition check against brute force.
+    for (const Pattern& candidate : all) {
+      const bool has_equal_support_super = std::any_of(
+          all.begin(), all.end(), [&](const Pattern& other) {
+            return other.items.size() > candidate.items.size() &&
+                   other.support_count == candidate.support_count &&
+                   is_subsequence(candidate.items, other.items);
+          });
+      EXPECT_EQ(!has_equal_support_super, contains(closed, candidate));
+      const bool has_any_super = std::any_of(
+          all.begin(), all.end(), [&](const Pattern& other) {
+            return other.items.size() > candidate.items.size() &&
+                   is_subsequence(candidate.items, other.items);
+          });
+      EXPECT_EQ(!has_any_super, contains(maximal, candidate));
+    }
+  }
+}
+
+// ------------------------------------------------- Miner cross-validation
+
+struct MinerCase {
+  std::uint64_t seed;
+  double min_support;
+  int sequences;
+  int alphabet;
+};
+
+class MinerEquivalenceTest : public ::testing::TestWithParam<MinerCase> {};
+
+TEST_P(MinerEquivalenceTest, PrefixSpanGspNaiveAgree) {
+  const MinerCase param = GetParam();
+  Rng rng(param.seed);
+  SequenceDb db;
+  for (int s = 0; s < param.sequences; ++s) {
+    std::vector<Item> sequence;
+    const int length = static_cast<int>(rng.uniform_int(0, 9));
+    for (int i = 0; i < length; ++i)
+      sequence.push_back(static_cast<Item>(rng.uniform_int(0, param.alphabet - 1)));
+    db.push_back(std::move(sequence));
+  }
+  MiningOptions options;
+  options.min_support = param.min_support;
+
+  const auto a = prefixspan(db, options);
+  const auto b = gsp(db, options);
+  const auto c = naive_miner(db, options);
+  const auto d = spade(db, options);
+  EXPECT_EQ(a, b) << "PrefixSpan vs GSP";
+  EXPECT_EQ(a, c) << "PrefixSpan vs naive";
+  EXPECT_EQ(a, d) << "PrefixSpan vs SPADE";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDbs, MinerEquivalenceTest,
+    ::testing::Values(MinerCase{1, 0.5, 20, 4}, MinerCase{2, 0.25, 30, 5},
+                      MinerCase{3, 0.75, 25, 3}, MinerCase{4, 0.4, 40, 6},
+                      MinerCase{5, 0.1, 15, 4}, MinerCase{6, 0.6, 50, 8},
+                      MinerCase{7, 0.33, 35, 5}, MinerCase{8, 0.2, 10, 10}));
+
+// ------------------------------------------------------------------ SPADE
+
+TEST(SpadeTest, EmptyDatabase) { EXPECT_TRUE(spade({}, {}).empty()); }
+
+TEST(SpadeTest, MatchesPrefixSpanOnTextbookExample) {
+  const SequenceDb db{{1, 2, 3}, {1, 3, 2}, {1, 2, 2}, {4}};
+  MiningOptions options;
+  options.min_support = 0.5;
+  EXPECT_EQ(spade(db, options), prefixspan(db, options));
+}
+
+TEST(SpadeTest, RepeatedItemsWithinSequence) {
+  // The id-list join must count a sequence once however many embeddings
+  // it contains.
+  const SequenceDb db{{1, 1, 1}, {1, 1}, {2}};
+  MiningOptions options;
+  options.min_support = 0.6;  // min count 2
+  const auto patterns = spade(db, options);
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].items, (std::vector<Item>{1}));
+  EXPECT_EQ(patterns[0].support_count, 2u);
+  EXPECT_EQ(patterns[1].items, (std::vector<Item>{1, 1}));
+  EXPECT_EQ(patterns[1].support_count, 2u);
+}
+
+TEST(SpadeTest, RespectsCaps) {
+  const SequenceDb db{{1, 1, 1, 1, 1}};
+  MiningOptions options;
+  options.min_support = 1.0;
+  options.max_pattern_length = 2;
+  const auto patterns = spade(db, options);
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns.back().items.size(), 2u);
+}
+
+// ------------------------------------------------------------------ SeqDb
+
+data::Dataset day_pattern_dataset() {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  data::DatasetBuilder builder;
+  data::Venue coffee;
+  coffee.id = 0;
+  coffee.name = "Corner Coffee";
+  coffee.category = *tax.find("Coffee Shop");
+  coffee.position = {40.71, -74.00};
+  EXPECT_TRUE(builder.add_venue(coffee).is_ok());
+  data::Venue office;
+  office.id = 1;
+  office.name = "HQ";
+  office.category = *tax.find("Office");
+  office.position = {40.75, -73.98};
+  EXPECT_TRUE(builder.add_venue(office).is_ok());
+  data::Venue thai;
+  thai.id = 2;
+  thai.name = "Thai Pothong";
+  thai.category = *tax.find("Thai Restaurant");
+  thai.position = {40.76, -73.99};
+  EXPECT_TRUE(builder.add_venue(thai).is_ok());
+
+  const auto add = [&](int day, int hour, int minute, const data::Venue& venue) {
+    data::CheckIn c;
+    c.user = 1;
+    c.venue = venue.id;
+    c.category = venue.category;
+    c.position = venue.position;
+    c.timestamp = to_epoch_seconds({2012, 4, day, hour, minute, 0});
+    EXPECT_TRUE(builder.add_checkin(c).is_ok());
+  };
+  // Day 2: coffee -> office -> thai. Day 3: coffee -> office. Day 5: thai.
+  add(2, 8, 30, coffee);
+  add(2, 9, 5, office);
+  add(2, 12, 20, thai);
+  add(3, 8, 40, coffee);
+  add(3, 9, 10, office);
+  add(5, 12, 30, thai);
+  return builder.build();
+}
+
+TEST(SeqDbTest, RootCategoryAbstraction) {
+  const data::Dataset dataset = day_pattern_dataset();
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const UserSequences sequences = build_user_sequences(dataset, 1, tax);
+  ASSERT_EQ(sequences.days.size(), 3u);
+  const Item eatery = *tax.find("Eatery");
+  const Item professional = *tax.find("Professional & Other Places");
+  // Day 2: Eatery(coffee), Professional, Eatery(thai).
+  EXPECT_EQ(sequences.days[0], (std::vector<Item>{eatery, professional, eatery}));
+  // Day 3: Eatery, Professional.
+  EXPECT_EQ(sequences.days[1], (std::vector<Item>{eatery, professional}));
+  // Day 5: Eatery.
+  EXPECT_EQ(sequences.days[2], (std::vector<Item>{eatery}));
+}
+
+TEST(SeqDbTest, MinutesParallelToItems) {
+  const data::Dataset dataset = day_pattern_dataset();
+  const UserSequences sequences =
+      build_user_sequences(dataset, 1, data::Taxonomy::foursquare());
+  ASSERT_EQ(sequences.minutes.size(), sequences.days.size());
+  for (std::size_t d = 0; d < sequences.days.size(); ++d)
+    ASSERT_EQ(sequences.minutes[d].size(), sequences.days[d].size());
+  EXPECT_EQ(sequences.minutes[0][0], 8 * 60 + 30);
+  EXPECT_EQ(sequences.minutes[0][1], 9 * 60 + 5);
+}
+
+TEST(SeqDbTest, VenueModeKeepsDistinctVenues) {
+  const data::Dataset dataset = day_pattern_dataset();
+  SequenceOptions options;
+  options.mode = LabelMode::kVenue;
+  const UserSequences sequences =
+      build_user_sequences(dataset, 1, data::Taxonomy::foursquare(), options);
+  EXPECT_EQ(sequences.days[0], (std::vector<Item>{0, 1, 2}));
+}
+
+TEST(SeqDbTest, LeafModeKeepsVenueTypes) {
+  const data::Dataset dataset = day_pattern_dataset();
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  SequenceOptions options;
+  options.mode = LabelMode::kLeafCategory;
+  const UserSequences sequences = build_user_sequences(dataset, 1, tax, options);
+  EXPECT_EQ(sequences.days[0][0], *tax.find("Coffee Shop"));
+  EXPECT_EQ(sequences.days[0][2], *tax.find("Thai Restaurant"));
+}
+
+TEST(SeqDbTest, CollapseRepeats) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  data::DatasetBuilder builder;
+  data::Venue a;
+  a.id = 0;
+  a.name = "A";
+  a.category = *tax.find("Coffee Shop");
+  a.position = {40.7, -74.0};
+  ASSERT_TRUE(builder.add_venue(a).is_ok());
+  data::Venue b = a;
+  b.id = 1;
+  b.name = "B";
+  b.category = *tax.find("Pizza Place");
+  ASSERT_TRUE(builder.add_venue(b).is_ok());
+  // Two eateries back to back on the same day.
+  for (int i = 0; i < 2; ++i) {
+    data::CheckIn c;
+    c.user = 1;
+    c.venue = static_cast<data::VenueId>(i);
+    c.category = i == 0 ? a.category : b.category;
+    c.position = a.position;
+    c.timestamp = to_epoch_seconds({2012, 4, 2, 12, i * 10, 0});
+    ASSERT_TRUE(builder.add_checkin(c).is_ok());
+  }
+  const data::Dataset dataset = builder.build();
+  const UserSequences collapsed = build_user_sequences(dataset, 1, tax);
+  EXPECT_EQ(collapsed.days[0].size(), 1u);  // Eatery,Eatery -> Eatery
+  SequenceOptions keep;
+  keep.collapse_repeats = false;
+  const UserSequences raw = build_user_sequences(dataset, 1, tax, keep);
+  EXPECT_EQ(raw.days[0].size(), 2u);
+}
+
+TEST(SeqDbTest, MinDayLengthDropsShortDays) {
+  const data::Dataset dataset = day_pattern_dataset();
+  SequenceOptions options;
+  options.min_day_length = 2;
+  const UserSequences sequences =
+      build_user_sequences(dataset, 1, data::Taxonomy::foursquare(), options);
+  EXPECT_EQ(sequences.days.size(), 2u);  // the single-visit day is dropped
+}
+
+TEST(SeqDbTest, UnknownUserYieldsEmpty) {
+  const data::Dataset dataset = day_pattern_dataset();
+  const UserSequences sequences =
+      build_user_sequences(dataset, 42, data::Taxonomy::foursquare());
+  EXPECT_TRUE(sequences.days.empty());
+}
+
+TEST(SeqDbTest, BuildAllCoversEveryUser) {
+  const data::Dataset dataset = day_pattern_dataset();
+  const auto all = build_all_sequences(dataset, data::Taxonomy::foursquare());
+  ASSERT_EQ(all.size(), dataset.user_count());
+  EXPECT_EQ(all[0].user, dataset.users()[0]);
+}
+
+TEST(SeqDbTest, LabelNames) {
+  const data::Dataset dataset = day_pattern_dataset();
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  EXPECT_EQ(label_name(*tax.find("Eatery"), LabelMode::kRootCategory, tax, dataset), "Eatery");
+  EXPECT_EQ(label_name(2, LabelMode::kVenue, tax, dataset), "Thai Pothong");
+  EXPECT_EQ(label_name(9999, LabelMode::kVenue, tax, dataset), "venue#9999");
+  EXPECT_EQ(label_name(60000, LabelMode::kRootCategory, tax, dataset), "category#60000");
+}
+
+// The paper's motivating scenario: the Thai-lunch pattern is invisible at
+// venue granularity but detected after location abstraction.
+TEST(SeqDbTest, LocationAbstractionRecoversFlexiblePatterns) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  data::DatasetBuilder builder;
+  // Three different Thai restaurants.
+  for (int i = 0; i < 3; ++i) {
+    data::Venue v;
+    v.id = static_cast<data::VenueId>(i);
+    v.name = "Thai " + std::to_string(i);
+    v.category = *tax.find("Thai Restaurant");
+    v.position = {40.7 + 0.01 * i, -74.0};
+    ASSERT_TRUE(builder.add_venue(v).is_ok());
+  }
+  // Lunch at a different venue each day, three days.
+  for (int day = 2; day <= 4; ++day) {
+    data::CheckIn c;
+    c.user = 1;
+    c.venue = static_cast<data::VenueId>(day - 2);
+    c.category = *tax.find("Thai Restaurant");
+    c.position = {40.7 + 0.01 * (day - 2), -74.0};
+    c.timestamp = to_epoch_seconds({2012, 4, day, 12, 30, 0});
+    ASSERT_TRUE(builder.add_checkin(c).is_ok());
+  }
+  const data::Dataset dataset = builder.build();
+
+  MiningOptions mining;
+  mining.min_support = 0.9;  // must appear on ~every day
+
+  SequenceOptions venue_mode;
+  venue_mode.mode = LabelMode::kVenue;
+  const auto raw = build_user_sequences(dataset, 1, tax, venue_mode);
+  EXPECT_TRUE(prefixspan(raw.days, mining).empty());  // no venue repeats
+
+  const auto abstracted = build_user_sequences(dataset, 1, tax);  // root mode
+  const auto patterns = prefixspan(abstracted.days, mining);
+  ASSERT_EQ(patterns.size(), 1u);  // "Eatery" every day
+  EXPECT_EQ(patterns[0].items, (std::vector<Item>{*tax.find("Eatery")}));
+  EXPECT_EQ(patterns[0].support_count, 3u);
+}
+
+}  // namespace
+}  // namespace crowdweb::mining

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace crowdweb::stats {
+namespace {
+
+// --------------------------------------------------------------- Summary
+
+TEST(SummaryTest, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const std::vector<double> v{7.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, KnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(SummaryTest, MedianEvenCountInterpolates) {
+  const std::vector<double> v{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(SummaryTest, QuantileEdges) {
+  const std::vector<double> v{5, 1, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 5.0);
+}
+
+TEST(SummaryTest, QuantileUnsortedInput) {
+  const std::vector<double> v{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(SummaryTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(SummaryTest, PearsonDegenerateCases) {
+  const std::vector<double> two{1, 2};
+  const std::vector<double> three{1, 2, 3};
+  const std::vector<double> one{1};
+  const std::vector<double> flat{2, 2, 2};
+  EXPECT_DOUBLE_EQ(pearson(two, three), 0.0);   // size mismatch
+  EXPECT_DOUBLE_EQ(pearson(one, one), 0.0);     // too short
+  EXPECT_DOUBLE_EQ(pearson(flat, three), 0.0);  // zero variance
+}
+
+TEST(RunningStatsTest, MatchesBatchSummary) {
+  Rng rng(61);
+  std::vector<double> values;
+  RunningStats running;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    values.push_back(v);
+    running.add(v);
+  }
+  const Summary batch = summarize(values);
+  EXPECT_EQ(running.count(), batch.count);
+  EXPECT_NEAR(running.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(running.stddev(), batch.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(running.min(), batch.min);
+  EXPECT_DOUBLE_EQ(running.max(), batch.max);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+// -------------------------------------------------------------------- KS
+
+TEST(KsTest, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(v, v), 0.0);
+  EXPECT_TRUE(ks_same_distribution(v, v));
+}
+
+TEST(KsTest, DisjointSamplesHaveStatisticOne) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+  // Three points per side cannot reject at alpha = 0.05 (the asymptotic
+  // critical value exceeds 1) — correct statistics, not a bug.
+  EXPECT_TRUE(ks_same_distribution(a, b));
+  // With adequate samples the same separation rejects decisively.
+  std::vector<double> big_a, big_b;
+  for (int i = 0; i < 50; ++i) {
+    big_a.push_back(1.0 + i * 0.01);
+    big_b.push_back(10.0 + i * 0.01);
+  }
+  EXPECT_FALSE(ks_same_distribution(big_a, big_b));
+}
+
+TEST(KsTest, KnownSmallCase) {
+  // a = {1,2}, b = {1.5}: CDF_a jumps 0.5 at 1 and 1 at 2; CDF_b jumps 1
+  // at 1.5. Max gap is 0.5 (between 1 and 1.5 or between 1.5 and 2).
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+}
+
+TEST(KsTest, EmptySamplesAreVacuouslySame) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(ks_statistic({}, v), 0.0);
+  EXPECT_TRUE(ks_same_distribution({}, v));
+}
+
+TEST(KsTest, SameDistributionAcceptedDifferentRejected) {
+  Rng rng(97);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.0, 1.0));
+    c.push_back(rng.normal(1.0, 1.0));  // shifted
+  }
+  EXPECT_TRUE(ks_same_distribution(a, b));
+  EXPECT_FALSE(ks_same_distribution(a, c));
+  EXPECT_GT(ks_statistic(a, c), ks_statistic(a, b));
+}
+
+TEST(KsTest, SymmetricInArguments) {
+  Rng rng(101);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.normal(0.5, 0.2));
+  }
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), ks_statistic(b, a));
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, CreateValidation) {
+  EXPECT_FALSE(Histogram::create(0.0, 1.0, 0).is_ok());
+  EXPECT_FALSE(Histogram::create(1.0, 1.0, 4).is_ok());
+  EXPECT_FALSE(Histogram::create(2.0, 1.0, 4).is_ok());
+  EXPECT_TRUE(Histogram::create(0.0, 1.0, 4).is_ok());
+}
+
+TEST(HistogramTest, BinEdgesTile) {
+  auto h = Histogram::create(0.0, 10.0, 5);
+  ASSERT_TRUE(h.is_ok());
+  const auto& bins = h->bins();
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_DOUBLE_EQ(bins.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins.back().hi, 10.0);
+  for (std::size_t i = 1; i < bins.size(); ++i)
+    EXPECT_DOUBLE_EQ(bins[i].lo, bins[i - 1].hi);
+}
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  auto h = Histogram::create(0.0, 10.0, 5);
+  ASSERT_TRUE(h.is_ok());
+  h->add(0.5);   // bin 0
+  h->add(3.99);  // bin 1
+  h->add(4.0);   // bin 2
+  h->add(9.99);  // bin 4
+  h->add(10.0);  // clamped into last bin
+  EXPECT_EQ(h->bins()[0].count, 1u);
+  EXPECT_EQ(h->bins()[1].count, 1u);
+  EXPECT_EQ(h->bins()[2].count, 1u);
+  EXPECT_EQ(h->bins()[4].count, 2u);
+  EXPECT_EQ(h->total(), 5u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsSoTotalsMatch) {
+  auto h = Histogram::create(0.0, 1.0, 2);
+  ASSERT_TRUE(h.is_ok());
+  h->add(-100.0);
+  h->add(100.0);
+  EXPECT_EQ(h->total(), 2u);
+  EXPECT_EQ(h->bins().front().count, 1u);
+  EXPECT_EQ(h->bins().back().count, 1u);
+}
+
+TEST(HistogramTest, FromSamplesSpansRange) {
+  const std::vector<double> values{2.0, 4.0, 6.0, 8.0};
+  const Histogram h = Histogram::from_samples(values, 3);
+  EXPECT_DOUBLE_EQ(h.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, FromSamplesDegenerateAllEqual) {
+  const std::vector<double> values{5.0, 5.0, 5.0};
+  const Histogram h = Histogram::from_samples(values, 4);
+  EXPECT_EQ(h.total(), 3u);
+  std::size_t counted = 0;
+  for (const Bin& b : h.bins()) counted += b.count;
+  EXPECT_EQ(counted, 3u);
+}
+
+TEST(HistogramTest, FromSamplesEmpty) {
+  const Histogram h = Histogram::from_samples({}, 4);
+  EXPECT_EQ(h.total(), 0u);
+  for (const double d : h.densities()) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(HistogramTest, DensitiesSumToOne) {
+  Rng rng(71);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.normal(0.0, 1.0));
+  const Histogram h = Histogram::from_samples(values, 20);
+  double total = 0.0;
+  for (const double d : h.densities()) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBin) {
+  auto h = Histogram::create(0.0, 4.0, 4);
+  ASSERT_TRUE(h.is_ok());
+  h->add_all(std::vector<double>{0.5, 1.5, 1.6, 3.2});
+  const std::string art = h->to_ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+// ------------------------------------------------------------------- KDE
+
+TEST(KdeTest, BandwidthPositive) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_GT(scott_bandwidth(v), 0.0);
+  EXPECT_GT(scott_bandwidth({}), 0.0);
+  EXPECT_GT(scott_bandwidth({{3.0, 3.0, 3.0}}), 0.0);  // zero variance
+}
+
+TEST(KdeTest, DensityPeaksAtMassCenter) {
+  const std::vector<double> v{0.0, 0.0, 0.0, 10.0};
+  const double h = 1.0;
+  EXPECT_GT(kde_at(v, 0.0, h), kde_at(v, 5.0, h));
+  EXPECT_GT(kde_at(v, 10.0, h), kde_at(v, 5.0, h));
+  EXPECT_GT(kde_at(v, 0.0, h), kde_at(v, 10.0, h));
+}
+
+TEST(KdeTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(kde_at({}, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(kde_at({{1.0}}, 0.0, 0.0), 0.0);
+  const DensityCurve curve = kde_curve({});
+  EXPECT_TRUE(curve.x.empty());
+}
+
+TEST(KdeTest, CurveIntegratesToRoughlyOne) {
+  Rng rng(83);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(rng.normal(5.0, 2.0));
+  const DensityCurve curve = kde_curve(values, 256);
+  ASSERT_EQ(curve.x.size(), curve.density.size());
+  double integral = 0.0;
+  for (std::size_t i = 1; i < curve.x.size(); ++i) {
+    const double dx = curve.x[i] - curve.x[i - 1];
+    integral += 0.5 * (curve.density[i] + curve.density[i - 1]) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.05);
+}
+
+TEST(KdeTest, CurveApproximatesNormalDensity) {
+  Rng rng(89);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) values.push_back(rng.normal(0.0, 1.0));
+  const double at_mean = kde_at(values, 0.0, scott_bandwidth(values));
+  const double true_peak = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  EXPECT_NEAR(at_mean, true_peak, 0.03);
+}
+
+TEST(KdeTest, ExplicitBandwidthIsUsed) {
+  const std::vector<double> v{0.0, 10.0};
+  // A huge bandwidth flattens the curve: difference between any two points
+  // should be tiny compared to a narrow bandwidth.
+  const double wide_diff = std::abs(kde_at(v, 0.0, 100.0) - kde_at(v, 5.0, 100.0));
+  const double narrow_diff = std::abs(kde_at(v, 0.0, 0.5) - kde_at(v, 5.0, 0.5));
+  EXPECT_LT(wide_diff, narrow_diff);
+}
+
+}  // namespace
+}  // namespace crowdweb::stats

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "crowd/streaming.hpp"
+#include "synth/generator.hpp"
+#include "util/civil_time.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::crowd {
+namespace {
+
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);  // NOLINT(cert-err58-cpp)
+
+geo::SpatialGrid test_grid() {
+  geo::BoundingBox box;
+  box.min_lat = 40.55;
+  box.max_lat = 40.92;
+  box.min_lon = -74.1;
+  box.max_lon = -73.68;
+  auto grid = geo::SpatialGrid::create(box, 500.0);
+  EXPECT_TRUE(grid.is_ok());
+  return *grid;
+}
+
+data::CheckIn at(std::int64_t timestamp, double lat = 40.7, double lon = -74.0) {
+  data::CheckIn c;
+  c.user = 1;
+  c.venue = 0;
+  c.category = 0;
+  c.position = {lat, lon};
+  c.timestamp = timestamp;
+  return c;
+}
+
+TEST(StreamingCrowdTest, CreateValidation) {
+  const geo::SpatialGrid grid = test_grid();
+  StreamingOptions options;
+  options.window_minutes = 7;
+  EXPECT_FALSE(StreamingCrowd::create(grid, options).is_ok());
+  options.window_minutes = 60;
+  options.history = 0;
+  EXPECT_FALSE(StreamingCrowd::create(grid, options).is_ok());
+  EXPECT_TRUE(StreamingCrowd::create(grid, StreamingOptions{}).is_ok());
+}
+
+TEST(StreamingCrowdTest, CountsWithinOneWindow) {
+  auto monitor = StreamingCrowd::create(test_grid(), {});
+  ASSERT_TRUE(monitor.is_ok());
+  const std::int64_t nine = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  ASSERT_TRUE(monitor->observe(at(nine)).is_ok());
+  ASSERT_TRUE(monitor->observe(at(nine + 600)).is_ok());
+  ASSERT_TRUE(monitor->observe(at(nine + 1200, 40.8, -73.9)).is_ok());
+  EXPECT_EQ(monitor->observed(), 3u);
+  EXPECT_EQ(monitor->current().total(), 3u);
+  EXPECT_EQ(monitor->current().window(), 9);
+  EXPECT_EQ(monitor->current().occupied_cells(), 2u);
+  EXPECT_TRUE(monitor->history().empty());
+}
+
+TEST(StreamingCrowdTest, WindowRollMovesCurrentToHistory) {
+  auto monitor = StreamingCrowd::create(test_grid(), {});
+  ASSERT_TRUE(monitor.is_ok());
+  const std::int64_t nine = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  ASSERT_TRUE(monitor->observe(at(nine)).is_ok());
+  ASSERT_TRUE(monitor->observe(at(nine + 3600)).is_ok());  // 10:00 window
+  ASSERT_EQ(monitor->history().size(), 1u);
+  EXPECT_EQ(monitor->history().front().window(), 9);
+  EXPECT_EQ(monitor->history().front().total(), 1u);
+  EXPECT_EQ(monitor->current().window(), 10);
+  EXPECT_EQ(monitor->current().total(), 1u);
+}
+
+TEST(StreamingCrowdTest, GapWindowsRecordedEmpty) {
+  auto monitor = StreamingCrowd::create(test_grid(), {});
+  ASSERT_TRUE(monitor.is_ok());
+  const std::int64_t nine = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  ASSERT_TRUE(monitor->observe(at(nine)).is_ok());
+  ASSERT_TRUE(monitor->observe(at(nine + 3 * 3600)).is_ok());  // 12:00
+  // History: 9:00 (1 record), 10:00 (empty), 11:00 (empty).
+  ASSERT_EQ(monitor->history().size(), 3u);
+  EXPECT_EQ(monitor->history()[0].total(), 1u);
+  EXPECT_EQ(monitor->history()[1].total(), 0u);
+  EXPECT_EQ(monitor->history()[1].window(), 10);
+  EXPECT_EQ(monitor->history()[2].total(), 0u);
+}
+
+TEST(StreamingCrowdTest, RejectsOutOfOrder) {
+  auto monitor = StreamingCrowd::create(test_grid(), {});
+  ASSERT_TRUE(monitor.is_ok());
+  const std::int64_t nine = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  ASSERT_TRUE(monitor->observe(at(nine + 3600)).is_ok());
+  EXPECT_FALSE(monitor->observe(at(nine)).is_ok());  // previous window
+  // Late within the *same* window is fine (timestamps only order windows).
+  EXPECT_TRUE(monitor->observe(at(nine + 3700)).is_ok());
+}
+
+TEST(StreamingCrowdTest, HistoryEviction) {
+  StreamingOptions options;
+  options.history = 3;
+  auto monitor = StreamingCrowd::create(test_grid(), options);
+  ASSERT_TRUE(monitor.is_ok());
+  const std::int64_t base = to_epoch_seconds({2012, 4, 2, 0, 0, 0});
+  for (int hour = 0; hour < 8; ++hour)
+    ASSERT_TRUE(monitor->observe(at(base + hour * 3600)).is_ok());
+  EXPECT_EQ(monitor->history().size(), 3u);
+  EXPECT_EQ(monitor->history().front().window(), 4);  // oldest kept
+  EXPECT_EQ(monitor->history().back().window(), 6);
+}
+
+TEST(StreamingCrowdTest, AdvanceToClosesIdleWindows) {
+  auto monitor = StreamingCrowd::create(test_grid(), {});
+  ASSERT_TRUE(monitor.is_ok());
+  const std::int64_t nine = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  ASSERT_TRUE(monitor->observe(at(nine)).is_ok());
+  monitor->advance_to(nine + 2 * 3600);  // clock moves to 11:00, no data
+  EXPECT_EQ(monitor->current().total(), 0u);
+  EXPECT_EQ(monitor->current().window(), 11);
+  ASSERT_EQ(monitor->history().size(), 2u);
+  EXPECT_EQ(monitor->history()[0].total(), 1u);
+  // advance_to backwards or within the window is a no-op.
+  monitor->advance_to(nine);
+  EXPECT_EQ(monitor->current().window(), 11);
+}
+
+TEST(StreamingCrowdTest, MatchesBatchCountingOnRealStream) {
+  // Replay one synthetic day through the monitor and compare with batch
+  // per-window counting over the same records.
+  auto corpus = synth::small_corpus(13);
+  ASSERT_TRUE(corpus.is_ok());
+  const std::int64_t day_start = to_epoch_seconds({2012, 4, 10, 0, 0, 0});
+  const std::int64_t day_end = day_start + 86'400;
+
+  std::vector<data::CheckIn> stream;
+  for (const data::CheckIn& c : corpus->dataset.checkins()) {
+    if (c.timestamp >= day_start && c.timestamp < day_end) stream.push_back(c);
+  }
+  ASSERT_GT(stream.size(), 20u);
+  std::sort(stream.begin(), stream.end(),
+            [](const data::CheckIn& a, const data::CheckIn& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  const geo::SpatialGrid grid = test_grid();
+  StreamingOptions options;
+  options.history = 24;
+  auto monitor = StreamingCrowd::create(grid, options);
+  ASSERT_TRUE(monitor.is_ok());
+  for (const data::CheckIn& c : stream) ASSERT_TRUE(monitor->observe(c).is_ok());
+  monitor->advance_to(day_end);  // close the last window
+
+  // Batch ground truth.
+  std::map<int, std::map<geo::CellId, std::size_t>> batch;
+  for (const data::CheckIn& c : stream)
+    ++batch[hour_of_day(c.timestamp)][grid.clamped_cell_of(c.position)];
+
+  std::size_t streamed_total = 0;
+  for (const CrowdDistribution& window : monitor->history()) {
+    streamed_total += window.total();
+    const auto expected = batch.find(window.window());
+    if (expected == batch.end()) {
+      EXPECT_EQ(window.total(), 0u);
+      continue;
+    }
+    for (const auto& [cell, count] : expected->second)
+      EXPECT_EQ(window.count(cell), count) << "hour " << window.window();
+  }
+  EXPECT_EQ(streamed_total, stream.size());
+  EXPECT_EQ(monitor->observed(), stream.size());
+}
+
+}  // namespace
+}  // namespace crowdweb::crowd

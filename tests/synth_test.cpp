@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "synth/city.hpp"
+#include "synth/generator.hpp"
+#include "synth/routine.hpp"
+#include "util/civil_time.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::synth {
+namespace {
+
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);  // NOLINT(cert-err58-cpp)
+
+// ------------------------------------------------------------------- City
+
+TEST(CityTest, GenerateValidation) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.venue_count = 0;
+  EXPECT_FALSE(City::generate(config, tax).is_ok());
+  config = CityConfig{};
+  config.neighborhood_count = 0;
+  EXPECT_FALSE(City::generate(config, tax).is_ok());
+  config = CityConfig{};
+  config.bounds = geo::BoundingBox{};
+  EXPECT_FALSE(City::generate(config, tax).is_ok());
+}
+
+TEST(CityTest, VenuesInsideBoundsWithValidCategories) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.venue_count = 1000;
+  const auto city = City::generate(config, tax);
+  ASSERT_TRUE(city.is_ok());
+  EXPECT_EQ(city->venues().size(), 1000u);
+  for (const data::Venue& venue : city->venues()) {
+    EXPECT_TRUE(config.bounds.contains(venue.position));
+    ASSERT_LT(venue.category, tax.size());
+    EXPECT_FALSE(tax.category(venue.category).is_root());  // leaves only
+  }
+}
+
+TEST(CityTest, DeterministicForSeed) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.venue_count = 300;
+  config.seed = 7;
+  const auto a = City::generate(config, tax);
+  const auto b = City::generate(config, tax);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  for (std::size_t i = 0; i < a->venues().size(); ++i) {
+    EXPECT_EQ(a->venues()[i].position, b->venues()[i].position);
+    EXPECT_EQ(a->venues()[i].category, b->venues()[i].category);
+  }
+}
+
+TEST(CityTest, EveryRootCategoryRepresented) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.venue_count = 3000;
+  const auto city = City::generate(config, tax);
+  ASSERT_TRUE(city.is_ok());
+  for (const data::CategoryId root : tax.roots())
+    EXPECT_FALSE(city->venues_of_root(root).empty()) << tax.name(root);
+}
+
+TEST(CityTest, EateriesOutnumberAirports) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.venue_count = 3000;
+  const auto city = City::generate(config, tax);
+  ASSERT_TRUE(city.is_ok());
+  const auto eateries = city->venues_of_root(*tax.find("Eatery"));
+  const auto travel = city->venues_of_root(*tax.find("Travel & Transport"));
+  EXPECT_GT(eateries.size(), travel.size());
+}
+
+TEST(CityTest, RandomVenueNearPrefersCloseOnes) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.venue_count = 3000;
+  const auto city = City::generate(config, tax);
+  ASSERT_TRUE(city.is_ok());
+  Rng rng(3);
+  const geo::LatLon center = config.bounds.center();
+  const data::CategoryId eatery = *tax.find("Eatery");
+  for (int i = 0; i < 50; ++i) {
+    const auto venue = city->random_venue_near(center, eatery, 2000.0, rng);
+    ASSERT_TRUE(venue.has_value());
+    const double distance =
+        geo::haversine_meters(center, city->venues()[*venue].position);
+    // Within the radius unless the area has no eatery at all (fallback).
+    EXPECT_LT(distance, 25'000.0);
+  }
+}
+
+TEST(CityTest, RandomVenueOfRootMatchesCategory) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const auto city = City::generate(CityConfig{}, tax);
+  ASSERT_TRUE(city.is_ok());
+  Rng rng(5);
+  const data::CategoryId shops = *tax.find("Shop & Service");
+  for (int i = 0; i < 30; ++i) {
+    const auto venue = city->random_venue(shops, rng);
+    ASSERT_TRUE(venue.has_value());
+    EXPECT_EQ(tax.root_of(city->venues()[*venue].category), shops);
+  }
+}
+
+TEST(CityTest, NeighborhoodsExposedAndInsideBounds) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  CityConfig config;
+  config.neighborhood_count = 10;
+  const auto city = City::generate(config, tax);
+  ASSERT_TRUE(city.is_ok());
+  ASSERT_EQ(city->neighborhoods().size(), 10u);
+  for (const Neighborhood& hood : city->neighborhoods()) {
+    EXPECT_TRUE(config.bounds.contains(hood.center));
+    EXPECT_GT(hood.spread_meters, 0.0);
+    EXPECT_EQ(hood.category_mix.size(), tax.roots().size());
+  }
+  EXPECT_EQ(&city->taxonomy(), &tax);
+  EXPECT_EQ(city->config().neighborhood_count, 10u);
+}
+
+// ---------------------------------------------------------------- Routine
+
+TEST(RoutineTest, ProfilesAreDeterministicPerUser) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const auto city = City::generate(CityConfig{}, tax);
+  ASSERT_TRUE(city.is_ok());
+  const auto gen = RoutineGenerator::create(*city);
+  ASSERT_TRUE(gen.is_ok());
+  const UserProfile a = gen->make_profile(17);
+  const UserProfile b = gen->make_profile(17);
+  EXPECT_EQ(a.home, b.home);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.slots.size(), b.slots.size());
+  EXPECT_DOUBLE_EQ(a.checkin_propensity, b.checkin_propensity);
+}
+
+TEST(RoutineTest, EveryProfileHasHomeAndEveningSlot) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const auto city = City::generate(CityConfig{}, tax);
+  ASSERT_TRUE(city.is_ok());
+  const auto gen = RoutineGenerator::create(*city);
+  ASSERT_TRUE(gen.is_ok());
+  for (data::UserId user = 0; user < 100; ++user) {
+    const UserProfile profile = gen->make_profile(user);
+    EXPECT_NE(profile.home, kNoVenue);
+    const bool has_home_slot = std::any_of(
+        profile.slots.begin(), profile.slots.end(),
+        [](const RoutineSlot& slot) { return slot.label == "home"; });
+    EXPECT_TRUE(has_home_slot);
+    for (const RoutineSlot& slot : profile.slots) {
+      EXPECT_LT(slot.start_minute, slot.end_minute);
+      EXPECT_GE(slot.start_minute, 0);
+      EXPECT_LT(slot.end_minute, 24 * 60);
+      EXPECT_GT(slot.participation, 0.0);
+      EXPECT_LE(slot.participation, 1.0);
+      EXPECT_NE(slot.day_mask, 0);
+    }
+  }
+}
+
+TEST(RoutineTest, PropensityDistributionIsRightSkewed) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const auto city = City::generate(CityConfig{}, tax);
+  ASSERT_TRUE(city.is_ok());
+  const auto gen = RoutineGenerator::create(*city);
+  ASSERT_TRUE(gen.is_ok());
+  std::vector<double> propensities;
+  for (data::UserId user = 0; user < 1000; ++user)
+    propensities.push_back(gen->make_profile(user).checkin_propensity);
+  std::sort(propensities.begin(), propensities.end());
+  const double median = propensities[propensities.size() / 2];
+  double mean = 0;
+  for (const double p : propensities) mean += p;
+  mean /= static_cast<double>(propensities.size());
+  EXPECT_LT(median, mean);  // right skew: median < mean, like the corpus
+  EXPECT_GT(propensities.front(), 0.0);
+  EXPECT_LE(propensities.back(), 0.95);
+}
+
+TEST(RoutineTest, WorkersHaveLunchNearWork) {
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const auto city = City::generate(CityConfig{}, tax);
+  ASSERT_TRUE(city.is_ok());
+  const auto gen = RoutineGenerator::create(*city);
+  ASSERT_TRUE(gen.is_ok());
+  int workers_with_lunch = 0;
+  for (data::UserId user = 0; user < 200; ++user) {
+    const UserProfile profile = gen->make_profile(user);
+    if (profile.work == kNoVenue) continue;
+    const auto lunch = std::find_if(profile.slots.begin(), profile.slots.end(),
+                                    [](const RoutineSlot& s) { return s.label == "lunch"; });
+    ASSERT_NE(lunch, profile.slots.end());
+    EXPECT_EQ(lunch->anchor, kNoVenue);  // flexible venue: the Thai effect
+    EXPECT_FALSE(lunch->near_home);      // near work
+    ++workers_with_lunch;
+  }
+  EXPECT_GT(workers_with_lunch, 100);  // most users work
+}
+
+// -------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, ConfigValidation) {
+  GeneratorConfig config;
+  config.user_count = 0;
+  EXPECT_FALSE(generate_corpus(config).is_ok());
+  config = GeneratorConfig{};
+  config.period_end = config.period_start;
+  EXPECT_FALSE(generate_corpus(config).is_ok());
+  config = GeneratorConfig{};
+  config.monthly_activity = {1.0};  // too few months for 11-month period
+  EXPECT_FALSE(generate_corpus(config).is_ok());
+}
+
+TEST(GeneratorTest, SmallCorpusBasics) {
+  const auto corpus = small_corpus(11);
+  ASSERT_TRUE(corpus.is_ok());
+  EXPECT_EQ(corpus->dataset.user_count(), 60u);
+  EXPECT_GT(corpus->dataset.checkin_count(), 1000u);
+  EXPECT_EQ(corpus->profiles.size(), 60u);
+  // All timestamps inside the configured period.
+  const std::int64_t start = to_epoch_seconds({2012, 4, 1, 0, 0, 0});
+  const std::int64_t end = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+  for (const data::CheckIn& c : corpus->dataset.checkins()) {
+    EXPECT_GE(c.timestamp, start);
+    EXPECT_LT(c.timestamp, end);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const auto a = small_corpus(99);
+  const auto b = small_corpus(99);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  ASSERT_EQ(a->dataset.checkin_count(), b->dataset.checkin_count());
+  const auto ca = a->dataset.checkins();
+  const auto cb = b->dataset.checkins();
+  for (std::size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const auto a = small_corpus(1);
+  const auto b = small_corpus(2);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_NE(a->dataset.checkin_count(), b->dataset.checkin_count());
+}
+
+TEST(GeneratorTest, CheckinsReferenceValidVenues) {
+  const auto corpus = small_corpus(3);
+  ASSERT_TRUE(corpus.is_ok());
+  for (const data::CheckIn& c : corpus->dataset.checkins()) {
+    const data::Venue* venue = corpus->dataset.venue(c.venue);
+    ASSERT_NE(venue, nullptr);
+    EXPECT_EQ(venue->category, c.category);
+    EXPECT_EQ(venue->position, c.position);
+  }
+}
+
+TEST(GeneratorTest, LunchCheckinsClusterAroundNoon) {
+  const auto corpus = small_corpus(5);
+  ASSERT_TRUE(corpus.is_ok());
+  const data::Taxonomy& tax = data::Taxonomy::foursquare();
+  const data::CategoryId eatery = *tax.find("Eatery");
+  std::size_t noonish = 0, total = 0;
+  for (const data::CheckIn& c : corpus->dataset.checkins()) {
+    if (tax.root_of(c.category) != eatery) continue;
+    const int hour = hour_of_day(c.timestamp);
+    if (hour == 12) ++noonish;
+    ++total;
+  }
+  ASSERT_GT(total, 100u);
+  // Noon is a strong eatery mode (lunch slot), far above uniform 1/24.
+  EXPECT_GT(static_cast<double>(noonish) / static_cast<double>(total), 0.15);
+}
+
+// The headline calibration test: the synthetic corpus reproduces the
+// paper's Section I.1 statistics within tolerance.
+TEST(GeneratorTest, PaperCorpusMatchesReportedStatistics) {
+  const auto corpus = paper_corpus(42);
+  ASSERT_TRUE(corpus.is_ok());
+  const data::DatasetStats s = corpus->dataset.stats();
+
+  EXPECT_EQ(s.user_count, 1083u);                     // paper: 1083 users
+  EXPECT_NEAR(static_cast<double>(s.checkin_count), 227'428.0, 25'000.0);      // paper: 227,428 check-ins
+  EXPECT_NEAR(s.mean_records_per_user, 210.0, 25.0);  // paper: ~210
+  EXPECT_NEAR(s.median_records_per_user, 153.0, 30.0);  // paper: ~153
+  EXPECT_LT(s.median_records_per_user, s.mean_records_per_user);  // right skew
+  EXPECT_NEAR(static_cast<double>(s.collection_days), 330.0, 10.0);            // paper: ~330 days
+  EXPECT_LT(s.mean_records_per_user_day, 1.0);        // paper: sparse, <1/day
+}
+
+TEST(GeneratorTest, AprilToJuneAreTheRichestMonths) {
+  const auto corpus = paper_corpus(42);
+  ASSERT_TRUE(corpus.is_ok());
+  const auto months = corpus->dataset.monthly_counts();
+  ASSERT_EQ(months.size(), 11u);  // Apr 2012 .. Feb 2013
+  // Every month in {Apr, May, Jun} outweighs every later month.
+  for (std::size_t rich = 0; rich < 3; ++rich) {
+    for (std::size_t lean = 3; lean < months.size(); ++lean) {
+      EXPECT_GT(months[rich].second, months[lean].second)
+          << months[rich].first << " vs " << months[lean].first;
+    }
+  }
+}
+
+TEST(GeneratorTest, TokyoPresetGeneratesAValidCity) {
+  // The original Foursquare release also covers Tokyo; the generator is
+  // city-agnostic given a preset.
+  GeneratorConfig config;
+  config.seed = 5;
+  config.user_count = 40;
+  config.period_end = to_epoch_seconds({2012, 6, 1, 0, 0, 0});
+  config.monthly_activity = {1.3, 1.4};
+  auto corpus = generate_corpus(config, tokyo_city_config());
+  ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();
+  EXPECT_EQ(corpus->dataset.user_count(), 40u);
+  EXPECT_GT(corpus->dataset.checkin_count(), 400u);
+  const geo::BoundingBox tokyo = tokyo_city_config().bounds;
+  for (const data::CheckIn& c : corpus->dataset.checkins())
+    EXPECT_TRUE(tokyo.contains(c.position));
+  // Tokyo's box does not overlap New York's.
+  EXPECT_FALSE(tokyo.intersects(nyc_city_config().bounds));
+}
+
+TEST(GeneratorTest, ActiveUserFilterYieldsWorkingSubset) {
+  const auto corpus = paper_corpus(42);
+  ASSERT_TRUE(corpus.is_ok());
+  data::ActiveUserCriteria criteria;
+  criteria.from = to_epoch_seconds({2012, 4, 1, 0, 0, 0});
+  criteria.to = to_epoch_seconds({2012, 7, 1, 0, 0, 0});
+  criteria.min_days = 50;
+  criteria.max_gap_seconds = 0;
+  const data::Dataset window = corpus->dataset.filter_time_range(criteria.from, criteria.to);
+  const data::Dataset active = window.filter_active_users(criteria);
+  // A meaningful crowd remains (the paper does not report its exact size).
+  EXPECT_GT(active.user_count(), 100u);
+  EXPECT_LT(active.user_count(), corpus->dataset.user_count());
+  for (const data::UserId user : active.users())
+    EXPECT_GT(active.active_days(user, criteria.from, criteria.to), 50u);
+}
+
+}  // namespace
+}  // namespace crowdweb::synth
