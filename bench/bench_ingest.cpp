@@ -1,0 +1,121 @@
+// Live ingestion bench: sustained queue throughput and epoch-publish
+// latency across queue capacities.
+//
+// Feeds a foreign corpus (different seed, so every event is new traffic)
+// through the replay driver at full speed into an IngestWorker, per
+// queue capacity. Reports the offered rate the worker sustained, the
+// backpressure rejections the bounded queue produced, and the rebuild
+// cost per published epoch. A second pass measures publish latency
+// directly: one burst, then the wall-clock wait until its epoch lands.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "core/platform.hpp"
+#include "ingest/replay.hpp"
+#include "ingest/worker.hpp"
+
+using namespace crowdweb;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Live ingestion: throughput and epoch latency ===\n\n");
+  set_log_level(LogLevel::kError);
+
+  core::PlatformConfig config;
+  config.small_corpus = true;
+  config.min_active_days = 20;
+  auto platform = core::Platform::create(config);
+  if (!platform.is_ok()) {
+    std::fprintf(stderr, "platform failed: %s\n", platform.status().to_string().c_str());
+    return 1;
+  }
+  auto feed = synth::small_corpus(config.seed + 1);
+  if (!feed.is_ok()) {
+    std::fprintf(stderr, "feed failed: %s\n", feed.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<data::CheckIn> stream(feed->dataset.checkins().begin(),
+                                    feed->dataset.checkins().end());
+  std::printf("base corpus: %zu check-ins, feed: %zu events available\n\n",
+              platform->experiment_dataset().checkin_count(), stream.size());
+
+  const std::vector<std::size_t> capacities{256, 1'024, 4'096, 16'384};
+  constexpr std::size_t kEvents = 20'000;
+
+  std::printf("--- full-speed replay, %zu events offered ---\n",
+              std::min(kEvents, stream.size()));
+  std::printf("%9s %12s %10s %10s %8s %12s %12s\n", "capacity", "offered/s", "accepted",
+              "rejected", "epochs", "rebuild ms", "(mean)");
+  for (const std::size_t capacity : capacities) {
+    ingest::IngestWorkerConfig worker_config;
+    worker_config.queue_capacity = capacity;
+    worker_config.rebuild_interval = std::chrono::milliseconds(50);
+    auto worker = core::make_ingest_worker(*platform, worker_config);
+    if (!worker->start().is_ok()) {
+      std::fprintf(stderr, "worker start failed\n");
+      return 1;
+    }
+    ingest::ReplayOptions options;
+    options.events_per_second = 0;  // as fast as the sink accepts
+    options.max_events = kEvents;
+    const auto report = ingest::replay(stream, options, ingest::worker_sink(*worker));
+    if (!report.is_ok()) {
+      std::fprintf(stderr, "replay failed: %s\n", report.status().to_string().c_str());
+      return 1;
+    }
+    worker->stop();  // final epoch merges the tail
+    const ingest::IngestStats stats = worker->stats();
+    const double mean_rebuild =
+        stats.epochs_published > 0
+            ? stats.total_rebuild_ms / static_cast<double>(stats.epochs_published)
+            : 0.0;
+    std::printf("%9zu %12.0f %10zu %10zu %8llu %12.1f %12.2f\n", capacity,
+                report->offered_per_second(), report->accepted, report->rejected,
+                static_cast<unsigned long long>(stats.epochs_published),
+                stats.total_rebuild_ms, mean_rebuild);
+  }
+
+  std::printf("\n--- epoch-publish latency: 1000-event burst -> next epoch ---\n");
+  std::printf("%9s %12s %12s\n", "capacity", "publish ms", "rebuild ms");
+  for (const std::size_t capacity : capacities) {
+    ingest::IngestWorkerConfig worker_config;
+    worker_config.queue_capacity = capacity;
+    worker_config.rebuild_interval = std::chrono::milliseconds(1);
+    auto worker = core::make_ingest_worker(*platform, worker_config);
+    if (!worker->start().is_ok()) {
+      std::fprintf(stderr, "worker start failed\n");
+      return 1;
+    }
+    std::vector<ingest::IngestEvent> burst;
+    burst.reserve(1'000);
+    for (std::size_t i = 0; i < 1'000 && i < stream.size(); ++i)
+      burst.push_back(ingest::to_event(stream[i]));
+    const auto start = Clock::now();
+    const ingest::SubmitResult submitted = worker->submit(burst);
+    const bool published = worker->wait_for_epoch(2, std::chrono::seconds(30));
+    const double publish_ms = ms_since(start);
+    const ingest::IngestStats stats = worker->stats();
+    worker->stop();
+    if (!published || submitted.accepted == 0) {
+      std::printf("%9zu %12s %12s\n", capacity, "timeout", "-");
+      continue;
+    }
+    std::printf("%9zu %12.1f %12.1f\n", capacity, publish_ms, stats.last_rebuild_ms);
+  }
+
+  std::printf("\ndone.\n");
+  return 0;
+}

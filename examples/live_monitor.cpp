@@ -1,111 +1,185 @@
-// Live crowd monitor — streaming check-ins, not mined patterns.
+// Live crowd monitor — the full ingestion loop over a real socket.
 //
-// Replays one synthetic day through `crowd::StreamingCrowd` in timestamp
-// order and prints the dashboard a city operator would watch: the rolling
-// hourly occupancy with its busiest microcell, as each window closes.
-// Contrast with the CrowdModel views (quickstart/city_dashboard), which
-// show where the crowd *usually* is; this is where it *currently* is.
+// Boots the batch platform on a small corpus, attaches an IngestWorker,
+// serves the live API on localhost, and then replays a *different*
+// synthetic corpus through the replay driver's HTTP sink: every batch is
+// POSTed to /api/ingest exactly as an external feed would. While the
+// replay runs, the dashboard polls /api/ingest/stats once a second and
+// prints queue depth, accept/reject counters, and the advancing epoch.
+// Contrast with city_dashboard, which renders where the crowd *usually*
+// is from the frozen batch model; this shows the corpus evolving.
 //
-// Run:  ./live_monitor [--seed N] [--date YYYY-MM-DD]
+// Run:  ./live_monitor [--seed N] [--rate R] [--duration S] [--port P]
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "crowd/streaming.hpp"
+#include "core/api.hpp"
+#include "core/platform.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "ingest/replay.hpp"
+#include "json/json.hpp"
 #include "synth/generator.hpp"
-#include "util/civil_time.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 using namespace crowdweb;
 
+namespace {
+
+int usage(const char* name) {
+  std::fprintf(stderr, "usage: %s [--seed N] [--rate R] [--duration S] [--port P]\n", name);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   std::uint64_t seed = 42;
-  std::int64_t day_start = to_epoch_seconds({2012, 4, 10, 0, 0, 0});
+  double rate = 500.0;       // offered events per second
+  double duration = 10.0;    // replay wall-clock budget, seconds
+  std::uint16_t port = 0;    // 0 = ephemeral
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
       const auto parsed = parse_int(argv[++i]);
-      if (!parsed) {
-        std::fprintf(stderr, "usage: %s [--seed N] [--date YYYY-MM-DD]\n", argv[0]);
-        return 2;
-      }
+      if (!parsed || *parsed < 0) return usage(argv[0]);
       seed = static_cast<std::uint64_t>(*parsed);
-    } else if (flag == "--date" && i + 1 < argc) {
-      const auto parsed = parse_timestamp(argv[++i]);
-      if (!parsed) {
-        std::fprintf(stderr, "bad --date; expected YYYY-MM-DD\n");
-        return 2;
-      }
-      day_start = *parsed;
+    } else if (flag == "--rate" && i + 1 < argc) {
+      const auto parsed = parse_double(argv[++i]);
+      if (!parsed || *parsed <= 0.0) return usage(argv[0]);
+      rate = *parsed;
+    } else if (flag == "--duration" && i + 1 < argc) {
+      const auto parsed = parse_double(argv[++i]);
+      if (!parsed || *parsed <= 0.0) return usage(argv[0]);
+      duration = *parsed;
+    } else if (flag == "--port" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed || *parsed < 0 || *parsed > 65'535) return usage(argv[0]);
+      port = static_cast<std::uint16_t>(*parsed);
     } else {
-      std::fprintf(stderr, "usage: %s [--seed N] [--date YYYY-MM-DD]\n", argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
 
-  auto corpus = synth::small_corpus(seed);
-  if (!corpus) {
-    std::fprintf(stderr, "corpus failed: %s\n", corpus.status().to_string().c_str());
+  // Batch platform: phases 1-3 over the base corpus.
+  core::PlatformConfig config;
+  config.seed = seed;
+  config.small_corpus = true;
+  config.min_active_days = 20;
+  std::printf("building platform (seed %llu)...\n",
+              static_cast<unsigned long long>(seed));
+  auto platform = core::Platform::create(config);
+  if (!platform) {
+    std::fprintf(stderr, "platform failed: %s\n", platform.status().to_string().c_str());
     return 1;
   }
 
-  // Today's stream, time ordered.
-  const std::int64_t day_end = day_start + 86'400;
-  std::vector<data::CheckIn> stream;
-  for (const data::CheckIn& c : corpus->dataset.checkins()) {
-    if (c.timestamp >= day_start && c.timestamp < day_end) stream.push_back(c);
+  // Live side: worker + API + server.
+  auto worker = core::make_ingest_worker(*platform);
+  if (const Status status = worker->start(); !status.is_ok()) {
+    std::fprintf(stderr, "worker failed: %s\n", status.to_string().c_str());
+    return 1;
   }
+  core::ApiOptions api_options;
+  api_options.ingest = worker.get();
+  api_options.server_stats = std::make_shared<std::function<http::ServerStats()>>();
+  http::ServerConfig server_config;
+  server_config.port = port;
+  http::Server server(core::make_api_router(*platform, api_options), server_config);
+  if (const Status status = server.start(); !status.is_ok()) {
+    std::fprintf(stderr, "server failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  *api_options.server_stats = [&server] { return server.stats(); };
+  std::printf("live API on http://127.0.0.1:%u (epoch %llu published)\n\n", server.port(),
+              static_cast<unsigned long long>(worker->hub().epoch()));
+
+  // The live feed: a different seed's corpus, so every event is genuinely
+  // new traffic, replayed in timestamp order through the HTTP sink.
+  auto feed = synth::small_corpus(seed + 1);
+  if (!feed) {
+    std::fprintf(stderr, "feed corpus failed: %s\n", feed.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<data::CheckIn> stream(feed->dataset.checkins().begin(),
+                                    feed->dataset.checkins().end());
   std::sort(stream.begin(), stream.end(),
             [](const data::CheckIn& a, const data::CheckIn& b) {
               return a.timestamp < b.timestamp;
             });
-  std::printf("replaying %zu check-ins from %s\n\n", stream.size(),
-              format_date(day_start).c_str());
 
-  auto grid = geo::SpatialGrid::create(corpus->dataset.bounds().inflated(0.002), 500.0);
-  if (!grid) {
-    std::fprintf(stderr, "%s\n", grid.status().to_string().c_str());
-    return 1;
-  }
-  auto monitor = crowd::StreamingCrowd::create(*grid, {});
-  if (!monitor) {
-    std::fprintf(stderr, "%s\n", monitor.status().to_string().c_str());
-    return 1;
-  }
+  ingest::ReplayOptions replay_options;
+  replay_options.events_per_second = rate;
+  replay_options.max_seconds = duration;
+  Result<ingest::ReplayReport> report = ingest::ReplayReport{};
+  std::thread feeder([&] {
+    report = ingest::replay(stream, replay_options,
+                            ingest::http_sink("127.0.0.1", server.port(),
+                                              platform->taxonomy()));
+  });
 
-  // Feed the stream; report each window as it closes.
-  std::size_t reported = 0;
-  const auto report_closed = [&] {
-    while (reported < monitor->history().size()) {
-      const crowd::CrowdDistribution& window = monitor->history()[reported];
-      const auto top = window.top_cells(1);
-      if (top.empty()) {
-        std::printf("  %02d:00  %4zu check-ins\n", window.window(), window.total());
-      } else {
-        const geo::LatLon center = grid->cell_center(top[0].first);
-        std::printf("  %02d:00  %4zu check-ins | hottest cell %u (%.4f, %.4f) with %zu\n",
-                    window.window(), window.total(), top[0].first, center.lat, center.lon,
-                    top[0].second);
-      }
-      ++reported;
-    }
+  // Dashboard: poll the stats route once a second while the feed runs.
+  std::printf("%8s %8s %8s %8s %8s %6s %12s\n", "accepted", "rejected", "invalid",
+              "depth", "epoch", "live", "rebuild ms");
+  const auto poll = [&]() -> bool {
+    const auto response = http::get("127.0.0.1", server.port(), "/api/ingest/stats");
+    if (!response || response->status != 200) return false;
+    const auto payload = json::parse(response->body);
+    if (!payload) return false;
+    const auto field = [&](const char* name) -> std::int64_t {
+      const json::Value* value = payload->find(name);
+      return value != nullptr ? value->as_int() : 0;
+    };
+    const json::Value* queue = payload->find("queue");
+    const json::Value* depth = queue != nullptr ? queue->find("depth") : nullptr;
+    const json::Value* rebuild = payload->find("last_rebuild_ms");
+    std::printf("%8lld %8lld %8lld %8lld %8lld %6lld %12.1f\n",
+                static_cast<long long>(field("accepted")),
+                static_cast<long long>(field("rejected")),
+                static_cast<long long>(field("invalid")),
+                static_cast<long long>(depth != nullptr ? depth->as_int() : 0),
+                static_cast<long long>(field("epoch")),
+                static_cast<long long>(field("live_checkins")),
+                rebuild != nullptr ? rebuild->as_double() : 0.0);
+    return true;
   };
-  for (const data::CheckIn& checkin : stream) {
-    const Status status = monitor->observe(checkin);
-    if (!status.is_ok()) {
-      std::fprintf(stderr, "stream error: %s\n", status.to_string().c_str());
-      return 1;
-    }
-    report_closed();
+  const int ticks = static_cast<int>(duration) + 1;
+  for (int tick = 0; tick < ticks; ++tick) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    if (!poll()) std::fprintf(stderr, "stats poll failed\n");
   }
-  monitor->advance_to(day_end);
-  report_closed();
+  feeder.join();
+  poll();
 
-  std::printf("\nday complete: %zu observations across %zu windows\n", monitor->observed(),
-              monitor->history().size());
+  if (!report) {
+    std::fprintf(stderr, "replay failed: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nreplay: offered %zu (%.0f/s), accepted %zu, rejected %zu in %.1fs\n",
+              report->offered, report->offered_per_second(), report->accepted,
+              report->rejected, report->elapsed_seconds);
+  const http::ServerStats http_stats = server.stats();
+  std::printf("server: %llu requests, %llu/%llu/%llu 2xx/4xx/5xx, %llu bytes out\n",
+              static_cast<unsigned long long>(http_stats.requests),
+              static_cast<unsigned long long>(http_stats.responses_2xx),
+              static_cast<unsigned long long>(http_stats.responses_4xx),
+              static_cast<unsigned long long>(http_stats.responses_5xx),
+              static_cast<unsigned long long>(http_stats.bytes_written));
+  worker->stop();
+  const ingest::IngestStats final_stats = worker->stats();
+  std::printf("worker: %llu epochs published, final epoch %llu, %.1f ms total rebuild\n",
+              static_cast<unsigned long long>(final_stats.epochs_published),
+              static_cast<unsigned long long>(final_stats.current_epoch),
+              final_stats.total_rebuild_ms);
+  server.stop();
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "crowd/communities.hpp"
 #include "data/csv.hpp"
+#include "ingest/queue.hpp"
+#include "ingest/snapshot.hpp"
 #include "mining/prefixspan.hpp"
 #include "predict/predictor.hpp"
 #include "json/json.hpp"
@@ -52,10 +54,21 @@ json::Value pattern_json(const patterns::MobilityPattern& pattern, const Platfor
                        {"support_count", static_cast<std::int64_t>(pattern.support_count)}});
 }
 
-Response status_handler(const Platform& platform) {
+/// The state a crowd-facing handler reads: either the batch platform's
+/// phase-3 output, or — in live mode — one published epoch, pinned for
+/// the duration of the request by the shared_ptr the caller holds.
+struct CrowdView {
+  const data::Dataset& dataset;
+  const geo::SpatialGrid& grid;
+  const crowd::CrowdModel& crowd;
+  mining::LabelMode mode;
+  const data::Taxonomy& taxonomy;
+};
+
+Response status_handler(const Platform& platform, const ApiOptions& options) {
   const data::DatasetStats full = platform.full_dataset().stats();
   const data::DatasetStats experiment = platform.experiment_dataset().stats();
-  const json::Value payload = json::object(
+  json::Value payload = json::object(
       {{"full",
         json::object({{"checkins", static_cast<std::int64_t>(full.checkin_count)},
                       {"users", static_cast<std::int64_t>(full.user_count)},
@@ -73,6 +86,26 @@ Response status_handler(const Platform& platform) {
        {"timings_ms", json::object({{"acquisition", platform.timings().acquisition_ms},
                                     {"mining", platform.timings().mining_ms},
                                     {"crowd", platform.timings().crowd_ms}})}});
+  if (options.server_stats != nullptr && *options.server_stats) {
+    const http::ServerStats stats = (*options.server_stats)();
+    payload.set(
+        "server",
+        json::object(
+            {{"requests", static_cast<std::int64_t>(stats.requests)},
+             {"bad_requests", static_cast<std::int64_t>(stats.bad_requests)},
+             {"connections", static_cast<std::int64_t>(stats.connections)},
+             {"responses", json::object({{"2xx", static_cast<std::int64_t>(stats.responses_2xx)},
+                                         {"4xx", static_cast<std::int64_t>(stats.responses_4xx)},
+                                         {"5xx", static_cast<std::int64_t>(stats.responses_5xx)}})},
+             {"bytes_written", static_cast<std::int64_t>(stats.bytes_written)}}));
+  }
+  if (options.ingest != nullptr) {
+    const ingest::IngestStats stats = options.ingest->stats();
+    payload.set("ingest",
+                json::object({{"epoch", static_cast<std::int64_t>(stats.current_epoch)},
+                              {"live_checkins", static_cast<std::int64_t>(stats.live_checkins)},
+                              {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)}}));
+  }
   return Response::json(200, json::dump(payload));
 }
 
@@ -129,19 +162,19 @@ Response user_timeline_handler(const Platform& platform, const PathParams& param
                                 platform.config().sequences.mode, options));
 }
 
-bool valid_window(const Platform& platform, std::int64_t window) {
-  return window >= 0 && window < platform.crowd_model().window_count();
+bool valid_window(const CrowdView& view, std::int64_t window) {
+  return window >= 0 && window < view.crowd.window_count();
 }
 
-Response crowd_handler(const Platform& platform, const PathParams& params) {
+Response crowd_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
-  if (!window || !valid_window(platform, *window))
+  if (!window || !valid_window(view, *window))
     return Response::bad_request_400("bad window index");
   const crowd::CrowdDistribution distribution =
-      platform.crowd_model().distribution(static_cast<int>(*window));
+      view.crowd.distribution(static_cast<int>(*window));
   json::Value cells = json::Value(json::Array{});
   for (const auto& [cell, count] : distribution.top_cells(50)) {
-    const geo::LatLon center = platform.grid().cell_center(cell);
+    const geo::LatLon center = view.grid.cell_center(cell);
     cells.push_back(json::object({{"cell", static_cast<std::int64_t>(cell)},
                                   {"count", static_cast<std::int64_t>(count)},
                                   {"lat", center.lat},
@@ -151,50 +184,50 @@ Response crowd_handler(const Platform& platform, const PathParams& params) {
       200,
       json::dump(json::object(
           {{"window", static_cast<std::int64_t>(*window)},
-           {"label", platform.crowd_model().window_label(static_cast<int>(*window))},
+           {"label", view.crowd.window_label(static_cast<int>(*window))},
            {"total", static_cast<std::int64_t>(distribution.total())},
            {"occupied_cells", static_cast<std::int64_t>(distribution.occupied_cells())},
            {"top_cells", std::move(cells)}})));
 }
 
-Response crowd_map_handler(const Platform& platform, const PathParams& params) {
+Response crowd_map_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
-  if (!window || !valid_window(platform, *window))
+  if (!window || !valid_window(view, *window))
     return Response::bad_request_400("bad window index");
   const crowd::CrowdDistribution distribution =
-      platform.crowd_model().distribution(static_cast<int>(*window));
+      view.crowd.distribution(static_cast<int>(*window));
   viz::CityMapOptions options;
   options.title = crowdweb::format(
-      "Crowd {} ", platform.crowd_model().window_label(static_cast<int>(*window)));
-  return Response::svg(200, viz::render_city_map(distribution, platform.grid(),
-                                                 platform.experiment_dataset(), options));
+      "Crowd {} ", view.crowd.window_label(static_cast<int>(*window)));
+  return Response::svg(200, viz::render_city_map(distribution, view.grid,
+                                                 view.dataset, options));
 }
 
-Response crowd_geojson_handler(const Platform& platform, const PathParams& params) {
+Response crowd_geojson_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
-  if (!window || !valid_window(platform, *window))
+  if (!window || !valid_window(view, *window))
     return Response::bad_request_400("bad window index");
   const crowd::CrowdDistribution distribution =
-      platform.crowd_model().distribution(static_cast<int>(*window));
+      view.crowd.distribution(static_cast<int>(*window));
   return Response::json(200,
-                        json::dump(viz::distribution_geojson(distribution, platform.grid())));
+                        json::dump(viz::distribution_geojson(distribution, view.grid)));
 }
 
-Response groups_handler(const Platform& platform, const PathParams& params) {
+Response groups_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
-  if (!window || !valid_window(platform, *window))
+  if (!window || !valid_window(view, *window))
     return Response::bad_request_400("bad window index");
   json::Value list = json::Value(json::Array{});
   for (const crowd::CrowdGroup& group :
-       platform.crowd_model().groups(static_cast<int>(*window))) {
+       view.crowd.groups(static_cast<int>(*window))) {
     json::Value members = json::Value(json::Array{});
     for (const data::UserId user : group.users)
       members.push_back(static_cast<std::int64_t>(user));
-    const geo::LatLon center = platform.grid().cell_center(group.cell);
+    const geo::LatLon center = view.grid.cell_center(group.cell);
     list.push_back(json::object(
         {{"cell", static_cast<std::int64_t>(group.cell)},
-         {"label", mining::label_name(group.label, platform.config().sequences.mode,
-                                      platform.taxonomy(), platform.experiment_dataset())},
+         {"label", mining::label_name(group.label, view.mode,
+                                      view.taxonomy, view.dataset)},
          {"lat", center.lat},
          {"lon", center.lon},
          {"users", std::move(members)}}));
@@ -202,27 +235,27 @@ Response groups_handler(const Platform& platform, const PathParams& params) {
   return Response::json(200, json::dump(json::object({{"groups", std::move(list)}})));
 }
 
-Response flow_handler(const Platform& platform, const PathParams& params, bool as_map) {
+Response flow_handler(const CrowdView& view, const PathParams& params, bool as_map) {
   const auto from = int_param(params, "from");
   const auto to = int_param(params, "to");
-  if (!from || !to || !valid_window(platform, *from) || !valid_window(platform, *to))
+  if (!from || !to || !valid_window(view, *from) || !valid_window(view, *to))
     return Response::bad_request_400("bad window index");
   const crowd::FlowMatrix flow =
-      platform.crowd_model().flow(static_cast<int>(*from), static_cast<int>(*to));
+      view.crowd.flow(static_cast<int>(*from), static_cast<int>(*to));
   if (as_map) {
     const crowd::CrowdDistribution destination =
-        platform.crowd_model().distribution(static_cast<int>(*to));
+        view.crowd.distribution(static_cast<int>(*to));
     viz::CityMapOptions options;
     options.title = crowdweb::format(
-        "Crowd flow {} to {}", platform.crowd_model().window_label(static_cast<int>(*from)),
-        platform.crowd_model().window_label(static_cast<int>(*to)));
-    return Response::svg(200, viz::render_flow_map(flow, destination, platform.grid(),
-                                                   platform.experiment_dataset(), options));
+        "Crowd flow {} to {}", view.crowd.window_label(static_cast<int>(*from)),
+        view.crowd.window_label(static_cast<int>(*to)));
+    return Response::svg(200, viz::render_flow_map(flow, destination, view.grid,
+                                                   view.dataset, options));
   }
   json::Value moves = json::Value(json::Array{});
   for (const auto& [pair, count] : flow.top_flows(50)) {
-    const geo::LatLon a = platform.grid().cell_center(pair.first);
-    const geo::LatLon b = platform.grid().cell_center(pair.second);
+    const geo::LatLon a = view.grid.cell_center(pair.first);
+    const geo::LatLon b = view.grid.cell_center(pair.second);
     moves.push_back(json::object({{"from_cell", static_cast<std::int64_t>(pair.first)},
                                   {"to_cell", static_cast<std::int64_t>(pair.second)},
                                   {"count", static_cast<std::int64_t>(count)},
@@ -236,7 +269,7 @@ Response flow_handler(const Platform& platform, const PathParams& params, bool a
                                     {"top_flows", std::move(moves)}})));
 }
 
-Response animation_handler(const Platform& platform, const Request& request) {
+Response animation_handler(const CrowdView& view, const Request& request) {
   viz::AnimationOptions options;
   options.title = "Crowd movement across the day";
   if (const auto seconds = request.query_param("seconds")) {
@@ -245,8 +278,7 @@ Response animation_handler(const Platform& platform, const Request& request) {
       return Response::bad_request_400("seconds must be in (0, 60]");
     options.seconds_per_window = *parsed;
   }
-  return Response::svg(200,
-                       viz::render_crowd_animation(platform.crowd_model(), options));
+  return Response::svg(200, viz::render_crowd_animation(view.crowd, options));
 }
 
 Response communities_handler(const Platform& platform) {
@@ -318,18 +350,17 @@ Response predict_handler(const Platform& platform, const Request& request,
                                     {"predictions", std::move(predictions)}})));
 }
 
-Response rhythm_handler(const Platform& platform) {
-  const crowd::CrowdModel::Rhythm rhythm = platform.crowd_model().rhythm();
+Response rhythm_handler(const CrowdView& view) {
+  const crowd::CrowdModel::Rhythm rhythm = view.crowd.rhythm();
   viz::HeatmapSpec spec;
   spec.title = "Crowd rhythm: place type by time window";
   spec.size.width = 900;
   for (const mining::Item label : rhythm.labels)
-    spec.row_labels.push_back(mining::label_name(label, platform.config().sequences.mode,
-                                                 platform.taxonomy(),
-                                                 platform.experiment_dataset()));
-  for (int w = 0; w < platform.crowd_model().window_count(); ++w)
+    spec.row_labels.push_back(
+        mining::label_name(label, view.mode, view.taxonomy, view.dataset));
+  for (int w = 0; w < view.crowd.window_count(); ++w)
     spec.col_labels.push_back(
-        crowdweb::format("{:02}", w * platform.crowd_model().options().window_minutes / 60));
+        crowdweb::format("{:02}", w * view.crowd.options().window_minutes / 60));
   for (const auto& row : rhythm.counts) {
     std::vector<double> values;
     for (const std::size_t count : row) values.push_back(static_cast<double>(count));
@@ -424,6 +455,89 @@ Response analyze_handler(const Platform& platform, const Request& request) {
                 {"patterns", std::move(list)}})));
 }
 
+/// Live ingestion: parses CSV check-ins and submits them to the worker's
+/// queue. Two headers are accepted — `user,category,lat,lon,timestamp`
+/// attributes rows to corpus users, `category,lat,lon,timestamp` (the
+/// /api/analyze schema) books the whole upload under a fresh guest id.
+/// Malformed rows are skipped and counted as invalid rather than failing
+/// the batch; a full queue answers 429 so clients know to retry.
+Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
+  const auto rows = data::parse_csv(request.body);
+  if (!rows) return Response::bad_request_400(rows.status().to_string());
+  const data::CsvRow with_user{"user", "category", "lat", "lon", "timestamp"};
+  const data::CsvRow anonymous{"category", "lat", "lon", "timestamp"};
+  if (rows->empty() || ((*rows)[0] != with_user && (*rows)[0] != anonymous))
+    return Response::bad_request_400("expected header: [user,]category,lat,lon,timestamp");
+  const bool has_user = (*rows)[0] == with_user;
+  const data::Taxonomy& taxonomy = worker.taxonomy();
+  const data::UserId guest = has_user ? 0 : worker.allocate_guest_id();
+
+  std::vector<ingest::IngestEvent> events;
+  events.reserve(rows->size() - 1);
+  std::uint64_t invalid = 0;
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const data::CsvRow& row = (*rows)[i];
+    if (row.size() != (has_user ? 5u : 4u)) {
+      ++invalid;
+      continue;
+    }
+    std::size_t field = 0;
+    data::UserId user = guest;
+    if (has_user) {
+      const auto parsed_user = parse_int(row[field++]);
+      if (!parsed_user || *parsed_user < 0) {
+        ++invalid;
+        continue;
+      }
+      user = static_cast<data::UserId>(*parsed_user);
+    }
+    const auto category = taxonomy.find(row[field]);
+    const auto lat = parse_double(row[field + 1]);
+    const auto lon = parse_double(row[field + 2]);
+    auto timestamp = parse_timestamp(row[field + 3]);
+    if (!timestamp) timestamp = parse_int(row[field + 3]);  // raw epoch seconds
+    if (!category || !lat || !lon || !geo::is_valid({*lat, *lon}) || !timestamp ||
+        *timestamp <= 0) {
+      ++invalid;
+      continue;
+    }
+    events.push_back({user, *category, {*lat, *lon}, *timestamp});
+  }
+  if (invalid > 0) worker.note_invalid(invalid);
+
+  const ingest::SubmitResult result = worker.submit(events);
+  const ingest::IngestStats stats = worker.stats();
+  const int status = (!events.empty() && result.accepted == 0) ? 429 : 200;
+  return Response::json(
+      status, json::dump(json::object(
+                  {{"received", static_cast<std::int64_t>(rows->size() - 1)},
+                   {"accepted", static_cast<std::int64_t>(result.accepted)},
+                   {"rejected", static_cast<std::int64_t>(result.rejected)},
+                   {"invalid", static_cast<std::int64_t>(invalid)},
+                   {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)},
+                   {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
+}
+
+Response ingest_stats_handler(const ingest::IngestWorker& worker) {
+  const ingest::IngestStats stats = worker.stats();
+  return Response::json(
+      200,
+      json::dump(json::object(
+          {{"running", worker.running()},
+           {"submitted", static_cast<std::int64_t>(stats.submitted)},
+           {"accepted", static_cast<std::int64_t>(stats.accepted)},
+           {"rejected", static_cast<std::int64_t>(stats.rejected)},
+           {"invalid", static_cast<std::int64_t>(stats.invalid)},
+           {"queue", json::object({{"depth", static_cast<std::int64_t>(stats.queue_depth)},
+                                   {"capacity",
+                                    static_cast<std::int64_t>(stats.queue_capacity)}})},
+           {"epoch", static_cast<std::int64_t>(stats.current_epoch)},
+           {"epochs_published", static_cast<std::int64_t>(stats.epochs_published)},
+           {"live_checkins", static_cast<std::int64_t>(stats.live_checkins)},
+           {"last_rebuild_ms", stats.last_rebuild_ms},
+           {"total_rebuild_ms", stats.total_rebuild_ms}})));
+}
+
 constexpr std::string_view kViewerHtml = R"html(<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -503,17 +617,39 @@ init();
 </html>
 )html";
 
+/// Runs `fn` against the crowd state this route should serve: the batch
+/// platform's phase-3 output in static mode, or — when an IngestWorker
+/// is attached — the latest published epoch. The snapshot shared_ptr
+/// lives on this frame for the whole call, pinning the epoch until the
+/// response is built even if the worker publishes a newer one meanwhile.
+template <typename Fn>
+Response with_crowd_view(const Platform& platform, ingest::IngestWorker* worker,
+                         Fn&& fn) {
+  if (worker == nullptr) {
+    return fn(CrowdView{platform.experiment_dataset(), platform.grid(),
+                        platform.crowd_model(), platform.config().sequences.mode,
+                        platform.taxonomy()});
+  }
+  const ingest::SnapshotPtr snapshot = worker->hub().current();
+  if (snapshot == nullptr)
+    return Response::text(503, "no epoch published yet; retry shortly\n");
+  return fn(CrowdView{snapshot->dataset, snapshot->grid, snapshot->crowd,
+                      platform.config().sequences.mode, worker->taxonomy()});
+}
+
 }  // namespace
 
-http::Router make_api_router(const Platform& platform) {
+http::Router make_api_router(const Platform& platform, ApiOptions options) {
   http::Router router;
   const Platform* p = &platform;
+  ingest::IngestWorker* w = options.ingest;
 
   router.get("/", [](const Request&, const PathParams&) {
     return Response::html(200, std::string(kViewerHtml));
   });
-  router.get("/api/status",
-             [p](const Request&, const PathParams&) { return status_handler(*p); });
+  router.get("/api/status", [p, options](const Request&, const PathParams&) {
+    return status_handler(*p, options);
+  });
   router.get("/api/users",
              [p](const Request&, const PathParams&) { return users_handler(*p); });
   router.get("/api/user/:id/patterns", [p](const Request&, const PathParams& params) {
@@ -525,26 +661,35 @@ http::Router make_api_router(const Platform& platform) {
   router.get("/api/user/:id/timeline.svg", [p](const Request&, const PathParams& params) {
     return user_timeline_handler(*p, params);
   });
-  router.get("/api/crowd/:window", [p](const Request&, const PathParams& params) {
-    return crowd_handler(*p, params);
+  router.get("/api/crowd/:window", [p, w](const Request&, const PathParams& params) {
+    return with_crowd_view(*p, w,
+                           [&](const CrowdView& view) { return crowd_handler(view, params); });
   });
-  router.get("/api/crowd/:window/map.svg", [p](const Request&, const PathParams& params) {
-    return crowd_map_handler(*p, params);
+  router.get("/api/crowd/:window/map.svg", [p, w](const Request&, const PathParams& params) {
+    return with_crowd_view(
+        *p, w, [&](const CrowdView& view) { return crowd_map_handler(view, params); });
   });
-  router.get("/api/crowd/:window/geojson", [p](const Request&, const PathParams& params) {
-    return crowd_geojson_handler(*p, params);
+  router.get("/api/crowd/:window/geojson", [p, w](const Request&, const PathParams& params) {
+    return with_crowd_view(
+        *p, w, [&](const CrowdView& view) { return crowd_geojson_handler(view, params); });
   });
-  router.get("/api/groups/:window", [p](const Request&, const PathParams& params) {
-    return groups_handler(*p, params);
+  router.get("/api/groups/:window", [p, w](const Request&, const PathParams& params) {
+    return with_crowd_view(
+        *p, w, [&](const CrowdView& view) { return groups_handler(view, params); });
   });
-  router.get("/api/flow/:from/:to", [p](const Request&, const PathParams& params) {
-    return flow_handler(*p, params, /*as_map=*/false);
+  router.get("/api/flow/:from/:to", [p, w](const Request&, const PathParams& params) {
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return flow_handler(view, params, /*as_map=*/false);
+    });
   });
-  router.get("/api/flow/:from/:to/map.svg", [p](const Request&, const PathParams& params) {
-    return flow_handler(*p, params, /*as_map=*/true);
+  router.get("/api/flow/:from/:to/map.svg", [p, w](const Request&, const PathParams& params) {
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return flow_handler(view, params, /*as_map=*/true);
+    });
   });
-  router.get("/api/animation.svg", [p](const Request& request, const PathParams&) {
-    return animation_handler(*p, request);
+  router.get("/api/animation.svg", [p, w](const Request& request, const PathParams&) {
+    return with_crowd_view(
+        *p, w, [&](const CrowdView& view) { return animation_handler(view, request); });
   });
   router.get("/api/communities", [p](const Request&, const PathParams&) {
     return communities_handler(*p);
@@ -552,13 +697,34 @@ http::Router make_api_router(const Platform& platform) {
   router.post("/api/analyze", [p](const Request& request, const PathParams&) {
     return analyze_handler(*p, request);
   });
-  router.get("/api/rhythm.svg", [p](const Request&, const PathParams&) {
-    return rhythm_handler(*p);
+  router.get("/api/rhythm.svg", [p, w](const Request&, const PathParams&) {
+    return with_crowd_view(*p, w,
+                           [&](const CrowdView& view) { return rhythm_handler(view); });
   });
   router.get("/api/predict/:id", [p](const Request& request, const PathParams& params) {
     return predict_handler(*p, request, params);
   });
+  if (w != nullptr) {
+    router.post("/api/ingest", [w](const Request& request, const PathParams&) {
+      return ingest_handler(*w, request);
+    });
+    router.get("/api/ingest/stats", [w](const Request&, const PathParams&) {
+      return ingest_stats_handler(*w);
+    });
+  }
   return router;
+}
+
+std::unique_ptr<ingest::IngestWorker> make_ingest_worker(const Platform& platform,
+                                                         ingest::IngestWorkerConfig config) {
+  ingest::IngestPipelineConfig pipeline;
+  pipeline.grid_cell_meters = platform.config().grid_cell_meters;
+  pipeline.crowd = platform.config().crowd;
+  pipeline.sequences = platform.config().sequences;
+  pipeline.mining = platform.config().mining;
+  return std::make_unique<ingest::IngestWorker>(platform.experiment_dataset(),
+                                                platform.mobility(), platform.taxonomy(),
+                                                pipeline, config);
 }
 
 }  // namespace crowdweb::core

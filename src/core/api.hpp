@@ -21,17 +21,55 @@
 //                                   category,lat,lon,timestamp and
 //                                   ?support=S sets min_support
 //
+// With an IngestWorker attached (ApiOptions::ingest) the API turns live:
+//
+//   POST /api/ingest                submit check-ins to the live corpus;
+//                                   body = CSV with header
+//                                   [user,]category,lat,lon,timestamp;
+//                                   429 when the queue rejects everything
+//   GET /api/ingest/stats           queue depth, accept/reject/invalid
+//                                   counts, epochs, rebuild latency
+//
+// and every crowd-facing route (crowd/groups/flow/animation/rhythm)
+// reads the worker's latest published snapshot instead of the batch
+// platform: handlers load one atomic shared_ptr per request — no locks —
+// and keep that epoch alive until the response is built.
+//
 // The router holds a pointer to the Platform, which must outlive any
 // server using the router. Platform state is immutable after
 // construction, so the single-threaded server needs no locks.
 #pragma once
 
+#include <functional>
+#include <memory>
+
 #include "core/platform.hpp"
 #include "http/router.hpp"
+#include "http/server.hpp"
+#include "ingest/worker.hpp"
 
 namespace crowdweb::core {
 
+struct ApiOptions {
+  /// Live mode: serve crowd routes from this worker's snapshot hub and
+  /// register the /api/ingest* routes. The worker must outlive the
+  /// router. Null = static batch platform only.
+  ingest::IngestWorker* ingest = nullptr;
+  /// Late-bound source of http::ServerStats for /api/status. The router
+  /// is built before the server that owns it exists, so the example
+  /// fills the inner function in after constructing the Server.
+  std::shared_ptr<std::function<http::ServerStats()>> server_stats;
+};
+
 /// Builds the full API router over a platform.
-[[nodiscard]] http::Router make_api_router(const Platform& platform);
+[[nodiscard]] http::Router make_api_router(const Platform& platform,
+                                           ApiOptions options = {});
+
+/// Builds an ingestion worker seeded with the platform's experiment
+/// corpus and mined mobility (copied), inheriting its phase-2/3
+/// configuration. The worker keeps a reference to the platform's
+/// taxonomy, so the platform must outlive the worker.
+[[nodiscard]] std::unique_ptr<ingest::IngestWorker> make_ingest_worker(
+    const Platform& platform, ingest::IngestWorkerConfig config = {});
 
 }  // namespace crowdweb::core

@@ -71,6 +71,20 @@ struct Server::Impl {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> bad_requests{0};
   std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> responses_2xx{0};
+  std::atomic<std::uint64_t> responses_4xx{0};
+  std::atomic<std::uint64_t> responses_5xx{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+
+  void count_response_status(int status) {
+    if (status >= 200 && status < 300) {
+      responses_2xx.fetch_add(1, std::memory_order_relaxed);
+    } else if (status >= 400 && status < 500) {
+      responses_4xx.fetch_add(1, std::memory_order_relaxed);
+    } else if (status >= 500 && status < 600) {
+      responses_5xx.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   std::map<int, Connection> connections;
 
   Status bind_and_listen() {
@@ -171,6 +185,7 @@ struct Server::Impl {
       if (parsed.state == ParseState::kError) {
         bad_requests.fetch_add(1, std::memory_order_relaxed);
         const Response response = Response::bad_request_400(parsed.error);
+        count_response_status(response.status);
         connection.outbox += serialize(response, false);
         connection.close_after_write = true;
         connection.inbox.clear();
@@ -179,6 +194,7 @@ struct Server::Impl {
       const bool keep_alive = parsed.request.keep_alive();
       requests.fetch_add(1, std::memory_order_relaxed);
       Response response = router.dispatch(parsed.request);
+      count_response_status(response.status);
       if (parsed.request.method == "HEAD") response.body.clear();
       connection.outbox += serialize(response, keep_alive);
       if (!keep_alive) connection.close_after_write = true;
@@ -193,6 +209,7 @@ struct Server::Impl {
       const ssize_t n =
           ::write(connection.fd.get(), connection.outbox.data(), connection.outbox.size());
       if (n > 0) {
+        bytes_written.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
         connection.outbox.erase(0, static_cast<std::size_t>(n));
         continue;
       }
@@ -293,6 +310,10 @@ ServerStats Server::stats() const noexcept {
   stats.requests = impl_->requests.load(std::memory_order_relaxed);
   stats.bad_requests = impl_->bad_requests.load(std::memory_order_relaxed);
   stats.connections = impl_->accepted.load(std::memory_order_relaxed);
+  stats.responses_2xx = impl_->responses_2xx.load(std::memory_order_relaxed);
+  stats.responses_4xx = impl_->responses_4xx.load(std::memory_order_relaxed);
+  stats.responses_5xx = impl_->responses_5xx.load(std::memory_order_relaxed);
+  stats.bytes_written = impl_->bytes_written.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -32,6 +32,10 @@ struct ServerStats {
   std::uint64_t requests = 0;    ///< requests dispatched to the router
   std::uint64_t bad_requests = 0;  ///< parse failures answered with 400
   std::uint64_t connections = 0;   ///< connections accepted
+  std::uint64_t responses_2xx = 0;  ///< responses with a 2xx status
+  std::uint64_t responses_4xx = 0;  ///< responses with a 4xx status (incl. parse 400s)
+  std::uint64_t responses_5xx = 0;  ///< responses with a 5xx status
+  std::uint64_t bytes_written = 0;  ///< response bytes flushed to sockets
 };
 
 class Server {

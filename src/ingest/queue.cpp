@@ -1,0 +1,67 @@
+#include "ingest/queue.hpp"
+
+#include <algorithm>
+
+namespace crowdweb::ingest {
+
+IngestQueue::IngestQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::size_t IngestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+bool IngestQueue::try_push(const IngestEvent& event) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_ && events_.size() < capacity_) {
+      events_.push_back(event);
+      not_empty_.notify_one();
+      return true;
+    }
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::size_t IngestQueue::push_batch(std::span<const IngestEvent> events) {
+  std::size_t accepted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_) {
+      const std::size_t room = capacity_ - std::min(capacity_, events_.size());
+      accepted = std::min(room, events.size());
+      events_.insert(events_.end(), events.begin(), events.begin() + accepted);
+      if (accepted > 0) not_empty_.notify_one();
+    }
+  }
+  rejected_.fetch_add(events.size() - accepted, std::memory_order_relaxed);
+  return accepted;
+}
+
+std::size_t IngestQueue::drain(std::vector<IngestEvent>& out, std::size_t max_events,
+                               std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_for(lock, timeout, [this] { return !events_.empty() || closed_; });
+  const std::size_t count = std::min(max_events, events_.size());
+  out.insert(out.end(), events_.begin(), events_.begin() + count);
+  events_.erase(events_.begin(), events_.begin() + count);
+  return count;
+}
+
+void IngestQueue::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::uint64_t IngestQueue::rejected() const noexcept {
+  return rejected_.load(std::memory_order_relaxed);
+}
+
+}  // namespace crowdweb::ingest

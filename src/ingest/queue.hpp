@@ -1,0 +1,79 @@
+// Bounded MPSC queue feeding the live ingestion worker.
+//
+// Producers are HTTP handler threads and replay drivers; the single
+// consumer is the IngestWorker. The queue is bounded with *explicit*
+// backpressure: a full queue rejects the push (and counts the rejection)
+// instead of blocking or silently dropping, so callers can report a
+// structured "try again" to their own clients. The consumer drains in
+// batches, amortizing wakeups under load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "data/checkin.hpp"
+#include "geo/point.hpp"
+
+namespace crowdweb::ingest {
+
+/// One live check-in as submitted, before venue resolution. Producers
+/// only know *what kind* of place was visited and where; the worker maps
+/// the position onto a concrete venue of the evolving corpus.
+struct IngestEvent {
+  data::UserId user = 0;
+  data::CategoryId category = data::kNoCategory;
+  geo::LatLon position;
+  std::int64_t timestamp = 0;  ///< epoch seconds, local city time
+
+  friend bool operator==(const IngestEvent&, const IngestEvent&) = default;
+};
+
+/// Bounded multi-producer single-consumer event queue.
+class IngestQueue {
+ public:
+  explicit IngestQueue(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Current depth (racy snapshot; exact under the producer's own lock).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Enqueues one event. Returns false — and counts a rejection — when
+  /// the queue is full or closed.
+  bool try_push(const IngestEvent& event);
+
+  /// Enqueues a batch front-to-back until the queue fills; returns the
+  /// number accepted. Rejected events are counted.
+  std::size_t push_batch(std::span<const IngestEvent> events);
+
+  /// Consumer side: blocks up to `timeout` for at least one event, then
+  /// appends up to `max_events` to `out`. Returns the number drained
+  /// (0 on timeout or when closed and empty).
+  std::size_t drain(std::vector<IngestEvent>& out, std::size_t max_events,
+                    std::chrono::milliseconds timeout);
+
+  /// Rejects all future pushes and wakes the consumer. Already-queued
+  /// events remain drainable. Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+
+  /// Total events rejected because the queue was full or closed.
+  [[nodiscard]] std::uint64_t rejected() const noexcept;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<IngestEvent> events_;
+  bool closed_ = false;
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace crowdweb::ingest

@@ -1,0 +1,64 @@
+// Epoch-based snapshot publication (RCU-style).
+//
+// The ingestion worker never mutates state that HTTP handlers read.
+// Instead it builds a fresh, immutable PlatformSnapshot off to the side
+// and publishes it by swapping one atomic shared_ptr — the "epoch"
+// advances, readers that loaded the previous snapshot keep a reference
+// until their request completes, and the old epoch retires when its last
+// reader drops the pointer. Readers therefore take no locks and never
+// observe a half-built state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crowd/model.hpp"
+#include "data/dataset.hpp"
+#include "geo/grid.hpp"
+#include "patterns/mobility.hpp"
+
+namespace crowdweb::ingest {
+
+/// One immutable epoch of the live platform: the merged corpus (base +
+/// accepted live check-ins) and everything phase 2/3 derives from it.
+struct PlatformSnapshot {
+  std::uint64_t epoch = 0;
+  std::size_t live_checkins = 0;  ///< accepted live events merged so far
+  std::size_t live_users = 0;     ///< users whose history the deltas touched
+  double rebuild_ms = 0.0;        ///< wall-clock cost of building this epoch
+  data::Dataset dataset;
+  std::vector<patterns::UserMobility> mobility;  ///< sorted by user id
+  geo::SpatialGrid grid;
+  crowd::CrowdModel crowd;
+};
+
+using SnapshotPtr = std::shared_ptr<const PlatformSnapshot>;
+
+/// Single-writer multi-reader snapshot exchange point.
+class SnapshotHub {
+ public:
+  /// The latest published epoch; null until the first publication. The
+  /// returned pointer keeps the whole epoch alive for as long as the
+  /// caller holds it.
+  [[nodiscard]] SnapshotPtr current() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Swaps in the next epoch (worker thread only).
+  void publish(SnapshotPtr next) noexcept {
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+  /// Epoch of the current snapshot (0 before the first publication).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    const SnapshotPtr snapshot = current();
+    return snapshot ? snapshot->epoch : 0;
+  }
+
+ private:
+  std::atomic<SnapshotPtr> current_;
+};
+
+}  // namespace crowdweb::ingest

@@ -1,0 +1,229 @@
+#include "ingest/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::ingest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Packs (category, position quantized to ~10 m) into one key so live
+/// events land on an existing venue when one sits at that spot.
+std::uint64_t venue_key(data::CategoryId category, const geo::LatLon& position) {
+  const auto lat = static_cast<std::uint64_t>(std::llround((position.lat + 90.0) * 1e4));
+  const auto lon = static_cast<std::uint64_t>(std::llround((position.lon + 180.0) * 1e4));
+  return (static_cast<std::uint64_t>(category) << 43) | (lat << 22) | lon;
+}
+
+}  // namespace
+
+IngestWorker::IngestWorker(const data::Dataset& base,
+                           std::span<const patterns::UserMobility> base_mobility,
+                           const data::Taxonomy& taxonomy, IngestPipelineConfig pipeline,
+                           IngestWorkerConfig config)
+    : taxonomy_(taxonomy),
+      pipeline_(pipeline),
+      config_(config),
+      queue_(config.queue_capacity) {
+  venues_.assign(base.venues().begin(), base.venues().end());
+  checkins_.assign(base.checkins().begin(), base.checkins().end());
+  mobility_.assign(base_mobility.begin(), base_mobility.end());
+  base_checkin_count_ = checkins_.size();
+  venue_index_.reserve(venues_.size());
+  for (const data::Venue& venue : venues_)
+    venue_index_.emplace(venue_key(venue.category, venue.position), venue.id);
+}
+
+IngestWorker::~IngestWorker() { stop(); }
+
+Status IngestWorker::start() {
+  if (running_.load(std::memory_order_acquire))
+    return failed_precondition("ingest worker already running");
+  if (queue_.closed()) return failed_precondition("ingest worker cannot restart");
+  // Epoch 1: the base corpus, so readers always have a snapshot.
+  const Status status = rebuild_and_publish();
+  if (!status.is_ok()) return status;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+  log_info("ingest worker started: queue capacity {}, rebuild interval {} ms",
+           queue_.capacity(), config_.rebuild_interval.count());
+  return Status::ok();
+}
+
+void IngestWorker::stop() {
+  if (!thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  queue_.close();
+  thread_.join();
+}
+
+bool IngestWorker::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+SubmitResult IngestWorker::submit(std::span<const IngestEvent> events) {
+  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
+  SubmitResult result;
+  result.accepted = queue_.push_batch(events);
+  result.rejected = events.size() - result.accepted;
+  return result;
+}
+
+void IngestWorker::note_invalid(std::uint64_t count) noexcept {
+  invalid_.fetch_add(count, std::memory_order_relaxed);
+}
+
+data::UserId IngestWorker::allocate_guest_id() noexcept {
+  return next_guest_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+IngestStats IngestWorker::stats() const {
+  IngestStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = queue_.rejected();
+  stats.invalid = invalid_.load(std::memory_order_relaxed);
+  stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  stats.current_epoch = hub_.epoch();
+  stats.queue_depth = queue_.size();
+  stats.queue_capacity = queue_.capacity();
+  stats.live_checkins = snapshot_live_.load(std::memory_order_relaxed);
+  stats.last_rebuild_ms = last_rebuild_ms_.load(std::memory_order_relaxed);
+  stats.total_rebuild_ms = total_rebuild_ms_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool IngestWorker::wait_for_epoch(std::uint64_t epoch,
+                                  std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(epoch_mutex_);
+  return epoch_cv_.wait_for(lock, timeout,
+                            [this, epoch] { return published_epoch_ >= epoch; });
+}
+
+void IngestWorker::run() {
+  std::vector<IngestEvent> batch;
+  auto last_publish = Clock::now();
+  while (true) {
+    batch.clear();
+    queue_.drain(batch, config_.drain_batch, config_.rebuild_interval);
+    apply(batch);
+    const bool stopping =
+        stop_requested_.load(std::memory_order_acquire) && queue_.size() == 0;
+    if (!pending_users_.empty() &&
+        (stopping || Clock::now() - last_publish >= config_.rebuild_interval)) {
+      const Status status = rebuild_and_publish();
+      if (!status.is_ok())
+        log_error("epoch rebuild failed: {}", status.to_string());
+      last_publish = Clock::now();
+    }
+    if (stopping) break;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void IngestWorker::apply(std::span<const IngestEvent> events) {
+  std::uint64_t invalid = 0;
+  std::uint64_t accepted = 0;
+  for (const IngestEvent& event : events) {
+    if (event.category >= taxonomy_.size() || !geo::is_valid(event.position) ||
+        event.timestamp <= 0) {
+      ++invalid;
+      continue;
+    }
+    const data::VenueId venue = resolve_venue(event.category, event.position);
+    checkins_.push_back({event.user, venue, event.category, event.position,
+                         event.timestamp});
+    pending_users_.insert(event.user);
+    touched_users_.insert(event.user);
+    ++accepted;
+  }
+  if (invalid > 0) invalid_.fetch_add(invalid, std::memory_order_relaxed);
+  if (accepted > 0) accepted_.fetch_add(accepted, std::memory_order_relaxed);
+}
+
+data::VenueId IngestWorker::resolve_venue(data::CategoryId category,
+                                          const geo::LatLon& position) {
+  const std::uint64_t key = venue_key(category, position);
+  const auto it = venue_index_.find(key);
+  if (it != venue_index_.end()) return it->second;
+  data::Venue venue;
+  venue.id = static_cast<data::VenueId>(venues_.size());
+  venue.name = crowdweb::format("live-{}", venue.id);
+  venue.category = category;
+  venue.position = position;
+  venue_index_.emplace(key, venue.id);
+  venues_.push_back(std::move(venue));
+  return venues_.back().id;
+}
+
+Status IngestWorker::rebuild_and_publish() {
+  const auto start = Clock::now();
+
+  data::DatasetBuilder builder;
+  for (const data::Venue& venue : venues_) {
+    const Status status = builder.add_venue(venue);
+    if (!status.is_ok()) return status;
+  }
+  for (const data::CheckIn& checkin : checkins_) {
+    const Status status = builder.add_checkin(checkin);
+    if (!status.is_ok()) return status;
+  }
+  data::Dataset merged = builder.build();
+
+  // Phase 2, incrementally: only users whose history changed are
+  // re-mined; everyone else keeps their mobility from the last epoch.
+  patterns::MobilityOptions mobility_options;
+  mobility_options.sequences = pipeline_.sequences;
+  mobility_options.mining = pipeline_.mining;
+  for (const data::UserId user : pending_users_) {
+    patterns::UserMobility fresh =
+        patterns::mine_user_mobility(merged, user, taxonomy_, mobility_options);
+    const auto it = std::lower_bound(
+        mobility_.begin(), mobility_.end(), user,
+        [](const patterns::UserMobility& m, data::UserId id) { return m.user < id; });
+    if (it != mobility_.end() && it->user == user) {
+      *it = std::move(fresh);
+    } else {
+      mobility_.insert(it, std::move(fresh));
+    }
+  }
+
+  // Phase 3 over the merged corpus. The grid is re-derived because live
+  // events can extend the city's bounding box.
+  auto grid = geo::SpatialGrid::create(merged.bounds().inflated(0.002),
+                                       pipeline_.grid_cell_meters);
+  if (!grid) return grid.status();
+  auto crowd = crowd::CrowdModel::build(merged, mobility_, *grid, pipeline_.crowd);
+  if (!crowd) return crowd.status();
+
+  const double elapsed_ms = ms_since(start);
+  ++epoch_;
+  auto snapshot = std::make_shared<const PlatformSnapshot>(PlatformSnapshot{
+      epoch_, checkins_.size() - base_checkin_count_, touched_users_.size(),
+      elapsed_ms, std::move(merged), mobility_, *grid, std::move(crowd).value()});
+  snapshot_live_.store(snapshot->live_checkins, std::memory_order_relaxed);
+  hub_.publish(std::move(snapshot));
+  pending_users_.clear();
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  last_rebuild_ms_.store(elapsed_ms, std::memory_order_relaxed);
+  total_rebuild_ms_.fetch_add(elapsed_ms, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(epoch_mutex_);
+    published_epoch_ = epoch_;
+  }
+  epoch_cv_.notify_all();
+  return Status::ok();
+}
+
+}  // namespace crowdweb::ingest

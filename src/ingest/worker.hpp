@@ -1,0 +1,164 @@
+// Background ingestion worker: queue -> validation -> delta merge ->
+// epoch publication.
+//
+// The worker owns the only mutable copy of the live corpus. It drains
+// the ingest queue in batches, validates events against the taxonomy,
+// resolves each event onto a venue (an existing one at that position, or
+// a freshly registered "live" venue), and appends the resulting check-in
+// to its delta state. On a configurable cadence it rebuilds the derived
+// state — phase-2 re-mining *only* for users whose history changed,
+// phase-3 crowd model and grid occupancy over the merged corpus — and
+// publishes the result as the next immutable epoch through a
+// SnapshotHub. HTTP readers keep loading snapshots lock-free while the
+// worker prepares the next one.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crowd/model.hpp"
+#include "data/categories.hpp"
+#include "data/dataset.hpp"
+#include "ingest/queue.hpp"
+#include "ingest/snapshot.hpp"
+#include "mining/seqdb.hpp"
+#include "patterns/mobility.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::ingest {
+
+/// How the worker rebuilds derived state (mirrors PlatformConfig's
+/// phase-2/phase-3 knobs; see core::make_ingest_worker).
+struct IngestPipelineConfig {
+  double grid_cell_meters = 500.0;
+  crowd::CrowdOptions crowd;
+  mining::SequenceOptions sequences;
+  mining::MiningOptions mining;
+};
+
+struct IngestWorkerConfig {
+  std::size_t queue_capacity = 8192;
+  /// Events drained from the queue per wakeup.
+  std::size_t drain_batch = 1024;
+  /// Minimum spacing between epoch rebuilds; accepted events batch up in
+  /// between.
+  std::chrono::milliseconds rebuild_interval{200};
+};
+
+/// Monotonic counters for `GET /api/ingest/stats`.
+struct IngestStats {
+  std::uint64_t submitted = 0;   ///< events offered through submit()
+  std::uint64_t accepted = 0;    ///< validated and merged (or pending merge)
+  std::uint64_t rejected = 0;    ///< refused by the full queue
+  std::uint64_t invalid = 0;     ///< failed validation
+  std::uint64_t epochs_published = 0;
+  std::uint64_t current_epoch = 0;    ///< epoch visible in the hub
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::uint64_t live_checkins = 0;    ///< accepted deltas in the published epoch
+  double last_rebuild_ms = 0.0;
+  double total_rebuild_ms = 0.0;
+};
+
+/// Outcome of one submit() call.
+struct SubmitResult {
+  std::size_t accepted = 0;  ///< enqueued for the worker
+  std::size_t rejected = 0;  ///< refused: queue full (retry later)
+};
+
+class IngestWorker {
+ public:
+  /// `base` and `base_mobility` seed the live corpus (copied); `taxonomy`
+  /// must outlive the worker.
+  IngestWorker(const data::Dataset& base,
+               std::span<const patterns::UserMobility> base_mobility,
+               const data::Taxonomy& taxonomy, IngestPipelineConfig pipeline = {},
+               IngestWorkerConfig config = {});
+  ~IngestWorker();
+  IngestWorker(const IngestWorker&) = delete;
+  IngestWorker& operator=(const IngestWorker&) = delete;
+
+  /// Publishes the base corpus as epoch 1 and spawns the worker thread.
+  [[nodiscard]] Status start();
+
+  /// Closes the queue, merges what was already accepted into a final
+  /// epoch, and joins (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// Producer side: enqueues events with backpressure. Thread-safe.
+  SubmitResult submit(std::span<const IngestEvent> events);
+
+  /// Accounts events a producer discarded before submission (e.g. CSV
+  /// rows that failed to parse). Thread-safe.
+  void note_invalid(std::uint64_t count) noexcept;
+
+  /// A fresh user id for an anonymous submission (outside any corpus
+  /// id range). Thread-safe.
+  [[nodiscard]] data::UserId allocate_guest_id() noexcept;
+
+  [[nodiscard]] const SnapshotHub& hub() const noexcept { return hub_; }
+  [[nodiscard]] IngestQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const data::Taxonomy& taxonomy() const noexcept { return taxonomy_; }
+
+  [[nodiscard]] IngestStats stats() const;
+
+  /// Blocks until the published epoch reaches `epoch` (true) or the
+  /// timeout expires (false).
+  [[nodiscard]] bool wait_for_epoch(std::uint64_t epoch,
+                                    std::chrono::milliseconds timeout) const;
+
+ private:
+  void run();
+  /// Validates and applies drained events to the delta state. Worker
+  /// thread only.
+  void apply(std::span<const IngestEvent> events);
+  /// Rebuilds derived state and publishes the next epoch. Worker thread
+  /// only (also called once from start() before the thread exists).
+  Status rebuild_and_publish();
+  [[nodiscard]] data::VenueId resolve_venue(data::CategoryId category,
+                                            const geo::LatLon& position);
+
+  const data::Taxonomy& taxonomy_;
+  IngestPipelineConfig pipeline_;
+  IngestWorkerConfig config_;
+  IngestQueue queue_;
+  SnapshotHub hub_;
+
+  // Live corpus, owned by the worker thread after start().
+  std::vector<data::Venue> venues_;
+  std::vector<data::CheckIn> checkins_;
+  std::vector<patterns::UserMobility> mobility_;         // sorted by user
+  std::unordered_map<std::uint64_t, data::VenueId> venue_index_;
+  std::unordered_set<data::UserId> pending_users_;  // changed since last epoch
+  std::unordered_set<data::UserId> touched_users_;  // ever touched by deltas
+  std::uint64_t epoch_ = 0;
+  std::size_t base_checkin_count_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> epochs_published_{0};
+  std::atomic<std::uint64_t> snapshot_live_{0};
+  std::atomic<double> last_rebuild_ms_{0.0};
+  std::atomic<double> total_rebuild_ms_{0.0};
+  std::atomic<data::UserId> next_guest_id_{3'000'000'000u};
+
+  mutable std::mutex epoch_mutex_;
+  mutable std::condition_variable epoch_cv_;
+  std::uint64_t published_epoch_ = 0;  // guarded by epoch_mutex_
+};
+
+}  // namespace crowdweb::ingest

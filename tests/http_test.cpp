@@ -386,6 +386,22 @@ TEST_F(ServerFixture, StatsCountRequestsAndConnections) {
   EXPECT_GE(after.connections - before.connections, 3u);
 }
 
+TEST_F(ServerFixture, StatsClassifyResponseStatusesAndCountBytes) {
+  const ServerStats before = server_->stats();
+  ASSERT_TRUE(get("127.0.0.1", server_->port(), "/hello").is_ok());      // 200
+  ASSERT_TRUE(get("127.0.0.1", server_->port(), "/missing").is_ok());    // 404
+  ASSERT_TRUE(get("127.0.0.1", server_->port(), "/boom").is_ok());       // 500
+  ASSERT_TRUE(fetch("127.0.0.1", server_->port(), "GET", "/%zz").is_ok());  // parse 400
+  const ServerStats after = server_->stats();
+  EXPECT_EQ(after.responses_2xx - before.responses_2xx, 1u);
+  EXPECT_EQ(after.responses_4xx - before.responses_4xx, 2u);  // router 404 + parse 400
+  EXPECT_EQ(after.responses_5xx - before.responses_5xx, 1u);
+  // Every response was flushed through the counted write path; the exact
+  // byte total depends on header sizes, so assert a sane lower bound.
+  EXPECT_GE(after.bytes_written - before.bytes_written,
+            4u * std::string("HTTP/1.1 200 OK\r\n\r\n").size());
+}
+
 TEST(ServerTest, StartTwiceFails) {
   Server server(demo_router());
   ASSERT_TRUE(server.start().is_ok());
