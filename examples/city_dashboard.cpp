@@ -17,6 +17,7 @@
 #include "data/dataset_io.hpp"
 #include "http/server.hpp"
 #include "json/json.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -134,11 +135,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // One registry for the whole process: batch build, HTTP server, and
+  // /metrics all record into (and scrape from) the same place.
+  telemetry::Registry metrics;
+
   core::PlatformConfig config;
   config.seed = args.seed;
   config.small_corpus = !args.paper_scale;
   config.min_active_days = args.paper_scale ? 50 : 20;
   config.mining.min_support = 0.25;
+  config.metrics = &metrics;
   std::printf("building the CrowdWeb platform (%s)...\n",
               !args.data_dir.empty() ? args.data_dir.c_str()
                                      : (args.paper_scale ? "paper-scale corpus"
@@ -155,9 +161,12 @@ int main(int argc, char** argv) {
 
   if (!args.offline_dir.empty()) return dump_offline(*platform, args.offline_dir);
 
+  core::ApiOptions api_options;
+  api_options.metrics = &metrics;
   http::ServerConfig server_config;
   server_config.port = args.port;
-  http::Server server(core::make_api_router(*platform), server_config);
+  server_config.metrics = &metrics;
+  http::Server server(core::make_api_router(*platform, api_options), server_config);
   const Status started = server.start();
   if (!started.is_ok()) {
     std::fprintf(stderr, "server failed: %s\n", started.to_string().c_str());

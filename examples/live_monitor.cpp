@@ -27,6 +27,7 @@
 #include "ingest/replay.hpp"
 #include "json/json.hpp"
 #include "synth/generator.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -70,11 +71,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One registry shared by the batch build, the worker, the server, and
+  // GET /metrics — a single scrape shows the whole ingestion loop.
+  telemetry::Registry metrics;
+
   // Batch platform: phases 1-3 over the base corpus.
   core::PlatformConfig config;
   config.seed = seed;
   config.small_corpus = true;
   config.min_active_days = 20;
+  config.metrics = &metrics;
   std::printf("building platform (seed %llu)...\n",
               static_cast<unsigned long long>(seed));
   auto platform = core::Platform::create(config);
@@ -92,8 +98,10 @@ int main(int argc, char** argv) {
   core::ApiOptions api_options;
   api_options.ingest = worker.get();
   api_options.server_stats = std::make_shared<std::function<http::ServerStats()>>();
+  api_options.metrics = &metrics;
   http::ServerConfig server_config;
   server_config.port = port;
+  server_config.metrics = &metrics;
   http::Server server(core::make_api_router(*platform, api_options), server_config);
   if (const Status status = server.start(); !status.is_ok()) {
     std::fprintf(stderr, "server failed: %s\n", status.to_string().c_str());

@@ -11,6 +11,7 @@
 #include "mining/prefixspan.hpp"
 #include "predict/predictor.hpp"
 #include "json/json.hpp"
+#include "telemetry/exposition.hpp"
 #include "util/civil_time.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
@@ -106,6 +107,8 @@ Response status_handler(const Platform& platform, const ApiOptions& options) {
                               {"live_checkins", static_cast<std::int64_t>(stats.live_checkins)},
                               {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)}}));
   }
+  if (options.metrics != nullptr)
+    payload.set("telemetry", telemetry::render_json(*options.metrics));
   return Response::json(200, json::dump(payload));
 }
 
@@ -712,6 +715,12 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
       return ingest_stats_handler(*w);
     });
   }
+  if (telemetry::Registry* metrics = options.metrics; metrics != nullptr) {
+    router.get("/metrics", [metrics](const Request&, const PathParams&) {
+      return Response::text(200, telemetry::render_prometheus(*metrics),
+                            telemetry::kPrometheusContentType);
+    });
+  }
   return router;
 }
 
@@ -722,6 +731,9 @@ std::unique_ptr<ingest::IngestWorker> make_ingest_worker(const Platform& platfor
   pipeline.crowd = platform.config().crowd;
   pipeline.sequences = platform.config().sequences;
   pipeline.mining = platform.config().mining;
+  // Inherit the platform's registry so one scrape covers the batch build
+  // and the live worker, unless the caller picked a registry explicitly.
+  if (config.metrics == nullptr) config.metrics = platform.config().metrics;
   return std::make_unique<ingest::IngestWorker>(platform.experiment_dataset(),
                                                 platform.mobility(), platform.taxonomy(),
                                                 pipeline, config);

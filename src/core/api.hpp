@@ -2,6 +2,8 @@
 //
 //   GET /                           embedded single-page viewer
 //   GET /api/status                 corpus + pipeline summary
+//   GET /metrics                    Prometheus text exposition (with
+//                                   ApiOptions::metrics attached)
 //   GET /api/users                  users with pattern counts
 //   GET /api/user/:id/patterns      a user's mined mobility patterns
 //   GET /api/user/:id/graph.svg     the user's place graph (iMAP view)
@@ -47,6 +49,7 @@
 #include "http/router.hpp"
 #include "http/server.hpp"
 #include "ingest/worker.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace crowdweb::core {
 
@@ -59,6 +62,13 @@ struct ApiOptions {
   /// is built before the server that owns it exists, so the example
   /// fills the inner function in after constructing the Server.
   std::shared_ptr<std::function<http::ServerStats()>> server_stats;
+  /// Registers `GET /metrics` (Prometheus text exposition) over this
+  /// registry and mirrors it as a "telemetry" block in /api/status. The
+  /// registry must outlive the router. Null disables both (no /metrics
+  /// route). Share the same registry with ServerConfig::metrics,
+  /// IngestWorkerConfig::metrics, and PlatformConfig::metrics so one
+  /// scrape covers every subsystem.
+  telemetry::Registry* metrics = nullptr;
 };
 
 /// Builds the full API router over a platform.

@@ -16,6 +16,22 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
+/// Records one batch-build stage into the shared stage family. Get-or-
+/// create keeps call sites independent of construction order (synth runs
+/// before run_pipeline); the bounds only apply on first creation.
+void observe_stage(telemetry::Registry* metrics, const std::string& stage, double ms) {
+  if (metrics == nullptr) return;
+  metrics
+      ->histogram_family(
+          "crowdweb_platform_build_stage_duration_seconds",
+          "Wall time of one batch platform build stage: synth (corpus generation), "
+          "acquisition (window + active-user filtering), mining (per-user "
+          "PrefixSpan), crowd (model aggregation).",
+          {"stage"}, telemetry::default_duration_buckets())
+      .with_labels({stage})
+      .observe(ms / 1e3);
+}
+
 }  // namespace
 
 const data::Taxonomy& Platform::taxonomy() const noexcept {
@@ -23,9 +39,11 @@ const data::Taxonomy& Platform::taxonomy() const noexcept {
 }
 
 Result<Platform> Platform::create(const PlatformConfig& config) {
+  const auto synth_start = Clock::now();
   auto corpus = config.small_corpus ? synth::small_corpus(config.seed)
                                     : synth::paper_corpus(config.seed);
   if (!corpus) return corpus.status();
+  observe_stage(config.metrics, "synth", ms_since(synth_start));
   Platform platform;
   platform.config_ = config;
   const Status status = platform.run_pipeline(std::move(corpus->dataset));
@@ -83,6 +101,7 @@ Status Platform::run_pipeline(data::Dataset full,
     return failed_precondition(
         "no active users survive preprocessing; relax min_active_days or widen the window");
   timings_.acquisition_ms = ms_since(phase1_start);
+  observe_stage(config_.metrics, "acquisition", timings_.acquisition_ms);
 
   // Phase 2: per-user modified PrefixSpan (or adopt a snapshot).
   const auto phase2_start = Clock::now();
@@ -105,6 +124,7 @@ Status Platform::run_pipeline(data::Dataset full,
         experiment_, taxonomy(), mobility_options, config_.mining_threads);
   }
   timings_.mining_ms = ms_since(phase2_start);
+  observe_stage(config_.metrics, "mining", timings_.mining_ms);
 
   // Phase 3: crowd synchronization and aggregation.
   const auto phase3_start = Clock::now();
@@ -116,6 +136,7 @@ Status Platform::run_pipeline(data::Dataset full,
   if (!crowd) return crowd.status();
   crowd_ = std::move(crowd).value();
   timings_.crowd_ms = ms_since(phase3_start);
+  observe_stage(config_.metrics, "crowd", timings_.crowd_ms);
 
   log_info(
       "platform ready: {} users ({} active), {} check-ins in window, {} placements; "

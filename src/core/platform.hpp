@@ -22,6 +22,7 @@
 #include "patterns/mobility.hpp"
 #include "patterns/place_graph.hpp"
 #include "synth/generator.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/civil_time.hpp"
 #include "util/status.hpp"
 
@@ -53,6 +54,12 @@ struct PlatformConfig {
   // Phase 3 — crowd model.
   double grid_cell_meters = 500.0;
   crowd::CrowdOptions crowd;
+
+  /// Telemetry registry the batch build records onto
+  /// (crowdweb_platform_build_stage_duration_seconds{stage}; see
+  /// docs/OBSERVABILITY.md). Must outlive the create()/from_*() call.
+  /// Null disables platform build telemetry (PhaseTimings still fills).
+  telemetry::Registry* metrics = nullptr;
 };
 
 /// Wall-clock cost of each phase, for the pipeline bench.

@@ -22,6 +22,9 @@ void Router::add(std::string_view method, std::string_view pattern, Handler hand
   for (const char c : method)
     route.method += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   route.segments = split_path(pattern);
+  // Normalized spelling ("/a/:b" regardless of how it was written), the
+  // stable label value for per-route metrics.
+  route.pattern = "/" + join(route.segments, "/");
   route.handler = std::move(handler);
   routes_.push_back(std::move(route));
 }
@@ -42,18 +45,21 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
   return true;
 }
 
-Response Router::dispatch(const Request& request) const {
+Response Router::dispatch(const Request& request, std::string* matched_pattern) const {
   const std::vector<std::string> segments = split_path(request.path);
+  if (matched_pattern != nullptr) matched_pattern->clear();
   bool path_exists = false;
   for (const Route& route : routes_) {
     PathParams params;
     if (!match(route, segments, params)) continue;
+    if (!path_exists && matched_pattern != nullptr) *matched_pattern = route.pattern;
     path_exists = true;
     // HEAD is served by GET handlers (the server strips the body).
     const bool method_matches =
         route.method == request.method ||
         (request.method == "HEAD" && route.method == "GET");
     if (!method_matches) continue;
+    if (matched_pattern != nullptr) *matched_pattern = route.pattern;
     try {
       return route.handler(request, params);
     } catch (const std::exception& e) {

@@ -34,11 +34,19 @@ class Router {
 
   /// Routes the request; 404 for unknown paths, 405 for known paths with
   /// the wrong method. Handler exceptions become 500s.
-  [[nodiscard]] Response dispatch(const Request& request) const;
+  ///
+  /// When `matched_pattern` is non-null it receives the *registered
+  /// pattern* of the route that served (or 405'd) the request — e.g.
+  /// "/api/crowd/:window", never the raw URL — so metric labels keyed on
+  /// it stay bounded no matter what clients send. Unmatched paths leave
+  /// it empty.
+  [[nodiscard]] Response dispatch(const Request& request,
+                                  std::string* matched_pattern = nullptr) const;
 
  private:
   struct Route {
     std::string method;
+    std::string pattern;                ///< normalized registration pattern
     std::vector<std::string> segments;  ///< ":x" marks a capture
     Handler handler;
   };

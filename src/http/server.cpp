@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <map>
 
@@ -56,6 +57,15 @@ struct Connection {
   bool close_after_write = false;
 };
 
+/// Collapses arbitrary client-supplied methods onto a bounded label set.
+std::string_view method_label(std::string_view method) {
+  for (const std::string_view known :
+       {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"}) {
+    if (method == known) return known;
+  }
+  return "OTHER";
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -68,21 +78,92 @@ struct Server::Impl {
   std::thread loop_thread;
   std::atomic<bool> running{false};
   std::atomic<bool> stop_requested{false};
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> bad_requests{0};
-  std::atomic<std::uint64_t> accepted{0};
-  std::atomic<std::uint64_t> responses_2xx{0};
-  std::atomic<std::uint64_t> responses_4xx{0};
-  std::atomic<std::uint64_t> responses_5xx{0};
-  std::atomic<std::uint64_t> bytes_written{0};
+
+  // Telemetry: the crowdweb_http_* families are the server's only
+  // accounting — ServerStats reads them back. `own_metrics` backs
+  // servers constructed without an external registry.
+  std::unique_ptr<telemetry::Registry> own_metrics;
+  telemetry::Registry* metrics = nullptr;
+  telemetry::CounterFamily* requests_by_route = nullptr;
+  telemetry::HistogramFamily* latency_by_route = nullptr;
+  telemetry::Counter* responses_2xx = nullptr;
+  telemetry::Counter* responses_3xx = nullptr;
+  telemetry::Counter* responses_4xx = nullptr;
+  telemetry::Counter* responses_5xx = nullptr;
+  telemetry::Counter* responses_other = nullptr;
+  telemetry::Counter* parse_errors = nullptr;
+  telemetry::Counter* connections_total = nullptr;
+  telemetry::Counter* bytes_total = nullptr;
+  telemetry::Gauge* connections_active = nullptr;
+
+  struct RouteMetrics {
+    telemetry::Counter* requests;
+    telemetry::Histogram* latency;
+  };
+  /// (method, route pattern) -> cached cells. Loop thread only, so no
+  /// lock; bounded because patterns come from the router and methods
+  /// from method_label().
+  std::map<std::string, RouteMetrics, std::less<>> route_cache;
+
+  void init_metrics() {
+    if (config.metrics != nullptr) {
+      metrics = config.metrics;
+    } else {
+      own_metrics = std::make_unique<telemetry::Registry>();
+      metrics = own_metrics.get();
+    }
+    requests_by_route = &metrics->counter_family(
+        "crowdweb_http_requests_total",
+        "Requests dispatched to the router, by method and route pattern.",
+        {"method", "route"});
+    latency_by_route = &metrics->histogram_family(
+        "crowdweb_http_request_duration_seconds",
+        "Handler wall time per dispatched request, by route pattern.", {"route"},
+        config.latency_buckets.empty() ? telemetry::default_latency_buckets()
+                                       : config.latency_buckets);
+    telemetry::CounterFamily& classes = metrics->counter_family(
+        "crowdweb_http_responses_total", "Responses written, by status class.",
+        {"class"});
+    responses_2xx = &classes.with_labels({"2xx"});
+    responses_3xx = &classes.with_labels({"3xx"});
+    responses_4xx = &classes.with_labels({"4xx"});
+    responses_5xx = &classes.with_labels({"5xx"});
+    responses_other = &classes.with_labels({"other"});
+    parse_errors = &metrics->counter("crowdweb_http_parse_errors_total",
+                                     "Malformed requests answered with 400.");
+    connections_total =
+        &metrics->counter("crowdweb_http_connections_total", "Connections accepted.");
+    bytes_total = &metrics->counter("crowdweb_http_response_bytes_total",
+                                    "Response bytes flushed to sockets.");
+    connections_active =
+        &metrics->gauge("crowdweb_http_connections_active", "Currently open connections.");
+  }
+
+  RouteMetrics& route_metrics(std::string_view method, const std::string& pattern) {
+    std::string key;
+    key.reserve(method.size() + pattern.size() + 1);
+    key.append(method);
+    key += ' ';
+    key += pattern;
+    const auto it = route_cache.find(key);
+    if (it != route_cache.end()) return it->second;
+    const RouteMetrics cells{
+        &requests_by_route->with_labels({std::string(method), pattern}),
+        &latency_by_route->with_labels({pattern})};
+    return route_cache.emplace(std::move(key), cells).first->second;
+  }
 
   void count_response_status(int status) {
     if (status >= 200 && status < 300) {
-      responses_2xx.fetch_add(1, std::memory_order_relaxed);
+      responses_2xx->increment();
+    } else if (status >= 300 && status < 400) {
+      responses_3xx->increment();
     } else if (status >= 400 && status < 500) {
-      responses_4xx.fetch_add(1, std::memory_order_relaxed);
+      responses_4xx->increment();
     } else if (status >= 500 && status < 600) {
-      responses_5xx.fetch_add(1, std::memory_order_relaxed);
+      responses_5xx->increment();
+    } else {
+      responses_other->increment();
     }
   }
   std::map<int, Connection> connections;
@@ -138,6 +219,7 @@ struct Server::Impl {
   void close_connection(int fd) {
     ::epoll_ctl(epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
     connections.erase(fd);  // Fd destructor closes
+    connections_active->set(static_cast<double>(connections.size()));
   }
 
   void accept_new() {
@@ -151,13 +233,14 @@ struct Server::Impl {
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      accepted.fetch_add(1, std::memory_order_relaxed);
+      connections_total->increment();
       Connection connection;
       connection.fd = Fd(fd);
       if (!watch(fd, EPOLLIN)) {
         continue;  // connection's Fd closes on scope exit
       }
       connections.emplace(fd, std::move(connection));
+      connections_active->set(static_cast<double>(connections.size()));
     }
   }
 
@@ -183,7 +266,7 @@ struct Server::Impl {
       const ParseResult parsed = parse_request(connection.inbox, config.limits);
       if (parsed.state == ParseState::kNeedMore) break;
       if (parsed.state == ParseState::kError) {
-        bad_requests.fetch_add(1, std::memory_order_relaxed);
+        parse_errors->increment();
         const Response response = Response::bad_request_400(parsed.error);
         count_response_status(response.status);
         connection.outbox += serialize(response, false);
@@ -192,8 +275,20 @@ struct Server::Impl {
         break;
       }
       const bool keep_alive = parsed.request.keep_alive();
-      requests.fetch_add(1, std::memory_order_relaxed);
-      Response response = router.dispatch(parsed.request);
+      std::string pattern;
+      const auto dispatch_start = std::chrono::steady_clock::now();
+      Response response = router.dispatch(parsed.request, &pattern);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - dispatch_start)
+              .count();
+      // Label with the route's registered pattern, never the raw URL, so
+      // series cardinality stays bounded under live traffic.
+      static const std::string kUnmatched = "(unmatched)";
+      const RouteMetrics& cells =
+          route_metrics(method_label(parsed.request.method),
+                        pattern.empty() ? kUnmatched : pattern);
+      cells.requests->increment();
+      cells.latency->observe(seconds);
       count_response_status(response.status);
       if (parsed.request.method == "HEAD") response.body.clear();
       connection.outbox += serialize(response, keep_alive);
@@ -209,7 +304,7 @@ struct Server::Impl {
       const ssize_t n =
           ::write(connection.fd.get(), connection.outbox.data(), connection.outbox.size());
       if (n > 0) {
-        bytes_written.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+        bytes_total->increment(static_cast<std::uint64_t>(n));
         connection.outbox.erase(0, static_cast<std::size_t>(n));
         continue;
       }
@@ -261,6 +356,7 @@ struct Server::Impl {
       }
     }
     connections.clear();
+    connections_active->set(0.0);
     running.store(false, std::memory_order_release);
   }
 };
@@ -268,6 +364,7 @@ struct Server::Impl {
 Server::Server(Router router, ServerConfig config) : impl_(std::make_unique<Impl>()) {
   impl_->router = std::move(router);
   impl_->config = std::move(config);
+  impl_->init_metrics();
 }
 
 Server::~Server() { stop(); }
@@ -307,13 +404,13 @@ std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
 
 ServerStats Server::stats() const noexcept {
   ServerStats stats;
-  stats.requests = impl_->requests.load(std::memory_order_relaxed);
-  stats.bad_requests = impl_->bad_requests.load(std::memory_order_relaxed);
-  stats.connections = impl_->accepted.load(std::memory_order_relaxed);
-  stats.responses_2xx = impl_->responses_2xx.load(std::memory_order_relaxed);
-  stats.responses_4xx = impl_->responses_4xx.load(std::memory_order_relaxed);
-  stats.responses_5xx = impl_->responses_5xx.load(std::memory_order_relaxed);
-  stats.bytes_written = impl_->bytes_written.load(std::memory_order_relaxed);
+  stats.requests = impl_->requests_by_route->total();
+  stats.bad_requests = impl_->parse_errors->value();
+  stats.connections = impl_->connections_total->value();
+  stats.responses_2xx = impl_->responses_2xx->value();
+  stats.responses_4xx = impl_->responses_4xx->value();
+  stats.responses_5xx = impl_->responses_5xx->value();
+  stats.bytes_written = impl_->bytes_total->value();
   return stats;
 }
 

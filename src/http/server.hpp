@@ -13,8 +13,10 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "http/router.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/status.hpp"
 
 namespace crowdweb::http {
@@ -25,9 +27,21 @@ struct ServerConfig {
   std::uint16_t port = 0;
   ParseLimits limits;
   int max_connections = 256;
+  /// Telemetry registry the server records onto (crowdweb_http_*
+  /// families; see docs/OBSERVABILITY.md). Must outlive the server.
+  /// Null = the server keeps a private registry, so `stats()` works
+  /// either way; sharing one registry with `/metrics` is how the
+  /// counters become scrapable.
+  telemetry::Registry* metrics = nullptr;
+  /// Upper bounds (seconds) of the request-latency histogram; empty =
+  /// telemetry::default_latency_buckets().
+  std::vector<double> latency_buckets;
 };
 
-/// Monotonic counters exposed by a running server.
+/// Monotonic counters exposed by a running server. Since the telemetry
+/// subsystem these are read back from the metrics registry (the
+/// crowdweb_http_* families are the single accounting system); the
+/// struct remains as a convenience snapshot.
 struct ServerStats {
   std::uint64_t requests = 0;    ///< requests dispatched to the router
   std::uint64_t bad_requests = 0;  ///< parse failures answered with 400

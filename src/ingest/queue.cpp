@@ -20,7 +20,7 @@ bool IngestQueue::try_push(const IngestEvent& event) {
       return true;
     }
   }
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+  count_rejected(1);
   return false;
 }
 
@@ -35,7 +35,7 @@ std::size_t IngestQueue::push_batch(std::span<const IngestEvent> events) {
       if (accepted > 0) not_empty_.notify_one();
     }
   }
-  rejected_.fetch_add(events.size() - accepted, std::memory_order_relaxed);
+  count_rejected(events.size() - accepted);
   return accepted;
 }
 

@@ -19,6 +19,7 @@
 
 #include "data/checkin.hpp"
 #include "geo/point.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace crowdweb::ingest {
 
@@ -67,13 +68,29 @@ class IngestQueue {
   /// Total events rejected because the queue was full or closed.
   [[nodiscard]] std::uint64_t rejected() const noexcept;
 
+  /// Mirrors every rejection onto a registry counter (the
+  /// crowdweb_ingest_rejected_total series; attached by the worker).
+  /// Pass nullptr to detach. The counter must outlive the queue while
+  /// attached; call before producers start pushing.
+  void attach_rejected_counter(telemetry::Counter* counter) noexcept {
+    rejected_counter_.store(counter, std::memory_order_release);
+  }
+
  private:
+  void count_rejected(std::uint64_t n) noexcept {
+    if (n == 0) return;
+    rejected_.fetch_add(n, std::memory_order_relaxed);
+    if (telemetry::Counter* counter = rejected_counter_.load(std::memory_order_acquire))
+      counter->increment(n);
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::deque<IngestEvent> events_;
   bool closed_ = false;
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<telemetry::Counter*> rejected_counter_{nullptr};
 };
 
 }  // namespace crowdweb::ingest

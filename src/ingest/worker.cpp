@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "telemetry/timer.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
 
@@ -35,6 +36,7 @@ IngestWorker::IngestWorker(const data::Dataset& base,
       pipeline_(pipeline),
       config_(config),
       queue_(config.queue_capacity) {
+  init_metrics();
   venues_.assign(base.venues().begin(), base.venues().end());
   checkins_.assign(base.checkins().begin(), base.checkins().end());
   mobility_.assign(base_mobility.begin(), base_mobility.end());
@@ -44,7 +46,64 @@ IngestWorker::IngestWorker(const data::Dataset& base,
     venue_index_.emplace(venue_key(venue.category, venue.position), venue.id);
 }
 
-IngestWorker::~IngestWorker() { stop(); }
+void IngestWorker::init_metrics() {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<telemetry::Registry>();
+    metrics_ = own_metrics_.get();
+  }
+  submitted_ = &metrics_->counter("crowdweb_ingest_submitted_total",
+                                  "Events offered through submit().");
+  accepted_ = &metrics_->counter("crowdweb_ingest_accepted_total",
+                                 "Events validated and merged into the live corpus.");
+  invalid_ = &metrics_->counter("crowdweb_ingest_invalid_total",
+                                "Events that failed validation.");
+  epochs_published_ =
+      &metrics_->counter("crowdweb_ingest_epochs_published_total", "Epochs published.");
+  queue_.attach_rejected_counter(
+      &metrics_->counter("crowdweb_ingest_rejected_total",
+                         "Events refused by the full (or closed) ingest queue."));
+  const std::vector<double> buckets = config_.rebuild_buckets.empty()
+                                          ? telemetry::default_duration_buckets()
+                                          : config_.rebuild_buckets;
+  rebuild_seconds_ = &metrics_->histogram(
+      "crowdweb_ingest_epoch_rebuild_duration_seconds",
+      "End-to-end wall time to rebuild and publish one epoch.", buckets);
+  telemetry::HistogramFamily& stages = metrics_->histogram_family(
+      "crowdweb_ingest_rebuild_stage_duration_seconds",
+      "Wall time of one epoch-rebuild stage: merge (dataset rebuild), mine "
+      "(incremental per-user re-mining), grid, crowd (model aggregation).",
+      {"stage"}, buckets);
+  stage_merge_seconds_ = &stages.with_labels({"merge"});
+  stage_mine_seconds_ = &stages.with_labels({"mine"});
+  stage_grid_seconds_ = &stages.with_labels({"grid"});
+  stage_crowd_seconds_ = &stages.with_labels({"crowd"});
+  last_rebuild_seconds_ = &metrics_->gauge("crowdweb_ingest_last_rebuild_seconds",
+                                           "Wall time of the most recent epoch rebuild.");
+  // Scrape-time gauges: sampled when /metrics renders, so readers see
+  // live queue state without the worker pushing updates.
+  metrics_->gauge_callback("crowdweb_ingest_queue_depth", "Events waiting in the queue.",
+                           [this] { return static_cast<double>(queue_.size()); });
+  metrics_->gauge_callback("crowdweb_ingest_queue_capacity", "Bounded queue capacity.",
+                           [this] { return static_cast<double>(queue_.capacity()); });
+  metrics_->gauge_callback("crowdweb_ingest_epoch", "Epoch visible in the snapshot hub.",
+                           [this] { return static_cast<double>(hub_.epoch()); });
+  metrics_->gauge_callback(
+      "crowdweb_ingest_live_checkins", "Accepted deltas in the published epoch.", [this] {
+        return static_cast<double>(snapshot_live_.load(std::memory_order_relaxed));
+      });
+  callback_gauge_names_ = {"crowdweb_ingest_queue_depth", "crowdweb_ingest_queue_capacity",
+                           "crowdweb_ingest_epoch", "crowdweb_ingest_live_checkins"};
+}
+
+IngestWorker::~IngestWorker() {
+  stop();
+  // The scrape callbacks capture `this`; unhook them before members die
+  // so a shared registry can never sample a destroyed worker.
+  for (const std::string& name : callback_gauge_names_) metrics_->remove(name);
+  queue_.attach_rejected_counter(nullptr);
+}
 
 Status IngestWorker::start() {
   if (running_.load(std::memory_order_acquire))
@@ -73,7 +132,7 @@ bool IngestWorker::running() const noexcept {
 }
 
 SubmitResult IngestWorker::submit(std::span<const IngestEvent> events) {
-  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
+  submitted_->increment(events.size());
   SubmitResult result;
   result.accepted = queue_.push_batch(events);
   result.rejected = events.size() - result.accepted;
@@ -81,7 +140,7 @@ SubmitResult IngestWorker::submit(std::span<const IngestEvent> events) {
 }
 
 void IngestWorker::note_invalid(std::uint64_t count) noexcept {
-  invalid_.fetch_add(count, std::memory_order_relaxed);
+  invalid_->increment(count);
 }
 
 data::UserId IngestWorker::allocate_guest_id() noexcept {
@@ -90,17 +149,17 @@ data::UserId IngestWorker::allocate_guest_id() noexcept {
 
 IngestStats IngestWorker::stats() const {
   IngestStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_->value();
+  stats.accepted = accepted_->value();
   stats.rejected = queue_.rejected();
-  stats.invalid = invalid_.load(std::memory_order_relaxed);
-  stats.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  stats.invalid = invalid_->value();
+  stats.epochs_published = epochs_published_->value();
   stats.current_epoch = hub_.epoch();
   stats.queue_depth = queue_.size();
   stats.queue_capacity = queue_.capacity();
   stats.live_checkins = snapshot_live_.load(std::memory_order_relaxed);
-  stats.last_rebuild_ms = last_rebuild_ms_.load(std::memory_order_relaxed);
-  stats.total_rebuild_ms = total_rebuild_ms_.load(std::memory_order_relaxed);
+  stats.last_rebuild_ms = last_rebuild_seconds_->value() * 1e3;
+  stats.total_rebuild_ms = rebuild_seconds_->sum() * 1e3;
   return stats;
 }
 
@@ -148,8 +207,8 @@ void IngestWorker::apply(std::span<const IngestEvent> events) {
     touched_users_.insert(event.user);
     ++accepted;
   }
-  if (invalid > 0) invalid_.fetch_add(invalid, std::memory_order_relaxed);
-  if (accepted > 0) accepted_.fetch_add(accepted, std::memory_order_relaxed);
+  if (invalid > 0) invalid_->increment(invalid);
+  if (accepted > 0) accepted_->increment(accepted);
 }
 
 data::VenueId IngestWorker::resolve_venue(data::CategoryId category,
@@ -169,7 +228,11 @@ data::VenueId IngestWorker::resolve_venue(data::CategoryId category,
 
 Status IngestWorker::rebuild_and_publish() {
   const auto start = Clock::now();
+  telemetry::ScopedTimer rebuild_timer(rebuild_seconds_);
 
+  // Stage 1: merge — rebuild the dataset (venue + check-in indexes) from
+  // the worker's live corpus.
+  telemetry::ScopedTimer merge_timer(stage_merge_seconds_);
   data::DatasetBuilder builder;
   for (const data::Venue& venue : venues_) {
     const Status status = builder.add_venue(venue);
@@ -180,9 +243,12 @@ Status IngestWorker::rebuild_and_publish() {
     if (!status.is_ok()) return status;
   }
   data::Dataset merged = builder.build();
+  merge_timer.stop();
 
-  // Phase 2, incrementally: only users whose history changed are
-  // re-mined; everyone else keeps their mobility from the last epoch.
+  // Stage 2: mine — phase 2 incrementally: only users whose history
+  // changed are re-mined; everyone else keeps their mobility from the
+  // last epoch.
+  telemetry::ScopedTimer mine_timer(stage_mine_seconds_);
   patterns::MobilityOptions mobility_options;
   mobility_options.sequences = pipeline_.sequences;
   mobility_options.mining = pipeline_.mining;
@@ -198,14 +264,20 @@ Status IngestWorker::rebuild_and_publish() {
       mobility_.insert(it, std::move(fresh));
     }
   }
+  mine_timer.stop();
 
-  // Phase 3 over the merged corpus. The grid is re-derived because live
-  // events can extend the city's bounding box.
+  // Stages 3 and 4: grid + crowd — phase 3 over the merged corpus. The
+  // grid is re-derived because live events can extend the city's
+  // bounding box.
+  telemetry::ScopedTimer grid_timer(stage_grid_seconds_);
   auto grid = geo::SpatialGrid::create(merged.bounds().inflated(0.002),
                                        pipeline_.grid_cell_meters);
   if (!grid) return grid.status();
+  grid_timer.stop();
+  telemetry::ScopedTimer crowd_timer(stage_crowd_seconds_);
   auto crowd = crowd::CrowdModel::build(merged, mobility_, *grid, pipeline_.crowd);
   if (!crowd) return crowd.status();
+  crowd_timer.stop();
 
   const double elapsed_ms = ms_since(start);
   ++epoch_;
@@ -215,9 +287,8 @@ Status IngestWorker::rebuild_and_publish() {
   snapshot_live_.store(snapshot->live_checkins, std::memory_order_relaxed);
   hub_.publish(std::move(snapshot));
   pending_users_.clear();
-  epochs_published_.fetch_add(1, std::memory_order_relaxed);
-  last_rebuild_ms_.store(elapsed_ms, std::memory_order_relaxed);
-  total_rebuild_ms_.fetch_add(elapsed_ms, std::memory_order_relaxed);
+  epochs_published_->increment();
+  last_rebuild_seconds_->set(rebuild_timer.stop());
   {
     const std::lock_guard<std::mutex> lock(epoch_mutex_);
     published_epoch_ = epoch_;

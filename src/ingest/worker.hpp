@@ -30,6 +30,7 @@
 #include "ingest/snapshot.hpp"
 #include "mining/seqdb.hpp"
 #include "patterns/mobility.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/status.hpp"
 
 namespace crowdweb::ingest {
@@ -50,6 +51,15 @@ struct IngestWorkerConfig {
   /// Minimum spacing between epoch rebuilds; accepted events batch up in
   /// between.
   std::chrono::milliseconds rebuild_interval{200};
+  /// Telemetry registry the worker records onto (crowdweb_ingest_*
+  /// families; see docs/OBSERVABILITY.md). Must outlive the worker.
+  /// Null = the worker keeps a private registry (stats() still works);
+  /// attach at most one worker per registry — the scrape-time gauges
+  /// (queue depth, epoch, ...) are registered by name.
+  telemetry::Registry* metrics = nullptr;
+  /// Upper bounds (seconds) of the epoch-rebuild and per-stage
+  /// histograms; empty = telemetry::default_duration_buckets().
+  std::vector<double> rebuild_buckets;
 };
 
 /// Monotonic counters for `GET /api/ingest/stats`.
@@ -147,13 +157,25 @@ class IngestWorker {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> invalid_{0};
-  std::atomic<std::uint64_t> epochs_published_{0};
+  // Telemetry: the crowdweb_ingest_* families are the worker's only
+  // accounting — IngestStats reads them back. `own_metrics_` backs
+  // workers constructed without an external registry.
+  void init_metrics();
+  std::unique_ptr<telemetry::Registry> own_metrics_;
+  telemetry::Registry* metrics_ = nullptr;
+  telemetry::Counter* submitted_ = nullptr;
+  telemetry::Counter* accepted_ = nullptr;
+  telemetry::Counter* invalid_ = nullptr;
+  telemetry::Counter* epochs_published_ = nullptr;
+  telemetry::Histogram* rebuild_seconds_ = nullptr;
+  telemetry::Histogram* stage_merge_seconds_ = nullptr;
+  telemetry::Histogram* stage_mine_seconds_ = nullptr;
+  telemetry::Histogram* stage_grid_seconds_ = nullptr;
+  telemetry::Histogram* stage_crowd_seconds_ = nullptr;
+  telemetry::Gauge* last_rebuild_seconds_ = nullptr;
+  std::vector<std::string> callback_gauge_names_;  ///< removed on destruction
+
   std::atomic<std::uint64_t> snapshot_live_{0};
-  std::atomic<double> last_rebuild_ms_{0.0};
-  std::atomic<double> total_rebuild_ms_{0.0};
   std::atomic<data::UserId> next_guest_id_{3'000'000'000u};
 
   mutable std::mutex epoch_mutex_;

@@ -1,0 +1,36 @@
+// Rendering a telemetry Registry for operators.
+//
+// Two views of the same state:
+//   - render_prometheus(): Prometheus text exposition format 0.0.4
+//     (the body of `GET /metrics`; serve it with content type
+//     "text/plain; version=0.0.4; charset=utf-8");
+//   - render_json(): the same families as a JSON object, folded into
+//     `/api/status` under "telemetry".
+//
+// Rendering walks every family under the registry mutex and reads the
+// atomic cells with relaxed loads: scrapes never stop writers, so a
+// histogram's sum may trail its buckets by the handful of observations
+// that landed mid-walk. Bucket counts are emitted cumulatively and
+// `_count` is derived from the same cell snapshot, so the Prometheus
+// histogram invariants (non-decreasing buckets, +Inf == count) hold for
+// every scrape.
+#pragma once
+
+#include <string>
+
+#include "json/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace crowdweb::telemetry {
+
+/// Prometheus text exposition of every registered family.
+[[nodiscard]] std::string render_prometheus(const Registry& registry);
+
+/// JSON mirror: {"metric_name": {"type": ..., "help": ..., "series": [...]}}.
+[[nodiscard]] json::Value render_json(const Registry& registry);
+
+/// The content type `GET /metrics` must answer with.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace crowdweb::telemetry

@@ -1,0 +1,57 @@
+// RAII stage timing.
+//
+// ScopedTimer measures wall time on the steady clock and records it —
+// in seconds, the Prometheus base unit — into a Histogram when it is
+// stopped or destroyed, whichever comes first. Typical use brackets one
+// pipeline stage:
+//
+//   {
+//     ScopedTimer timer(stage_seconds.with_labels({"mine"}));
+//     remine_pending_users();
+//   }  // observation recorded here
+//
+// stop() records early and returns the elapsed seconds so callers can
+// reuse the measurement (e.g. to also set a "last duration" gauge).
+// A timer whose histogram is null is inert — instruments stay cheap to
+// disable.
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
+
+namespace crowdweb::telemetry {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+  /// Inert when `histogram` is null.
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records the observation (once) and returns the elapsed seconds.
+  /// Subsequent calls return 0 without recording.
+  double stop() noexcept {
+    if (histogram_ == nullptr) return 0.0;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    histogram_->observe(seconds);
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+  /// Abandons the measurement without recording.
+  void cancel() noexcept { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace crowdweb::telemetry

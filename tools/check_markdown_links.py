@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Checks relative links and anchors in the repo's Markdown files.
+
+Standard library only — runs anywhere Python 3.8+ does, no pip needed.
+
+For every file passed on the command line (or found under passed
+directories), this validates:
+
+  - relative links `[text](path)` resolve to an existing file or
+    directory (relative to the file containing the link);
+  - fragment links `[text](path#anchor)` and `[text](#anchor)` point at
+    a heading that exists in the target file, using GitHub's anchor
+    slugging (lowercase, spaces to dashes, punctuation dropped);
+  - reference-style definitions `[label]: path` resolve the same way.
+
+External links (http://, https://, mailto:) are intentionally skipped —
+CI must not depend on the network. Exit status is the number of broken
+links (capped at 99), so `python3 tools/check_markdown_links.py docs
+README.md` works directly as a CI step.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code_fences(text: str) -> str:
+    """Drops fenced code blocks so example links inside them are ignored."""
+    return FENCE.sub("", text)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, strip punctuation,
+    spaces become dashes. Inline code/emphasis markers are dropped."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        try:
+            text = strip_code_fences(path.read_text(encoding="utf-8"))
+        except OSError:
+            cache[path] = set()
+        else:
+            cache[path] = {github_anchor(m.group(1)) for m in HEADING.finditer(text)}
+    return cache[path]
+
+
+def check_file(md_file: Path, anchor_cache: dict) -> list:
+    """Returns a list of (file, link, reason) problems."""
+    problems = []
+    text = strip_code_fences(md_file.read_text(encoding="utf-8"))
+    targets = (
+        [m.group(1) for m in INLINE_LINK.finditer(text)]
+        + [m.group(1) for m in IMAGE_LINK.finditer(text)]
+        + [m.group(1) for m in REFERENCE_DEF.finditer(text)]
+    )
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("<"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append((md_file, target, "missing file"))
+                continue
+        else:
+            resolved = md_file.resolve()
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown files are not checked
+            if fragment.lower() not in anchors_of(resolved, anchor_cache):
+                problems.append((md_file, target, "missing anchor"))
+    return problems
+
+
+def collect(paths) -> list:
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"warning: {path} does not exist", file=sys.stderr)
+    return files
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <file-or-dir>...", file=sys.stderr)
+        return 2
+    anchor_cache = {}
+    problems = []
+    files = collect(argv[1:])
+    for md_file in files:
+        problems.extend(check_file(md_file, anchor_cache))
+    for md_file, target, reason in problems:
+        print(f"{md_file}: broken link '{target}' ({reason})")
+    print(f"checked {len(files)} files: {len(problems)} broken links")
+    return min(len(problems), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
