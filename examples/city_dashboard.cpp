@@ -5,11 +5,19 @@
 // dumps every artifact a booth visitor would click through (hourly crowd
 // maps, flow maps, GeoJSON layers) into a directory.
 //
+// With --store-dir the dashboard also attaches a live ingestion worker
+// backed by durable storage: POST /api/ingest accepts live check-ins,
+// every accepted batch is journaled to a write-ahead log under the
+// directory, and a restart with the same flag recovers the live corpus
+// (checkpoint + WAL replay) before serving.
+//
 // Run:  ./city_dashboard [--seed N] [--port P] [--paper-scale] [--offline DIR]
+//                        [--store-dir DIR [--fsync every_batch|interval|never]]
 
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "core/api.hpp"
@@ -37,6 +45,8 @@ struct Args {
   bool paper_scale = false;
   std::string offline_dir;  // empty = serve
   std::string data_dir;     // load venues.csv/checkins.csv instead of generating
+  std::string store_dir;    // durable live ingestion (empty = static dashboard)
+  store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -63,6 +73,15 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.data_dir = v;
+    } else if (flag == "--store-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.store_dir = v;
+    } else if (flag == "--fsync") {
+      const char* v = next();
+      const auto policy = v != nullptr ? store::parse_fsync_policy(v) : std::nullopt;
+      if (!policy) return false;
+      args.fsync = *policy;
     } else {
       return false;
     }
@@ -130,7 +149,8 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
-                 "usage: %s [--seed N] [--port P] [--paper-scale] [--offline DIR] [--data DIR]\n",
+                 "usage: %s [--seed N] [--port P] [--paper-scale] [--offline DIR] "
+                 "[--data DIR] [--store-dir DIR [--fsync every_batch|interval|never]]\n",
                  argv[0]);
     return 2;
   }
@@ -145,6 +165,8 @@ int main(int argc, char** argv) {
   config.min_active_days = args.paper_scale ? 50 : 20;
   config.mining.min_support = 0.25;
   config.metrics = &metrics;
+  config.store.dir = args.store_dir;
+  config.store.fsync = args.fsync;
   std::printf("building the CrowdWeb platform (%s)...\n",
               !args.data_dir.empty() ? args.data_dir.c_str()
                                      : (args.paper_scale ? "paper-scale corpus"
@@ -161,7 +183,22 @@ int main(int argc, char** argv) {
 
   if (!args.offline_dir.empty()) return dump_offline(*platform, args.offline_dir);
 
+  // Live mode: the worker recovers the durable corpus (checkpoint + WAL
+  // replay) inside start(), before the server accepts a single request.
+  std::unique_ptr<ingest::IngestWorker> worker;
+  if (!args.store_dir.empty()) {
+    worker = core::make_ingest_worker(*platform);
+    if (const Status status = worker->start(); !status.is_ok()) {
+      std::fprintf(stderr, "ingest worker failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("durable ingestion on (%s, fsync=%s), epoch %llu published\n",
+                args.store_dir.c_str(), std::string(store::to_string(args.fsync)).c_str(),
+                static_cast<unsigned long long>(worker->hub().epoch()));
+  }
+
   core::ApiOptions api_options;
+  api_options.ingest = worker.get();
   api_options.metrics = &metrics;
   http::ServerConfig server_config;
   server_config.port = args.port;
@@ -182,5 +219,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshutting down\n");
   server.stop();
+  if (worker != nullptr) worker->stop();  // final WAL sync happens here
   return 0;
 }

@@ -9,7 +9,12 @@
 // Contrast with city_dashboard, which renders where the crowd *usually*
 // is from the frozen batch model; this shows the corpus evolving.
 //
+// With --store-dir every accepted batch is also journaled to a durable
+// write-ahead log; run it twice with the same directory and the second
+// run recovers the first run's live corpus before the feed starts.
+//
 // Run:  ./live_monitor [--seed N] [--rate R] [--duration S] [--port P]
+//                      [--store-dir DIR [--fsync every_batch|interval|never]]
 
 #include <algorithm>
 #include <chrono>
@@ -36,7 +41,10 @@ using namespace crowdweb;
 namespace {
 
 int usage(const char* name) {
-  std::fprintf(stderr, "usage: %s [--seed N] [--rate R] [--duration S] [--port P]\n", name);
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--rate R] [--duration S] [--port P] "
+               "[--store-dir DIR [--fsync every_batch|interval|never]]\n",
+               name);
   return 2;
 }
 
@@ -48,6 +56,8 @@ int main(int argc, char** argv) {
   double rate = 500.0;       // offered events per second
   double duration = 10.0;    // replay wall-clock budget, seconds
   std::uint16_t port = 0;    // 0 = ephemeral
+  std::string store_dir;     // empty = ephemeral live corpus
+  store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
@@ -66,6 +76,12 @@ int main(int argc, char** argv) {
       const auto parsed = parse_int(argv[++i]);
       if (!parsed || *parsed < 0 || *parsed > 65'535) return usage(argv[0]);
       port = static_cast<std::uint16_t>(*parsed);
+    } else if (flag == "--store-dir" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (flag == "--fsync" && i + 1 < argc) {
+      const auto policy = store::parse_fsync_policy(argv[++i]);
+      if (!policy) return usage(argv[0]);
+      fsync = *policy;
     } else {
       return usage(argv[0]);
     }
@@ -81,6 +97,8 @@ int main(int argc, char** argv) {
   config.small_corpus = true;
   config.min_active_days = 20;
   config.metrics = &metrics;
+  config.store.dir = store_dir;
+  config.store.fsync = fsync;
   std::printf("building platform (seed %llu)...\n",
               static_cast<unsigned long long>(seed));
   auto platform = core::Platform::create(config);
@@ -108,8 +126,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   *api_options.server_stats = [&server] { return server.stats(); };
-  std::printf("live API on http://127.0.0.1:%u (epoch %llu published)\n\n", server.port(),
+  std::printf("live API on http://127.0.0.1:%u (epoch %llu published)\n", server.port(),
               static_cast<unsigned long long>(worker->hub().epoch()));
+  if (const store::DurableStore* durable = worker->store(); durable != nullptr) {
+    const store::StoreStats store_stats = durable->stats();
+    std::printf("durable store %s: recovered %llu record(s), WAL at seq %llu\n",
+                store_stats.dir.c_str(),
+                static_cast<unsigned long long>(store_stats.recovery_replayed_records),
+                static_cast<unsigned long long>(store_stats.last_record_seq));
+  }
+  std::printf("\n");
 
   // The live feed: a different seed's corpus, so every event is genuinely
   // new traffic, replayed in timestamp order through the HTTP sink.

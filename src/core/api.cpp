@@ -521,6 +521,61 @@ Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
                    {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
 }
 
+Response store_stats_handler(const ingest::IngestWorker& worker) {
+  const store::DurableStore* store = worker.store();
+  if (store == nullptr) {
+    return Response::json(
+        404, json::dump(json::object(
+                 {{"error", "durable store not configured (set a store directory)"}})));
+  }
+  const store::StoreStats stats = store->stats();
+  return Response::json(
+      200,
+      json::dump(json::object(
+          {{"dir", stats.dir},
+           {"fsync_policy", stats.fsync_policy},
+           {"wal",
+            json::object(
+                {{"segments", static_cast<std::int64_t>(stats.wal_segments)},
+                 {"bytes", static_cast<std::int64_t>(stats.wal_bytes)},
+                 {"bytes_since_checkpoint",
+                  static_cast<std::int64_t>(stats.wal_bytes_since_checkpoint)},
+                 {"last_record_seq", static_cast<std::int64_t>(stats.last_record_seq)}})},
+           {"appends",
+            json::object({{"records", static_cast<std::int64_t>(stats.append_records)},
+                          {"bytes", static_cast<std::int64_t>(stats.append_bytes)},
+                          {"failures", static_cast<std::int64_t>(stats.append_failures)},
+                          {"fsyncs", static_cast<std::int64_t>(stats.fsyncs)}})},
+           {"checkpoints",
+            json::object(
+                {{"written", static_cast<std::int64_t>(stats.checkpoints)},
+                 {"last_seq", static_cast<std::int64_t>(stats.last_checkpoint_seq)},
+                 {"last_epoch", static_cast<std::int64_t>(stats.last_checkpoint_epoch)}})},
+           {"recovery",
+            json::object({{"replayed_records",
+                           static_cast<std::int64_t>(stats.recovery_replayed_records)},
+                          {"truncated_bytes",
+                           static_cast<std::int64_t>(stats.recovery_truncated_bytes)}})}})));
+}
+
+/// POST /api/admin/checkpoint: asks the worker thread for an immediate
+/// checkpoint and waits for it, so when the call returns 200 the corpus
+/// image is durably on disk.
+Response checkpoint_handler(ingest::IngestWorker& worker) {
+  const Status status = worker.checkpoint_now(std::chrono::seconds(30));
+  if (!status.is_ok()) {
+    const int code = status.code() == StatusCode::kFailedPrecondition ? 404 : 503;
+    return Response::json(code,
+                          json::dump(json::object({{"error", status.to_string()}})));
+  }
+  const store::StoreStats stats = worker.store()->stats();
+  return Response::json(
+      200, json::dump(json::object(
+               {{"checkpoint_seq", static_cast<std::int64_t>(stats.last_checkpoint_seq)},
+                {"epoch", static_cast<std::int64_t>(stats.last_checkpoint_epoch)},
+                {"wal_segments", static_cast<std::int64_t>(stats.wal_segments)}})));
+}
+
 Response ingest_stats_handler(const ingest::IngestWorker& worker) {
   const ingest::IngestStats stats = worker.stats();
   return Response::json(
@@ -714,6 +769,12 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
     router.get("/api/ingest/stats", [w](const Request&, const PathParams&) {
       return ingest_stats_handler(*w);
     });
+    router.get("/api/store/stats", [w](const Request&, const PathParams&) {
+      return store_stats_handler(*w);
+    });
+    router.post("/api/admin/checkpoint", [w](const Request&, const PathParams&) {
+      return checkpoint_handler(*w);
+    });
   }
   if (telemetry::Registry* metrics = options.metrics; metrics != nullptr) {
     router.get("/metrics", [metrics](const Request&, const PathParams&) {
@@ -734,6 +795,9 @@ std::unique_ptr<ingest::IngestWorker> make_ingest_worker(const Platform& platfor
   // Inherit the platform's registry so one scrape covers the batch build
   // and the live worker, unless the caller picked a registry explicitly.
   if (config.metrics == nullptr) config.metrics = platform.config().metrics;
+  // Same for durability: the platform-level store config applies unless
+  // the worker config already names a directory.
+  if (config.store.dir.empty()) config.store = platform.config().store;
   return std::make_unique<ingest::IngestWorker>(platform.experiment_dataset(),
                                                 platform.mobility(), platform.taxonomy(),
                                                 pipeline, config);

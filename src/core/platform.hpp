@@ -21,6 +21,7 @@
 #include "data/dataset.hpp"
 #include "patterns/mobility.hpp"
 #include "patterns/place_graph.hpp"
+#include "store/store.hpp"
 #include "synth/generator.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/civil_time.hpp"
@@ -60,6 +61,13 @@ struct PlatformConfig {
   /// docs/OBSERVABILITY.md). Must outlive the create()/from_*() call.
   /// Null disables platform build telemetry (PhaseTimings still fills).
   telemetry::Registry* metrics = nullptr;
+
+  /// Durable storage for the live ingestion worker: WAL + checkpoints
+  /// under `store.dir` (empty = durability off). Consumed by
+  /// make_ingest_worker — a worker built from this platform inherits it
+  /// unless its own config names a directory. The batch pipeline itself
+  /// never touches the store.
+  store::StoreConfig store;
 };
 
 /// Wall-clock cost of each phase, for the pipeline bench.

@@ -1,5 +1,12 @@
 #include "data/dataset_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -127,10 +134,55 @@ Result<Dataset> dataset_from_csv(std::string_view venues_csv, std::string_view c
 }
 
 Status write_file(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return io_error(crowdweb::format("cannot open '{}' for writing", path));
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return io_error(crowdweb::format("short write to '{}'", path));
+  // Atomic replace: write a temp file in the same directory, fsync it,
+  // rename over the target, then fsync the directory so the rename
+  // itself survives a crash. Readers never observe a half-written file.
+  const std::filesystem::path target(path);
+  const std::filesystem::path dir =
+      target.has_parent_path() ? target.parent_path() : std::filesystem::path(".");
+  const std::string tmp_path =
+      (dir / (target.filename().string() + ".tmp." +
+              crowdweb::format("{}", static_cast<unsigned long long>(::getpid()))))
+          .string();
+
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return io_error(crowdweb::format("cannot open '{}' for writing: {}", tmp_path,
+                                     std::strerror(errno)));
+  }
+  std::string_view rest = content;
+  while (!rest.empty()) {
+    const ssize_t n = ::write(fd, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          io_error(crowdweb::format("write to '{}': {}", tmp_path, std::strerror(errno)));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return status;
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        io_error(crowdweb::format("fsync '{}': {}", tmp_path, std::strerror(errno)));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const Status status = io_error(
+        crowdweb::format("rename '{}' -> '{}': {}", tmp_path, path, std::strerror(errno)));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  const int dir_fd = ::open(dir.string().c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort: some filesystems refuse directory fsync
+    ::close(dir_fd);
+  }
   return Status::ok();
 }
 

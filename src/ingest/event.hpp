@@ -1,0 +1,24 @@
+// The live check-in event record shared by the ingestion queue and the
+// durable store's write-ahead log.
+#pragma once
+
+#include <cstdint>
+
+#include "data/checkin.hpp"
+#include "geo/point.hpp"
+
+namespace crowdweb::ingest {
+
+/// One live check-in as submitted, before venue resolution. Producers
+/// only know *what kind* of place was visited and where; the worker maps
+/// the position onto a concrete venue of the evolving corpus.
+struct IngestEvent {
+  data::UserId user = 0;
+  data::CategoryId category = data::kNoCategory;
+  geo::LatLon position;
+  std::int64_t timestamp = 0;  ///< epoch seconds, local city time
+
+  friend bool operator==(const IngestEvent&, const IngestEvent&) = default;
+};
+
+}  // namespace crowdweb::ingest

@@ -19,21 +19,10 @@
 
 #include "data/checkin.hpp"
 #include "geo/point.hpp"
+#include "ingest/event.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace crowdweb::ingest {
-
-/// One live check-in as submitted, before venue resolution. Producers
-/// only know *what kind* of place was visited and where; the worker maps
-/// the position onto a concrete venue of the evolving corpus.
-struct IngestEvent {
-  data::UserId user = 0;
-  data::CategoryId category = data::kNoCategory;
-  geo::LatLon position;
-  std::int64_t timestamp = 0;  ///< epoch seconds, local city time
-
-  friend bool operator==(const IngestEvent&, const IngestEvent&) = default;
-};
 
 /// Bounded multi-producer single-consumer event queue.
 class IngestQueue {

@@ -109,11 +109,20 @@ Status IngestWorker::start() {
   if (running_.load(std::memory_order_acquire))
     return failed_precondition("ingest worker already running");
   if (queue_.closed()) return failed_precondition("ingest worker cannot restart");
-  // Epoch 1: the base corpus, so readers always have a snapshot.
+  if (!config_.store.dir.empty() && store_ == nullptr) {
+    const Status recovered = recover_from_store();
+    if (!recovered.is_ok()) return recovered;
+  }
+  // First epoch: the base corpus — or, after recovery, the checkpoint
+  // plus the replayed WAL tail — so readers always have a snapshot.
   const Status status = rebuild_and_publish();
   if (!status.is_ok()) return status;
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  if (store_ != nullptr) {
+    journal_stop_ = false;
+    journal_thread_ = std::thread([this] { journal_run(); });
+  }
   thread_ = std::thread([this] { run(); });
   log_info("ingest worker started: queue capacity {}, rebuild interval {} ms",
            queue_.capacity(), config_.rebuild_interval.count());
@@ -147,6 +156,79 @@ data::UserId IngestWorker::allocate_guest_id() noexcept {
   return next_guest_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
+Status IngestWorker::recover_from_store() {
+  store::StoreConfig store_config = config_.store;
+  if (store_config.metrics == nullptr) store_config.metrics = metrics_;
+  Result<std::unique_ptr<store::DurableStore>> opened =
+      store::DurableStore::open(std::move(store_config));
+  if (!opened) return opened.status();
+  store_ = std::move(*opened);
+
+  store::RecoveredState recovered = store_->take_recovered();
+  if (recovered.checkpoint.has_value()) {
+    // The checkpoint replaces the base corpus copies wholesale: it IS
+    // the base corpus plus every delta merged before it was written,
+    // in the original insertion order (which venue resolution depends
+    // on for deterministic ids).
+    store::Checkpoint& checkpoint = *recovered.checkpoint;
+    venues_ = std::move(checkpoint.venues);
+    checkins_ = std::move(checkpoint.checkins);
+    base_checkin_count_ = checkpoint.base_checkin_count;
+    touched_users_.clear();
+    touched_users_.insert(checkpoint.touched_users.begin(),
+                          checkpoint.touched_users.end());
+    data::UserId next_guest = next_guest_id_.load(std::memory_order_relaxed);
+    next_guest_id_.store(std::max(next_guest, checkpoint.next_guest_id),
+                         std::memory_order_relaxed);
+    venue_index_.clear();
+    venue_index_.reserve(venues_.size());
+    for (const data::Venue& venue : venues_)
+      venue_index_.emplace(venue_key(venue.category, venue.position), venue.id);
+  }
+  // Touched users' mobility differs from the base corpus mobility the
+  // constructor copied, so every one of them re-mines in the first
+  // rebuild (later epochs go back to re-mining only fresh deltas).
+  pending_users_ = touched_users_;
+
+  // Replay the WAL tail through the same validate + merge path live
+  // events take. Counters stay untouched — these events were counted
+  // when first accepted; crowdweb_store_recovery_* records the replay.
+  std::uint64_t replayed_events = 0;
+  for (const store::WalRecord& record : recovered.records) {
+    for (const IngestEvent& event : record.events) {
+      if (merge_event(event)) ++replayed_events;
+    }
+  }
+  // Resume the epoch counter past everything disk has seen, so the
+  // first published epoch after restart is strictly newer than any a
+  // reader saw before the crash.
+  epoch_ = std::max(epoch_, recovered.max_epoch);
+  if (recovered.checkpoint.has_value() || !recovered.records.empty() ||
+      recovered.truncated_bytes > 0) {
+    log_info(
+        "store recovery: checkpoint {}, {} WAL record(s) / {} event(s) replayed, "
+        "{} torn byte(s) truncated, resuming at epoch {}",
+        recovered.checkpoint ? recovered.checkpoint->seq : 0,
+        recovered.records.size(), replayed_events, recovered.truncated_bytes, epoch_);
+  }
+  return Status::ok();
+}
+
+Status IngestWorker::checkpoint_now(std::chrono::milliseconds timeout) {
+  if (store_ == nullptr)
+    return failed_precondition("durable store not configured (no store directory)");
+  if (!running_.load(std::memory_order_acquire))
+    return failed_precondition("ingest worker not running");
+  std::unique_lock<std::mutex> lock(epoch_mutex_);
+  const std::uint64_t target = checkpoints_done_ + 1;
+  checkpoint_requested_.store(true, std::memory_order_release);
+  if (!epoch_cv_.wait_for(lock, timeout,
+                          [this, target] { return checkpoints_done_ >= target; })) {
+    return unavailable("checkpoint did not complete in time (see server log)");
+  }
+  return Status::ok();
+}
+
 IngestStats IngestWorker::stats() const {
   IngestStats stats;
   stats.submitted = submitted_->value();
@@ -177,6 +259,14 @@ void IngestWorker::run() {
     batch.clear();
     queue_.drain(batch, config_.drain_batch, config_.rebuild_interval);
     apply(batch);
+    if (store_ != nullptr) {
+      store_->maybe_sync();
+      const std::uint64_t auto_bytes = config_.store.checkpoint_wal_bytes;
+      if (checkpoint_requested_.exchange(false, std::memory_order_acq_rel) ||
+          (auto_bytes > 0 && store_->wal_bytes_since_checkpoint() >= auto_bytes)) {
+        write_checkpoint();
+      }
+    }
     const bool stopping =
         stop_requested_.load(std::memory_order_acquire) && queue_.size() == 0;
     if (!pending_users_.empty() &&
@@ -188,27 +278,114 @@ void IngestWorker::run() {
     }
     if (stopping) break;
   }
+  if (journal_thread_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(journal_mutex_);
+      journal_stop_ = true;
+    }
+    journal_cv_.notify_all();
+    journal_thread_.join();  // drains the backlog before exiting
+  }
+  if (store_ != nullptr) {
+    // Clean shutdown: everything accepted is on disk regardless of the
+    // fsync policy.
+    const Status status = store_->sync();
+    if (!status.is_ok()) log_error("final WAL sync failed: {}", status.to_string());
+  }
   running_.store(false, std::memory_order_release);
+}
+
+void IngestWorker::journal_run() {
+  std::unique_lock<std::mutex> lock(journal_mutex_);
+  while (true) {
+    journal_cv_.wait(lock, [this] { return journal_stop_ || !journal_queue_.empty(); });
+    if (journal_queue_.empty()) {
+      if (journal_stop_) return;
+      continue;
+    }
+    JournalTask task = std::move(journal_queue_.front());
+    journal_queue_.pop_front();
+    lock.unlock();
+    // A failed append is logged and counted
+    // (crowdweb_store_append_failures_total) but does not stop serving:
+    // the events stay live in memory, they are just not durable.
+    const Status status = store_->append(task.epoch, task.events);
+    if (!status.is_ok()) log_error("WAL append failed: {}", status.to_string());
+    lock.lock();
+    if (--journal_pending_ == 0) journal_drained_cv_.notify_all();
+  }
+}
+
+void IngestWorker::journal_barrier() {
+  if (store_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(journal_mutex_);
+  journal_drained_cv_.wait(lock, [this] { return journal_pending_ == 0; });
+}
+
+bool IngestWorker::merge_event(const IngestEvent& event) {
+  if (event.category >= taxonomy_.size() || !geo::is_valid(event.position) ||
+      event.timestamp <= 0) {
+    return false;
+  }
+  const data::VenueId venue = resolve_venue(event.category, event.position);
+  checkins_.push_back({event.user, venue, event.category, event.position,
+                       event.timestamp});
+  pending_users_.insert(event.user);
+  touched_users_.insert(event.user);
+  return true;
 }
 
 void IngestWorker::apply(std::span<const IngestEvent> events) {
   std::uint64_t invalid = 0;
-  std::uint64_t accepted = 0;
+  std::vector<IngestEvent> accepted;
+  if (store_ != nullptr) accepted.reserve(events.size());
   for (const IngestEvent& event : events) {
-    if (event.category >= taxonomy_.size() || !geo::is_valid(event.position) ||
-        event.timestamp <= 0) {
+    if (!merge_event(event)) {
       ++invalid;
       continue;
     }
-    const data::VenueId venue = resolve_venue(event.category, event.position);
-    checkins_.push_back({event.user, venue, event.category, event.position,
-                         event.timestamp});
-    pending_users_.insert(event.user);
-    touched_users_.insert(event.user);
-    ++accepted;
+    if (store_ != nullptr) accepted.push_back(event);
   }
   if (invalid > 0) invalid_->increment(invalid);
-  if (accepted > 0) accepted_->increment(accepted);
+  const std::uint64_t accepted_count =
+      store_ != nullptr ? accepted.size() : events.size() - invalid;
+  if (accepted_count > 0) accepted_->increment(accepted_count);
+  if (store_ != nullptr && !accepted.empty()) {
+    // Hand the batch to the journal thread: the WAL write overlaps the
+    // next drain/merge, and the barrier in rebuild_and_publish() keeps
+    // the invariant that events are journaled before their epoch is
+    // visible to readers.
+    {
+      const std::lock_guard<std::mutex> lock(journal_mutex_);
+      journal_queue_.push_back({epoch_, std::move(accepted)});
+      ++journal_pending_;
+    }
+    journal_cv_.notify_one();
+  }
+}
+
+void IngestWorker::write_checkpoint() {
+  // The image snapshots checkins_, so every batch merged into it must
+  // be on the WAL first — otherwise its queued records would land
+  // *after* the checkpoint and replay as duplicates on recovery.
+  journal_barrier();
+  store::Checkpoint image;
+  image.epoch = epoch_;
+  image.next_guest_id = next_guest_id_.load(std::memory_order_relaxed);
+  image.base_checkin_count = base_checkin_count_;
+  image.venues = venues_;
+  image.checkins = checkins_;
+  image.touched_users.assign(touched_users_.begin(), touched_users_.end());
+  const Status status = store_->write_checkpoint(std::move(image));
+  if (!status.is_ok()) {
+    log_error("checkpoint failed: {}", status.to_string());
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(epoch_mutex_);
+    ++checkpoints_done_;
+  }
+  epoch_cv_.notify_all();
 }
 
 data::VenueId IngestWorker::resolve_venue(data::CategoryId category,
@@ -278,6 +455,12 @@ Status IngestWorker::rebuild_and_publish() {
   auto crowd = crowd::CrowdModel::build(merged, mobility_, *grid, pipeline_.crowd);
   if (!crowd) return crowd.status();
   crowd_timer.stop();
+
+  // Durability barrier: every batch merged into this epoch must be
+  // journaled (and synced, per the fsync policy) before a reader can
+  // see it. Waiting here, after the rebuild stages, means the WAL
+  // writes overlapped all of the work above.
+  journal_barrier();
 
   const double elapsed_ms = ms_since(start);
   ++epoch_;

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -30,6 +31,7 @@
 #include "ingest/snapshot.hpp"
 #include "mining/seqdb.hpp"
 #include "patterns/mobility.hpp"
+#include "store/store.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/status.hpp"
 
@@ -60,6 +62,12 @@ struct IngestWorkerConfig {
   /// Upper bounds (seconds) of the epoch-rebuild and per-stage
   /// histograms; empty = telemetry::default_duration_buckets().
   std::vector<double> rebuild_buckets;
+  /// Durable storage (WAL + checkpoints). `store.dir` empty = disabled:
+  /// the worker keeps the pre-durability behavior (memory only). With a
+  /// directory set, start() runs crash recovery before publishing
+  /// epoch 1 and every accepted batch is journaled before its epoch is
+  /// published. `store.metrics` null inherits the worker's registry.
+  store::StoreConfig store;
 };
 
 /// Monotonic counters for `GET /api/ingest/stats`.
@@ -95,7 +103,10 @@ class IngestWorker {
   IngestWorker(const IngestWorker&) = delete;
   IngestWorker& operator=(const IngestWorker&) = delete;
 
-  /// Publishes the base corpus as epoch 1 and spawns the worker thread.
+  /// Recovers from the durable store when one is configured (newest
+  /// checkpoint + WAL tail replayed through the merge path), publishes
+  /// the recovered corpus as the first epoch, and spawns the worker
+  /// thread. Without a store, publishes the base corpus as epoch 1.
   [[nodiscard]] Status start();
 
   /// Closes the queue, merges what was already accepted into a final
@@ -121,6 +132,15 @@ class IngestWorker {
 
   [[nodiscard]] IngestStats stats() const;
 
+  /// The durable store, or null when durability is disabled (not
+  /// configured, or start() has not run yet). Valid once start()
+  /// returned OK; the pointer is stable until destruction.
+  [[nodiscard]] store::DurableStore* store() const noexcept { return store_.get(); }
+
+  /// Asks the worker thread to write a checkpoint and blocks until it
+  /// lands (or `timeout` expires). Thread-safe.
+  [[nodiscard]] Status checkpoint_now(std::chrono::milliseconds timeout);
+
   /// Blocks until the published epoch reaches `epoch` (true) or the
   /// timeout expires (false).
   [[nodiscard]] bool wait_for_epoch(std::uint64_t epoch,
@@ -128,9 +148,26 @@ class IngestWorker {
 
  private:
   void run();
-  /// Validates and applies drained events to the delta state. Worker
-  /// thread only.
+  /// Consumes the journal queue, appending each batch to the WAL.
+  /// Runs on journal_thread_ while a store is configured.
+  void journal_run();
+  /// Blocks until every handed-off batch is on the WAL (and synced, per
+  /// the fsync policy). Called before an epoch publishes or a
+  /// checkpoint snapshots the corpus.
+  void journal_barrier();
+  /// Validates and applies drained events to the delta state, then
+  /// hands the accepted subset to the journal thread. Worker thread
+  /// only.
   void apply(std::span<const IngestEvent> events);
+  /// Validates and merges one event (shared by live apply and WAL
+  /// replay). Returns false for invalid events.
+  bool merge_event(const IngestEvent& event);
+  /// Opens the store, adopts its recovered checkpoint + WAL tail, and
+  /// resumes the epoch counter. Called from start().
+  [[nodiscard]] Status recover_from_store();
+  /// Snapshots the live corpus into the store as a checkpoint. Worker
+  /// thread only.
+  void write_checkpoint();
   /// Rebuilds derived state and publishes the next epoch. Worker thread
   /// only (also called once from start() before the thread exists).
   Status rebuild_and_publish();
@@ -178,9 +215,34 @@ class IngestWorker {
   std::atomic<std::uint64_t> snapshot_live_{0};
   std::atomic<data::UserId> next_guest_id_{3'000'000'000u};
 
+  // Durable storage. Declared after own_metrics_: the store's
+  // destructor unhooks its scrape gauges from the registry, so it must
+  // die first. Set once in start(), before the thread exists.
+  std::unique_ptr<store::DurableStore> store_;
+  std::atomic<bool> checkpoint_requested_{false};
+
+  // Journal pipeline: apply() merges a batch and hands it to this
+  // thread, which encodes + writes (+ fsyncs) it off the merge path;
+  // rebuild_and_publish() and write_checkpoint() barrier on
+  // journal_pending_ so nothing reaches readers or a checkpoint before
+  // it is journaled. Growth is bounded by one rebuild interval of
+  // accepted events — every publication drains the queue.
+  struct JournalTask {
+    std::uint64_t epoch = 0;
+    std::vector<IngestEvent> events;
+  };
+  std::thread journal_thread_;
+  std::mutex journal_mutex_;
+  std::condition_variable journal_cv_;          // new work or stop
+  std::condition_variable journal_drained_cv_;  // journal_pending_ hit 0
+  std::deque<JournalTask> journal_queue_;       // guarded by journal_mutex_
+  std::size_t journal_pending_ = 0;             // queued + in-flight batches
+  bool journal_stop_ = false;                   // guarded by journal_mutex_
+
   mutable std::mutex epoch_mutex_;
   mutable std::condition_variable epoch_cv_;
-  std::uint64_t published_epoch_ = 0;  // guarded by epoch_mutex_
+  std::uint64_t published_epoch_ = 0;   // guarded by epoch_mutex_
+  std::uint64_t checkpoints_done_ = 0;  // guarded by epoch_mutex_
 };
 
 }  // namespace crowdweb::ingest

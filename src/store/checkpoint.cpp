@@ -1,0 +1,121 @@
+#include "store/checkpoint.hpp"
+
+#include "store/crc32.hpp"
+#include "store/format.hpp"
+#include "store/wal.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::store {
+
+std::string encode_checkpoint(const Checkpoint& checkpoint) {
+  std::string out;
+  put_u32(out, kCheckpointMagic);
+  put_u32(out, kFormatVersion);
+  put_u64(out, checkpoint.seq);
+  put_u64(out, checkpoint.epoch);
+  put_u64(out, checkpoint.last_record_seq);
+  put_u32(out, checkpoint.next_guest_id);
+  put_u64(out, checkpoint.base_checkin_count);
+
+  put_u32(out, static_cast<std::uint32_t>(checkpoint.venues.size()));
+  for (const data::Venue& venue : checkpoint.venues) {
+    put_u32(out, venue.id);
+    put_bytes(out, venue.name);
+    put_u16(out, venue.category);
+    put_f64(out, venue.position.lat);
+    put_f64(out, venue.position.lon);
+  }
+
+  put_u64(out, checkpoint.checkins.size());
+  for (const data::CheckIn& checkin : checkpoint.checkins) {
+    put_u32(out, checkin.user);
+    put_u32(out, checkin.venue);
+    put_u16(out, checkin.category);
+    put_f64(out, checkin.position.lat);
+    put_f64(out, checkin.position.lon);
+    put_i64(out, checkin.timestamp);
+  }
+
+  put_u32(out, static_cast<std::uint32_t>(checkpoint.touched_users.size()));
+  for (const data::UserId user : checkpoint.touched_users) put_u32(out, user);
+
+  put_u32(out, crc32(out));
+  return out;
+}
+
+Result<Checkpoint> decode_checkpoint(std::string_view bytes, const std::string& path) {
+  if (bytes.size() < 4)
+    return io_error(crowdweb::format("{}: checkpoint file too short", path));
+  const std::string_view payload = bytes.substr(0, bytes.size() - 4);
+  const std::uint32_t stored_crc = [&] {
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i)
+      value = (value << 8) |
+              static_cast<unsigned char>(bytes[payload.size() + static_cast<std::size_t>(i)]);
+    return value;
+  }();
+  if (crc32(payload) != stored_crc) {
+    return io_error(crowdweb::format(
+        "{}: checkpoint checksum mismatch (torn or corrupt write)", path));
+  }
+
+  ByteReader reader(payload);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  Checkpoint checkpoint;
+  if (!reader.read_u32(magic) || magic != kCheckpointMagic)
+    return parse_error(crowdweb::format("{}: not a checkpoint file (bad magic)", path));
+  if (!reader.read_u32(version) || version != kFormatVersion) {
+    return parse_error(crowdweb::format(
+        "{}: unsupported checkpoint format version {} (supported: {})", path,
+        version, kFormatVersion));
+  }
+  reader.read_u64(checkpoint.seq);
+  reader.read_u64(checkpoint.epoch);
+  reader.read_u64(checkpoint.last_record_seq);
+  reader.read_u32(checkpoint.next_guest_id);
+  reader.read_u64(checkpoint.base_checkin_count);
+
+  std::uint32_t venue_count = 0;
+  if (!reader.read_u32(venue_count))
+    return parse_error(crowdweb::format("{}: truncated checkpoint header", path));
+  checkpoint.venues.resize(venue_count);
+  for (data::Venue& venue : checkpoint.venues) {
+    reader.read_u32(venue.id);
+    reader.read_bytes(venue.name);
+    reader.read_u16(venue.category);
+    reader.read_f64(venue.position.lat);
+    reader.read_f64(venue.position.lon);
+  }
+
+  std::uint64_t checkin_count = 0;
+  if (!reader.read_u64(checkin_count) || checkin_count > payload.size()) {
+    return parse_error(
+        crowdweb::format("{}: implausible checkpoint check-in count", path));
+  }
+  checkpoint.checkins.resize(checkin_count);
+  for (data::CheckIn& checkin : checkpoint.checkins) {
+    reader.read_u32(checkin.user);
+    reader.read_u32(checkin.venue);
+    reader.read_u16(checkin.category);
+    reader.read_f64(checkin.position.lat);
+    reader.read_f64(checkin.position.lon);
+    reader.read_i64(checkin.timestamp);
+  }
+
+  std::uint32_t touched_count = 0;
+  if (!reader.read_u32(touched_count))
+    return parse_error(crowdweb::format("{}: truncated checkpoint user list", path));
+  checkpoint.touched_users.resize(touched_count);
+  for (data::UserId& user : checkpoint.touched_users) reader.read_u32(user);
+
+  // The checksum already vouches for the bytes; a short or oversized
+  // payload past it means the encoder and decoder disagree.
+  if (reader.truncated() || !reader.exhausted()) {
+    return parse_error(crowdweb::format(
+        "{}: checkpoint payload length does not match its contents", path));
+  }
+  return checkpoint;
+}
+
+}  // namespace crowdweb::store

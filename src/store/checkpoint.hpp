@@ -1,0 +1,53 @@
+// Binary checkpoint of the merged live corpus.
+//
+// A checkpoint file is one payload followed by a trailing u32 CRC-32 of
+// everything before it:
+//
+//   u32 magic "CCKP" | u32 version | u64 checkpoint_seq | u64 epoch |
+//   u64 last_record_seq | u32 next_guest_id | u64 base_checkin_count |
+//   u32 venue_count   | venue_count   x venue   |
+//   u64 checkin_count | checkin_count x checkin |
+//   u32 touched_count | touched_count x u32 user |
+//   u32 crc32(payload)
+//
+// `last_record_seq` names the WAL prefix the checkpoint covers: recovery
+// loads the checkpoint, then replays only records with seq greater than
+// it. Venues and check-ins are stored in the worker's insertion order —
+// the order the merge path depends on for deterministic venue ids — so
+// a recovered corpus is byte-identical to the one that wrote it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/checkin.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::store {
+
+/// The durable image of an IngestWorker's live corpus.
+struct Checkpoint {
+  std::uint64_t seq = 0;    ///< checkpoint ordinal (file name ordinal)
+  std::uint64_t epoch = 0;  ///< worker epoch at checkpoint time
+  /// Largest WAL record seq folded into this image (0 = none).
+  std::uint64_t last_record_seq = 0;
+  data::UserId next_guest_id = 0;
+  /// Check-ins at the front of `checkins` that came from the base
+  /// corpus, not live ingestion.
+  std::uint64_t base_checkin_count = 0;
+  std::vector<data::Venue> venues;
+  std::vector<data::CheckIn> checkins;
+  /// Users ever touched by live deltas (feeds incremental re-mining).
+  std::vector<data::UserId> touched_users;
+};
+
+[[nodiscard]] std::string encode_checkpoint(const Checkpoint& checkpoint);
+
+/// Decodes and checksum-verifies one checkpoint file's bytes. `path`
+/// appears in error messages only.
+[[nodiscard]] Result<Checkpoint> decode_checkpoint(std::string_view bytes,
+                                                   const std::string& path);
+
+}  // namespace crowdweb::store

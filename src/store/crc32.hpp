@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+// checksum of the durable store's on-disk formats. Standard so external
+// tooling (`python3 -c 'import zlib; zlib.crc32(...)'`) can verify files.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace crowdweb::store {
+
+/// Checksum of `bytes`, optionally continuing from a previous value
+/// (`crc32(b, crc32(a)) == crc32(a + b)`).
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) noexcept;
+
+}  // namespace crowdweb::store

@@ -1,0 +1,157 @@
+// Little-endian byte (de)serialization for the durable store's on-disk
+// formats (WAL records and checkpoints).
+//
+// Every multi-byte integer is written least-significant byte first,
+// independent of the host, so store files move between machines.
+// Doubles travel as the IEEE-754 bit pattern of the value.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace crowdweb::store {
+
+inline void put_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+}
+
+inline void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+}
+
+inline void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+}
+
+inline void put_i64(std::string& out, std::int64_t value) {
+  put_u64(out, static_cast<std::uint64_t>(value));
+}
+
+inline void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// u32 length prefix + raw bytes.
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+// Raw-pointer variants for pre-sized buffers: the WAL append path sizes
+// its frame up front and writes fields in place, so the per-byte growth
+// checks of the put_* family stay off the worker's drain loop. GCC and
+// Clang collapse the byte stores into single moves on little-endian
+// targets.
+
+inline char* raw_put_u16(char* p, std::uint16_t value) noexcept {
+  p[0] = static_cast<char>(value & 0xFF);
+  p[1] = static_cast<char>((value >> 8) & 0xFF);
+  return p + 2;
+}
+
+inline char* raw_put_u32(char* p, std::uint32_t value) noexcept {
+  for (int shift = 0; shift < 32; shift += 8)
+    *p++ = static_cast<char>((value >> shift) & 0xFF);
+  return p;
+}
+
+inline char* raw_put_u64(char* p, std::uint64_t value) noexcept {
+  for (int shift = 0; shift < 64; shift += 8)
+    *p++ = static_cast<char>((value >> shift) & 0xFF);
+  return p;
+}
+
+inline char* raw_put_i64(char* p, std::int64_t value) noexcept {
+  return raw_put_u64(p, static_cast<std::uint64_t>(value));
+}
+
+inline char* raw_put_f64(char* p, double value) noexcept {
+  return raw_put_u64(p, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Sequential reader over an encoded buffer. Every read_* returns false
+/// (leaving the output untouched) once the buffer is exhausted; callers
+/// check once per record, not per field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - offset_; }
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ >= bytes_.size(); }
+  /// True once any read ran past the end.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+  bool read_u16(std::uint16_t& value) noexcept {
+    std::uint8_t raw[2];
+    if (!take(raw, sizeof raw)) return false;
+    value = static_cast<std::uint16_t>(raw[0] | (raw[1] << 8));
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& value) noexcept {
+    std::uint8_t raw[4];
+    if (!take(raw, sizeof raw)) return false;
+    value = 0;
+    for (int i = 3; i >= 0; --i) value = (value << 8) | raw[i];
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& value) noexcept {
+    std::uint8_t raw[8];
+    if (!take(raw, sizeof raw)) return false;
+    value = 0;
+    for (int i = 7; i >= 0; --i) value = (value << 8) | raw[i];
+    return true;
+  }
+
+  bool read_i64(std::int64_t& value) noexcept {
+    std::uint64_t raw = 0;
+    if (!read_u64(raw)) return false;
+    value = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool read_f64(double& value) noexcept {
+    std::uint64_t raw = 0;
+    if (!read_u64(raw)) return false;
+    value = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  /// Length-prefixed bytes (see put_bytes).
+  bool read_bytes(std::string& value) {
+    std::uint32_t length = 0;
+    if (!read_u32(length)) return false;
+    if (remaining() < length) {
+      truncated_ = true;
+      return false;
+    }
+    value.assign(bytes_.substr(offset_, length));
+    offset_ += length;
+    return true;
+  }
+
+ private:
+  bool take(std::uint8_t* out, std::size_t n) noexcept {
+    if (remaining() < n) {
+      truncated_ = true;
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace crowdweb::store
