@@ -13,16 +13,21 @@
 //
 // Run:  ./city_dashboard [--seed N] [--port P] [--paper-scale] [--offline DIR]
 //                        [--store-dir DIR [--fsync every_batch|interval|never]]
+//                        [--http-workers N] [--http-cache-mb MB]
 
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
+
+#include <algorithm>
 
 #include "core/api.hpp"
 #include "core/platform.hpp"
 #include "data/dataset_io.hpp"
+#include "http/cache.hpp"
 #include "http/server.hpp"
 #include "json/json.hpp"
 #include "telemetry/metrics.hpp"
@@ -47,6 +52,8 @@ struct Args {
   std::string data_dir;     // load venues.csv/checkins.csv instead of generating
   std::string store_dir;    // durable live ingestion (empty = static dashboard)
   store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
+  int http_workers = -1;         // -1 = hardware concurrency, 0 = inline
+  std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -82,6 +89,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       const auto policy = v != nullptr ? store::parse_fsync_policy(v) : std::nullopt;
       if (!policy) return false;
       args.fsync = *policy;
+    } else if (flag == "--http-workers") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_int(v) : Result<std::int64_t>(parse_error(""));
+      if (!parsed || *parsed < 0) return false;
+      args.http_workers = static_cast<int>(*parsed);
+    } else if (flag == "--http-cache-mb") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_int(v) : Result<std::int64_t>(parse_error(""));
+      if (!parsed || *parsed < 0) return false;
+      args.http_cache_mb = *parsed;
     } else {
       return false;
     }
@@ -150,7 +167,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--port P] [--paper-scale] [--offline DIR] "
-                 "[--data DIR] [--store-dir DIR [--fsync every_batch|interval|never]]\n",
+                 "[--data DIR] [--store-dir DIR [--fsync every_batch|interval|never]] "
+                 "[--http-workers N] [--http-cache-mb MB]\n",
                  argv[0]);
     return 2;
   }
@@ -183,11 +201,29 @@ int main(int argc, char** argv) {
 
   if (!args.offline_dir.empty()) return dump_offline(*platform, args.offline_dir);
 
+  // Response cache: every cacheable route is a pure function of
+  // (target, epoch), so entries never need explicit invalidation — the
+  // publish hook below re-keys the cache on every new snapshot.
+  std::unique_ptr<http::ResponseCache> cache;
+  if (args.http_cache_mb > 0) {
+    http::ResponseCacheConfig cache_config;
+    cache_config.max_bytes = static_cast<std::size_t>(args.http_cache_mb) << 20;
+    cache_config.metrics = &metrics;
+    cache = std::make_unique<http::ResponseCache>(cache_config);
+  }
+
   // Live mode: the worker recovers the durable corpus (checkpoint + WAL
   // replay) inside start(), before the server accepts a single request.
+  // The epoch hook is registered before start() so the initial publish
+  // already keys the cache.
   std::unique_ptr<ingest::IngestWorker> worker;
   if (!args.store_dir.empty()) {
     worker = core::make_ingest_worker(*platform);
+    if (cache != nullptr) {
+      http::ResponseCache* c = cache.get();
+      worker->hub().on_publish(
+          [c](const ingest::PlatformSnapshot& snapshot) { c->set_epoch(snapshot.epoch); });
+    }
     if (const Status status = worker->start(); !status.is_ok()) {
       std::fprintf(stderr, "ingest worker failed: %s\n", status.to_string().c_str());
       return 1;
@@ -197,12 +233,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(worker->hub().epoch()));
   }
 
+  const int resolved_workers =
+      args.http_workers < 0
+          ? std::max(1, static_cast<int>(std::thread::hardware_concurrency()))
+          : args.http_workers;
   core::ApiOptions api_options;
   api_options.ingest = worker.get();
   api_options.metrics = &metrics;
+  api_options.cache = cache.get();
+  api_options.http_workers = resolved_workers;
   http::ServerConfig server_config;
   server_config.port = args.port;
   server_config.metrics = &metrics;
+  server_config.worker_threads = args.http_workers;
+  server_config.cache = cache.get();
   http::Server server(core::make_api_router(*platform, api_options), server_config);
   const Status started = server.start();
   if (!started.is_ok()) {
@@ -210,6 +254,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("CrowdWeb is up: http://127.0.0.1:%u/  (Ctrl-C to stop)\n", server.port());
+  std::printf("serving with %d worker thread(s), response cache %s\n",
+              server.worker_threads(),
+              cache != nullptr
+                  ? crowdweb::format("{} MB", args.http_cache_mb).c_str()
+                  : "off");
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

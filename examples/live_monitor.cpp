@@ -15,6 +15,7 @@
 //
 // Run:  ./live_monitor [--seed N] [--rate R] [--duration S] [--port P]
 //                      [--store-dir DIR [--fsync every_batch|interval|never]]
+//                      [--http-workers N] [--http-cache-mb MB]
 
 #include <algorithm>
 #include <chrono>
@@ -27,12 +28,14 @@
 
 #include "core/api.hpp"
 #include "core/platform.hpp"
+#include "http/cache.hpp"
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "ingest/replay.hpp"
 #include "json/json.hpp"
 #include "synth/generator.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -43,7 +46,8 @@ namespace {
 int usage(const char* name) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--rate R] [--duration S] [--port P] "
-               "[--store-dir DIR [--fsync every_batch|interval|never]]\n",
+               "[--store-dir DIR [--fsync every_batch|interval|never]] "
+               "[--http-workers N] [--http-cache-mb MB]\n",
                name);
   return 2;
 }
@@ -58,6 +62,8 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;    // 0 = ephemeral
   std::string store_dir;     // empty = ephemeral live corpus
   store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
+  int http_workers = -1;            // -1 = hardware concurrency, 0 = inline
+  std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
@@ -82,6 +88,14 @@ int main(int argc, char** argv) {
       const auto policy = store::parse_fsync_policy(argv[++i]);
       if (!policy) return usage(argv[0]);
       fsync = *policy;
+    } else if (flag == "--http-workers" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed || *parsed < 0) return usage(argv[0]);
+      http_workers = static_cast<int>(*parsed);
+    } else if (flag == "--http-cache-mb" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed || *parsed < 0) return usage(argv[0]);
+      http_cache_mb = *parsed;
     } else {
       return usage(argv[0]);
     }
@@ -107,27 +121,54 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Live side: worker + API + server.
+  // Response cache, re-keyed by every epoch publish: stale entries
+  // become unreachable the instant a snapshot lands, with no explicit
+  // invalidation anywhere.
+  std::unique_ptr<http::ResponseCache> cache;
+  if (http_cache_mb > 0) {
+    http::ResponseCacheConfig cache_config;
+    cache_config.max_bytes = static_cast<std::size_t>(http_cache_mb) << 20;
+    cache_config.metrics = &metrics;
+    cache = std::make_unique<http::ResponseCache>(cache_config);
+  }
+
+  // Live side: worker + API + server. The epoch hook is registered
+  // before start() so the initial publish already keys the cache.
   auto worker = core::make_ingest_worker(*platform);
+  if (cache != nullptr) {
+    http::ResponseCache* c = cache.get();
+    worker->hub().on_publish(
+        [c](const ingest::PlatformSnapshot& snapshot) { c->set_epoch(snapshot.epoch); });
+  }
   if (const Status status = worker->start(); !status.is_ok()) {
     std::fprintf(stderr, "worker failed: %s\n", status.to_string().c_str());
     return 1;
   }
+  const int resolved_workers =
+      http_workers < 0 ? std::max(1, static_cast<int>(std::thread::hardware_concurrency()))
+                       : http_workers;
   core::ApiOptions api_options;
   api_options.ingest = worker.get();
   api_options.server_stats = std::make_shared<std::function<http::ServerStats()>>();
   api_options.metrics = &metrics;
+  api_options.cache = cache.get();
+  api_options.http_workers = resolved_workers;
   http::ServerConfig server_config;
   server_config.port = port;
   server_config.metrics = &metrics;
+  server_config.worker_threads = http_workers;
+  server_config.cache = cache.get();
   http::Server server(core::make_api_router(*platform, api_options), server_config);
   if (const Status status = server.start(); !status.is_ok()) {
     std::fprintf(stderr, "server failed: %s\n", status.to_string().c_str());
     return 1;
   }
   *api_options.server_stats = [&server] { return server.stats(); };
-  std::printf("live API on http://127.0.0.1:%u (epoch %llu published)\n", server.port(),
-              static_cast<unsigned long long>(worker->hub().epoch()));
+  std::printf("live API on http://127.0.0.1:%u (epoch %llu published, %d worker(s), "
+              "cache %s)\n",
+              server.port(), static_cast<unsigned long long>(worker->hub().epoch()),
+              server.worker_threads(),
+              cache != nullptr ? crowdweb::format("{} MB", http_cache_mb).c_str() : "off");
   if (const store::DurableStore* durable = worker->store(); durable != nullptr) {
     const store::StoreStats store_stats = durable->stats();
     std::printf("durable store %s: recovered %llu record(s), WAL at seq %llu\n",

@@ -39,6 +39,28 @@ std::optional<std::int64_t> int_param(const PathParams& params, std::string_view
   return *value;
 }
 
+/// The raw (unparsed) value of a path parameter, for error messages.
+std::string_view raw_param(const PathParams& params, std::string_view name) {
+  const auto it = params.find(name);
+  return it == params.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+/// 400 naming the offending value and the valid window range, so a
+/// client sees "bad window index 'xyz' for parameter 'window': expected
+/// an integer in [0, 24)" instead of a bare "bad window index".
+Response bad_window(const PathParams& params, std::string_view name, int window_count) {
+  return Response::bad_request_400(crowdweb::format(
+      "bad window index '{}' for parameter '{}': expected an integer in [0, {})",
+      raw_param(params, name), name, window_count));
+}
+
+/// 400 naming the offending user id value.
+Response bad_user_id(const PathParams& params) {
+  return Response::bad_request_400(
+      crowdweb::format("bad user id '{}': expected a non-negative integer",
+                       raw_param(params, "id")));
+}
+
 json::Value pattern_json(const patterns::MobilityPattern& pattern, const Platform& platform) {
   json::Value elements = json::Value(json::Array{});
   for (const patterns::TimedElement& element : pattern.elements) {
@@ -100,6 +122,24 @@ Response status_handler(const Platform& platform, const ApiOptions& options) {
                                          {"5xx", static_cast<std::int64_t>(stats.responses_5xx)}})},
              {"bytes_written", static_cast<std::int64_t>(stats.bytes_written)}}));
   }
+  if (options.cache != nullptr || options.http_workers != 0) {
+    json::Value http_block =
+        json::object({{"workers", static_cast<std::int64_t>(options.http_workers)}});
+    if (options.cache != nullptr) {
+      const http::ResponseCacheStats cache = options.cache->stats();
+      http_block.set(
+          "cache",
+          json::object({{"epoch", static_cast<std::int64_t>(cache.epoch)},
+                        {"hits", static_cast<std::int64_t>(cache.hits)},
+                        {"misses", static_cast<std::int64_t>(cache.misses)},
+                        {"evictions", static_cast<std::int64_t>(cache.evictions)},
+                        {"not_modified", static_cast<std::int64_t>(cache.not_modified)},
+                        {"entries", static_cast<std::int64_t>(cache.entries)},
+                        {"bytes", static_cast<std::int64_t>(cache.bytes)},
+                        {"byte_budget", static_cast<std::int64_t>(cache.byte_budget)}}));
+    }
+    payload.set("http", std::move(http_block));
+  }
   if (options.ingest != nullptr) {
     const ingest::IngestStats stats = options.ingest->stats();
     payload.set("ingest",
@@ -125,7 +165,7 @@ Response users_handler(const Platform& platform) {
 
 Response user_patterns_handler(const Platform& platform, const PathParams& params) {
   const auto id = int_param(params, "id");
-  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (!id || *id < 0) return bad_user_id(params);
   const patterns::UserMobility* mobility =
       platform.user_mobility(static_cast<data::UserId>(*id));
   if (mobility == nullptr) return Response::not_found_404();
@@ -141,7 +181,7 @@ Response user_patterns_handler(const Platform& platform, const PathParams& param
 
 Response user_graph_handler(const Platform& platform, const PathParams& params) {
   const auto id = int_param(params, "id");
-  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (!id || *id < 0) return bad_user_id(params);
   if (platform.user_mobility(static_cast<data::UserId>(*id)) == nullptr)
     return Response::not_found_404();
   const patterns::PlaceGraph graph = platform.place_graph(static_cast<data::UserId>(*id));
@@ -152,7 +192,7 @@ Response user_graph_handler(const Platform& platform, const PathParams& params) 
 
 Response user_timeline_handler(const Platform& platform, const PathParams& params) {
   const auto id = int_param(params, "id");
-  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (!id || *id < 0) return bad_user_id(params);
   if (platform.user_mobility(static_cast<data::UserId>(*id)) == nullptr)
     return Response::not_found_404();
   const mining::UserSequences sequences =
@@ -172,7 +212,7 @@ bool valid_window(const CrowdView& view, std::int64_t window) {
 Response crowd_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
   if (!window || !valid_window(view, *window))
-    return Response::bad_request_400("bad window index");
+    return bad_window(params, "window", view.crowd.window_count());
   const crowd::CrowdDistribution distribution =
       view.crowd.distribution(static_cast<int>(*window));
   json::Value cells = json::Value(json::Array{});
@@ -196,7 +236,7 @@ Response crowd_handler(const CrowdView& view, const PathParams& params) {
 Response crowd_map_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
   if (!window || !valid_window(view, *window))
-    return Response::bad_request_400("bad window index");
+    return bad_window(params, "window", view.crowd.window_count());
   const crowd::CrowdDistribution distribution =
       view.crowd.distribution(static_cast<int>(*window));
   viz::CityMapOptions options;
@@ -209,7 +249,7 @@ Response crowd_map_handler(const CrowdView& view, const PathParams& params) {
 Response crowd_geojson_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
   if (!window || !valid_window(view, *window))
-    return Response::bad_request_400("bad window index");
+    return bad_window(params, "window", view.crowd.window_count());
   const crowd::CrowdDistribution distribution =
       view.crowd.distribution(static_cast<int>(*window));
   return Response::json(200,
@@ -219,7 +259,7 @@ Response crowd_geojson_handler(const CrowdView& view, const PathParams& params) 
 Response groups_handler(const CrowdView& view, const PathParams& params) {
   const auto window = int_param(params, "window");
   if (!window || !valid_window(view, *window))
-    return Response::bad_request_400("bad window index");
+    return bad_window(params, "window", view.crowd.window_count());
   json::Value list = json::Value(json::Array{});
   for (const crowd::CrowdGroup& group :
        view.crowd.groups(static_cast<int>(*window))) {
@@ -241,8 +281,10 @@ Response groups_handler(const CrowdView& view, const PathParams& params) {
 Response flow_handler(const CrowdView& view, const PathParams& params, bool as_map) {
   const auto from = int_param(params, "from");
   const auto to = int_param(params, "to");
-  if (!from || !to || !valid_window(view, *from) || !valid_window(view, *to))
-    return Response::bad_request_400("bad window index");
+  if (!from || !valid_window(view, *from))
+    return bad_window(params, "from", view.crowd.window_count());
+  if (!to || !valid_window(view, *to))
+    return bad_window(params, "to", view.crowd.window_count());
   const crowd::FlowMatrix flow =
       view.crowd.flow(static_cast<int>(*from), static_cast<int>(*to));
   if (as_map) {
@@ -310,7 +352,7 @@ Response communities_handler(const Platform& platform) {
 Response predict_handler(const Platform& platform, const Request& request,
                          const PathParams& params) {
   const auto id = int_param(params, "id");
-  if (!id || *id < 0) return Response::bad_request_400("bad user id");
+  if (!id || *id < 0) return bad_user_id(params);
   if (platform.user_mobility(static_cast<data::UserId>(*id)) == nullptr)
     return Response::not_found_404();
   int minute = 9 * 60;
@@ -702,64 +744,64 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
   const Platform* p = &platform;
   ingest::IngestWorker* w = options.ingest;
 
-  router.get("/", [](const Request&, const PathParams&) {
+  router.get_cached("/", [](const Request&, const PathParams&) {
     return Response::html(200, std::string(kViewerHtml));
   });
   router.get("/api/status", [p, options](const Request&, const PathParams&) {
     return status_handler(*p, options);
   });
-  router.get("/api/users",
+  router.get_cached("/api/users",
              [p](const Request&, const PathParams&) { return users_handler(*p); });
-  router.get("/api/user/:id/patterns", [p](const Request&, const PathParams& params) {
+  router.get_cached("/api/user/:id/patterns", [p](const Request&, const PathParams& params) {
     return user_patterns_handler(*p, params);
   });
-  router.get("/api/user/:id/graph.svg", [p](const Request&, const PathParams& params) {
+  router.get_cached("/api/user/:id/graph.svg", [p](const Request&, const PathParams& params) {
     return user_graph_handler(*p, params);
   });
-  router.get("/api/user/:id/timeline.svg", [p](const Request&, const PathParams& params) {
+  router.get_cached("/api/user/:id/timeline.svg", [p](const Request&, const PathParams& params) {
     return user_timeline_handler(*p, params);
   });
-  router.get("/api/crowd/:window", [p, w](const Request&, const PathParams& params) {
+  router.get_cached("/api/crowd/:window", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(*p, w,
                            [&](const CrowdView& view) { return crowd_handler(view, params); });
   });
-  router.get("/api/crowd/:window/map.svg", [p, w](const Request&, const PathParams& params) {
+  router.get_cached("/api/crowd/:window/map.svg", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(
         *p, w, [&](const CrowdView& view) { return crowd_map_handler(view, params); });
   });
-  router.get("/api/crowd/:window/geojson", [p, w](const Request&, const PathParams& params) {
+  router.get_cached("/api/crowd/:window/geojson", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(
         *p, w, [&](const CrowdView& view) { return crowd_geojson_handler(view, params); });
   });
-  router.get("/api/groups/:window", [p, w](const Request&, const PathParams& params) {
+  router.get_cached("/api/groups/:window", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(
         *p, w, [&](const CrowdView& view) { return groups_handler(view, params); });
   });
-  router.get("/api/flow/:from/:to", [p, w](const Request&, const PathParams& params) {
+  router.get_cached("/api/flow/:from/:to", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(*p, w, [&](const CrowdView& view) {
       return flow_handler(view, params, /*as_map=*/false);
     });
   });
-  router.get("/api/flow/:from/:to/map.svg", [p, w](const Request&, const PathParams& params) {
+  router.get_cached("/api/flow/:from/:to/map.svg", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(*p, w, [&](const CrowdView& view) {
       return flow_handler(view, params, /*as_map=*/true);
     });
   });
-  router.get("/api/animation.svg", [p, w](const Request& request, const PathParams&) {
+  router.get_cached("/api/animation.svg", [p, w](const Request& request, const PathParams&) {
     return with_crowd_view(
         *p, w, [&](const CrowdView& view) { return animation_handler(view, request); });
   });
-  router.get("/api/communities", [p](const Request&, const PathParams&) {
+  router.get_cached("/api/communities", [p](const Request&, const PathParams&) {
     return communities_handler(*p);
   });
   router.post("/api/analyze", [p](const Request& request, const PathParams&) {
     return analyze_handler(*p, request);
   });
-  router.get("/api/rhythm.svg", [p, w](const Request&, const PathParams&) {
+  router.get_cached("/api/rhythm.svg", [p, w](const Request&, const PathParams&) {
     return with_crowd_view(*p, w,
                            [&](const CrowdView& view) { return rhythm_handler(view); });
   });
-  router.get("/api/predict/:id", [p](const Request& request, const PathParams& params) {
+  router.get_cached("/api/predict/:id", [p](const Request& request, const PathParams& params) {
     return predict_handler(*p, request, params);
   });
   if (w != nullptr) {

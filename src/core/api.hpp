@@ -39,7 +39,12 @@
 //
 // The router holds a pointer to the Platform, which must outlive any
 // server using the router. Platform state is immutable after
-// construction, so the single-threaded server needs no locks.
+// construction and snapshots are immutable once published, so handlers
+// are safe to run concurrently on the server's worker pool without
+// locks. Routes whose responses are a pure function of (target, epoch)
+// are registered with Router::get_cached so a ResponseCache may serve
+// them (see http/cache.hpp); /api/status, /metrics, and the ingest
+// routes are deliberately uncached.
 #pragma once
 
 #include <functional>
@@ -69,6 +74,14 @@ struct ApiOptions {
   /// IngestWorkerConfig::metrics, and PlatformConfig::metrics so one
   /// scrape covers every subsystem.
   telemetry::Registry* metrics = nullptr;
+  /// The response cache the server serves cacheable routes from (the
+  /// same object as ServerConfig::cache). Surfaces hit/miss/byte
+  /// counters and the current epoch as an "http.cache" block in
+  /// /api/status. Must outlive the router. Null = no cache block.
+  const http::ResponseCache* cache = nullptr;
+  /// Resolved ServerConfig::worker_threads, reported as "http.workers"
+  /// in /api/status (0 = inline handlers on the event loop).
+  int http_workers = 0;
 };
 
 /// Builds the full API router over a platform.

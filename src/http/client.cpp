@@ -59,6 +59,8 @@ Result<ClientResponse> fetch(const std::string& host, std::uint16_t port,
   std::string request = crowdweb::format("{} {} HTTP/1.1\r\nHost: {}:{}\r\n", method, target,
                                          host, port);
   if (!body.empty()) request += crowdweb::format("Content-Length: {}\r\n", body.size());
+  for (const auto& [name, value] : options.headers)
+    request += crowdweb::format("{}: {}\r\n", name, value);
   request += "Connection: close\r\n\r\n";
   request += body;
 

@@ -71,6 +71,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 204: return "No Content";
     case 301: return "Moved Permanently";
     case 302: return "Found";
+    case 304: return "Not Modified";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";

@@ -1,5 +1,6 @@
 #include "http/router.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <exception>
 
@@ -17,7 +18,8 @@ std::vector<std::string> Router::split_path(std::string_view path) {
   return segments;
 }
 
-void Router::add(std::string_view method, std::string_view pattern, Handler handler) {
+void Router::add(std::string_view method, std::string_view pattern, Handler handler,
+                 RouteOptions options) {
   Route route;
   for (const char c : method)
     route.method += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
@@ -26,6 +28,7 @@ void Router::add(std::string_view method, std::string_view pattern, Handler hand
   // stable label value for per-route metrics.
   route.pattern = "/" + join(route.segments, "/");
   route.handler = std::move(handler);
+  route.options = options;
   routes_.push_back(std::move(route));
 }
 
@@ -49,12 +52,17 @@ Response Router::dispatch(const Request& request, std::string* matched_pattern) 
   const std::vector<std::string> segments = split_path(request.path);
   if (matched_pattern != nullptr) matched_pattern->clear();
   bool path_exists = false;
+  std::vector<std::string> allowed;  // methods registered for this path, in order
   for (const Route& route : routes_) {
     PathParams params;
     if (!match(route, segments, params)) continue;
     if (!path_exists && matched_pattern != nullptr) *matched_pattern = route.pattern;
     path_exists = true;
-    // HEAD is served by GET handlers (the server strips the body).
+    if (std::find(allowed.begin(), allowed.end(), route.method) == allowed.end()) {
+      allowed.push_back(route.method);
+      // GET handlers also serve HEAD (the server strips the body).
+      if (route.method == "GET") allowed.emplace_back("HEAD");
+    }
     const bool method_matches =
         route.method == request.method ||
         (request.method == "HEAD" && route.method == "GET");
@@ -67,8 +75,29 @@ Response Router::dispatch(const Request& request, std::string* matched_pattern) 
       return Response::text(500, "internal server error\n");
     }
   }
-  if (path_exists) return Response::text(405, "method not allowed\n");
+  if (path_exists) {
+    const std::string allow = join(allowed, ", ");
+    Response response = Response::text(
+        405, crowdweb::format("method {} not allowed for this path; allowed: {}\n",
+                              request.method, allow));
+    response.headers["Allow"] = allow;
+    return response;
+  }
   return Response::not_found_404();
+}
+
+bool Router::cacheable(const Request& request, std::string* matched_pattern) const {
+  if (request.method != "GET" && request.method != "HEAD") return false;
+  const std::vector<std::string> segments = split_path(request.path);
+  for (const Route& route : routes_) {
+    if (route.method != "GET") continue;
+    PathParams params;
+    if (!match(route, segments, params)) continue;
+    if (matched_pattern != nullptr && route.options.cacheable)
+      *matched_pattern = route.pattern;
+    return route.options.cacheable;
+  }
+  return false;
 }
 
 }  // namespace crowdweb::http

@@ -21,18 +21,32 @@ using PathParams = std::map<std::string, std::string, std::less<>>;
 
 using Handler = std::function<Response(const Request&, const PathParams&)>;
 
+/// Per-route flags (see Router::add).
+struct RouteOptions {
+  /// The route's GET responses are a pure function of (target, epoch)
+  /// and may be served from a ResponseCache. Only meaningful for GET
+  /// (and the HEAD fallback).
+  bool cacheable = false;
+};
+
 class Router {
  public:
   /// Registers a handler ("GET", "/api/user/:id", ...). Method is
   /// uppercased; duplicate registrations stack (first match wins).
-  void add(std::string_view method, std::string_view pattern, Handler handler);
+  void add(std::string_view method, std::string_view pattern, Handler handler,
+           RouteOptions options = {});
 
   void get(std::string_view pattern, Handler handler) { add("GET", pattern, std::move(handler)); }
   void post(std::string_view pattern, Handler handler) {
     add("POST", pattern, std::move(handler));
   }
+  /// GET route whose responses the server may cache per (target, epoch).
+  void get_cached(std::string_view pattern, Handler handler) {
+    add("GET", pattern, std::move(handler), RouteOptions{.cacheable = true});
+  }
 
-  /// Routes the request; 404 for unknown paths, 405 for known paths with
+  /// Routes the request; 404 for unknown paths, 405 (with an Allow
+  /// header naming the path's registered methods) for known paths with
   /// the wrong method. Handler exceptions become 500s.
   ///
   /// When `matched_pattern` is non-null it receives the *registered
@@ -43,12 +57,21 @@ class Router {
   [[nodiscard]] Response dispatch(const Request& request,
                                   std::string* matched_pattern = nullptr) const;
 
+  /// True when the request would dispatch to a route registered with
+  /// `cacheable` (GET, or HEAD falling back to a GET route). The server
+  /// consults this *before* dispatching to decide whether the response
+  /// cache applies. When `matched_pattern` is non-null it receives the
+  /// route's registered pattern on a true return.
+  [[nodiscard]] bool cacheable(const Request& request,
+                               std::string* matched_pattern = nullptr) const;
+
  private:
   struct Route {
     std::string method;
     std::string pattern;                ///< normalized registration pattern
     std::vector<std::string> segments;  ///< ":x" marks a capture
     Handler handler;
+    RouteOptions options;
   };
 
   static std::vector<std::string> split_path(std::string_view path);

@@ -11,8 +11,12 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <map>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/format.hpp"
 #include "util/log.hpp"
@@ -20,6 +24,11 @@
 namespace crowdweb::http {
 
 namespace {
+
+/// Per-connection cap on parsed-but-unanswered requests. Past it the
+/// loop stops reading the socket (TCP backpressure) until responses
+/// flush, so a hostile pipeliner can't grow the work queue unboundedly.
+constexpr std::uint64_t kMaxInflightPerConnection = 64;
 
 /// Owning file descriptor.
 class Fd {
@@ -50,11 +59,41 @@ class Fd {
   int fd_ = -1;
 };
 
+/// A finished response on its way back to the loop thread: serialized
+/// bytes plus what the loop needs for metrics and ordering.
+struct Completion {
+  std::uint64_t conn = 0;  ///< connection id (not fd — fds get reused)
+  std::uint64_t seq = 0;   ///< request order within the connection
+  std::string bytes;       ///< serialized response
+  bool close_after = false;
+  std::string_view method;  ///< bounded label (method_label), empty = skip route metrics
+  std::string pattern;      ///< matched route pattern for metric labels
+  int status = 0;
+  double seconds = 0.0;     ///< handler wall time
+  bool count_route = false;  ///< false for parse errors (no route to label)
+};
+
 struct Connection {
   Fd fd;
+  std::uint64_t id = 0;
   std::string inbox;   ///< bytes read, not yet parsed
   std::string outbox;  ///< bytes to write
   bool close_after_write = false;
+  bool stop_parsing = false;  ///< saw Connection: close or a parse error
+  std::uint64_t next_seq = 0;    ///< assigned to parsed requests
+  std::uint64_t next_flush = 0;  ///< next seq to append to the outbox
+  std::map<std::uint64_t, Completion> ready;  ///< completed out of order
+
+  /// Requests parsed but not yet flushed to the outbox.
+  [[nodiscard]] std::uint64_t inflight() const noexcept { return next_seq - next_flush; }
+};
+
+/// A parsed request waiting for a pool worker.
+struct Work {
+  std::uint64_t conn = 0;
+  std::uint64_t seq = 0;
+  Request request;
+  bool keep_alive = true;
 };
 
 /// Collapses arbitrary client-supplied methods onto a bounded label set.
@@ -72,12 +111,23 @@ struct Server::Impl {
   Router router;
   ServerConfig config;
   Fd listener;
-  Fd wakeup;  // eventfd to interrupt epoll_wait on stop()
+  Fd wakeup;  // eventfd: stop() and workers interrupt epoll_wait with it
   Fd epoll;
   std::uint16_t bound_port = 0;
   std::thread loop_thread;
   std::atomic<bool> running{false};
   std::atomic<bool> stop_requested{false};
+
+  // Worker pool. The loop thread enqueues Work; workers execute and
+  // push Completions, then poke the eventfd so the loop flushes them.
+  int resolved_workers = 0;
+  std::vector<std::thread> workers;
+  std::mutex work_mutex;
+  std::condition_variable work_cv;
+  std::deque<Work> work_queue;  // guarded by work_mutex
+  bool workers_stop = false;    // guarded by work_mutex
+  std::mutex done_mutex;
+  std::vector<Completion> done_queue;  // guarded by done_mutex
 
   // Telemetry: the crowdweb_http_* families are the server's only
   // accounting — ServerStats reads them back. `own_metrics` backs
@@ -95,15 +145,27 @@ struct Server::Impl {
   telemetry::Counter* connections_total = nullptr;
   telemetry::Counter* bytes_total = nullptr;
   telemetry::Gauge* connections_active = nullptr;
+  telemetry::Gauge* queue_depth = nullptr;
+  telemetry::Gauge* workers_gauge = nullptr;
 
   struct RouteMetrics {
     telemetry::Counter* requests;
     telemetry::Histogram* latency;
   };
-  /// (method, route pattern) -> cached cells. Loop thread only, so no
-  /// lock; bounded because patterns come from the router and methods
-  /// from method_label().
+  /// (method, route pattern) -> cached cells. Only the loop thread
+  /// records route metrics (workers ship labels back in Completions),
+  /// so no lock; bounded because patterns come from the router and
+  /// methods from method_label().
   std::map<std::string, RouteMetrics, std::less<>> route_cache;
+
+  /// Loop-thread memo: request path -> (cacheable, route pattern). The
+  /// route table is immutable while the server runs, so the answer per
+  /// path is stable; memoizing turns the fast path's per-request route
+  /// scan (segment split + matching, several allocations) into one hash
+  /// lookup. Only the loop thread touches it. Capped so unbounded
+  /// distinct paths from live traffic cannot grow it without limit.
+  std::unordered_map<std::string, std::pair<bool, std::string>> cacheable_memo;
+  static constexpr std::size_t kCacheableMemoCap = 8192;
 
   void init_metrics() {
     if (config.metrics != nullptr) {
@@ -137,6 +199,11 @@ struct Server::Impl {
                                     "Response bytes flushed to sockets.");
     connections_active =
         &metrics->gauge("crowdweb_http_connections_active", "Currently open connections.");
+    queue_depth = &metrics->gauge("crowdweb_http_worker_queue_depth",
+                                  "Parsed requests waiting for a pool worker.");
+    workers_gauge = &metrics->gauge(
+        "crowdweb_http_worker_threads",
+        "Handler threads executing requests off the event loop (0 = inline).");
   }
 
   RouteMetrics& route_metrics(std::string_view method, const std::string& pattern) {
@@ -166,7 +233,10 @@ struct Server::Impl {
       responses_other->increment();
     }
   }
-  std::map<int, Connection> connections;
+
+  std::map<int, Connection> connections;                  // by fd; loop thread only
+  std::unordered_map<std::uint64_t, int> conn_by_id;      // loop thread only
+  std::uint64_t next_conn_id = 1;
 
   Status bind_and_listen() {
     listener = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
@@ -182,7 +252,7 @@ struct Server::Impl {
     if (::bind(listener.get(), reinterpret_cast<sockaddr*>(&address), sizeof address) != 0)
       return io_error(crowdweb::format("bind({}:{}) failed: {}", config.bind_address,
                                        config.port, std::strerror(errno)));
-    if (::listen(listener.get(), 64) != 0)
+    if (::listen(listener.get(), config.listen_backlog) != 0)
       return io_error(crowdweb::format("listen() failed: {}", std::strerror(errno)));
 
     sockaddr_in bound{};
@@ -218,7 +288,10 @@ struct Server::Impl {
 
   void close_connection(int fd) {
     ::epoll_ctl(epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
-    connections.erase(fd);  // Fd destructor closes
+    if (const auto it = connections.find(fd); it != connections.end()) {
+      conn_by_id.erase(it->second.id);
+      connections.erase(it);  // Fd destructor closes
+    }
     connections_active->set(static_cast<double>(connections.size()));
   }
 
@@ -231,20 +304,236 @@ struct Server::Impl {
         ::close(fd);
         continue;
       }
+      // Small JSON/SVG responses must not wait for delayed ACKs.
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       connections_total->increment();
       Connection connection;
       connection.fd = Fd(fd);
+      connection.id = next_conn_id++;
       if (!watch(fd, EPOLLIN)) {
         continue;  // connection's Fd closes on scope exit
       }
+      conn_by_id.emplace(connection.id, fd);
       connections.emplace(fd, std::move(connection));
       connections_active->set(static_cast<double>(connections.size()));
     }
   }
 
-  void handle_readable(Connection& connection) {
+  /// Runs the request: cache lookup for cacheable GETs, handler
+  /// dispatch otherwise, If-None-Match revalidation, serialization.
+  /// Thread-safe (router and cache are; no Impl state is touched) —
+  /// runs on pool workers, or on the loop thread in inline mode.
+  Completion execute(Request request, bool keep_alive) {
+    Completion done;
+    done.method = method_label(request.method);
+    done.count_route = true;
+    const auto start = std::chrono::steady_clock::now();
+
+    Response response;
+    std::string pattern;
+    std::shared_ptr<const CachedResponse> entry;
+    bool served_from_cache = false;
+    ResponseCache* cache = config.cache;
+    std::string target;
+    const bool cache_eligible = cache != nullptr && router.cacheable(request, &pattern);
+    if (cache_eligible) {
+      target = request.path;
+      if (!request.query.empty()) {
+        target += '?';
+        target += request.query;
+      }
+      // HEAD shares the GET entry; the body is stripped at serialize.
+      entry = cache->lookup("GET", target);
+      served_from_cache = entry != nullptr;
+    }
+    if (served_from_cache) {
+      response.status = entry->status;
+      response.headers = entry->headers;
+      response.body = entry->body;
+      response.headers["X-Cache"] = "hit";
+    } else {
+      response = router.dispatch(request, &pattern);
+      if (cache_eligible && response.status == 200) {
+        entry = cache->insert("GET", target, response);
+        response.headers = entry->headers;  // picks up the computed ETag
+        response.headers["X-Cache"] = "miss";
+      }
+    }
+    finish_response(request, std::move(response), entry, served_from_cache, keep_alive,
+                    std::move(pattern), start, &done);
+    return done;
+  }
+
+  /// Shared tail of every response path: If-None-Match revalidation
+  /// against the entry's strong ETag, HEAD body strip, serialization,
+  /// metric fields. Thread-safe.
+  void finish_response(const Request& request, Response&& response,
+                       const std::shared_ptr<const CachedResponse>& entry,
+                       bool served_from_cache, bool keep_alive, std::string pattern,
+                       std::chrono::steady_clock::time_point start, Completion* done) {
+    // Strong-ETag revalidation: a client re-sending the entry's ETag
+    // gets 304 with no body, whether the entry was a hit or was just
+    // (re)computed for the same epoch.
+    if (entry != nullptr) {
+      if (const auto inm = request.header("if-none-match");
+          inm.has_value() && etag_matches(*inm, entry->etag)) {
+        Response not_modified;
+        not_modified.status = 304;
+        not_modified.headers["ETag"] = entry->etag;
+        not_modified.headers["X-Cache"] = served_from_cache ? "hit" : "miss";
+        response = std::move(not_modified);
+        config.cache->note_not_modified();
+      }
+    }
+    done->seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    done->pattern = std::move(pattern);
+    done->status = response.status;
+    if (request.method == "HEAD") response.body.clear();
+    done->bytes = serialize(response, keep_alive);
+    done->close_after = !keep_alive;
+  }
+
+  /// Loop-thread fast path: in pooled mode, a cache hit is answered
+  /// right here — no work-queue enqueue, no condition-variable wakeup,
+  /// no eventfd round trip, no cross-thread handoff. The common case
+  /// (keep-alive GET, no validator) writes the entry's pre-serialized
+  /// wire image with a single copy. Returns false on a miss or a
+  /// non-cacheable request (the probe records no miss; the worker's own
+  /// lookup counts it once).
+  bool try_serve_from_cache(const Request& request, bool keep_alive, Completion* done) {
+    ResponseCache* cache = config.cache;
+    if (cache == nullptr) return false;
+    if (request.method != "GET" && request.method != "HEAD") return false;
+    auto memo = cacheable_memo.find(request.path);
+    if (memo == cacheable_memo.end()) {
+      std::string scanned;
+      const bool is_cacheable = router.cacheable(request, &scanned);
+      if (cacheable_memo.size() >= kCacheableMemoCap) cacheable_memo.clear();
+      memo = cacheable_memo
+                 .emplace(request.path, std::make_pair(is_cacheable, std::move(scanned)))
+                 .first;
+    }
+    if (!memo->second.first) return false;
+    std::string pattern = memo->second.second;
+    const auto start = std::chrono::steady_clock::now();
+    std::string target = request.path;
+    if (!request.query.empty()) {
+      target += '?';
+      target += request.query;
+    }
+    const std::shared_ptr<const CachedResponse> entry =
+        cache->lookup("GET", target, /*record_miss=*/false);
+    if (entry == nullptr) return false;
+    done->method = method_label(request.method);
+    done->count_route = true;
+    if (keep_alive && request.method == "GET" && !request.header("if-none-match")) {
+      done->seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      done->pattern = std::move(pattern);
+      done->status = entry->status;
+      done->bytes = entry->wire;
+      done->close_after = false;
+      return true;
+    }
+    // HEAD, Connection: close, or a validator present: build the
+    // response the general way (still without touching the pool).
+    Response response;
+    response.status = entry->status;
+    response.headers = entry->headers;
+    response.body = entry->body;
+    response.headers["X-Cache"] = "hit";
+    finish_response(request, std::move(response), entry, /*served_from_cache=*/true,
+                    keep_alive, std::move(pattern), start, done);
+    return true;
+  }
+
+  /// Loop thread: records a completion onto the metric families.
+  void record(const Completion& done) {
+    if (done.count_route) {
+      // Label with the route's registered pattern, never the raw URL,
+      // so series cardinality stays bounded under live traffic.
+      static const std::string kUnmatched = "(unmatched)";
+      const RouteMetrics& cells =
+          route_metrics(done.method, done.pattern.empty() ? kUnmatched : done.pattern);
+      cells.requests->increment();
+      cells.latency->observe(done.seconds);
+    }
+    count_response_status(done.status);
+  }
+
+  /// Loop thread: files a completion and flushes every consecutively
+  /// ready response (request order) into the outbox.
+  void deliver(Connection& connection, Completion&& done) {
+    connection.ready.emplace(done.seq, std::move(done));
+    while (true) {
+      const auto it = connection.ready.find(connection.next_flush);
+      if (it == connection.ready.end()) break;
+      connection.outbox += it->second.bytes;
+      if (it->second.close_after) connection.close_after_write = true;
+      connection.ready.erase(it);
+      ++connection.next_flush;
+    }
+  }
+
+  /// Parses every complete request the inbox holds (bounded by the
+  /// per-connection inflight cap) and hands each to the pool — or, in
+  /// inline mode, executes it on the spot.
+  void parse_available(Connection& connection) {
+    while (!connection.stop_parsing && !connection.inbox.empty() &&
+           connection.inflight() < kMaxInflightPerConnection) {
+      ParseResult parsed = parse_request(connection.inbox, config.limits);
+      if (parsed.state == ParseState::kNeedMore) break;
+      if (parsed.state == ParseState::kError) {
+        parse_errors->increment();
+        const Response response = Response::bad_request_400(parsed.error);
+        Completion done;
+        done.conn = connection.id;
+        done.seq = connection.next_seq++;
+        done.status = response.status;
+        done.bytes = serialize(response, false);
+        done.close_after = true;
+        done.count_route = false;
+        connection.stop_parsing = true;
+        connection.inbox.clear();
+        record(done);
+        deliver(connection, std::move(done));
+        break;
+      }
+      const bool keep_alive = parsed.request.keep_alive();
+      Work work;
+      work.conn = connection.id;
+      work.seq = connection.next_seq++;
+      work.request = std::move(parsed.request);
+      work.keep_alive = keep_alive;
+      connection.inbox.erase(0, parsed.consumed);
+      if (!keep_alive) connection.stop_parsing = true;
+      Completion fast;
+      if (resolved_workers == 0) {
+        Completion done = execute(std::move(work.request), keep_alive);
+        done.conn = work.conn;
+        done.seq = work.seq;
+        record(done);
+        deliver(connection, std::move(done));
+      } else if (try_serve_from_cache(work.request, keep_alive, &fast)) {
+        fast.conn = work.conn;
+        fast.seq = work.seq;
+        record(fast);
+        deliver(connection, std::move(fast));
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(work_mutex);
+          work_queue.push_back(std::move(work));
+        }
+        queue_depth->add(1.0);
+        work_cv.notify_one();
+      }
+      if (!keep_alive) break;
+    }
+  }
+
+  void read_socket(Connection& connection) {
     char buffer[16 * 1024];
     while (true) {
       const ssize_t n = ::read(connection.fd.get(), buffer, sizeof buffer);
@@ -252,7 +541,7 @@ struct Server::Impl {
         connection.inbox.append(buffer, static_cast<std::size_t>(n));
         continue;
       }
-      if (n == 0) {  // peer closed
+      if (n == 0) {  // peer closed its write side; answer what we have
         connection.close_after_write = true;
         break;
       }
@@ -260,46 +549,10 @@ struct Server::Impl {
       connection.close_after_write = true;
       break;
     }
-
-    // Serve every complete pipelined request in the buffer.
-    while (true) {
-      const ParseResult parsed = parse_request(connection.inbox, config.limits);
-      if (parsed.state == ParseState::kNeedMore) break;
-      if (parsed.state == ParseState::kError) {
-        parse_errors->increment();
-        const Response response = Response::bad_request_400(parsed.error);
-        count_response_status(response.status);
-        connection.outbox += serialize(response, false);
-        connection.close_after_write = true;
-        connection.inbox.clear();
-        break;
-      }
-      const bool keep_alive = parsed.request.keep_alive();
-      std::string pattern;
-      const auto dispatch_start = std::chrono::steady_clock::now();
-      Response response = router.dispatch(parsed.request, &pattern);
-      const double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - dispatch_start)
-              .count();
-      // Label with the route's registered pattern, never the raw URL, so
-      // series cardinality stays bounded under live traffic.
-      static const std::string kUnmatched = "(unmatched)";
-      const RouteMetrics& cells =
-          route_metrics(method_label(parsed.request.method),
-                        pattern.empty() ? kUnmatched : pattern);
-      cells.requests->increment();
-      cells.latency->observe(seconds);
-      count_response_status(response.status);
-      if (parsed.request.method == "HEAD") response.body.clear();
-      connection.outbox += serialize(response, keep_alive);
-      if (!keep_alive) connection.close_after_write = true;
-      connection.inbox.erase(0, parsed.consumed);
-      if (!keep_alive) break;
-    }
   }
 
-  /// Returns false when the connection should be closed now.
-  bool handle_writable(Connection& connection) {
+  /// Returns false on a fatal write error.
+  bool flush_outbox(Connection& connection) {
     while (!connection.outbox.empty()) {
       const ssize_t n =
           ::write(connection.fd.get(), connection.outbox.data(), connection.outbox.size());
@@ -311,7 +564,73 @@ struct Server::Impl {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // wait for EPOLLOUT
       return false;
     }
-    return !(connection.close_after_write && connection.outbox.empty());
+    return true;
+  }
+
+  /// Advances a connection after any state change (bytes read, work
+  /// completed): parse, flush, then close or re-arm epoll interest.
+  void service(int fd, Connection& connection) {
+    parse_available(connection);
+    if (!flush_outbox(connection)) {
+      close_connection(fd);
+      return;
+    }
+    const bool responses_pending = connection.inflight() > 0;
+    if (connection.close_after_write && connection.outbox.empty() && !responses_pending) {
+      close_connection(fd);
+      return;
+    }
+    // Read only while we accept new requests; wait for writability only
+    // while output is pending.
+    const bool want_read = !connection.stop_parsing &&
+                           connection.inflight() < kMaxInflightPerConnection;
+    const std::uint32_t wanted =
+        (want_read ? static_cast<std::uint32_t>(EPOLLIN) : 0u) |
+        (connection.outbox.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
+    rearm(fd, wanted);
+  }
+
+  /// Loop thread: drains worker completions and pushes them into their
+  /// connections (dropping those whose connection is gone).
+  void drain_done() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      batch.swap(done_queue);
+    }
+    for (Completion& done : batch) {
+      record(done);
+      const auto id_it = conn_by_id.find(done.conn);
+      if (id_it == conn_by_id.end()) continue;  // connection closed meanwhile
+      const int fd = id_it->second;
+      const auto it = connections.find(fd);
+      if (it == connections.end()) continue;
+      deliver(it->second, std::move(done));
+      service(fd, it->second);
+    }
+  }
+
+  void worker_run() {
+    while (true) {
+      Work work;
+      {
+        std::unique_lock<std::mutex> lock(work_mutex);
+        work_cv.wait(lock, [&] { return workers_stop || !work_queue.empty(); });
+        if (workers_stop) return;  // queued work is dropped on stop
+        work = std::move(work_queue.front());
+        work_queue.pop_front();
+      }
+      queue_depth->add(-1.0);
+      Completion done = execute(std::move(work.request), work.keep_alive);
+      done.conn = work.conn;
+      done.seq = work.seq;
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_queue.push_back(std::move(done));
+      }
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t r = ::write(wakeup.get(), &one, sizeof one);
+    }
   }
 
   void loop() {
@@ -329,6 +648,7 @@ struct Server::Impl {
           std::uint64_t drained = 0;
           [[maybe_unused]] const ssize_t r =
               ::read(wakeup.get(), &drained, sizeof drained);
+          drain_done();
           continue;
         }
         if (fd == listener.get()) {
@@ -342,20 +662,12 @@ struct Server::Impl {
           close_connection(fd);
           continue;
         }
-        if ((events[i].events & EPOLLIN) != 0) handle_readable(connection);
-        if (!handle_writable(connection)) {
-          close_connection(fd);
-          continue;
-        }
-        // Wait for writability only while output is pending.
-        const std::uint32_t wanted =
-            EPOLLIN | (connection.outbox.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
-        rearm(fd, wanted);
-        if (connection.close_after_write && connection.outbox.empty())
-          close_connection(fd);
+        if ((events[i].events & EPOLLIN) != 0) read_socket(connection);
+        service(fd, connection);
       }
     }
     connections.clear();
+    conn_by_id.clear();
     connections_active->set(0.0);
     running.store(false, std::memory_order_release);
   }
@@ -376,15 +688,49 @@ Status Server::start() {
   if (!status.is_ok()) return status;
   status = impl_->setup_epoll();
   if (!status.is_ok()) return status;
+
+  impl_->resolved_workers =
+      impl_->config.worker_threads < 0
+          ? static_cast<int>(std::thread::hardware_concurrency())
+          : impl_->config.worker_threads;
+  if (impl_->config.worker_threads < 0 && impl_->resolved_workers < 1)
+    impl_->resolved_workers = 1;  // hardware_concurrency() may report 0
+  impl_->workers_gauge->set(static_cast<double>(impl_->resolved_workers));
+  {
+    std::lock_guard<std::mutex> lock(impl_->work_mutex);
+    impl_->workers_stop = false;
+    impl_->work_queue.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->done_mutex);
+    impl_->done_queue.clear();
+  }
+  impl_->queue_depth->set(0.0);
+  impl_->workers.reserve(static_cast<std::size_t>(impl_->resolved_workers));
+  for (int i = 0; i < impl_->resolved_workers; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_run(); });
+
   impl_->stop_requested.store(false, std::memory_order_release);
   impl_->running.store(true, std::memory_order_release);
   impl_->loop_thread = std::thread([this] { impl_->loop(); });
-  log_info("http server listening on {}:{}", impl_->config.bind_address, impl_->bound_port);
+  log_info("http server listening on {}:{} ({} worker thread(s))",
+           impl_->config.bind_address, impl_->bound_port, impl_->resolved_workers);
   return Status::ok();
 }
 
 void Server::stop() {
   if (!impl_->loop_thread.joinable()) return;
+  // Workers first: they may still hold the wakeup fd, which must stay
+  // open until they are joined.
+  {
+    std::lock_guard<std::mutex> lock(impl_->work_mutex);
+    impl_->workers_stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  impl_->workers.clear();
+  impl_->queue_depth->set(0.0);
+
   impl_->stop_requested.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
   if (impl_->wakeup.valid()) {
@@ -401,6 +747,8 @@ bool Server::running() const noexcept {
 }
 
 std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+int Server::worker_threads() const noexcept { return impl_->resolved_workers; }
 
 ServerStats Server::stats() const noexcept {
   ServerStats stats;

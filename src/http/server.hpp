@@ -1,11 +1,21 @@
-// Single-threaded epoll HTTP/1.1 server.
+// Epoll HTTP/1.1 server with off-loop request execution.
 //
-// Serves a Router on a loopback (or any) TCP port from one event-loop
-// thread: non-blocking accept/read/write, per-connection buffers,
-// keep-alive, and bounded request sizes. start() binds and spawns the
-// loop; stop() (or the destructor) wakes it via an eventfd and joins.
-// Handlers run on the loop thread — CrowdWeb handlers only read immutable
-// platform state, so no locking is needed.
+// One event-loop thread does only socket work — accept, non-blocking
+// read, incremental parse, and write — while parsed requests are
+// dispatched to a fixed worker pool (ServerConfig::worker_threads).
+// Workers run the router handler (or serve a ResponseCache hit),
+// serialize the response, and hand the bytes back to the loop through a
+// completion queue + eventfd wakeup; the loop flushes responses to each
+// connection strictly in request order, so keep-alive pipelining still
+// works while a 50 ms SVG render on one connection no longer blocks
+// any other. worker_threads = 0 runs handlers inline on the loop
+// thread (the pre-pool behavior, kept as a measurable baseline).
+//
+// With ServerConfig::cache set, GET routes marked cacheable in the
+// router are served from the epoch-keyed response cache: hits skip the
+// handler entirely, misses execute and populate the cache, and
+// If-None-Match revalidation against the entry's strong ETag yields a
+// 304 (see http/cache.hpp).
 #pragma once
 
 #include <atomic>
@@ -15,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "http/cache.hpp"
 #include "http/router.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/status.hpp"
@@ -27,6 +38,18 @@ struct ServerConfig {
   std::uint16_t port = 0;
   ParseLimits limits;
   int max_connections = 256;
+  /// Handler threads. < 0 = one per hardware thread
+  /// (std::thread::hardware_concurrency); 0 = run handlers inline on
+  /// the event-loop thread; >= 1 = a fixed pool of that size.
+  int worker_threads = -1;
+  /// listen(2) backlog for the accept queue. Raise it for bursty
+  /// benchmark/production traffic so connection storms don't see
+  /// ECONNREFUSED before the loop gets to accept.
+  int listen_backlog = 64;
+  /// Optional epoch-keyed response cache for GET routes registered
+  /// with Router::get_cached. Must outlive the server. Null = every
+  /// request executes its handler.
+  ResponseCache* cache = nullptr;
   /// Telemetry registry the server records onto (crowdweb_http_*
   /// families; see docs/OBSERVABILITY.md). Must outlive the server.
   /// Null = the server keeps a private registry, so `stats()` works
@@ -60,16 +83,19 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the event loop.
+  /// Binds, listens, spawns the worker pool and the event loop.
   [[nodiscard]] Status start();
 
-  /// Stops the loop and joins (idempotent).
+  /// Stops the workers and the loop, then joins (idempotent).
   void stop();
 
   [[nodiscard]] bool running() const noexcept;
 
   /// The bound port (useful with port 0). 0 before start().
   [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Handler threads actually in use (0 = inline mode).
+  [[nodiscard]] int worker_threads() const noexcept;
 
   /// Lifetime counters (monotonic across restarts of the same Server).
   [[nodiscard]] ServerStats stats() const noexcept;

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "crowd/model.hpp"
@@ -46,9 +48,24 @@ class SnapshotHub {
     return current_.load(std::memory_order_acquire);
   }
 
-  /// Swaps in the next epoch (worker thread only).
-  void publish(SnapshotPtr next) noexcept {
+  /// Swaps in the next epoch (worker thread only), then invokes every
+  /// on_publish hook with the new snapshot — on the publishing thread,
+  /// after the swap, so hooks observe `current()` == the argument.
+  void publish(SnapshotPtr next) {
+    const PlatformSnapshot* snapshot = next.get();
     current_.store(std::move(next), std::memory_order_release);
+    if (snapshot == nullptr) return;
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    for (const auto& hook : hooks_) hook(*snapshot);
+  }
+
+  /// Registers a callback run on every publication (e.g. bumping a
+  /// ResponseCache epoch so stale entries become unreachable). Hooks
+  /// run on the publishing thread and must be fast and non-blocking.
+  /// Register before the worker starts to see the first epoch.
+  void on_publish(std::function<void(const PlatformSnapshot&)> hook) {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    hooks_.push_back(std::move(hook));
   }
 
   /// Epoch of the current snapshot (0 before the first publication).
@@ -59,6 +76,8 @@ class SnapshotHub {
 
  private:
   std::atomic<SnapshotPtr> current_;
+  std::mutex hooks_mutex_;
+  std::vector<std::function<void(const PlatformSnapshot&)>> hooks_;
 };
 
 }  // namespace crowdweb::ingest

@@ -127,6 +127,9 @@ class IngestWorker {
   [[nodiscard]] data::UserId allocate_guest_id() noexcept;
 
   [[nodiscard]] const SnapshotHub& hub() const noexcept { return hub_; }
+  /// Mutable hub access, e.g. to register SnapshotHub::on_publish hooks
+  /// (do so before start() to observe the first epoch).
+  [[nodiscard]] SnapshotHub& hub() noexcept { return hub_; }
   [[nodiscard]] IngestQueue& queue() noexcept { return queue_; }
   [[nodiscard]] const data::Taxonomy& taxonomy() const noexcept { return taxonomy_; }
 

@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -420,6 +422,224 @@ TEST(ClientTest, ConnectionRefused) {
   // Port 1 on loopback is almost certainly closed.
   const auto response = get("127.0.0.1", 1, "/");
   EXPECT_FALSE(response.is_ok());
+}
+
+// ------------------------------------------------------------ Worker pool
+
+/// A blocking keep-alive connection for pool tests: one socket, many
+/// request/response round trips (http::get opens a fresh connection per
+/// call, which cannot exercise keep-alive + the pool together).
+class KeepAliveClient {
+ public:
+  explicit KeepAliveClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) == 0;
+  }
+  ~KeepAliveClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  KeepAliveClient(const KeepAliveClient&) = delete;
+  KeepAliveClient& operator=(const KeepAliveClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  bool send(std::string_view target) {
+    const std::string request =
+        "GET " + std::string(target) + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    return ::write(fd_, request.data(), request.size()) ==
+           static_cast<ssize_t>(request.size());
+  }
+
+  /// Reads exactly one response off the connection (headers +
+  /// Content-Length body). Empty string on error.
+  std::string read_response() {
+    while (true) {
+      const std::size_t head_end = buffer_.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        std::size_t body_length = 0;
+        const std::size_t cl = buffer_.find("Content-Length: ");
+        if (cl != std::string::npos && cl < head_end)
+          body_length = static_cast<std::size_t>(
+              std::strtoul(buffer_.c_str() + cl + 16, nullptr, 10));
+        const std::size_t total = head_end + 4 + body_length;
+        if (buffer_.size() >= total) {
+          std::string response = buffer_.substr(0, total);
+          buffer_.erase(0, total);
+          return response;
+        }
+      }
+      char chunk[8192];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string round_trip(std::string_view target) {
+    if (!send(target)) return {};
+    return read_response();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+Router pool_router(std::chrono::milliseconds slow_delay) {
+  Router router;
+  router.get("/fast", [](const Request&, const PathParams&) {
+    return Response::text(200, "fast");
+  });
+  router.get("/slow", [slow_delay](const Request&, const PathParams&) {
+    std::this_thread::sleep_for(slow_delay);
+    return Response::text(200, "slow");
+  });
+  return router;
+}
+
+TEST(WorkerPoolTest, DefaultWorkerCountIsAtLeastOne) {
+  Server server(demo_router());  // worker_threads defaults to -1
+  ASSERT_TRUE(server.start().is_ok());
+  EXPECT_GE(server.worker_threads(), 1);
+  server.stop();
+}
+
+TEST(WorkerPoolTest, InlineModeStillServes) {
+  ServerConfig config;
+  config.worker_threads = 0;
+  Server server(demo_router(), config);
+  ASSERT_TRUE(server.start().is_ok());
+  EXPECT_EQ(server.worker_threads(), 0);
+  const auto response = get("127.0.0.1", server.port(), "/hello");
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(response->body, "hi");
+  server.stop();
+}
+
+TEST(WorkerPoolTest, SlowHandlerDoesNotBlockFastRequests) {
+  constexpr auto kSlow = std::chrono::milliseconds(300);
+  ServerConfig config;
+  config.worker_threads = 4;
+  Server server(pool_router(kSlow), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Park a slow request on one connection...
+  KeepAliveClient slow_client(server.port());
+  ASSERT_TRUE(slow_client.connected());
+  ASSERT_TRUE(slow_client.send("/slow"));
+
+  // ...then time fast requests on other connections while it sleeps.
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    const auto response = get("127.0.0.1", server.port(), "/fast");
+    ASSERT_TRUE(response.is_ok());
+    EXPECT_EQ(response->body, "fast");
+  }
+  const auto fast_elapsed = std::chrono::steady_clock::now() - start;
+  // All five fast round trips must finish while the slow handler is
+  // still asleep — impossible if it blocked the serving path.
+  EXPECT_LT(fast_elapsed, kSlow);
+
+  const std::string slow_response = slow_client.read_response();
+  EXPECT_NE(slow_response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(slow_response.find("slow"), std::string::npos);
+  server.stop();
+}
+
+TEST(WorkerPoolTest, ParallelKeepAliveClients) {
+  ServerConfig config;
+  config.worker_threads = 4;
+  Server server(demo_router(), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      KeepAliveClient client(server.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string target = "/user/" + std::to_string(t * 1000 + i) + "/patterns";
+        const std::string expected = "user=" + std::to_string(t * 1000 + i);
+        const std::string response = client.round_trip(target);
+        if (response.find("HTTP/1.1 200") == std::string::npos ||
+            response.find(expected) == std::string::npos)
+          ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(WorkerPoolTest, PipelinedSlowThenFastStaysInRequestOrder) {
+  // Both requests ride one connection; the fast one finishes first on
+  // the pool but must be delivered *after* the slow one.
+  ServerConfig config;
+  config.worker_threads = 4;
+  Server server(pool_router(std::chrono::milliseconds(150)), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  KeepAliveClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send("/slow"));
+  ASSERT_TRUE(client.send("/fast"));
+  const std::string first = client.read_response();
+  const std::string second = client.read_response();
+  EXPECT_NE(first.find("slow"), std::string::npos);
+  EXPECT_NE(second.find("fast"), std::string::npos);
+  server.stop();
+}
+
+TEST(WorkerPoolTest, ConfigurableListenBacklog) {
+  ServerConfig config;
+  config.listen_backlog = 4;
+  Server server(demo_router(), config);
+  ASSERT_TRUE(server.start().is_ok());
+  const auto response = get("127.0.0.1", server.port(), "/hello");
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(response->status, 200);
+  server.stop();
+}
+
+TEST(WorkerPoolTest, MethodNotAllowedCarriesAllowHeader) {
+  Server server(demo_router());
+  ASSERT_TRUE(server.start().is_ok());
+  const auto response = fetch("127.0.0.1", server.port(), "POST", "/hello");
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(response->status, 405);
+  ASSERT_TRUE(response->headers.contains("allow"));
+  EXPECT_EQ(response->headers.at("allow"), "GET, HEAD");
+  EXPECT_NE(response->body.find("allowed: GET, HEAD"), std::string::npos);
+  server.stop();
+}
+
+TEST(WorkerPoolTest, QueueMetricsExposed) {
+  telemetry::Registry metrics;
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.metrics = &metrics;
+  Server server(demo_router(), config);
+  ASSERT_TRUE(server.start().is_ok());
+  ASSERT_TRUE(get("127.0.0.1", server.port(), "/hello").is_ok());
+  // Registration is idempotent: asking for the family reads the
+  // server's own cells.
+  EXPECT_EQ(metrics.gauge("crowdweb_http_worker_threads", "").value(), 2.0);
+  EXPECT_EQ(metrics.gauge("crowdweb_http_worker_queue_depth", "").value(), 0.0);
+  server.stop();
 }
 
 }  // namespace
