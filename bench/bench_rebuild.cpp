@@ -1,0 +1,276 @@
+// Epoch-rebuild bench: incremental delta pipeline vs corpus size.
+//
+// The claim behind the delta-maintained epoch pipeline: applying a
+// K-event delta costs O(K log) maintenance — per-user shard merges,
+// re-mining only the touched users, retract-and-replace in the crowd
+// model — so small-delta epoch latency is governed by the delta, not
+// the corpus. This bench drives the same public APIs the ingest worker
+// uses (DatasetBuilder's incremental form, mine_users_mobility_parallel,
+// MobilityTable::with_updates, CrowdModel::update) over synthetic
+// corpora a decade apart in size, for delta sizes {1, 100, 10'000}, and
+// reports per-epoch p50/p99 next to the from-scratch rebuild cost.
+//
+// Emits BENCH_rebuild.json (override with --out). --smoke shrinks the
+// corpora and repetition counts for CI. The recorded acceptance bar:
+// small-delta (K <= 100) epoch p50 grows less than 2x when the corpus
+// grows 10x.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crowd/model.hpp"
+#include "data/categories.hpp"
+#include "data/dataset.hpp"
+#include "data/dataset_io.hpp"
+#include "geo/grid.hpp"
+#include "json/json.hpp"
+#include "patterns/mobility.hpp"
+#include "synth/generator.hpp"
+#include "util/civil_time.hpp"
+#include "util/log.hpp"
+
+using namespace crowdweb;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t rank = std::min(
+      samples.size() - 1, static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  return samples[rank];
+}
+
+struct Args {
+  bool smoke = false;
+  std::string out = "BENCH_rebuild.json";
+};
+
+bool check(bool ok, const char* what, int* failures) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++*failures;
+  return ok;
+}
+
+/// The live state one epoch carries to the next, outside the worker.
+struct LiveState {
+  data::Dataset dataset;
+  patterns::MobilityTable mobility;
+  geo::SpatialGrid grid;
+  crowd::CrowdModel crowd;
+};
+
+/// One corpus size's measurements.
+struct CorpusReport {
+  std::size_t users = 0;
+  std::size_t checkins = 0;
+  double full_rebuild_ms = 0.0;
+  json::Value deltas = json::Value(json::Array{});
+  double p50_k1_ms = 0.0;
+  double p50_k100_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      args.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+  set_log_level(LogLevel::kError);
+  int failures = 0;
+
+  const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+  const patterns::MobilityOptions mobility_options;
+  const crowd::CrowdOptions crowd_options;
+
+  // Two corpora a decade apart in user count; per-user history length
+  // stays fixed (same collection period), so the delta pipeline's
+  // per-user work is comparable across sizes. Both must hold at least
+  // 100 users, so a K=100 delta touches the same number of users in
+  // each — smoke shrinks repetitions, not the corpora.
+  const std::vector<std::size_t> corpus_users{100, 1'000};
+  const std::vector<std::size_t> delta_sizes{1, 100, 10'000};
+  const auto reps_for = [&](std::size_t k) -> int {
+    if (args.smoke) return k >= 10'000 ? 2 : 5;
+    return k >= 10'000 ? 5 : (k >= 100 ? 15 : 40);
+  };
+
+  std::printf("=== Epoch rebuild: delta pipeline latency vs corpus size ===\n");
+  std::printf("mode: %s, deltas {1, 100, 10000}\n\n", args.smoke ? "smoke" : "full");
+
+  json::Value corpora = json::Value(json::Array{});
+  std::vector<CorpusReport> reports;
+  for (const std::size_t users : corpus_users) {
+    synth::GeneratorConfig generator;
+    generator.user_count = users;  // full collection period: realistic histories
+    auto corpus = synth::generate_corpus(generator);
+    if (!corpus.is_ok()) {
+      std::fprintf(stderr, "corpus failed: %s\n", corpus.status().to_string().c_str());
+      return 1;
+    }
+    CorpusReport report;
+    report.users = corpus->dataset.user_count();
+    report.checkins = corpus->dataset.checkin_count();
+
+    // Initial derived state, exactly as the worker builds it.
+    const patterns::MobilityTable base_mobility = patterns::MobilityTable::from_entries(
+        patterns::mine_all_mobility_parallel(corpus->dataset, taxonomy, mobility_options));
+    auto grid = geo::SpatialGrid::create(corpus->dataset.bounds().inflated(0.002), 500.0);
+    if (!grid.is_ok()) {
+      std::fprintf(stderr, "grid failed: %s\n", grid.status().to_string().c_str());
+      return 1;
+    }
+    auto crowd =
+        crowd::CrowdModel::build(corpus->dataset, base_mobility, *grid, crowd_options);
+    if (!crowd.is_ok()) {
+      std::fprintf(stderr, "crowd failed: %s\n", crowd.status().to_string().c_str());
+      return 1;
+    }
+    LiveState live{corpus->dataset, base_mobility, std::move(*grid), std::move(*crowd)};
+
+    // From-scratch comparator: rebuild the world over the same records.
+    {
+      const auto start = Clock::now();
+      data::DatasetBuilder scratch;
+      for (const data::Venue& venue : live.dataset.venues())
+        (void)scratch.add_venue(venue);
+      for (const data::CheckIn& checkin : live.dataset.checkins())
+        (void)scratch.add_checkin(checkin);
+      const data::Dataset rebuilt = scratch.build();
+      const std::vector<patterns::UserMobility> mined =
+          patterns::mine_all_mobility_parallel(rebuilt, taxonomy, mobility_options);
+      auto scratch_grid =
+          geo::SpatialGrid::create(rebuilt.bounds().inflated(0.002), 500.0);
+      auto scratch_crowd = scratch_grid.is_ok()
+                               ? crowd::CrowdModel::build(rebuilt, mined, *scratch_grid,
+                                                          crowd_options)
+                               : Result<crowd::CrowdModel>(scratch_grid.status());
+      if (!scratch_crowd.is_ok()) {
+        std::fprintf(stderr, "from-scratch rebuild failed\n");
+        return 1;
+      }
+      report.full_rebuild_ms = ms_since(start);
+    }
+
+    std::printf("--- corpus: %zu users, %zu check-ins (from-scratch rebuild %.1f ms) ---\n",
+                report.users, report.checkins, report.full_rebuild_ms);
+    std::printf("%8s %6s %12s %12s %14s\n", "delta", "reps", "p50 ms", "p99 ms",
+                "vs full (p50)");
+
+    const std::vector<data::UserId> all_users(live.dataset.users().begin(),
+                                              live.dataset.users().end());
+    std::int64_t next_timestamp = generator.period_end;
+    std::size_t rotate = 0;
+    for (const std::size_t k : delta_sizes) {
+      const int reps = reps_for(k);
+      std::vector<double> samples;
+      samples.reserve(static_cast<std::size_t>(reps));
+      for (int rep = 0; rep < reps; ++rep) {
+        // K fresh events at venues the corpus already knows (no bounds
+        // growth, no new venues), rotating through the user base.
+        std::vector<data::CheckIn> delta;
+        delta.reserve(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          const data::UserId user = all_users[rotate++ % all_users.size()];
+          data::CheckIn checkin = live.dataset.checkins_for(user).front();
+          checkin.timestamp = next_timestamp;
+          next_timestamp += 60;
+          delta.push_back(checkin);
+        }
+
+        const auto start = Clock::now();
+        // Stage 1: merge the delta into the shared-shard dataset.
+        data::DatasetBuilder builder(live.dataset);
+        for (const data::CheckIn& checkin : delta) (void)builder.add_checkin(checkin);
+        live.dataset = builder.build();
+        // Stage 2: re-mine only the touched users.
+        std::vector<data::UserId> changed;
+        changed.reserve(delta.size());
+        for (const data::CheckIn& checkin : delta) changed.push_back(checkin.user);
+        std::sort(changed.begin(), changed.end());
+        changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+        live.mobility = live.mobility.with_updates(patterns::mine_users_mobility_parallel(
+            live.dataset, changed, taxonomy, mobility_options));
+        // Stage 3/4: the bounds did not grow, so the grid is reused and
+        // the crowd model updates incrementally — the worker's path.
+        auto updated =
+            crowd::CrowdModel::update(live.crowd, live.dataset, live.mobility, changed);
+        if (!updated.is_ok()) {
+          std::fprintf(stderr, "update failed: %s\n", updated.status().to_string().c_str());
+          return 1;
+        }
+        live.crowd = std::move(*updated);
+        samples.push_back(ms_since(start));
+      }
+      const double p50 = percentile(samples, 0.50);
+      const double p99 = percentile(samples, 0.99);
+      if (k == 1) report.p50_k1_ms = p50;
+      if (k == 100) report.p50_k100_ms = p50;
+      std::printf("%8zu %6d %12.2f %12.2f %13.0fx\n", k, reps, p50, p99,
+                  p50 > 0 ? report.full_rebuild_ms / p50 : 0.0);
+      report.deltas.push_back(json::object(
+          {{"k", static_cast<std::int64_t>(k)},
+           {"reps", static_cast<std::int64_t>(reps)},
+           {"p50_ms", p50},
+           {"p99_ms", p99},
+           {"speedup_vs_full", p50 > 0 ? report.full_rebuild_ms / p50 : 0.0}}));
+    }
+    std::printf("\n");
+    corpora.push_back(json::object(
+        {{"users", static_cast<std::int64_t>(report.users)},
+         {"checkins", static_cast<std::int64_t>(report.checkins)},
+         {"full_rebuild_ms", report.full_rebuild_ms},
+         {"deltas", report.deltas}}));
+    reports.push_back(std::move(report));
+  }
+
+  // Acceptance: with a 10x corpus, small-delta epoch p50 grows < 2x.
+  const CorpusReport& small = reports.front();
+  const CorpusReport& large = reports.back();
+  const double growth_k1 =
+      small.p50_k1_ms > 0 ? large.p50_k1_ms / small.p50_k1_ms : 0.0;
+  const double growth_k100 =
+      small.p50_k100_ms > 0 ? large.p50_k100_ms / small.p50_k100_ms : 0.0;
+  std::printf("corpus %zu -> %zu check-ins: K=1 p50 grew %.2fx, K=100 p50 grew %.2fx\n\n",
+              small.checkins, large.checkins, growth_k1, growth_k100);
+  check(growth_k1 < 2.0, "K=1 epoch p50 grows < 2x at 10x corpus", &failures);
+  check(growth_k100 < 2.0, "K=100 epoch p50 grows < 2x at 10x corpus", &failures);
+  check(large.p50_k1_ms < large.full_rebuild_ms,
+        "K=1 incremental epoch beats the from-scratch rebuild", &failures);
+
+  json::Value output = json::object({{"bench", "rebuild"},
+                                     {"mode", args.smoke ? "smoke" : "full"},
+                                     {"corpora", std::move(corpora)},
+                                     {"growth_p50_k1", growth_k1},
+                                     {"growth_p50_k100", growth_k100},
+                                     {"passed", failures == 0}});
+  const Status written = data::write_file(args.out, json::dump(output) + "\n");
+  if (!written.is_ok()) {
+    std::fprintf(stderr, "writing %s failed: %s\n", args.out.c_str(),
+                 written.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", args.out.c_str());
+  if (failures > 0) {
+    std::fprintf(stderr, "%d assertion(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}

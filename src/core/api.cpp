@@ -553,7 +553,7 @@ Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
   const ingest::SubmitResult result = worker.submit(events);
   const ingest::IngestStats stats = worker.stats();
   const int status = (!events.empty() && result.accepted == 0) ? 429 : 200;
-  return Response::json(
+  Response response = Response::json(
       status, json::dump(json::object(
                   {{"received", static_cast<std::int64_t>(rows->size() - 1)},
                    {"accepted", static_cast<std::int64_t>(result.accepted)},
@@ -561,6 +561,16 @@ Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
                    {"invalid", static_cast<std::int64_t>(invalid)},
                    {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)},
                    {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
+  if (status == 429) {
+    // The queue drains at least once per rebuild interval, so that is
+    // the honest earliest retry time (rounded up to whole seconds,
+    // floor 1 — Retry-After speaks seconds).
+    const auto interval = worker.config().rebuild_interval;
+    const std::int64_t seconds = std::max<std::int64_t>(
+        1, (interval.count() + 999) / 1000);
+    response.headers["Retry-After"] = std::to_string(seconds);
+  }
+  return response;
 }
 
 Response store_stats_handler(const ingest::IngestWorker& worker) {
@@ -834,6 +844,7 @@ std::unique_ptr<ingest::IngestWorker> make_ingest_worker(const Platform& platfor
   pipeline.crowd = platform.config().crowd;
   pipeline.sequences = platform.config().sequences;
   pipeline.mining = platform.config().mining;
+  pipeline.mining_threads = platform.config().mining_threads;
   // Inherit the platform's registry so one scrape covers the batch build
   // and the live worker, unless the caller picked a registry explicitly.
   if (config.metrics == nullptr) config.metrics = platform.config().metrics;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "util/civil_time.hpp"
@@ -67,53 +68,167 @@ class RepresentativeVenues {
   std::map<mining::Item, VenueCounts> overall_;
 };
 
+/// Appends one user's placements into per-window scratch vectors. Both
+/// the full build and the incremental update place users through this
+/// single code path, so their outputs agree element-for-element.
+void append_user_placements(const data::Dataset& dataset, const patterns::UserMobility& user,
+                            const geo::SpatialGrid& grid, const CrowdOptions& options,
+                            const data::Taxonomy& taxonomy, mining::LabelMode mode,
+                            std::vector<std::vector<CrowdPlacement>>& out) {
+  if (user.patterns.empty()) return;
+  const int windows = static_cast<int>(out.size());
+  const RepresentativeVenues venues(dataset, user.user, taxonomy, options.window_minutes,
+                                    mode);
+  // A user appears at most once per (window, label): dedupe elements of
+  // different patterns that land in the same window.
+  std::set<std::pair<int, mining::Item>> placed;
+  for (const patterns::MobilityPattern& pattern : user.patterns) {
+    if (pattern.support < options.min_pattern_support) continue;
+    for (const patterns::TimedElement& element : pattern.elements) {
+      const int minute = static_cast<int>(element.mean_minute);
+      const int window =
+          std::clamp(minute / options.window_minutes, 0, windows - 1);
+      if (!placed.insert({window, element.label}).second) continue;
+      const auto venue_id = venues.pick(element.label, window);
+      if (!venue_id) continue;
+      const data::Venue* venue = dataset.venue(*venue_id);
+      if (venue == nullptr) continue;
+      CrowdPlacement placement;
+      placement.user = user.user;
+      placement.label = element.label;
+      placement.venue = *venue_id;
+      placement.position = venue->position;
+      placement.cell = grid.clamped_cell_of(venue->position);
+      placement.pattern_support = pattern.support;
+      out[static_cast<std::size_t>(window)].push_back(placement);
+    }
+  }
+}
+
+/// Validates options and, on success, fills per-window placement
+/// vectors by running every entry of `mobility` (any range of
+/// UserMobility) through the shared placement path. Entries must be in
+/// ascending user order — that is what makes each window's placements
+/// user-sorted, which the incremental update relies on.
+template <typename MobilityRange>
+Result<std::vector<std::vector<CrowdPlacement>>> place_all(const data::Dataset& dataset,
+                                                           const MobilityRange& mobility,
+                                                           const geo::SpatialGrid& grid,
+                                                           const CrowdOptions& options) {
+  if (options.window_minutes <= 0 || (24 * 60) % options.window_minutes != 0)
+    return invalid_argument(
+        crowdweb::format("window_minutes must divide a day, got {}", options.window_minutes));
+
+  const int windows = (24 * 60) / options.window_minutes;
+  std::vector<std::vector<CrowdPlacement>> scratch(static_cast<std::size_t>(windows));
+
+  // NOTE: synchronization assumes root-category labels, the platform
+  // default; the representative-venue lookup mirrors that.
+  const mining::LabelMode mode = mining::LabelMode::kRootCategory;
+  const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+
+  for (const patterns::UserMobility& user : mobility)
+    append_user_placements(dataset, user, grid, options, taxonomy, mode, scratch);
+  return scratch;
+}
+
 }  // namespace
+
+void CrowdModel::adopt_windows(std::vector<std::vector<CrowdPlacement>> windows) {
+  placements_.clear();
+  placements_.reserve(windows.size());
+  for (std::vector<CrowdPlacement>& window : windows)
+    placements_.push_back(std::make_shared<const std::vector<CrowdPlacement>>(std::move(window)));
+}
 
 Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
                                      std::span<const patterns::UserMobility> mobility,
                                      const geo::SpatialGrid& grid,
                                      const CrowdOptions& options) {
-  if (options.window_minutes <= 0 || (24 * 60) % options.window_minutes != 0)
-    return invalid_argument(
-        crowdweb::format("window_minutes must divide a day, got {}", options.window_minutes));
-
+  auto placed = place_all(dataset, mobility, grid, options);
+  if (!placed) return placed.status();
   CrowdModel model(grid, options);
-  const int windows = (24 * 60) / options.window_minutes;
-  model.placements_.resize(static_cast<std::size_t>(windows));
+  model.adopt_windows(std::move(*placed));
+  return model;
+}
 
-  // NOTE: synchronization assumes root-category labels, the platform
-  // default; the representative-venue lookup below mirrors that.
+Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
+                                     const patterns::MobilityTable& mobility,
+                                     const geo::SpatialGrid& grid,
+                                     const CrowdOptions& options) {
+  auto placed = place_all(dataset, mobility, grid, options);
+  if (!placed) return placed.status();
+  CrowdModel model(grid, options);
+  model.adopt_windows(std::move(*placed));
+  return model;
+}
+
+Result<CrowdModel> CrowdModel::update(const CrowdModel& previous,
+                                      const data::Dataset& dataset,
+                                      const patterns::MobilityTable& mobility,
+                                      std::span<const data::UserId> changed_users) {
+  CrowdModel model(previous.grid_, previous.options_);
+  const int windows = previous.window_count();
+  if (windows == 0)
+    return invalid_argument("cannot update a default-constructed crowd model");
+
+  // Place the changed users afresh, ascending by user id so each
+  // window's fresh block is user-sorted like the full build's output.
+  std::vector<data::UserId> changed(changed_users.begin(), changed_users.end());
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+
   const mining::LabelMode mode = mining::LabelMode::kRootCategory;
   const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+  std::vector<std::vector<CrowdPlacement>> fresh(static_cast<std::size_t>(windows));
+  for (const data::UserId user : changed) {
+    if (const patterns::UserMobility* entry = mobility.find(user))
+      append_user_placements(dataset, *entry, model.grid_, model.options_, taxonomy, mode,
+                             fresh);
+  }
 
-  for (const patterns::UserMobility& user : mobility) {
-    if (user.patterns.empty()) continue;
-    const RepresentativeVenues venues(dataset, user.user, taxonomy, options.window_minutes,
-                                      mode);
-    // A user appears at most once per (window, label): dedupe elements of
-    // different patterns that land in the same window.
-    std::set<std::pair<int, mining::Item>> placed;
-    for (const patterns::MobilityPattern& pattern : user.patterns) {
-      if (pattern.support < options.min_pattern_support) continue;
-      for (const patterns::TimedElement& element : pattern.elements) {
-        const int minute = static_cast<int>(element.mean_minute);
-        const int window =
-            std::clamp(minute / options.window_minutes, 0, windows - 1);
-        if (!placed.insert({window, element.label}).second) continue;
-        const auto venue_id = venues.pick(element.label, window);
-        if (!venue_id) continue;
-        const data::Venue* venue = dataset.venue(*venue_id);
-        if (venue == nullptr) continue;
-        CrowdPlacement placement;
-        placement.user = user.user;
-        placement.label = element.label;
-        placement.venue = *venue_id;
-        placement.position = venue->position;
-        placement.cell = model.grid_.clamped_cell_of(venue->position);
-        placement.pattern_support = pattern.support;
-        model.placements_[static_cast<std::size_t>(window)].push_back(placement);
+  const auto is_changed = [&](data::UserId user) {
+    return std::binary_search(changed.begin(), changed.end(), user);
+  };
+  const auto contains_changed = [&](const std::vector<CrowdPlacement>& old) {
+    for (const data::UserId user : changed) {
+      // Placements are user-sorted; one binary search per changed user.
+      const auto it = std::lower_bound(
+          old.begin(), old.end(), user,
+          [](const CrowdPlacement& p, data::UserId u) { return p.user < u; });
+      if (it != old.end() && it->user == user) return true;
+    }
+    return false;
+  };
+
+  model.placements_.resize(static_cast<std::size_t>(windows));
+  for (int w = 0; w < windows; ++w) {
+    const std::size_t wi = static_cast<std::size_t>(w);
+    const std::vector<CrowdPlacement>& old = *previous.placements_[wi];
+    if (fresh[wi].empty() && !contains_changed(old)) {
+      model.placements_[wi] = previous.placements_[wi];  // untouched: share
+      continue;
+    }
+    // Rebuild the window: retract the changed users' old placements and
+    // merge the fresh blocks in by user id, preserving per-user order.
+    auto rebuilt = std::make_shared<std::vector<CrowdPlacement>>();
+    rebuilt->reserve(old.size() + fresh[wi].size());
+    std::size_t oi = 0;
+    std::size_t fi = 0;
+    while (oi < old.size() || fi < fresh[wi].size()) {
+      if (oi < old.size() && is_changed(old[oi].user)) {
+        ++oi;  // retracted
+        continue;
+      }
+      if (fi == fresh[wi].size()) {
+        rebuilt->push_back(old[oi++]);
+      } else if (oi == old.size() || fresh[wi][fi].user < old[oi].user) {
+        rebuilt->push_back(fresh[wi][fi++]);
+      } else {
+        rebuilt->push_back(old[oi++]);
       }
     }
+    model.placements_[wi] = std::move(rebuilt);
   }
   return model;
 }
@@ -127,7 +242,7 @@ std::string CrowdModel::window_label(int window) const {
 
 std::span<const CrowdPlacement> CrowdModel::placements(int window) const {
   if (window < 0 || window >= window_count()) return {};
-  return placements_[static_cast<std::size_t>(window)];
+  return *placements_[static_cast<std::size_t>(window)];
 }
 
 CrowdDistribution CrowdModel::distribution(int window) const {
@@ -173,7 +288,7 @@ std::vector<CrowdGroup> CrowdModel::groups(int window, std::size_t min_size) con
 
 std::size_t CrowdModel::total_placements() const noexcept {
   std::size_t total = 0;
-  for (const auto& window : placements_) total += window.size();
+  for (const auto& window : placements_) total += window->size();
   return total;
 }
 
@@ -181,7 +296,7 @@ CrowdModel::Rhythm CrowdModel::rhythm() const {
   Rhythm out;
   std::map<mining::Item, std::size_t> index;
   for (const auto& window : placements_) {
-    for (const CrowdPlacement& placement : window) index.emplace(placement.label, 0);
+    for (const CrowdPlacement& placement : *window) index.emplace(placement.label, 0);
   }
   std::size_t next = 0;
   for (auto& [label, slot] : index) {
@@ -191,7 +306,7 @@ CrowdModel::Rhythm CrowdModel::rhythm() const {
   out.counts.assign(out.labels.size(),
                     std::vector<std::size_t>(placements_.size(), 0));
   for (std::size_t w = 0; w < placements_.size(); ++w) {
-    for (const CrowdPlacement& placement : placements_[w])
+    for (const CrowdPlacement& placement : *placements_[w])
       ++out.counts[index[placement.label]][w];
   }
   return out;

@@ -9,6 +9,7 @@
 // consecutive windows gives the crowd flows.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -48,6 +49,11 @@ struct CrowdOptions {
 };
 
 /// The synchronized, aggregated crowd — queryable per time window.
+///
+/// Each window's placements live behind a shared_ptr: `update` produces
+/// a new model that shares every window the delta did not affect with
+/// the previous one, rebuilding only the affected windows. An updated
+/// model is value-identical to a full rebuild over the same inputs.
 class CrowdModel {
  public:
   /// Builds the model. `grid` is copied; `dataset` is only read during
@@ -56,6 +62,23 @@ class CrowdModel {
                                   std::span<const patterns::UserMobility> mobility,
                                   const geo::SpatialGrid& grid,
                                   const CrowdOptions& options = {});
+
+  /// Same, over a shared mobility table.
+  static Result<CrowdModel> build(const data::Dataset& dataset,
+                                  const patterns::MobilityTable& mobility,
+                                  const geo::SpatialGrid& grid,
+                                  const CrowdOptions& options = {});
+
+  /// Incremental form: retracts the changed users' previous placements,
+  /// places them afresh from `mobility`, and shares every window no
+  /// changed user appears in with `previous` by pointer. Valid only
+  /// while grid and options are unchanged (a grid or option change
+  /// requires a full build); under that contract the result equals
+  /// `build(dataset, mobility, previous.grid(), previous.options())`.
+  static Result<CrowdModel> update(const CrowdModel& previous,
+                                   const data::Dataset& dataset,
+                                   const patterns::MobilityTable& mobility,
+                                   std::span<const data::UserId> changed_users);
 
   [[nodiscard]] const geo::SpatialGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] const CrowdOptions& options() const noexcept { return options_; }
@@ -90,13 +113,27 @@ class CrowdModel {
   };
   [[nodiscard]] Rhythm rhythm() const;
 
+  /// Identity of a window's placement storage: equal across models iff
+  /// the window object is shared (reused, not rebuilt). For sharing
+  /// regression tests and delta telemetry.
+  [[nodiscard]] const void* window_identity(int window) const noexcept {
+    if (window < 0 || window >= window_count()) return nullptr;
+    return placements_[static_cast<std::size_t>(window)].get();
+  }
+
  private:
+  /// One window's placements, shared between models when unaffected.
+  using WindowPtr = std::shared_ptr<const std::vector<CrowdPlacement>>;
+
   CrowdModel(geo::SpatialGrid grid, CrowdOptions options)
       : grid_(grid), options_(options) {}
 
+  /// Wraps freshly built per-window vectors into shared storage.
+  void adopt_windows(std::vector<std::vector<CrowdPlacement>> windows);
+
   geo::SpatialGrid grid_;
   CrowdOptions options_;
-  std::vector<std::vector<CrowdPlacement>> placements_;  // one vector per window
+  std::vector<WindowPtr> placements_;  // one shared vector per window
 };
 
 }  // namespace crowdweb::crowd

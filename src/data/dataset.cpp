@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "stats/summary.hpp"
 #include "util/civil_time.hpp"
@@ -10,37 +11,58 @@
 
 namespace crowdweb::data {
 
+void Dataset::CheckInIterator::seek(std::size_t index) noexcept {
+  index_ = index;
+  const auto& offsets = dataset_->offsets_;
+  if (offsets.empty() || index >= offsets.back()) {
+    shard_ = dataset_->shards_.size();
+    local_ = 0;
+    return;
+  }
+  // offsets_[i] <= index < offsets_[i+1] puts the record in shard i.
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), index);
+  shard_ = static_cast<std::size_t>(it - offsets.begin()) - 1;
+  local_ = index - offsets[shard_];
+}
+
 const Venue* Dataset::venue(VenueId id) const noexcept {
-  if (id >= venues_.size()) return nullptr;
-  return &venues_[id];
+  if (!venues_ || id >= venues_->size()) return nullptr;
+  return &(*venues_)[id];
 }
 
 std::span<const CheckIn> Dataset::checkins_for(UserId user) const noexcept {
   const auto it = std::lower_bound(users_.begin(), users_.end(), user);
   if (it == users_.end() || *it != user) return {};
   const std::size_t index = static_cast<std::size_t>(it - users_.begin());
-  return {checkins_.data() + offsets_[index], offsets_[index + 1] - offsets_[index]};
+  return shards_[index]->checkins;
+}
+
+Dataset::ShardPtr Dataset::shard_for(UserId user) const noexcept {
+  const auto it = std::lower_bound(users_.begin(), users_.end(), user);
+  if (it == users_.end() || *it != user) return nullptr;
+  return shards_[static_cast<std::size_t>(it - users_.begin())];
 }
 
 DatasetStats Dataset::stats() const {
   DatasetStats s;
-  s.checkin_count = checkins_.size();
+  s.checkin_count = checkin_count();
   s.user_count = users_.size();
-  s.venue_count = venues_.size();
-  if (checkins_.empty()) return s;
+  s.venue_count = venue_count();
+  if (s.checkin_count == 0) return s;
 
   std::vector<double> per_user;
   per_user.reserve(users_.size());
-  for (std::size_t i = 0; i < users_.size(); ++i)
-    per_user.push_back(static_cast<double>(offsets_[i + 1] - offsets_[i]));
+  for (const ShardPtr& shard : shards_)
+    per_user.push_back(static_cast<double>(shard->checkins.size()));
   s.mean_records_per_user = stats::mean(per_user);
   s.median_records_per_user = stats::median(per_user);
 
-  std::int64_t first = checkins_.front().timestamp;
+  std::int64_t first = shards_.front()->checkins.front().timestamp;
   std::int64_t last = first;
-  for (const CheckIn& c : checkins_) {
-    first = std::min(first, c.timestamp);
-    last = std::max(last, c.timestamp);
+  for (const ShardPtr& shard : shards_) {
+    // Shards are time-sorted: front/back bound the user's range.
+    first = std::min(first, shard->checkins.front().timestamp);
+    last = std::max(last, shard->checkins.back().timestamp);
   }
   s.first_timestamp = first;
   s.last_timestamp = last;
@@ -54,7 +76,7 @@ DatasetStats Dataset::stats() const {
 std::vector<std::pair<std::string, std::size_t>> Dataset::monthly_counts() const {
   // Month key = year * 12 + (month - 1), kept ordered.
   std::vector<std::pair<std::int64_t, std::size_t>> keyed;
-  for (const CheckIn& c : checkins_) {
+  for (const CheckIn& c : checkins()) {
     const CivilTime civil = to_civil(c.timestamp);
     const std::int64_t key = static_cast<std::int64_t>(civil.year) * 12 + civil.month - 1;
     const auto it = std::lower_bound(
@@ -113,29 +135,54 @@ bool Dataset::is_active_user(UserId user, const ActiveUserCriteria& criteria) co
   return static_cast<int>(qualifying.size()) > criteria.min_days;
 }
 
-namespace {
-
-Dataset subset(const Dataset& source, const std::vector<CheckIn>& keep) {
-  DatasetBuilder builder;
-  for (const Venue& v : source.venues()) {
-    const Status status = builder.add_venue(v);
-    (void)status;  // venues come from a built dataset; always valid
+void Dataset::adopt(VenueTablePtr venues, std::vector<ShardPtr> shards,
+                    const geo::BoundingBox& bounds) {
+  venues_ = std::move(venues);
+  shards_ = std::move(shards);
+  users_.clear();
+  offsets_.clear();
+  users_.reserve(shards_.size());
+  offsets_.reserve(shards_.size() + 1);
+  std::size_t total = 0;
+  bounds_ = bounds;
+  const bool derive_bounds = bounds_.empty();
+  for (const ShardPtr& shard : shards_) {
+    users_.push_back(shard->user);
+    offsets_.push_back(total);
+    total += shard->checkins.size();
+    if (derive_bounds) {
+      for (const CheckIn& c : shard->checkins) bounds_.extend(c.position);
+    }
   }
-  for (const CheckIn& c : keep) {
-    const Status status = builder.add_checkin(c);
-    (void)status;
-  }
-  return builder.build();
+  offsets_.push_back(total);
 }
 
-}  // namespace
+Dataset Dataset::subset(std::vector<CheckIn> keep) const {
+  // `keep` preserves (user, timestamp) order, so shards fall out of a
+  // single grouping pass — no re-sort, and the venue table is shared.
+  std::vector<ShardPtr> shards;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= keep.size(); ++i) {
+    if (i == keep.size() || keep[i].user != keep[begin].user) {
+      auto shard = std::make_shared<UserShard>();
+      shard->user = keep[begin].user;
+      shard->checkins.assign(keep.begin() + static_cast<std::ptrdiff_t>(begin),
+                             keep.begin() + static_cast<std::ptrdiff_t>(i));
+      shards.push_back(std::move(shard));
+      begin = i;
+    }
+  }
+  Dataset out;
+  out.adopt(venues_, std::move(shards), geo::BoundingBox{});
+  return out;
+}
 
 Dataset Dataset::filter_time_range(std::int64_t from, std::int64_t to) const {
   std::vector<CheckIn> keep;
-  for (const CheckIn& c : checkins_) {
+  for (const CheckIn& c : checkins()) {
     if (c.timestamp >= from && c.timestamp < to) keep.push_back(c);
   }
-  return subset(*this, keep);
+  return subset(std::move(keep));
 }
 
 Dataset Dataset::filter_active_users(const ActiveUserCriteria& criteria) const {
@@ -149,64 +196,128 @@ Dataset Dataset::filter_active_users(const ActiveUserCriteria& criteria) const {
 Dataset Dataset::filter_users(std::span<const UserId> users) const {
   const std::unordered_set<UserId> wanted(users.begin(), users.end());
   std::vector<CheckIn> keep;
-  for (const CheckIn& c : checkins_) {
+  for (const CheckIn& c : checkins()) {
     if (wanted.contains(c.user)) keep.push_back(c);
   }
-  return subset(*this, keep);
+  return subset(std::move(keep));
 }
 
-void Dataset::rebuild_index() {
-  std::sort(checkins_.begin(), checkins_.end(), [](const CheckIn& a, const CheckIn& b) {
-    if (a.user != b.user) return a.user < b.user;
-    return a.timestamp < b.timestamp;
-  });
-  users_.clear();
-  offsets_.clear();
-  bounds_ = geo::BoundingBox{};
-  for (std::size_t i = 0; i < checkins_.size(); ++i) {
-    if (i == 0 || checkins_[i].user != checkins_[i - 1].user) {
-      users_.push_back(checkins_[i].user);
-      offsets_.push_back(i);
-    }
-    bounds_.extend(checkins_[i].position);
-  }
-  offsets_.push_back(checkins_.size());
+const Venue* DatasetBuilder::venue_at(VenueId id) const noexcept {
+  const std::size_t base_count = base_.venue_count();
+  if (id < base_count) return base_.venue(id);
+  const std::size_t local = id - base_count;
+  if (local >= new_venues_.size()) return nullptr;
+  return &new_venues_[local];
 }
 
 Status DatasetBuilder::add_venue(Venue venue) {
-  if (venue.id != venues_.size())
+  const std::size_t next_id = base_.venue_count() + new_venues_.size();
+  if (venue.id != next_id)
     return invalid_argument(
-        crowdweb::format("venue ids must be dense: expected {}, got {}", venues_.size(),
+        crowdweb::format("venue ids must be dense: expected {}, got {}", next_id,
                          venue.id));
   if (!geo::is_valid(venue.position))
     return invalid_argument(crowdweb::format("venue '{}' has an invalid position", venue.name));
   if (venue.category == kNoCategory)
     return invalid_argument(crowdweb::format("venue '{}' has no category", venue.name));
-  venues_.push_back(std::move(venue));
+  new_venues_.push_back(std::move(venue));
   return Status::ok();
 }
 
 Status DatasetBuilder::add_checkin(CheckIn checkin) {
-  if (checkin.venue >= venues_.size())
+  const Venue* venue = venue_at(checkin.venue);
+  if (venue == nullptr)
     return invalid_argument(crowdweb::format("check-in references unknown venue {}", checkin.venue));
   if (!geo::is_valid(checkin.position))
     return invalid_argument("check-in has an invalid position");
-  if (checkin.category != venues_[checkin.venue].category)
+  if (checkin.category != venue->category)
     return invalid_argument(
         crowdweb::format("check-in category {} does not match venue category {}",
-                         checkin.category, venues_[checkin.venue].category));
-  checkins_.push_back(checkin);
+                         checkin.category, venue->category));
+  pending_bounds_.extend(checkin.position);
+  pending_[checkin.user].push_back(checkin);
+  ++pending_count_;
   return Status::ok();
 }
 
 Dataset DatasetBuilder::build() {
-  Dataset dataset;
-  dataset.venues_ = std::move(venues_);
-  dataset.checkins_ = std::move(checkins_);
-  venues_.clear();
-  checkins_.clear();
-  dataset.rebuild_index();
-  return dataset;
+  stats_ = {};
+
+  // Venue table: copy-on-write — adopt the base table untouched unless
+  // this delta introduced venues.
+  Dataset::VenueTablePtr venues;
+  if (new_venues_.empty()) {
+    venues = base_.venues_;
+    stats_.venue_table_shared = venues != nullptr;
+  } else {
+    auto table = std::make_shared<std::vector<Venue>>();
+    table->reserve(base_.venue_count() + new_venues_.size());
+    if (base_.venues_)
+      table->insert(table->end(), base_.venues_->begin(), base_.venues_->end());
+    for (Venue& v : new_venues_) table->push_back(std::move(v));
+    venues = std::move(table);
+  }
+
+  // Touched users, ascending, each with its delta stably time-sorted so
+  // same-timestamp records keep arrival order.
+  std::vector<UserId> touched;
+  touched.reserve(pending_.size());
+  for (auto& [user, records] : pending_) {
+    touched.push_back(user);
+    std::stable_sort(records.begin(), records.end(),
+                     [](const CheckIn& a, const CheckIn& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  std::sort(touched.begin(), touched.end());
+
+  // Merge the base's user-sorted shards with the touched users: an
+  // untouched shard is shared by pointer; a touched one is rebuilt by a
+  // stable time-merge of base records (first on ties) and the delta.
+  std::vector<Dataset::ShardPtr> shards;
+  shards.reserve(base_.shards_.size() + touched.size());
+  std::size_t bi = 0;
+  std::size_t ti = 0;
+  while (bi < base_.shards_.size() || ti < touched.size()) {
+    if (ti == touched.size() ||
+        (bi < base_.shards_.size() && base_.shards_[bi]->user < touched[ti])) {
+      shards.push_back(base_.shards_[bi]);
+      ++stats_.shards_reused;
+      ++bi;
+      continue;
+    }
+    const UserId user = touched[ti];
+    std::vector<CheckIn>& delta = pending_[user];
+    auto shard = std::make_shared<Dataset::UserShard>();
+    shard->user = user;
+    if (bi < base_.shards_.size() && base_.shards_[bi]->user == user) {
+      const std::vector<CheckIn>& existing = base_.shards_[bi]->checkins;
+      shard->checkins.reserve(existing.size() + delta.size());
+      std::merge(existing.begin(), existing.end(), delta.begin(), delta.end(),
+                 std::back_inserter(shard->checkins),
+                 [](const CheckIn& a, const CheckIn& b) {
+                   return a.timestamp < b.timestamp;
+                 });
+      ++bi;
+    } else {
+      shard->checkins = std::move(delta);
+    }
+    shards.push_back(std::move(shard));
+    ++stats_.shards_rebuilt;
+    ++ti;
+  }
+
+  geo::BoundingBox bounds = base_.bounds_;
+  bounds.extend(pending_bounds_);
+
+  Dataset out;
+  out.adopt(std::move(venues), std::move(shards), bounds);
+  base_ = Dataset{};
+  new_venues_.clear();
+  pending_.clear();
+  pending_count_ = 0;
+  pending_bounds_ = geo::BoundingBox{};
+  return out;
 }
 
 }  // namespace crowdweb::data

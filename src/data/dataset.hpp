@@ -7,12 +7,23 @@
 // 2 hours check-in records for more than 50 days within the 3-month
 // period" — i.e. users whose records include, on more than `min_days`
 // distinct days, check-ins less than two hours apart).
+//
+// Storage is sharded per user: each user's time-sorted records live in
+// one immutable shard held by shared_ptr, and the venue table is one
+// shared immutable vector. Copying a Dataset copies only the shard
+// pointers, and an incremental build (DatasetBuilder seeded `from` a
+// base dataset) rebuilds only the shards the delta touched — every
+// other shard is shared with the base. A dataset built incrementally is
+// value-identical to one built from scratch over the same records.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "data/checkin.hpp"
@@ -50,25 +61,165 @@ struct ActiveUserCriteria {
 /// Build with `DatasetBuilder`; all accessors require the built state.
 class Dataset {
  public:
+  /// One user's time-sorted records, immutable and shared between the
+  /// dataset versions whose delta never touched this user.
+  struct UserShard {
+    UserId user = 0;
+    std::vector<CheckIn> checkins;  ///< sorted by timestamp (stable)
+  };
+  using ShardPtr = std::shared_ptr<const UserShard>;
+  using VenueTablePtr = std::shared_ptr<const std::vector<Venue>>;
+
+  /// Random-access iterator over every check-in in (user, timestamp)
+  /// order, walking the per-user shards without materializing them.
+  class CheckInIterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = CheckIn;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const CheckIn*;
+    using reference = const CheckIn&;
+
+    CheckInIterator() = default;
+
+    [[nodiscard]] reference operator*() const noexcept {
+      return dataset_->shards_[shard_]->checkins[local_];
+    }
+    [[nodiscard]] pointer operator->() const noexcept { return &**this; }
+    [[nodiscard]] reference operator[](difference_type n) const noexcept {
+      return *(*this + n);
+    }
+
+    CheckInIterator& operator++() noexcept {
+      ++index_;
+      if (++local_ >= dataset_->shards_[shard_]->checkins.size()) {
+        ++shard_;
+        local_ = 0;
+      }
+      return *this;
+    }
+    CheckInIterator operator++(int) noexcept {
+      CheckInIterator out = *this;
+      ++*this;
+      return out;
+    }
+    CheckInIterator& operator--() noexcept {
+      --index_;
+      if (local_ == 0) {
+        --shard_;
+        local_ = dataset_->shards_[shard_]->checkins.size() - 1;
+      } else {
+        --local_;
+      }
+      return *this;
+    }
+    CheckInIterator operator--(int) noexcept {
+      CheckInIterator out = *this;
+      --*this;
+      return out;
+    }
+    CheckInIterator& operator+=(difference_type n) noexcept {
+      seek(index_ + static_cast<std::size_t>(n));
+      return *this;
+    }
+    CheckInIterator& operator-=(difference_type n) noexcept { return *this += -n; }
+    [[nodiscard]] friend CheckInIterator operator+(CheckInIterator it,
+                                                   difference_type n) noexcept {
+      return it += n;
+    }
+    [[nodiscard]] friend CheckInIterator operator+(difference_type n,
+                                                   CheckInIterator it) noexcept {
+      return it += n;
+    }
+    [[nodiscard]] friend CheckInIterator operator-(CheckInIterator it,
+                                                   difference_type n) noexcept {
+      return it += -n;
+    }
+    [[nodiscard]] friend difference_type operator-(const CheckInIterator& a,
+                                                   const CheckInIterator& b) noexcept {
+      return static_cast<difference_type>(a.index_) - static_cast<difference_type>(b.index_);
+    }
+    [[nodiscard]] friend bool operator==(const CheckInIterator& a,
+                                         const CheckInIterator& b) noexcept {
+      return a.index_ == b.index_;
+    }
+    [[nodiscard]] friend auto operator<=>(const CheckInIterator& a,
+                                          const CheckInIterator& b) noexcept {
+      return a.index_ <=> b.index_;
+    }
+
+   private:
+    friend class Dataset;
+    CheckInIterator(const Dataset* dataset, std::size_t index) noexcept
+        : dataset_(dataset) {
+      seek(index);
+    }
+    void seek(std::size_t index) noexcept;
+
+    const Dataset* dataset_ = nullptr;
+    std::size_t index_ = 0;  ///< global rank in (user, timestamp) order
+    std::size_t shard_ = 0;  ///< shard containing index_ (== shard count at end)
+    std::size_t local_ = 0;  ///< offset inside that shard
+  };
+
+  /// The full corpus in (user, timestamp) order, as an indexable range.
+  class CheckInView {
+   public:
+    [[nodiscard]] CheckInIterator begin() const noexcept {
+      return {dataset_, 0};
+    }
+    [[nodiscard]] CheckInIterator end() const noexcept {
+      return {dataset_, dataset_->checkin_count()};
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return dataset_->checkin_count(); }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+    [[nodiscard]] const CheckIn& operator[](std::size_t index) const noexcept {
+      return begin()[static_cast<std::ptrdiff_t>(index)];
+    }
+    [[nodiscard]] const CheckIn& front() const noexcept { return (*this)[0]; }
+    [[nodiscard]] const CheckIn& back() const noexcept { return (*this)[size() - 1]; }
+
+   private:
+    friend class Dataset;
+    explicit CheckInView(const Dataset* dataset) noexcept : dataset_(dataset) {}
+    const Dataset* dataset_;
+  };
+
   Dataset() = default;
 
-  [[nodiscard]] std::size_t checkin_count() const noexcept { return checkins_.size(); }
+  [[nodiscard]] std::size_t checkin_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
   [[nodiscard]] std::size_t user_count() const noexcept { return users_.size(); }
-  [[nodiscard]] std::size_t venue_count() const noexcept { return venues_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return checkins_.empty(); }
+  [[nodiscard]] std::size_t venue_count() const noexcept {
+    return venues_ ? venues_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return checkin_count() == 0; }
 
-  /// All check-ins, sorted by (user, timestamp).
-  [[nodiscard]] std::span<const CheckIn> checkins() const noexcept { return checkins_; }
+  /// All check-ins, in (user, timestamp) order.
+  [[nodiscard]] CheckInView checkins() const noexcept { return CheckInView(this); }
 
   /// Distinct user ids, ascending.
   [[nodiscard]] std::span<const UserId> users() const noexcept { return users_; }
 
   /// All venues, indexed by VenueId.
-  [[nodiscard]] std::span<const Venue> venues() const noexcept { return venues_; }
+  [[nodiscard]] std::span<const Venue> venues() const noexcept {
+    return venues_ ? std::span<const Venue>(*venues_) : std::span<const Venue>{};
+  }
   [[nodiscard]] const Venue* venue(VenueId id) const noexcept;
 
   /// This user's check-ins sorted by time (empty when unknown).
   [[nodiscard]] std::span<const CheckIn> checkins_for(UserId user) const noexcept;
+
+  /// The user's shard object, or null when unknown. Shards are shared
+  /// between dataset versions whose delta never touched the user, so
+  /// pointer equality across versions proves the records were reused,
+  /// not copied.
+  [[nodiscard]] ShardPtr shard_for(UserId user) const noexcept;
+
+  /// The shared venue table (pointer equality across versions proves
+  /// copy-on-write reuse). Null for an empty dataset.
+  [[nodiscard]] VenueTablePtr venue_table() const noexcept { return venues_; }
 
   /// Geographic extent of all check-ins (empty box for an empty dataset).
   [[nodiscard]] const geo::BoundingBox& bounds() const noexcept { return bounds_; }
@@ -101,36 +252,79 @@ class Dataset {
  private:
   friend class DatasetBuilder;
 
-  void rebuild_index();
+  /// Adopts user-sorted shards + venue table, rebuilding users_/offsets_
+  /// and — when `bounds` is empty — deriving the bounds by scanning.
+  void adopt(VenueTablePtr venues, std::vector<ShardPtr> shards,
+             const geo::BoundingBox& bounds);
 
-  std::vector<Venue> venues_;        // indexed by VenueId
-  std::vector<CheckIn> checkins_;    // sorted by (user, timestamp)
-  std::vector<UserId> users_;        // distinct, ascending
-  std::vector<std::size_t> offsets_; // users_[i] owns [offsets_[i], offsets_[i+1])
+  /// Subset sharing this dataset's venue table: `keep` holds the
+  /// records in (user, timestamp) order (any stable subsequence of
+  /// checkins() qualifies).
+  [[nodiscard]] Dataset subset(std::vector<CheckIn> keep) const;
+
+  VenueTablePtr venues_;             // null == empty table
+  std::vector<ShardPtr> shards_;     // sorted by user id
+  std::vector<UserId> users_;        // distinct, ascending (parallel to shards_)
+  std::vector<std::size_t> offsets_; // users_[i] owns global ranks [offsets_[i], offsets_[i+1])
   geo::BoundingBox bounds_;
 };
 
 /// Accumulates venues and check-ins, validates them, and produces a
 /// `Dataset`.
+///
+/// The default-constructed builder builds from scratch; the `base`
+/// constructor is the incremental form: it starts from an existing
+/// dataset and `build()` merges only the added records into the shards
+/// of the users they touch, sharing every untouched shard (and, when no
+/// venue was added, the whole venue table) with the base. Both forms
+/// run the same merge code — a from-scratch build is an incremental
+/// build over an empty base — and order records identically: by user,
+/// then timestamp, ties resolved by insertion order (base records
+/// before added ones).
 class DatasetBuilder {
  public:
-  /// Registers a venue; its id must equal the number of venues added so
-  /// far (dense ids).
+  DatasetBuilder() = default;
+
+  /// Incremental form: `build()` applies the added delta to `base`.
+  explicit DatasetBuilder(const Dataset& base) : base_(base) {}
+
+  /// Registers a venue; its id must equal the number of venues known so
+  /// far, base table included (dense ids).
   Status add_venue(Venue venue);
 
   /// Adds a check-in; the venue must exist, the position must be valid,
   /// and the category must match the venue's.
   Status add_checkin(CheckIn checkin);
 
-  /// Number of records added so far.
-  [[nodiscard]] std::size_t checkin_count() const noexcept { return checkins_.size(); }
+  /// Number of records the built dataset will hold (base + added).
+  [[nodiscard]] std::size_t checkin_count() const noexcept {
+    return base_.checkin_count() + pending_count_;
+  }
 
-  /// Sorts, indexes, and returns the dataset; the builder is left empty.
+  /// How the last `build()` assembled its shards, for delta telemetry.
+  struct BuildStats {
+    std::size_t shards_reused = 0;    ///< base shards shared untouched
+    std::size_t shards_rebuilt = 0;   ///< shards merged or newly created
+    bool venue_table_shared = false;  ///< base venue table adopted as-is
+  };
+
+  /// Merges, indexes, and returns the dataset; the builder is left
+  /// empty (base cleared, nothing pending).
   [[nodiscard]] Dataset build();
 
+  /// Statistics of the most recent build().
+  [[nodiscard]] const BuildStats& stats() const noexcept { return stats_; }
+
  private:
-  std::vector<Venue> venues_;
-  std::vector<CheckIn> checkins_;
+  [[nodiscard]] const Venue* venue_at(VenueId id) const noexcept;
+
+  Dataset base_;
+  std::vector<Venue> new_venues_;
+  /// Added records grouped per user, in arrival order.
+  std::unordered_map<UserId, std::vector<CheckIn>> pending_;
+  std::size_t pending_count_ = 0;
+  geo::BoundingBox pending_bounds_;
+  BuildStats stats_;
 };
 
 }  // namespace crowdweb::data

@@ -25,13 +25,19 @@ namespace crowdweb::ingest {
 
 /// One immutable epoch of the live platform: the merged corpus (base +
 /// accepted live check-ins) and everything phase 2/3 derives from it.
+///
+/// The big parts are shared, not copied: `dataset` holds per-user
+/// shards and the venue table behind shared_ptrs, `mobility` shares the
+/// per-user entries the epoch's delta did not touch, and `crowd` shares
+/// the unaffected time windows — so publishing an epoch costs O(delta),
+/// not O(corpus), and consecutive snapshots alias all unchanged state.
 struct PlatformSnapshot {
   std::uint64_t epoch = 0;
   std::size_t live_checkins = 0;  ///< accepted live events merged so far
   std::size_t live_users = 0;     ///< users whose history the deltas touched
   double rebuild_ms = 0.0;        ///< wall-clock cost of building this epoch
   data::Dataset dataset;
-  std::vector<patterns::UserMobility> mobility;  ///< sorted by user id
+  patterns::MobilityTable mobility;  ///< per-user entries, ascending user id
   geo::SpatialGrid grid;
   crowd::CrowdModel crowd;
 };

@@ -39,7 +39,9 @@ IngestWorker::IngestWorker(const data::Dataset& base,
   init_metrics();
   venues_.assign(base.venues().begin(), base.venues().end());
   checkins_.assign(base.checkins().begin(), base.checkins().end());
-  mobility_.assign(base_mobility.begin(), base_mobility.end());
+  live_ = base;  // shares the base's shards and venue table
+  mobility_ = patterns::MobilityTable::from_entries(
+      {base_mobility.begin(), base_mobility.end()});
   base_checkin_count_ = checkins_.size();
   venue_index_.reserve(venues_.size());
   for (const data::Venue& venue : venues_)
@@ -81,6 +83,26 @@ void IngestWorker::init_metrics() {
   stage_crowd_seconds_ = &stages.with_labels({"crowd"});
   last_rebuild_seconds_ = &metrics_->gauge("crowdweb_ingest_last_rebuild_seconds",
                                            "Wall time of the most recent epoch rebuild.");
+  delta_events_ = &metrics_->counter("crowdweb_ingest_delta_events_total",
+                                     "Check-ins applied through the delta merge path.");
+  delta_users_ = &metrics_->counter("crowdweb_ingest_delta_users_total",
+                                    "Per-user delta re-minings across all epochs.");
+  delta_shards_reused_ = &metrics_->counter(
+      "crowdweb_ingest_delta_shards_reused_total",
+      "Per-user dataset shards shared with the previous epoch (not copied).");
+  delta_shards_rebuilt_ = &metrics_->counter(
+      "crowdweb_ingest_delta_shards_rebuilt_total",
+      "Per-user dataset shards rebuilt because the epoch's delta touched them.");
+  delta_grid_reused_ = &metrics_->counter(
+      "crowdweb_ingest_delta_grid_reused_total",
+      "Epochs that reused the previous spatial grid (corpus bounds unchanged).");
+  delta_crowd_full_rebuilds_ = &metrics_->counter(
+      "crowdweb_ingest_delta_crowd_full_rebuilds_total",
+      "Crowd-model full rebuilds (first epoch, grid growth, or the periodic "
+      "backstop) instead of incremental updates.");
+  delta_last_events_ =
+      &metrics_->gauge("crowdweb_ingest_delta_last_events",
+                       "Check-ins merged by the most recent epoch's delta.");
   // Scrape-time gauges: sampled when /metrics renders, so readers see
   // live queue state without the worker pushing updates.
   metrics_->gauge_callback("crowdweb_ingest_queue_depth", "Events waiting in the queue.",
@@ -199,6 +221,12 @@ Status IngestWorker::recover_from_store() {
       if (merge_event(event)) ++replayed_events;
     }
   }
+  // The flat corpus was replaced wholesale (checkpoint) and extended
+  // (WAL replay); re-index the live dataset from it through the same
+  // builder the epochs use, so there is exactly one merge path.
+  const Status reindexed = rebuild_live_from_flat();
+  if (!reindexed.is_ok()) return reindexed;
+
   // Resume the epoch counter past everything disk has seen, so the
   // first published epoch after restart is strictly newer than any a
   // reader saw before the crash.
@@ -322,14 +350,32 @@ void IngestWorker::journal_barrier() {
   journal_drained_cv_.wait(lock, [this] { return journal_pending_ == 0; });
 }
 
+Status IngestWorker::rebuild_live_from_flat() {
+  data::DatasetBuilder builder;  // from-scratch: empty base
+  for (const data::Venue& venue : venues_) {
+    const Status status = builder.add_venue(venue);
+    if (!status.is_ok()) return status;
+  }
+  for (const data::CheckIn& checkin : checkins_) {
+    const Status status = builder.add_checkin(checkin);
+    if (!status.is_ok()) return status;
+  }
+  live_ = builder.build();
+  delta_venues_.clear();
+  delta_checkins_.clear();
+  return Status::ok();
+}
+
 bool IngestWorker::merge_event(const IngestEvent& event) {
   if (event.category >= taxonomy_.size() || !geo::is_valid(event.position) ||
       event.timestamp <= 0) {
     return false;
   }
   const data::VenueId venue = resolve_venue(event.category, event.position);
-  checkins_.push_back({event.user, venue, event.category, event.position,
-                       event.timestamp});
+  const data::CheckIn checkin{event.user, venue, event.category, event.position,
+                              event.timestamp};
+  checkins_.push_back(checkin);
+  delta_checkins_.push_back(checkin);
   pending_users_.insert(event.user);
   touched_users_.insert(event.user);
   return true;
@@ -399,62 +445,96 @@ data::VenueId IngestWorker::resolve_venue(data::CategoryId category,
   venue.category = category;
   venue.position = position;
   venue_index_.emplace(key, venue.id);
-  venues_.push_back(std::move(venue));
+  venues_.push_back(venue);
+  delta_venues_.push_back(std::move(venue));
   return venues_.back().id;
 }
 
 Status IngestWorker::rebuild_and_publish() {
   const auto start = Clock::now();
   telemetry::ScopedTimer rebuild_timer(rebuild_seconds_);
+  const std::size_t delta_events = delta_checkins_.size();
 
-  // Stage 1: merge — rebuild the dataset (venue + check-in indexes) from
-  // the worker's live corpus.
+  // Stage 1: merge — apply the delta to the live dataset through the
+  // incremental builder: only the shards of touched users are rebuilt,
+  // everything else is shared with the previous epoch by pointer.
   telemetry::ScopedTimer merge_timer(stage_merge_seconds_);
-  data::DatasetBuilder builder;
-  for (const data::Venue& venue : venues_) {
+  data::DatasetBuilder builder(live_);
+  for (const data::Venue& venue : delta_venues_) {
     const Status status = builder.add_venue(venue);
     if (!status.is_ok()) return status;
   }
-  for (const data::CheckIn& checkin : checkins_) {
+  for (const data::CheckIn& checkin : delta_checkins_) {
     const Status status = builder.add_checkin(checkin);
     if (!status.is_ok()) return status;
   }
-  data::Dataset merged = builder.build();
+  live_ = builder.build();
+  delta_venues_.clear();
+  delta_checkins_.clear();
+  const data::DatasetBuilder::BuildStats& merge_stats = builder.stats();
   merge_timer.stop();
 
-  // Stage 2: mine — phase 2 incrementally: only users whose history
-  // changed are re-mined; everyone else keeps their mobility from the
-  // last epoch.
+  // Stage 2: mine — phase 2 for the touched users only, sharded across
+  // the mining pool; the result batch-merges into the shared mobility
+  // table (untouched entries stay shared with the previous epoch).
   telemetry::ScopedTimer mine_timer(stage_mine_seconds_);
   patterns::MobilityOptions mobility_options;
   mobility_options.sequences = pipeline_.sequences;
   mobility_options.mining = pipeline_.mining;
-  for (const data::UserId user : pending_users_) {
-    patterns::UserMobility fresh =
-        patterns::mine_user_mobility(merged, user, taxonomy_, mobility_options);
-    const auto it = std::lower_bound(
-        mobility_.begin(), mobility_.end(), user,
-        [](const patterns::UserMobility& m, data::UserId id) { return m.user < id; });
-    if (it != mobility_.end() && it->user == user) {
-      *it = std::move(fresh);
-    } else {
-      mobility_.insert(it, std::move(fresh));
-    }
+  std::vector<data::UserId> changed(pending_users_.begin(), pending_users_.end());
+  std::sort(changed.begin(), changed.end());
+  if (!changed.empty()) {
+    mobility_ = mobility_.with_updates(patterns::mine_users_mobility_parallel(
+        live_, changed, taxonomy_, mobility_options, pipeline_.mining_threads));
   }
   mine_timer.stop();
 
-  // Stages 3 and 4: grid + crowd — phase 3 over the merged corpus. The
-  // grid is re-derived because live events can extend the city's
-  // bounding box.
+  // Stage 3: grid — reuse the previous grid unless the delta extended
+  // the corpus bounds (cells are derived from the bounding box, so an
+  // unchanged box means an identical grid).
   telemetry::ScopedTimer grid_timer(stage_grid_seconds_);
-  auto grid = geo::SpatialGrid::create(merged.bounds().inflated(0.002),
-                                       pipeline_.grid_cell_meters);
-  if (!grid) return grid.status();
+  bool grid_rebuilt = false;
+  if (!grid_.has_value() || live_.bounds() != grid_bounds_) {
+    auto grid = geo::SpatialGrid::create(live_.bounds().inflated(0.002),
+                                         pipeline_.grid_cell_meters);
+    if (!grid) return grid.status();
+    grid_ = std::move(*grid);
+    grid_bounds_ = live_.bounds();
+    grid_rebuilt = true;
+  } else {
+    delta_grid_reused_->increment();
+  }
   grid_timer.stop();
+
+  // Stage 4: crowd — retract + replace the changed users' placements in
+  // the previous model, sharing every unaffected time window. A grid
+  // change invalidates every placement's cell, and the periodic
+  // backstop guards the incremental path, so both force a full build.
   telemetry::ScopedTimer crowd_timer(stage_crowd_seconds_);
-  auto crowd = crowd::CrowdModel::build(merged, mobility_, *grid, pipeline_.crowd);
-  if (!crowd) return crowd.status();
+  const bool full_crowd =
+      !crowd_.has_value() || grid_rebuilt ||
+      (pipeline_.crowd_full_rebuild_epochs > 0 &&
+       crowd_epochs_since_full_ + 1 >= pipeline_.crowd_full_rebuild_epochs);
+  if (full_crowd) {
+    auto crowd = crowd::CrowdModel::build(live_, mobility_, *grid_, pipeline_.crowd);
+    if (!crowd) return crowd.status();
+    crowd_ = std::move(*crowd);
+    crowd_epochs_since_full_ = 0;
+    delta_crowd_full_rebuilds_->increment();
+  } else {
+    auto crowd = crowd::CrowdModel::update(*crowd_, live_, mobility_, changed);
+    if (!crowd) return crowd.status();
+    crowd_ = std::move(*crowd);
+    ++crowd_epochs_since_full_;
+  }
   crowd_timer.stop();
+
+  // Delta accounting: how much of this epoch was recomputed vs shared.
+  delta_events_->increment(delta_events);
+  delta_users_->increment(changed.size());
+  delta_shards_reused_->increment(merge_stats.shards_reused);
+  delta_shards_rebuilt_->increment(merge_stats.shards_rebuilt);
+  delta_last_events_->set(static_cast<double>(delta_events));
 
   // Durability barrier: every batch merged into this epoch must be
   // journaled (and synced, per the fsync policy) before a reader can
@@ -464,9 +544,14 @@ Status IngestWorker::rebuild_and_publish() {
 
   const double elapsed_ms = ms_since(start);
   ++epoch_;
+  // The snapshot shares the live state rather than copying it: the
+  // dataset aliases the per-user shards and venue table, the mobility
+  // table aliases the per-user entries, and the crowd model aliases
+  // the per-window placements — publishing costs O(users), not
+  // O(records).
   auto snapshot = std::make_shared<const PlatformSnapshot>(PlatformSnapshot{
       epoch_, checkins_.size() - base_checkin_count_, touched_users_.size(),
-      elapsed_ms, std::move(merged), mobility_, *grid, std::move(crowd).value()});
+      elapsed_ms, live_, mobility_, *grid_, *crowd_});
   snapshot_live_.store(snapshot->live_checkins, std::memory_order_relaxed);
   hub_.publish(std::move(snapshot));
   pending_users_.clear();

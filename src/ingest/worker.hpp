@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -44,6 +45,15 @@ struct IngestPipelineConfig {
   crowd::CrowdOptions crowd;
   mining::SequenceOptions sequences;
   mining::MiningOptions mining;
+  /// Worker threads for delta re-mining (0 = hardware concurrency).
+  /// Epochs re-mine only the users the delta touched, sharded across
+  /// this many threads.
+  unsigned mining_threads = 0;
+  /// Rebuild the crowd model from scratch every N epochs as a
+  /// correctness backstop for the incremental update path (0 = never;
+  /// the incremental update is exact while the grid and options are
+  /// stable, so the backstop only guards against drift bugs).
+  std::uint64_t crowd_full_rebuild_epochs = 64;
 };
 
 struct IngestWorkerConfig {
@@ -132,6 +142,9 @@ class IngestWorker {
   [[nodiscard]] SnapshotHub& hub() noexcept { return hub_; }
   [[nodiscard]] IngestQueue& queue() noexcept { return queue_; }
   [[nodiscard]] const data::Taxonomy& taxonomy() const noexcept { return taxonomy_; }
+  /// The worker's configuration (e.g. the rebuild interval backing the
+  /// Retry-After hint on 429 responses).
+  [[nodiscard]] const IngestWorkerConfig& config() const noexcept { return config_; }
 
   [[nodiscard]] IngestStats stats() const;
 
@@ -168,6 +181,11 @@ class IngestWorker {
   /// Opens the store, adopts its recovered checkpoint + WAL tail, and
   /// resumes the epoch counter. Called from start().
   [[nodiscard]] Status recover_from_store();
+  /// Re-indexes `live_` from the flat corpus vectors through the same
+  /// DatasetBuilder merge path epochs use, and empties the delta
+  /// buffers. Used when the flat corpus was replaced wholesale
+  /// (checkpoint adoption + WAL replay).
+  [[nodiscard]] Status rebuild_live_from_flat();
   /// Snapshots the live corpus into the store as a checkpoint. Worker
   /// thread only.
   void write_checkpoint();
@@ -183,15 +201,33 @@ class IngestWorker {
   IngestQueue queue_;
   SnapshotHub hub_;
 
-  // Live corpus, owned by the worker thread after start().
+  // Live corpus, owned by the worker thread after start(). The flat
+  // venue/check-in vectors keep the original insertion order — the
+  // order checkpoint images serialize and venue-id resolution depends
+  // on. `live_` is the same corpus in indexed (sharded) form,
+  // maintained incrementally: each epoch applies `delta_venues_` +
+  // `delta_checkins_` through data::DatasetBuilder's incremental path
+  // instead of re-feeding the whole corpus.
   std::vector<data::Venue> venues_;
   std::vector<data::CheckIn> checkins_;
-  std::vector<patterns::UserMobility> mobility_;         // sorted by user
+  data::Dataset live_;
+  std::vector<data::Venue> delta_venues_;      // registered since last epoch
+  std::vector<data::CheckIn> delta_checkins_;  // merged since last epoch
+  patterns::MobilityTable mobility_;           // per-user shared entries
   std::unordered_map<std::uint64_t, data::VenueId> venue_index_;
   std::unordered_set<data::UserId> pending_users_;  // changed since last epoch
   std::unordered_set<data::UserId> touched_users_;  // ever touched by deltas
   std::uint64_t epoch_ = 0;
   std::size_t base_checkin_count_ = 0;
+
+  // Derived state carried across epochs so unchanged parts are reused:
+  // the grid is rebuilt only when the corpus bounds grow, and the crowd
+  // model is updated incrementally (full rebuild on grid change or on
+  // the crowd_full_rebuild_epochs backstop cadence).
+  std::optional<geo::SpatialGrid> grid_;
+  geo::BoundingBox grid_bounds_;
+  std::optional<crowd::CrowdModel> crowd_;
+  std::uint64_t crowd_epochs_since_full_ = 0;
 
   std::thread thread_;
   std::atomic<bool> running_{false};
@@ -213,6 +249,15 @@ class IngestWorker {
   telemetry::Histogram* stage_grid_seconds_ = nullptr;
   telemetry::Histogram* stage_crowd_seconds_ = nullptr;
   telemetry::Gauge* last_rebuild_seconds_ = nullptr;
+  // Delta-pipeline accounting (crowdweb_ingest_delta_*): how much of
+  // each epoch was actually recomputed vs shared with the previous one.
+  telemetry::Counter* delta_events_ = nullptr;
+  telemetry::Counter* delta_users_ = nullptr;
+  telemetry::Counter* delta_shards_reused_ = nullptr;
+  telemetry::Counter* delta_shards_rebuilt_ = nullptr;
+  telemetry::Counter* delta_grid_reused_ = nullptr;
+  telemetry::Counter* delta_crowd_full_rebuilds_ = nullptr;
+  telemetry::Gauge* delta_last_events_ = nullptr;
   std::vector<std::string> callback_gauge_names_;  ///< removed on destruction
 
   std::atomic<std::uint64_t> snapshot_live_{0};

@@ -1,7 +1,9 @@
 #include "patterns/mobility.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <thread>
 
 #include "mining/prefixspan.hpp"
@@ -84,12 +86,23 @@ std::vector<UserMobility> mine_all_mobility_parallel(const data::Dataset& datase
                                                      const data::Taxonomy& taxonomy,
                                                      const MobilityOptions& options,
                                                      unsigned threads) {
-  const auto users = dataset.users();
+  return mine_users_mobility_parallel(dataset, dataset.users(), taxonomy, options, threads);
+}
+
+std::vector<UserMobility> mine_users_mobility_parallel(const data::Dataset& dataset,
+                                                       std::span<const data::UserId> users,
+                                                       const data::Taxonomy& taxonomy,
+                                                       const MobilityOptions& options,
+                                                       unsigned threads) {
   std::vector<UserMobility> out(users.size());
   if (users.empty()) return out;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(threads, static_cast<unsigned>(users.size()));
-  if (threads <= 1) return mine_all_mobility(dataset, taxonomy, options);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < users.size(); ++i)
+      out[i] = mine_user_mobility(dataset, users[i], taxonomy, options);
+    return out;
+  }
 
   // Users are claimed from a shared atomic counter; each result lands in
   // its own slot, so no further synchronization is needed.
@@ -105,6 +118,61 @@ std::vector<UserMobility> mine_all_mobility_parallel(const data::Dataset& datase
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& thread : pool) thread.join();
+  return out;
+}
+
+MobilityTable MobilityTable::from_entries(std::vector<UserMobility> entries) {
+  std::vector<EntryPtr> owned;
+  owned.reserve(entries.size());
+  for (UserMobility& entry : entries)
+    owned.push_back(std::make_shared<const UserMobility>(std::move(entry)));
+  std::sort(owned.begin(), owned.end(), [](const EntryPtr& a, const EntryPtr& b) {
+    return a->user < b->user;
+  });
+  return MobilityTable(std::move(owned));
+}
+
+MobilityTable MobilityTable::with_updates(std::vector<UserMobility> updates) const {
+  std::sort(updates.begin(), updates.end(),
+            [](const UserMobility& a, const UserMobility& b) { return a.user < b.user; });
+  std::vector<EntryPtr> merged;
+  merged.reserve(entries_.size() + updates.size());
+  std::size_t bi = 0;
+  std::size_t ui = 0;
+  while (bi < entries_.size() || ui < updates.size()) {
+    if (ui == updates.size() ||
+        (bi < entries_.size() && entries_[bi]->user < updates[ui].user)) {
+      merged.push_back(entries_[bi]);  // untouched: share the entry
+      ++bi;
+      continue;
+    }
+    if (bi < entries_.size() && entries_[bi]->user == updates[ui].user) ++bi;
+    merged.push_back(std::make_shared<const UserMobility>(std::move(updates[ui])));
+    ++ui;
+  }
+  return MobilityTable(std::move(merged));
+}
+
+const UserMobility* MobilityTable::find(data::UserId user) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), user,
+      [](const EntryPtr& entry, data::UserId u) { return entry->user < u; });
+  if (it == entries_.end() || (*it)->user != user) return nullptr;
+  return it->get();
+}
+
+MobilityTable::EntryPtr MobilityTable::entry_for(data::UserId user) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), user,
+      [](const EntryPtr& entry, data::UserId u) { return entry->user < u; });
+  if (it == entries_.end() || (*it)->user != user) return nullptr;
+  return *it;
+}
+
+std::vector<UserMobility> MobilityTable::to_vector() const {
+  std::vector<UserMobility> out;
+  out.reserve(entries_.size());
+  for (const EntryPtr& entry : entries_) out.push_back(*entry);
   return out;
 }
 

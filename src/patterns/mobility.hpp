@@ -7,6 +7,8 @@
 // selected time window.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,98 @@ struct MobilityOptions {
 [[nodiscard]] std::vector<UserMobility> mine_all_mobility_parallel(
     const data::Dataset& dataset, const data::Taxonomy& taxonomy,
     const MobilityOptions& options = {}, unsigned threads = 0);
+
+/// Phase 2 for the given users only (result order matches `users`),
+/// sharded across `threads` worker threads (0 = hardware concurrency).
+/// This is the delta form: an epoch re-mines just the users its events
+/// touched instead of the whole corpus.
+[[nodiscard]] std::vector<UserMobility> mine_users_mobility_parallel(
+    const data::Dataset& dataset, std::span<const data::UserId> users,
+    const data::Taxonomy& taxonomy, const MobilityOptions& options = {},
+    unsigned threads = 0);
+
+/// Immutable per-user mobility entries in ascending user order, each
+/// behind a shared_ptr so successive epochs share the entries of every
+/// user the delta did not touch. `with_updates` is the maintenance
+/// operation: it replaces or inserts the freshly mined entries and
+/// shares everything else with the previous table by pointer.
+class MobilityTable {
+ public:
+  using EntryPtr = std::shared_ptr<const UserMobility>;
+
+  /// Iterates entries as `const UserMobility&` in ascending user order.
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = UserMobility;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const UserMobility*;
+    using reference = const UserMobility&;
+
+    const_iterator() = default;
+    [[nodiscard]] reference operator*() const noexcept { return **it_; }
+    [[nodiscard]] pointer operator->() const noexcept { return it_->get(); }
+    [[nodiscard]] reference operator[](difference_type n) const noexcept { return *it_[n]; }
+    const_iterator& operator++() noexcept { ++it_; return *this; }
+    const_iterator operator++(int) noexcept { return const_iterator{it_++}; }
+    const_iterator& operator--() noexcept { --it_; return *this; }
+    const_iterator operator--(int) noexcept { return const_iterator{it_--}; }
+    const_iterator& operator+=(difference_type n) noexcept { it_ += n; return *this; }
+    const_iterator& operator-=(difference_type n) noexcept { it_ -= n; return *this; }
+    [[nodiscard]] friend const_iterator operator+(const_iterator it, difference_type n) noexcept {
+      return it += n;
+    }
+    [[nodiscard]] friend const_iterator operator-(const_iterator it, difference_type n) noexcept {
+      return it -= n;
+    }
+    [[nodiscard]] friend difference_type operator-(const_iterator a, const_iterator b) noexcept {
+      return a.it_ - b.it_;
+    }
+    [[nodiscard]] friend bool operator==(const_iterator, const_iterator) = default;
+    [[nodiscard]] friend auto operator<=>(const_iterator, const_iterator) = default;
+
+   private:
+    friend class MobilityTable;
+    explicit const_iterator(const EntryPtr* it) noexcept : it_(it) {}
+    const EntryPtr* it_ = nullptr;
+  };
+
+  MobilityTable() = default;
+
+  /// Adopts freshly mined entries (any order; sorted by user here).
+  [[nodiscard]] static MobilityTable from_entries(std::vector<UserMobility> entries);
+
+  /// New table where each update replaces (or inserts) its user's
+  /// entry; every untouched entry is shared with this table by pointer.
+  [[nodiscard]] MobilityTable with_updates(std::vector<UserMobility> updates) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const UserMobility& operator[](std::size_t index) const noexcept {
+    return *entries_[index];
+  }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator{entries_.data()};
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator{entries_.data() + entries_.size()};
+  }
+
+  /// The user's entry, or null when the user has never been mined.
+  [[nodiscard]] const UserMobility* find(data::UserId user) const noexcept;
+
+  /// The shared entry object (pointer equality across tables proves the
+  /// entry was reused, not recomputed).
+  [[nodiscard]] EntryPtr entry_for(data::UserId user) const noexcept;
+
+  /// Deep copy into a flat vector, in user order.
+  [[nodiscard]] std::vector<UserMobility> to_vector() const;
+
+ private:
+  explicit MobilityTable(std::vector<EntryPtr> entries) : entries_(std::move(entries)) {}
+
+  std::vector<EntryPtr> entries_;  // ascending by user
+};
 
 /// Annotates an already-mined pattern with per-position visit times by
 /// scanning the greedy first embedding in every supporting day.

@@ -1,0 +1,565 @@
+// Equivalence suite for the incremental epoch pipeline: a corpus grown
+// by any interleaving of deltas — including a crash-recovery replay —
+// must be indistinguishable from one built from scratch over the same
+// records, at every layer (dataset, mobility, crowd model) and on the
+// wire (byte-identical /api/crowd/:window JSON). Also pins the sharing
+// contract: state the delta did not touch is reused by pointer, never
+// copied.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/platform.hpp"
+#include "crowd/model.hpp"
+#include "data/dataset.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "ingest/worker.hpp"
+#include "patterns/mobility.hpp"
+#include "store/store.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kError); }
+};
+const auto* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);  // NOLINT(cert-err58-cpp)
+
+/// A scratch store directory, wiped on construction and destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::temp_directory_path() / ("crowdweb_equivalence_test_" + tag)) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// One platform for every test — phases 1-3 run once per binary.
+const core::Platform& test_platform() {
+  static const core::Platform* platform = [] {
+    core::PlatformConfig config;
+    config.small_corpus = true;
+    config.min_active_days = 20;
+    auto result = core::Platform::create(config);
+    if (!result.is_ok()) std::abort();
+    return new core::Platform(std::move(result).value());
+  }();
+  return *platform;
+}
+
+patterns::MobilityOptions mobility_options() {
+  patterns::MobilityOptions options;
+  options.sequences = test_platform().config().sequences;
+  options.mining = test_platform().config().mining;
+  return options;
+}
+
+ingest::IngestEvent make_event(data::UserId user, std::int64_t timestamp) {
+  ingest::IngestEvent event;
+  event.user = user;
+  event.category = static_cast<data::CategoryId>(user % 7);
+  event.position = {40.70 + static_cast<double>(user % 10) * 0.01, -74.00};
+  event.timestamp = timestamp;
+  return event;
+}
+
+/// Valid live traffic: events the platform's taxonomy accepts, spread
+/// over eleven users at unique timestamps.
+std::vector<ingest::IngestEvent> live_traffic(std::size_t count, std::size_t start = 0) {
+  std::vector<ingest::IngestEvent> events;
+  events.reserve(count);
+  for (std::size_t i = start; i < start + count; ++i)
+    events.push_back(make_event(static_cast<data::UserId>(5'000 + i % 11),
+                                static_cast<std::int64_t>(1'334'000'000 + i * 60)));
+  return events;
+}
+
+ingest::IngestWorkerConfig worker_config() {
+  ingest::IngestWorkerConfig config;
+  config.rebuild_interval = 20ms;
+  return config;
+}
+
+/// Submits `events` and waits until all of them are merged and published.
+void feed_and_settle(ingest::IngestWorker& worker,
+                     std::span<const ingest::IngestEvent> events,
+                     std::uint64_t expected_live) {
+  ASSERT_EQ(worker.submit(events).accepted, events.size());
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ingest::SnapshotPtr snapshot = worker.hub().current();
+    if (snapshot != nullptr && snapshot->live_checkins >= expected_live) return;
+    std::this_thread::sleep_for(5ms);
+  }
+  FAIL() << "live corpus never reached " << expected_live << " check-ins";
+}
+
+// ------------------------------------------------------- value equality
+
+void expect_dataset_eq(const data::Dataset& a, const data::Dataset& b) {
+  ASSERT_EQ(a.checkin_count(), b.checkin_count());
+  ASSERT_EQ(a.user_count(), b.user_count());
+  ASSERT_EQ(a.venue_count(), b.venue_count());
+  EXPECT_TRUE(a.bounds() == b.bounds());
+  EXPECT_TRUE(std::equal(a.users().begin(), a.users().end(), b.users().begin()));
+  for (std::size_t v = 0; v < a.venue_count(); ++v) {
+    const data::Venue& va = a.venues()[v];
+    const data::Venue& vb = b.venues()[v];
+    ASSERT_EQ(va.id, vb.id);
+    ASSERT_EQ(va.name, vb.name);
+    ASSERT_EQ(va.category, vb.category);
+    ASSERT_EQ(va.position.lat, vb.position.lat);
+    ASSERT_EQ(va.position.lon, vb.position.lon);
+  }
+  const auto view_a = a.checkins();
+  const auto view_b = b.checkins();
+  auto it_b = view_b.begin();
+  std::size_t rank = 0;
+  for (const data::CheckIn& checkin : view_a) {
+    ASSERT_EQ(checkin, *it_b) << "check-in rank " << rank;
+    ++it_b;
+    ++rank;
+  }
+}
+
+void expect_mobility_entry_eq(const patterns::UserMobility& a,
+                              const patterns::UserMobility& b) {
+  ASSERT_EQ(a.user, b.user);
+  ASSERT_EQ(a.recorded_days, b.recorded_days);
+  ASSERT_EQ(a.patterns.size(), b.patterns.size()) << "user " << a.user;
+  for (std::size_t p = 0; p < a.patterns.size(); ++p) {
+    const patterns::MobilityPattern& pa = a.patterns[p];
+    const patterns::MobilityPattern& pb = b.patterns[p];
+    ASSERT_EQ(pa.support_count, pb.support_count);
+    ASSERT_EQ(pa.support, pb.support);
+    ASSERT_EQ(pa.elements.size(), pb.elements.size());
+    for (std::size_t e = 0; e < pa.elements.size(); ++e) {
+      ASSERT_EQ(pa.elements[e].label, pb.elements[e].label);
+      ASSERT_EQ(pa.elements[e].mean_minute, pb.elements[e].mean_minute);
+      ASSERT_EQ(pa.elements[e].stddev_minute, pb.elements[e].stddev_minute);
+    }
+  }
+}
+
+void expect_mobility_eq(const patterns::MobilityTable& table,
+                        std::span<const patterns::UserMobility> reference) {
+  ASSERT_EQ(table.size(), reference.size());
+  std::size_t i = 0;
+  for (const patterns::UserMobility& entry : table)
+    expect_mobility_entry_eq(entry, reference[i++]);
+}
+
+void expect_mobility_eq(const patterns::MobilityTable& a,
+                        const patterns::MobilityTable& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto it = b.begin();
+  for (const patterns::UserMobility& entry : a) expect_mobility_entry_eq(entry, *it++);
+}
+
+void expect_crowd_eq(const crowd::CrowdModel& a, const crowd::CrowdModel& b) {
+  ASSERT_EQ(a.window_count(), b.window_count());
+  ASSERT_EQ(a.total_placements(), b.total_placements());
+  for (int w = 0; w < a.window_count(); ++w) {
+    const auto pa = a.placements(w);
+    const auto pb = b.placements(w);
+    ASSERT_EQ(pa.size(), pb.size()) << "window " << w;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i].user, pb[i].user) << "window " << w;
+      ASSERT_EQ(pa[i].label, pb[i].label);
+      ASSERT_EQ(pa[i].venue, pb[i].venue);
+      ASSERT_EQ(pa[i].cell, pb[i].cell);
+      ASSERT_EQ(pa[i].position.lat, pb[i].position.lat);
+      ASSERT_EQ(pa[i].position.lon, pb[i].position.lon);
+      ASSERT_EQ(pa[i].pattern_support, pb[i].pattern_support);
+    }
+  }
+}
+
+bool window_has_user(const crowd::CrowdModel& model, int window, data::UserId user) {
+  const auto placements = model.placements(window);
+  return std::any_of(placements.begin(), placements.end(),
+                     [user](const crowd::CrowdPlacement& p) { return p.user == user; });
+}
+
+/// Value of an unlabeled metric in a Prometheus exposition, or -1.
+double metric_value(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(name + " ", 0) == 0) return std::stod(line.substr(name.size() + 1));
+  return -1.0;
+}
+
+// -------------------------------------------------- dataset delta layer
+
+/// A small hand-built corpus: four venues, three users.
+struct Corpus {
+  std::vector<data::Venue> venues;
+  std::vector<data::CheckIn> checkins;
+};
+
+Corpus base_corpus() {
+  Corpus corpus;
+  corpus.venues = {{0, "cafe", 1, {40.70, -74.00}},
+                   {1, "bar", 2, {40.72, -73.99}},
+                   {2, "park", 3, {40.74, -73.98}}};
+  const auto at = [&](data::UserId user, data::VenueId venue, std::int64_t ts) {
+    const data::Venue& v = corpus.venues[venue];
+    corpus.checkins.push_back({user, venue, v.category, v.position, ts});
+  };
+  at(1, 0, 1'000);
+  at(1, 1, 2'000);
+  at(2, 0, 1'500);
+  at(2, 2, 2'500);
+  at(3, 2, 3'000);
+  return corpus;
+}
+
+/// The delta applied on top: a new venue, a new user, and — for user 2 —
+/// a timestamp tie with an existing record, pinning the stable order.
+Corpus delta_corpus() {
+  Corpus corpus;
+  corpus.venues = {{3, "pier", 1, {40.76, -73.97}}};
+  corpus.checkins = {{2, 3, 1, {40.76, -73.97}, 2'500},  // ties base's 2'500
+                     {2, 3, 1, {40.76, -73.97}, 500},    // before all base records
+                     {4, 3, 1, {40.76, -73.97}, 4'000},  // brand new user
+                     {1, 3, 1, {40.76, -73.97}, 5'000}};
+  return corpus;
+}
+
+data::Dataset build_dataset(const Corpus& corpus, const data::Dataset* base = nullptr) {
+  data::DatasetBuilder builder = base ? data::DatasetBuilder(*base) : data::DatasetBuilder();
+  for (const data::Venue& venue : corpus.venues)
+    EXPECT_TRUE(builder.add_venue(venue).is_ok());
+  for (const data::CheckIn& checkin : corpus.checkins)
+    EXPECT_TRUE(builder.add_checkin(checkin).is_ok());
+  return builder.build();
+}
+
+TEST(DatasetEquivalenceTest, IncrementalBuildMatchesFromScratchForAnyChunking) {
+  const Corpus base = base_corpus();
+  const Corpus delta = delta_corpus();
+
+  // Reference: one from-scratch build over every record in arrival order.
+  Corpus all = base;
+  all.venues.insert(all.venues.end(), delta.venues.begin(), delta.venues.end());
+  all.checkins.insert(all.checkins.end(), delta.checkins.begin(), delta.checkins.end());
+  const data::Dataset reference = build_dataset(all);
+
+  // The delta applied in one piece, and one event at a time: both must
+  // land on the reference exactly, ties included.
+  const data::Dataset base_built = build_dataset(base);
+  expect_dataset_eq(build_dataset(delta, &base_built), reference);
+
+  data::Dataset stepped = build_dataset(base);
+  Corpus chunk;
+  chunk.venues = delta.venues;
+  for (const data::CheckIn& checkin : delta.checkins) {
+    chunk.checkins = {checkin};
+    stepped = build_dataset(chunk, &stepped);
+    chunk.venues.clear();  // the venue only arrives once
+  }
+  expect_dataset_eq(stepped, reference);
+
+  // The tie resolved base-first: user 2's records run 500 (delta),
+  // 1'500, 2'500 (base), 2'500 (delta, venue 3).
+  const auto user2 = reference.checkins_for(2);
+  ASSERT_EQ(user2.size(), 4u);
+  EXPECT_EQ(user2[0].timestamp, 500);
+  EXPECT_EQ(user2[2].timestamp, 2'500);
+  EXPECT_EQ(user2[2].venue, 2u);
+  EXPECT_EQ(user2[3].timestamp, 2'500);
+  EXPECT_EQ(user2[3].venue, 3u);
+}
+
+TEST(DatasetEquivalenceTest, BuilderSharesUntouchedShardsAndVenueTable) {
+  const data::Dataset base = build_dataset(base_corpus());
+
+  // A delta touching only user 2, at an existing venue: users 1 and 3
+  // keep their exact shard objects, and the venue table is adopted.
+  data::DatasetBuilder builder(base);
+  ASSERT_TRUE(builder.add_checkin({2, 0, 1, {40.70, -74.00}, 9'000}).is_ok());
+  const data::Dataset next = builder.build();
+  EXPECT_EQ(next.shard_for(1), base.shard_for(1));
+  EXPECT_EQ(next.shard_for(3), base.shard_for(3));
+  EXPECT_NE(next.shard_for(2), base.shard_for(2));
+  EXPECT_EQ(next.venue_table(), base.venue_table());
+  EXPECT_EQ(builder.stats().shards_reused, 2u);
+  EXPECT_EQ(builder.stats().shards_rebuilt, 1u);
+  EXPECT_TRUE(builder.stats().venue_table_shared);
+
+  // Registering a venue forces a new table (copy-on-write, not in-place).
+  data::DatasetBuilder with_venue(next);
+  ASSERT_TRUE(with_venue.add_venue({3, "pier", 1, {40.76, -73.97}}).is_ok());
+  const data::Dataset grown = with_venue.build();
+  EXPECT_NE(grown.venue_table(), next.venue_table());
+  EXPECT_FALSE(with_venue.stats().venue_table_shared);
+  ASSERT_EQ(next.venue_table()->size(), 3u);  // the old table is untouched
+  EXPECT_EQ(grown.venue_table()->size(), 4u);
+}
+
+// ----------------------------------------------------- crowd delta layer
+
+TEST(CrowdUpdateTest, MatchesFullRebuildAndSharesUnaffectedWindows) {
+  const core::Platform& platform = test_platform();
+  const data::Dataset& base = platform.experiment_dataset();
+  const patterns::MobilityTable table = patterns::MobilityTable::from_entries(
+      {platform.mobility().begin(), platform.mobility().end()});
+  auto full = crowd::CrowdModel::build(base, table, platform.grid(),
+                                       platform.config().crowd);
+  ASSERT_TRUE(full.is_ok()) << full.status().to_string();
+
+  // Extend one user's history and re-mine only that user.
+  data::UserId changed = base.users().front();
+  const data::CheckIn seed = base.checkins_for(changed).front();
+  data::DatasetBuilder builder(base);
+  for (int day = 1; day <= 3; ++day) {
+    data::CheckIn extra = seed;
+    extra.timestamp += day * 86'400 + day * 1'800;
+    ASSERT_TRUE(builder.add_checkin(extra).is_ok());
+  }
+  const data::Dataset extended = builder.build();
+  const std::span<const data::UserId> changed_span(&changed, 1);
+  const patterns::MobilityTable updated = table.with_updates(
+      patterns::mine_users_mobility_parallel(extended, changed_span,
+                                             platform.taxonomy(), mobility_options()));
+
+  auto incremental =
+      crowd::CrowdModel::update(*full, extended, updated, changed_span);
+  ASSERT_TRUE(incremental.is_ok()) << incremental.status().to_string();
+  auto rebuilt = crowd::CrowdModel::build(extended, updated, platform.grid(),
+                                          platform.config().crowd);
+  ASSERT_TRUE(rebuilt.is_ok());
+  expect_crowd_eq(*incremental, *rebuilt);
+
+  // Windows the changed user appears in neither model are shared with
+  // the previous model by pointer.
+  for (int w = 0; w < full->window_count(); ++w) {
+    if (window_has_user(*full, w, changed) || window_has_user(*incremental, w, changed))
+      continue;
+    EXPECT_EQ(incremental->window_identity(w), full->window_identity(w)) << "window " << w;
+  }
+}
+
+TEST(CrowdUpdateTest, EmptyDeltaSharesEveryWindow) {
+  const core::Platform& platform = test_platform();
+  const patterns::MobilityTable table = patterns::MobilityTable::from_entries(
+      {platform.mobility().begin(), platform.mobility().end()});
+  auto full = crowd::CrowdModel::build(platform.experiment_dataset(), table,
+                                       platform.grid(), platform.config().crowd);
+  ASSERT_TRUE(full.is_ok());
+  auto same = crowd::CrowdModel::update(*full, platform.experiment_dataset(), table, {});
+  ASSERT_TRUE(same.is_ok());
+  for (int w = 0; w < full->window_count(); ++w)
+    EXPECT_EQ(same->window_identity(w), full->window_identity(w)) << "window " << w;
+}
+
+// ------------------------------------------------- worker interleavings
+
+TEST(WorkerEquivalenceTest, ChunkedAndBulkIngestPublishIdenticalState) {
+  const core::Platform& platform = test_platform();
+  const std::vector<ingest::IngestEvent> events = live_traffic(44);
+
+  // Worker A sees the traffic as eleven small deltas, each its own
+  // epoch; worker B sees one big delta. Same events, same order.
+  auto chunked = core::make_ingest_worker(platform, worker_config());
+  ASSERT_TRUE(chunked->start().is_ok());
+  for (std::size_t offset = 0; offset < events.size(); offset += 4) {
+    const std::span<const ingest::IngestEvent> chunk(events.data() + offset, 4);
+    feed_and_settle(*chunked, chunk, offset + 4);
+  }
+  auto bulk = core::make_ingest_worker(platform, worker_config());
+  ASSERT_TRUE(bulk->start().is_ok());
+  feed_and_settle(*bulk, events, events.size());
+
+  const ingest::SnapshotPtr a = chunked->hub().current();
+  const ingest::SnapshotPtr b = bulk->hub().current();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  expect_dataset_eq(a->dataset, b->dataset);
+  expect_mobility_eq(a->mobility, b->mobility);
+  expect_crowd_eq(a->crowd, b->crowd);
+
+  // Both equal a from-scratch derivation over the final corpus: phase 2
+  // re-mined for every user, phase 3 rebuilt over that.
+  const std::vector<patterns::UserMobility> reference_mobility =
+      patterns::mine_all_mobility_parallel(a->dataset, platform.taxonomy(),
+                                           mobility_options());
+  expect_mobility_eq(a->mobility, reference_mobility);
+  auto reference_crowd = crowd::CrowdModel::build(a->dataset, reference_mobility,
+                                                  a->grid, platform.config().crowd);
+  ASSERT_TRUE(reference_crowd.is_ok());
+  expect_crowd_eq(a->crowd, *reference_crowd);
+
+  // On the wire: every window's JSON is byte-identical across the two
+  // ingestion histories.
+  http::Server server_a(core::make_api_router(platform, {chunked.get(), nullptr}));
+  http::Server server_b(core::make_api_router(platform, {bulk.get(), nullptr}));
+  ASSERT_TRUE(server_a.start().is_ok());
+  ASSERT_TRUE(server_b.start().is_ok());
+  for (int w = 0; w < a->crowd.window_count(); ++w) {
+    const std::string path = "/api/crowd/" + std::to_string(w);
+    const auto from_a = http::get("127.0.0.1", server_a.port(), path);
+    const auto from_b = http::get("127.0.0.1", server_b.port(), path);
+    ASSERT_TRUE(from_a.is_ok());
+    ASSERT_TRUE(from_b.is_ok());
+    ASSERT_EQ(from_a->status, 200) << path;
+    EXPECT_EQ(from_a->body, from_b->body) << path;
+  }
+  server_a.stop();
+  server_b.stop();
+  chunked->stop();
+  bulk->stop();
+}
+
+TEST(WorkerEquivalenceTest, UntouchedUsersShareStateAcrossEpochs) {
+  const core::Platform& platform = test_platform();
+  telemetry::Registry registry;
+  ingest::IngestWorkerConfig config = worker_config();
+  config.metrics = &registry;
+  auto worker = core::make_ingest_worker(platform, config);
+  ASSERT_TRUE(worker->start().is_ok());
+
+  // Epoch N: traffic over all eleven users.
+  const std::vector<ingest::IngestEvent> first = live_traffic(33);
+  feed_and_settle(*worker, first, first.size());
+  const ingest::SnapshotPtr before = worker->hub().current();
+  ASSERT_NE(before, nullptr);
+
+  // Epoch N+k: a delta touching only user 5000, at a position and venue
+  // the corpus already knows — bounds unchanged, no new venue.
+  std::vector<ingest::IngestEvent> second;
+  for (std::int64_t j = 0; j < 3; ++j)
+    second.push_back(make_event(5'000, 1'334'000'000 + (33 + j) * 60));
+  feed_and_settle(*worker, second, first.size() + second.size());
+  const ingest::SnapshotPtr after = worker->hub().current();
+  ASSERT_NE(after, nullptr);
+  ASSERT_GT(after->epoch, before->epoch);
+
+  // The delta's user was rebuilt; every other user's shard and mobility
+  // entry — and the venue table — are the same objects, not copies.
+  EXPECT_NE(after->dataset.shard_for(5'000), before->dataset.shard_for(5'000));
+  for (data::UserId user = 5'001; user <= 5'010; ++user) {
+    ASSERT_NE(before->dataset.shard_for(user), nullptr);
+    EXPECT_EQ(after->dataset.shard_for(user), before->dataset.shard_for(user));
+    ASSERT_NE(before->mobility.entry_for(user), nullptr);
+    EXPECT_EQ(after->mobility.entry_for(user), before->mobility.entry_for(user));
+  }
+  EXPECT_EQ(after->dataset.venue_table(), before->dataset.venue_table());
+
+  // Crowd windows the changed user appears in neither epoch are shared.
+  int shared_windows = 0;
+  for (int w = 0; w < before->crowd.window_count(); ++w) {
+    if (window_has_user(before->crowd, w, 5'000) || window_has_user(after->crowd, w, 5'000))
+      continue;
+    EXPECT_EQ(after->crowd.window_identity(w), before->crowd.window_identity(w))
+        << "window " << w;
+    ++shared_windows;
+  }
+  EXPECT_GT(shared_windows, 0);
+
+  // The delta telemetry saw it: the grid was reused (bounds unchanged)
+  // and untouched shards were shared.
+  const std::string scrape = telemetry::render_prometheus(registry);
+  EXPECT_GT(metric_value(scrape, "crowdweb_ingest_delta_grid_reused_total"), 0.0);
+  EXPECT_GT(metric_value(scrape, "crowdweb_ingest_delta_shards_reused_total"), 0.0);
+  EXPECT_GT(metric_value(scrape, "crowdweb_ingest_delta_events_total"), 0.0);
+  worker->stop();
+}
+
+// ------------------------------------------------- crash-recovery replay
+
+TEST(RecoveryEquivalenceTest, ReplayedStateMatchesThePreCrashEpoch) {
+  const core::Platform& platform = test_platform();
+  ScratchDir dir("replay");
+  ScratchDir image("replay_image");
+
+  ingest::IngestWorkerConfig config = worker_config();
+  config.store.dir = dir.str();
+  config.store.fsync = store::FsyncPolicy::kEveryBatch;
+  auto worker_a = core::make_ingest_worker(platform, config);
+  ASSERT_TRUE(worker_a->start().is_ok());
+  const std::vector<ingest::IngestEvent> events = live_traffic(40);
+  feed_and_settle(*worker_a, events, events.size());
+  const ingest::SnapshotPtr before = worker_a->hub().current();
+  ASSERT_NE(before, nullptr);
+
+  http::Server server_a(core::make_api_router(platform, {worker_a.get(), nullptr}));
+  ASSERT_TRUE(server_a.start().is_ok());
+  const auto crowd_before = http::get("127.0.0.1", server_a.port(), "/api/crowd/12");
+  ASSERT_TRUE(crowd_before.is_ok());
+  ASSERT_EQ(crowd_before->status, 200);
+  server_a.stop();
+
+  // Crash image: copied while worker A is live — it never sees the
+  // clean shutdown below. every_batch journaled each merged batch
+  // before its epoch published, so the image holds all 40 events.
+  fs::copy(dir.str(), image.str(), fs::copy_options::recursive);
+  worker_a->stop();
+
+  ingest::IngestWorkerConfig recovered_config = worker_config();
+  recovered_config.store.dir = image.str();
+  recovered_config.store.fsync = store::FsyncPolicy::kEveryBatch;
+  auto worker_b = core::make_ingest_worker(platform, recovered_config);
+  ASSERT_TRUE(worker_b->start().is_ok());
+  const ingest::SnapshotPtr after = worker_b->hub().current();
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->live_checkins, events.size());
+  EXPECT_GE(after->epoch, before->epoch);
+
+  // The replayed corpus and everything derived from it equal the
+  // pre-crash epoch, layer by layer...
+  expect_dataset_eq(after->dataset, before->dataset);
+  expect_mobility_eq(after->mobility, before->mobility);
+  expect_crowd_eq(after->crowd, before->crowd);
+
+  // ...and equal a from-scratch derivation over the recovered corpus.
+  const std::vector<patterns::UserMobility> reference_mobility =
+      patterns::mine_all_mobility_parallel(after->dataset, platform.taxonomy(),
+                                           mobility_options());
+  expect_mobility_eq(after->mobility, reference_mobility);
+  auto reference_crowd = crowd::CrowdModel::build(after->dataset, reference_mobility,
+                                                  after->grid, platform.config().crowd);
+  ASSERT_TRUE(reference_crowd.is_ok());
+  expect_crowd_eq(after->crowd, *reference_crowd);
+
+  // On the wire, recovery is invisible.
+  http::Server server_b(core::make_api_router(platform, {worker_b.get(), nullptr}));
+  ASSERT_TRUE(server_b.start().is_ok());
+  const auto crowd_after = http::get("127.0.0.1", server_b.port(), "/api/crowd/12");
+  ASSERT_TRUE(crowd_after.is_ok());
+  ASSERT_EQ(crowd_after->status, 200);
+  EXPECT_EQ(crowd_after->body, crowd_before->body);
+  server_b.stop();
+  worker_b->stop();
+}
+
+}  // namespace
+}  // namespace crowdweb

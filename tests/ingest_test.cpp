@@ -370,6 +370,7 @@ TEST(IngestApiTest, FullQueueAnswers429) {
   const core::Platform& platform = test_platform();
   ingest::IngestWorkerConfig config;
   config.queue_capacity = 1;
+  config.rebuild_interval = std::chrono::milliseconds(1'500);
   // Worker intentionally not started: nothing drains the queue.
   auto worker = core::make_ingest_worker(platform, config);
   http::Server server(core::make_api_router(platform, {worker.get(), nullptr}));
@@ -387,6 +388,10 @@ TEST(IngestApiTest, FullQueueAnswers429) {
   ASSERT_TRUE(payload.is_ok());
   EXPECT_EQ(payload->find("accepted")->as_int(), 0);
   EXPECT_EQ(payload->find("rejected")->as_int(), 1);
+  // Retry-After mirrors the rebuild interval (1.5 s rounds up to 2):
+  // one interval from now the worker will have drained the queue.
+  ASSERT_TRUE(response->headers.contains("retry-after"));
+  EXPECT_EQ(response->headers.at("retry-after"), "2");
   server.stop();
 }
 
