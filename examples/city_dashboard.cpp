@@ -11,8 +11,14 @@
 // directory, and a restart with the same flag recovers the live corpus
 // (checkpoint + WAL replay) before serving.
 //
+// With --shards N (N >= 2) the dashboard serves the multi-city layout
+// instead: a ShardRouter partitions the corpus across N hash shards and
+// every read scatter-gathers (see src/shard/router.hpp). --store-dir
+// then names the deployment root — shard k persists and recovers under
+// "<dir>/shard-<k>".
+//
 // Run:  ./city_dashboard [--seed N] [--port P] [--paper-scale] [--offline DIR]
-//                        [--store-dir DIR [--fsync every_batch|interval|never]]
+//                        [--shards N] [--store-dir DIR [--fsync every_batch|interval|never]]
 //                        [--http-workers N] [--http-cache-mb MB]
 
 #include <csignal>
@@ -30,6 +36,8 @@
 #include "http/cache.hpp"
 #include "http/server.hpp"
 #include "json/json.hpp"
+#include "shard/api.hpp"
+#include "shard/router.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
@@ -51,6 +59,7 @@ struct Args {
   std::string offline_dir;  // empty = serve
   std::string data_dir;     // load venues.csv/checkins.csv instead of generating
   std::string store_dir;    // durable live ingestion (empty = static dashboard)
+  std::size_t shards = 1;   // >= 2 serves the sharded deployment
   store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
   int http_workers = -1;         // -1 = hardware concurrency, 0 = inline
   std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
@@ -84,6 +93,11 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.store_dir = v;
+    } else if (flag == "--shards") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_int(v) : Result<std::int64_t>(parse_error(""));
+      if (!parsed || *parsed < 1 || *parsed > 64) return false;
+      args.shards = static_cast<std::size_t>(*parsed);
     } else if (flag == "--fsync") {
       const char* v = next();
       const auto policy = v != nullptr ? store::parse_fsync_policy(v) : std::nullopt;
@@ -167,7 +181,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--port P] [--paper-scale] [--offline DIR] "
-                 "[--data DIR] [--store-dir DIR [--fsync every_batch|interval|never]] "
+                 "[--data DIR] [--shards N] "
+                 "[--store-dir DIR [--fsync every_batch|interval|never]] "
                  "[--http-workers N] [--http-cache-mb MB]\n",
                  argv[0]);
     return 2;
@@ -212,12 +227,40 @@ int main(int argc, char** argv) {
     cache = std::make_unique<http::ResponseCache>(cache_config);
   }
 
+  // Sharded mode: a ShardRouter replaces the single-process pipeline.
+  // Ingestion, durability (per-shard store dirs under --store-dir), and
+  // cache re-keying (epoch-vector tags) are all owned by the router.
+  std::unique_ptr<shard::ShardRouter> shard_router;
+  if (args.shards >= 2) {
+    shard::ShardRouterConfig shard_config;
+    shard_config.shard_count = args.shards;
+    shard_config.metrics = &metrics;
+    shard_config.worker.store.dir = args.store_dir;
+    shard_config.worker.store.fsync = args.fsync;
+    auto router = shard::ShardRouter::create(*platform, std::move(shard_config));
+    if (!router) {
+      std::fprintf(stderr, "shard router failed: %s\n", router.status().to_string().c_str());
+      return 1;
+    }
+    shard_router = std::move(*router);
+    if (cache != nullptr) shard_router->rekey_cache_on_publish(cache.get());
+    if (const Status status = shard_router->start(); !status.is_ok()) {
+      std::fprintf(stderr, "shard router failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("sharded deployment: %zu hash shards, epoch vector [%s]%s\n",
+                shard_router->shard_count(), shard_router->epoch_tag().c_str(),
+                args.store_dir.empty()
+                    ? ""
+                    : crowdweb::format(", durable under {}/shard-*", args.store_dir).c_str());
+  }
+
   // Live mode: the worker recovers the durable corpus (checkpoint + WAL
   // replay) inside start(), before the server accepts a single request.
   // The epoch hook is registered before start() so the initial publish
   // already keys the cache.
   std::unique_ptr<ingest::IngestWorker> worker;
-  if (!args.store_dir.empty()) {
+  if (shard_router == nullptr && !args.store_dir.empty()) {
     worker = core::make_ingest_worker(*platform);
     if (cache != nullptr) {
       http::ResponseCache* c = cache.get();
@@ -237,17 +280,27 @@ int main(int argc, char** argv) {
       args.http_workers < 0
           ? std::max(1, static_cast<int>(std::thread::hardware_concurrency()))
           : args.http_workers;
-  core::ApiOptions api_options;
-  api_options.ingest = worker.get();
-  api_options.metrics = &metrics;
-  api_options.cache = cache.get();
-  api_options.http_workers = resolved_workers;
+  http::Router api_router;
+  if (shard_router != nullptr) {
+    shard::ShardApiOptions shard_api;
+    shard_api.metrics = &metrics;
+    shard_api.cache = cache.get();
+    shard_api.http_workers = resolved_workers;
+    api_router = shard::make_shard_api_router(*shard_router, std::move(shard_api));
+  } else {
+    core::ApiOptions api_options;
+    api_options.ingest = worker.get();
+    api_options.metrics = &metrics;
+    api_options.cache = cache.get();
+    api_options.http_workers = resolved_workers;
+    api_router = core::make_api_router(*platform, api_options);
+  }
   http::ServerConfig server_config;
   server_config.port = args.port;
   server_config.metrics = &metrics;
   server_config.worker_threads = args.http_workers;
   server_config.cache = cache.get();
-  http::Server server(core::make_api_router(*platform, api_options), server_config);
+  http::Server server(api_router, server_config);
   const Status started = server.start();
   if (!started.is_ok()) {
     std::fprintf(stderr, "server failed: %s\n", started.to_string().c_str());
@@ -269,5 +322,6 @@ int main(int argc, char** argv) {
   std::printf("\nshutting down\n");
   server.stop();
   if (worker != nullptr) worker->stop();  // final WAL sync happens here
+  if (shard_router != nullptr) shard_router->stop();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/handlers.hpp"
 #include "crowd/communities.hpp"
 #include "data/csv.hpp"
 #include "ingest/queue.hpp"
@@ -15,10 +16,6 @@
 #include "util/civil_time.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
-#include "viz/animation.hpp"
-#include "viz/charts.hpp"
-#include "viz/citymap.hpp"
-#include "viz/geojson.hpp"
 #include "viz/layout.hpp"
 #include "viz/timeline.hpp"
 
@@ -26,67 +23,17 @@ namespace crowdweb::core {
 
 namespace {
 
+using handlers::bad_user_id;
+using handlers::CrowdView;
+using handlers::int_param;
 using http::PathParams;
 using http::Request;
 using http::Response;
 
-/// Parses an integer path parameter, returning nullopt on junk.
-std::optional<std::int64_t> int_param(const PathParams& params, std::string_view name) {
-  const auto it = params.find(name);
-  if (it == params.end()) return std::nullopt;
-  const auto value = parse_int(it->second);
-  if (!value) return std::nullopt;
-  return *value;
-}
-
-/// The raw (unparsed) value of a path parameter, for error messages.
-std::string_view raw_param(const PathParams& params, std::string_view name) {
-  const auto it = params.find(name);
-  return it == params.end() ? std::string_view{} : std::string_view(it->second);
-}
-
-/// 400 naming the offending value and the valid window range, so a
-/// client sees "bad window index 'xyz' for parameter 'window': expected
-/// an integer in [0, 24)" instead of a bare "bad window index".
-Response bad_window(const PathParams& params, std::string_view name, int window_count) {
-  return Response::bad_request_400(crowdweb::format(
-      "bad window index '{}' for parameter '{}': expected an integer in [0, {})",
-      raw_param(params, name), name, window_count));
-}
-
-/// 400 naming the offending user id value.
-Response bad_user_id(const PathParams& params) {
-  return Response::bad_request_400(
-      crowdweb::format("bad user id '{}': expected a non-negative integer",
-                       raw_param(params, "id")));
-}
-
 json::Value pattern_json(const patterns::MobilityPattern& pattern, const Platform& platform) {
-  json::Value elements = json::Value(json::Array{});
-  for (const patterns::TimedElement& element : pattern.elements) {
-    const int minute = static_cast<int>(element.mean_minute + 0.5);
-    elements.push_back(json::object(
-        {{"label", mining::label_name(element.label, platform.config().sequences.mode,
-                                      platform.taxonomy(), platform.experiment_dataset())},
-         {"mean_minute", element.mean_minute},
-         {"stddev_minute", element.stddev_minute},
-         {"time", crowdweb::format("{:02}:{:02}", minute / 60, minute % 60)}}));
-  }
-  return json::object({{"elements", std::move(elements)},
-                       {"support", pattern.support},
-                       {"support_count", static_cast<std::int64_t>(pattern.support_count)}});
+  return handlers::pattern_json(pattern, platform.config().sequences.mode,
+                                platform.taxonomy(), platform.experiment_dataset());
 }
-
-/// The state a crowd-facing handler reads: either the batch platform's
-/// phase-3 output, or — in live mode — one published epoch, pinned for
-/// the duration of the request by the shared_ptr the caller holds.
-struct CrowdView {
-  const data::Dataset& dataset;
-  const geo::SpatialGrid& grid;
-  const crowd::CrowdModel& crowd;
-  mining::LabelMode mode;
-  const data::Taxonomy& taxonomy;
-};
 
 Response status_handler(const Platform& platform, const ApiOptions& options) {
   const data::DatasetStats full = platform.full_dataset().stats();
@@ -205,127 +152,6 @@ Response user_timeline_handler(const Platform& platform, const PathParams& param
                                 platform.config().sequences.mode, options));
 }
 
-bool valid_window(const CrowdView& view, std::int64_t window) {
-  return window >= 0 && window < view.crowd.window_count();
-}
-
-Response crowd_handler(const CrowdView& view, const PathParams& params) {
-  const auto window = int_param(params, "window");
-  if (!window || !valid_window(view, *window))
-    return bad_window(params, "window", view.crowd.window_count());
-  const crowd::CrowdDistribution distribution =
-      view.crowd.distribution(static_cast<int>(*window));
-  json::Value cells = json::Value(json::Array{});
-  for (const auto& [cell, count] : distribution.top_cells(50)) {
-    const geo::LatLon center = view.grid.cell_center(cell);
-    cells.push_back(json::object({{"cell", static_cast<std::int64_t>(cell)},
-                                  {"count", static_cast<std::int64_t>(count)},
-                                  {"lat", center.lat},
-                                  {"lon", center.lon}}));
-  }
-  return Response::json(
-      200,
-      json::dump(json::object(
-          {{"window", static_cast<std::int64_t>(*window)},
-           {"label", view.crowd.window_label(static_cast<int>(*window))},
-           {"total", static_cast<std::int64_t>(distribution.total())},
-           {"occupied_cells", static_cast<std::int64_t>(distribution.occupied_cells())},
-           {"top_cells", std::move(cells)}})));
-}
-
-Response crowd_map_handler(const CrowdView& view, const PathParams& params) {
-  const auto window = int_param(params, "window");
-  if (!window || !valid_window(view, *window))
-    return bad_window(params, "window", view.crowd.window_count());
-  const crowd::CrowdDistribution distribution =
-      view.crowd.distribution(static_cast<int>(*window));
-  viz::CityMapOptions options;
-  options.title = crowdweb::format(
-      "Crowd {} ", view.crowd.window_label(static_cast<int>(*window)));
-  return Response::svg(200, viz::render_city_map(distribution, view.grid,
-                                                 view.dataset, options));
-}
-
-Response crowd_geojson_handler(const CrowdView& view, const PathParams& params) {
-  const auto window = int_param(params, "window");
-  if (!window || !valid_window(view, *window))
-    return bad_window(params, "window", view.crowd.window_count());
-  const crowd::CrowdDistribution distribution =
-      view.crowd.distribution(static_cast<int>(*window));
-  return Response::json(200,
-                        json::dump(viz::distribution_geojson(distribution, view.grid)));
-}
-
-Response groups_handler(const CrowdView& view, const PathParams& params) {
-  const auto window = int_param(params, "window");
-  if (!window || !valid_window(view, *window))
-    return bad_window(params, "window", view.crowd.window_count());
-  json::Value list = json::Value(json::Array{});
-  for (const crowd::CrowdGroup& group :
-       view.crowd.groups(static_cast<int>(*window))) {
-    json::Value members = json::Value(json::Array{});
-    for (const data::UserId user : group.users)
-      members.push_back(static_cast<std::int64_t>(user));
-    const geo::LatLon center = view.grid.cell_center(group.cell);
-    list.push_back(json::object(
-        {{"cell", static_cast<std::int64_t>(group.cell)},
-         {"label", mining::label_name(group.label, view.mode,
-                                      view.taxonomy, view.dataset)},
-         {"lat", center.lat},
-         {"lon", center.lon},
-         {"users", std::move(members)}}));
-  }
-  return Response::json(200, json::dump(json::object({{"groups", std::move(list)}})));
-}
-
-Response flow_handler(const CrowdView& view, const PathParams& params, bool as_map) {
-  const auto from = int_param(params, "from");
-  const auto to = int_param(params, "to");
-  if (!from || !valid_window(view, *from))
-    return bad_window(params, "from", view.crowd.window_count());
-  if (!to || !valid_window(view, *to))
-    return bad_window(params, "to", view.crowd.window_count());
-  const crowd::FlowMatrix flow =
-      view.crowd.flow(static_cast<int>(*from), static_cast<int>(*to));
-  if (as_map) {
-    const crowd::CrowdDistribution destination =
-        view.crowd.distribution(static_cast<int>(*to));
-    viz::CityMapOptions options;
-    options.title = crowdweb::format(
-        "Crowd flow {} to {}", view.crowd.window_label(static_cast<int>(*from)),
-        view.crowd.window_label(static_cast<int>(*to)));
-    return Response::svg(200, viz::render_flow_map(flow, destination, view.grid,
-                                                   view.dataset, options));
-  }
-  json::Value moves = json::Value(json::Array{});
-  for (const auto& [pair, count] : flow.top_flows(50)) {
-    const geo::LatLon a = view.grid.cell_center(pair.first);
-    const geo::LatLon b = view.grid.cell_center(pair.second);
-    moves.push_back(json::object({{"from_cell", static_cast<std::int64_t>(pair.first)},
-                                  {"to_cell", static_cast<std::int64_t>(pair.second)},
-                                  {"count", static_cast<std::int64_t>(count)},
-                                  {"from", json::array({a.lon, a.lat})},
-                                  {"to", json::array({b.lon, b.lat})}}));
-  }
-  return Response::json(
-      200, json::dump(json::object({{"from_window", static_cast<std::int64_t>(*from)},
-                                    {"to_window", static_cast<std::int64_t>(*to)},
-                                    {"total", static_cast<std::int64_t>(flow.total())},
-                                    {"top_flows", std::move(moves)}})));
-}
-
-Response animation_handler(const CrowdView& view, const Request& request) {
-  viz::AnimationOptions options;
-  options.title = "Crowd movement across the day";
-  if (const auto seconds = request.query_param("seconds")) {
-    const auto parsed = parse_double(*seconds);
-    if (!parsed || *parsed <= 0.0 || *parsed > 60.0)
-      return Response::bad_request_400("seconds must be in (0, 60]");
-    options.seconds_per_window = *parsed;
-  }
-  return Response::svg(200, viz::render_crowd_animation(view.crowd, options));
-}
-
 Response communities_handler(const Platform& platform) {
   const crowd::UserGraph graph =
       crowd::build_co_occurrence_graph(platform.crowd_model());
@@ -393,25 +219,6 @@ Response predict_handler(const Platform& platform, const Request& request,
                                     {"minute", minute},
                                     {"predictor", predictor->name()},
                                     {"predictions", std::move(predictions)}})));
-}
-
-Response rhythm_handler(const CrowdView& view) {
-  const crowd::CrowdModel::Rhythm rhythm = view.crowd.rhythm();
-  viz::HeatmapSpec spec;
-  spec.title = "Crowd rhythm: place type by time window";
-  spec.size.width = 900;
-  for (const mining::Item label : rhythm.labels)
-    spec.row_labels.push_back(
-        mining::label_name(label, view.mode, view.taxonomy, view.dataset));
-  for (int w = 0; w < view.crowd.window_count(); ++w)
-    spec.col_labels.push_back(
-        crowdweb::format("{:02}", w * view.crowd.options().window_minutes / 60));
-  for (const auto& row : rhythm.counts) {
-    std::vector<double> values;
-    for (const std::size_t count : row) values.push_back(static_cast<double>(count));
-    spec.values.push_back(std::move(values));
-  }
-  return Response::svg(200, viz::render_heatmap(spec));
 }
 
 /// The booth feature: a visitor uploads their check-in history as CSV
@@ -500,233 +307,6 @@ Response analyze_handler(const Platform& platform, const Request& request) {
                 {"patterns", std::move(list)}})));
 }
 
-/// Live ingestion: parses CSV check-ins and submits them to the worker's
-/// queue. Two headers are accepted — `user,category,lat,lon,timestamp`
-/// attributes rows to corpus users, `category,lat,lon,timestamp` (the
-/// /api/analyze schema) books the whole upload under a fresh guest id.
-/// Malformed rows are skipped and counted as invalid rather than failing
-/// the batch; a full queue answers 429 so clients know to retry.
-Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
-  const auto rows = data::parse_csv(request.body);
-  if (!rows) return Response::bad_request_400(rows.status().to_string());
-  const data::CsvRow with_user{"user", "category", "lat", "lon", "timestamp"};
-  const data::CsvRow anonymous{"category", "lat", "lon", "timestamp"};
-  if (rows->empty() || ((*rows)[0] != with_user && (*rows)[0] != anonymous))
-    return Response::bad_request_400("expected header: [user,]category,lat,lon,timestamp");
-  const bool has_user = (*rows)[0] == with_user;
-  const data::Taxonomy& taxonomy = worker.taxonomy();
-  const data::UserId guest = has_user ? 0 : worker.allocate_guest_id();
-
-  std::vector<ingest::IngestEvent> events;
-  events.reserve(rows->size() - 1);
-  std::uint64_t invalid = 0;
-  for (std::size_t i = 1; i < rows->size(); ++i) {
-    const data::CsvRow& row = (*rows)[i];
-    if (row.size() != (has_user ? 5u : 4u)) {
-      ++invalid;
-      continue;
-    }
-    std::size_t field = 0;
-    data::UserId user = guest;
-    if (has_user) {
-      const auto parsed_user = parse_int(row[field++]);
-      if (!parsed_user || *parsed_user < 0) {
-        ++invalid;
-        continue;
-      }
-      user = static_cast<data::UserId>(*parsed_user);
-    }
-    const auto category = taxonomy.find(row[field]);
-    const auto lat = parse_double(row[field + 1]);
-    const auto lon = parse_double(row[field + 2]);
-    auto timestamp = parse_timestamp(row[field + 3]);
-    if (!timestamp) timestamp = parse_int(row[field + 3]);  // raw epoch seconds
-    if (!category || !lat || !lon || !geo::is_valid({*lat, *lon}) || !timestamp ||
-        *timestamp <= 0) {
-      ++invalid;
-      continue;
-    }
-    events.push_back({user, *category, {*lat, *lon}, *timestamp});
-  }
-  if (invalid > 0) worker.note_invalid(invalid);
-
-  const ingest::SubmitResult result = worker.submit(events);
-  const ingest::IngestStats stats = worker.stats();
-  const int status = (!events.empty() && result.accepted == 0) ? 429 : 200;
-  Response response = Response::json(
-      status, json::dump(json::object(
-                  {{"received", static_cast<std::int64_t>(rows->size() - 1)},
-                   {"accepted", static_cast<std::int64_t>(result.accepted)},
-                   {"rejected", static_cast<std::int64_t>(result.rejected)},
-                   {"invalid", static_cast<std::int64_t>(invalid)},
-                   {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)},
-                   {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
-  if (status == 429) {
-    // The queue drains at least once per rebuild interval, so that is
-    // the honest earliest retry time (rounded up to whole seconds,
-    // floor 1 — Retry-After speaks seconds).
-    const auto interval = worker.config().rebuild_interval;
-    const std::int64_t seconds = std::max<std::int64_t>(
-        1, (interval.count() + 999) / 1000);
-    response.headers["Retry-After"] = std::to_string(seconds);
-  }
-  return response;
-}
-
-Response store_stats_handler(const ingest::IngestWorker& worker) {
-  const store::DurableStore* store = worker.store();
-  if (store == nullptr) {
-    return Response::json(
-        404, json::dump(json::object(
-                 {{"error", "durable store not configured (set a store directory)"}})));
-  }
-  const store::StoreStats stats = store->stats();
-  return Response::json(
-      200,
-      json::dump(json::object(
-          {{"dir", stats.dir},
-           {"fsync_policy", stats.fsync_policy},
-           {"wal",
-            json::object(
-                {{"segments", static_cast<std::int64_t>(stats.wal_segments)},
-                 {"bytes", static_cast<std::int64_t>(stats.wal_bytes)},
-                 {"bytes_since_checkpoint",
-                  static_cast<std::int64_t>(stats.wal_bytes_since_checkpoint)},
-                 {"last_record_seq", static_cast<std::int64_t>(stats.last_record_seq)}})},
-           {"appends",
-            json::object({{"records", static_cast<std::int64_t>(stats.append_records)},
-                          {"bytes", static_cast<std::int64_t>(stats.append_bytes)},
-                          {"failures", static_cast<std::int64_t>(stats.append_failures)},
-                          {"fsyncs", static_cast<std::int64_t>(stats.fsyncs)}})},
-           {"checkpoints",
-            json::object(
-                {{"written", static_cast<std::int64_t>(stats.checkpoints)},
-                 {"last_seq", static_cast<std::int64_t>(stats.last_checkpoint_seq)},
-                 {"last_epoch", static_cast<std::int64_t>(stats.last_checkpoint_epoch)}})},
-           {"recovery",
-            json::object({{"replayed_records",
-                           static_cast<std::int64_t>(stats.recovery_replayed_records)},
-                          {"truncated_bytes",
-                           static_cast<std::int64_t>(stats.recovery_truncated_bytes)}})}})));
-}
-
-/// POST /api/admin/checkpoint: asks the worker thread for an immediate
-/// checkpoint and waits for it, so when the call returns 200 the corpus
-/// image is durably on disk.
-Response checkpoint_handler(ingest::IngestWorker& worker) {
-  const Status status = worker.checkpoint_now(std::chrono::seconds(30));
-  if (!status.is_ok()) {
-    const int code = status.code() == StatusCode::kFailedPrecondition ? 404 : 503;
-    return Response::json(code,
-                          json::dump(json::object({{"error", status.to_string()}})));
-  }
-  const store::StoreStats stats = worker.store()->stats();
-  return Response::json(
-      200, json::dump(json::object(
-               {{"checkpoint_seq", static_cast<std::int64_t>(stats.last_checkpoint_seq)},
-                {"epoch", static_cast<std::int64_t>(stats.last_checkpoint_epoch)},
-                {"wal_segments", static_cast<std::int64_t>(stats.wal_segments)}})));
-}
-
-Response ingest_stats_handler(const ingest::IngestWorker& worker) {
-  const ingest::IngestStats stats = worker.stats();
-  return Response::json(
-      200,
-      json::dump(json::object(
-          {{"running", worker.running()},
-           {"submitted", static_cast<std::int64_t>(stats.submitted)},
-           {"accepted", static_cast<std::int64_t>(stats.accepted)},
-           {"rejected", static_cast<std::int64_t>(stats.rejected)},
-           {"invalid", static_cast<std::int64_t>(stats.invalid)},
-           {"queue", json::object({{"depth", static_cast<std::int64_t>(stats.queue_depth)},
-                                   {"capacity",
-                                    static_cast<std::int64_t>(stats.queue_capacity)}})},
-           {"epoch", static_cast<std::int64_t>(stats.current_epoch)},
-           {"epochs_published", static_cast<std::int64_t>(stats.epochs_published)},
-           {"live_checkins", static_cast<std::int64_t>(stats.live_checkins)},
-           {"last_rebuild_ms", stats.last_rebuild_ms},
-           {"total_rebuild_ms", stats.total_rebuild_ms}})));
-}
-
-constexpr std::string_view kViewerHtml = R"html(<!DOCTYPE html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<title>CrowdWeb - crowd mobility in a smart city</title>
-<style>
-  body { font-family: Helvetica, Arial, sans-serif; margin: 0; background: #f2f3f7; color: #23232b; }
-  header { background: #232a4d; color: #fff; padding: 12px 24px; }
-  header h1 { margin: 0; font-size: 20px; }
-  main { display: flex; gap: 16px; padding: 16px 24px; flex-wrap: wrap; }
-  section { background: #fff; border-radius: 8px; padding: 14px; box-shadow: 0 1px 4px rgba(0,0,0,.12); }
-  #map-panel { flex: 2 1 640px; } #side-panel { flex: 1 1 300px; }
-  #map { width: 100%; } #map svg { width: 100%; height: auto; }
-  label { font-size: 13px; margin-right: 8px; }
-  select, input[type=range] { margin: 4px 0; }
-  pre { background: #f6f7fa; padding: 8px; border-radius: 6px; font-size: 12px; overflow: auto; max-height: 300px; }
-</style>
-</head>
-<body>
-<header><h1>CrowdWeb &mdash; crowd mobility patterns in a smart city
-  <small style="font-size:13px;font-weight:normal;margin-left:14px">
-    <a href="/api/animation.svg" style="color:#bcd">day animation</a>
-  </small></h1></header>
-<main>
-  <section id="map-panel">
-    <label>Time window <input id="window" type="range" min="0" max="23" value="9"></label>
-    <span id="window-label"></span>
-    <div id="map"></div>
-  </section>
-  <section id="side-panel">
-    <h3>Platform</h3><pre id="status">loading...</pre>
-    <h3>User patterns</h3>
-    <label>User <select id="user"></select></label>
-    <pre id="patterns"></pre>
-    <div id="graph"></div>
-    <div id="timeline"></div>
-  </section>
-</main>
-<script>
-async function jsonOf(url) { const r = await fetch(url); return r.json(); }
-async function textOf(url) { const r = await fetch(url); return r.text(); }
-async function refreshMap() {
-  const w = document.getElementById('window').value;
-  const info = await jsonOf('/api/crowd/' + w);
-  document.getElementById('window-label').textContent =
-    info.label + ' - ' + info.total + ' users placed';
-  document.getElementById('map').innerHTML = await textOf('/api/crowd/' + w + '/map.svg');
-}
-async function refreshUser() {
-  const id = document.getElementById('user').value;
-  if (id === '') return;
-  const data = await jsonOf('/api/user/' + id + '/patterns');
-  document.getElementById('patterns').textContent = JSON.stringify(data.patterns, null, 1);
-  document.getElementById('graph').innerHTML = await textOf('/api/user/' + id + '/graph.svg');
-  document.getElementById('timeline').innerHTML =
-    await textOf('/api/user/' + id + '/timeline.svg');
-}
-async function init() {
-  document.getElementById('status').textContent =
-    JSON.stringify(await jsonOf('/api/status'), null, 1);
-  const users = (await jsonOf('/api/users')).users.filter(u => u.patterns > 0).slice(0, 200);
-  const select = document.getElementById('user');
-  for (const u of users) {
-    const option = document.createElement('option');
-    option.value = u.id;
-    option.textContent = 'user ' + u.id + ' (' + u.patterns + ' patterns)';
-    select.appendChild(option);
-  }
-  select.addEventListener('change', refreshUser);
-  document.getElementById('window').addEventListener('input', refreshMap);
-  await refreshMap();
-  if (users.length > 0) { select.value = users[0].id; await refreshUser(); }
-}
-init();
-</script>
-</body>
-</html>
-)html";
-
 /// Runs `fn` against the crowd state this route should serve: the batch
 /// platform's phase-3 output in static mode, or — when an IngestWorker
 /// is attached — the latest published epoch. The snapshot shared_ptr
@@ -738,13 +318,15 @@ Response with_crowd_view(const Platform& platform, ingest::IngestWorker* worker,
   if (worker == nullptr) {
     return fn(CrowdView{platform.experiment_dataset(), platform.grid(),
                         platform.crowd_model(), platform.config().sequences.mode,
-                        platform.taxonomy()});
+                        platform.taxonomy(), /*degraded=*/false,
+                        /*missing_shards=*/{}});
   }
   const ingest::SnapshotPtr snapshot = worker->hub().current();
   if (snapshot == nullptr)
     return Response::text(503, "no epoch published yet; retry shortly\n");
   return fn(CrowdView{snapshot->dataset, snapshot->grid, snapshot->crowd,
-                      platform.config().sequences.mode, worker->taxonomy()});
+                      platform.config().sequences.mode, worker->taxonomy(),
+                      /*degraded=*/false, /*missing_shards=*/{}});
 }
 
 }  // namespace
@@ -755,7 +337,7 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
   ingest::IngestWorker* w = options.ingest;
 
   router.get_cached("/", [](const Request&, const PathParams&) {
-    return Response::html(200, std::string(kViewerHtml));
+    return Response::html(200, std::string(handlers::viewer_html()));
   });
   router.get("/api/status", [p, options](const Request&, const PathParams&) {
     return status_handler(*p, options);
@@ -772,34 +354,39 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
     return user_timeline_handler(*p, params);
   });
   router.get_cached("/api/crowd/:window", [p, w](const Request&, const PathParams& params) {
-    return with_crowd_view(*p, w,
-                           [&](const CrowdView& view) { return crowd_handler(view, params); });
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return handlers::crowd_handler(view, params);
+    });
   });
   router.get_cached("/api/crowd/:window/map.svg", [p, w](const Request&, const PathParams& params) {
-    return with_crowd_view(
-        *p, w, [&](const CrowdView& view) { return crowd_map_handler(view, params); });
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return handlers::crowd_map_handler(view, params);
+    });
   });
   router.get_cached("/api/crowd/:window/geojson", [p, w](const Request&, const PathParams& params) {
-    return with_crowd_view(
-        *p, w, [&](const CrowdView& view) { return crowd_geojson_handler(view, params); });
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return handlers::crowd_geojson_handler(view, params);
+    });
   });
   router.get_cached("/api/groups/:window", [p, w](const Request&, const PathParams& params) {
-    return with_crowd_view(
-        *p, w, [&](const CrowdView& view) { return groups_handler(view, params); });
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return handlers::groups_handler(view, params);
+    });
   });
   router.get_cached("/api/flow/:from/:to", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(*p, w, [&](const CrowdView& view) {
-      return flow_handler(view, params, /*as_map=*/false);
+      return handlers::flow_handler(view, params, /*as_map=*/false);
     });
   });
   router.get_cached("/api/flow/:from/:to/map.svg", [p, w](const Request&, const PathParams& params) {
     return with_crowd_view(*p, w, [&](const CrowdView& view) {
-      return flow_handler(view, params, /*as_map=*/true);
+      return handlers::flow_handler(view, params, /*as_map=*/true);
     });
   });
   router.get_cached("/api/animation.svg", [p, w](const Request& request, const PathParams&) {
-    return with_crowd_view(
-        *p, w, [&](const CrowdView& view) { return animation_handler(view, request); });
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return handlers::animation_handler(view, request);
+    });
   });
   router.get_cached("/api/communities", [p](const Request&, const PathParams&) {
     return communities_handler(*p);
@@ -808,24 +395,25 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
     return analyze_handler(*p, request);
   });
   router.get_cached("/api/rhythm.svg", [p, w](const Request&, const PathParams&) {
-    return with_crowd_view(*p, w,
-                           [&](const CrowdView& view) { return rhythm_handler(view); });
+    return with_crowd_view(*p, w, [&](const CrowdView& view) {
+      return handlers::rhythm_handler(view);
+    });
   });
   router.get_cached("/api/predict/:id", [p](const Request& request, const PathParams& params) {
     return predict_handler(*p, request, params);
   });
   if (w != nullptr) {
     router.post("/api/ingest", [w](const Request& request, const PathParams&) {
-      return ingest_handler(*w, request);
+      return handlers::ingest_handler(*w, request);
     });
     router.get("/api/ingest/stats", [w](const Request&, const PathParams&) {
-      return ingest_stats_handler(*w);
+      return handlers::ingest_stats_handler(*w);
     });
     router.get("/api/store/stats", [w](const Request&, const PathParams&) {
-      return store_stats_handler(*w);
+      return handlers::store_stats_handler(*w);
     });
     router.post("/api/admin/checkpoint", [w](const Request&, const PathParams&) {
-      return checkpoint_handler(*w);
+      return handlers::checkpoint_handler(*w);
     });
   }
   if (telemetry::Registry* metrics = options.metrics; metrics != nullptr) {

@@ -1,0 +1,461 @@
+#include "core/handlers.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "data/csv.hpp"
+#include "ingest/event.hpp"
+#include "util/civil_time.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+#include "viz/animation.hpp"
+#include "viz/charts.hpp"
+#include "viz/citymap.hpp"
+#include "viz/geojson.hpp"
+
+namespace crowdweb::core::handlers {
+
+using http::PathParams;
+using http::Request;
+using http::Response;
+
+std::optional<std::int64_t> int_param(const PathParams& params, std::string_view name) {
+  const auto it = params.find(name);
+  if (it == params.end()) return std::nullopt;
+  const auto value = parse_int(it->second);
+  if (!value) return std::nullopt;
+  return *value;
+}
+
+std::string_view raw_param(const PathParams& params, std::string_view name) {
+  const auto it = params.find(name);
+  return it == params.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+Response bad_window(const PathParams& params, std::string_view name, int window_count) {
+  return Response::bad_request_400(crowdweb::format(
+      "bad window index '{}' for parameter '{}': expected an integer in [0, {})",
+      raw_param(params, name), name, window_count));
+}
+
+Response bad_user_id(const PathParams& params) {
+  return Response::bad_request_400(
+      crowdweb::format("bad user id '{}': expected a non-negative integer",
+                       raw_param(params, "id")));
+}
+
+bool valid_window(const CrowdView& view, std::int64_t window) {
+  return window >= 0 && window < view.crowd.window_count();
+}
+
+json::Value pattern_json(const patterns::MobilityPattern& pattern, mining::LabelMode mode,
+                         const data::Taxonomy& taxonomy, const data::Dataset& dataset) {
+  json::Value elements = json::Value(json::Array{});
+  for (const patterns::TimedElement& element : pattern.elements) {
+    const int minute = static_cast<int>(element.mean_minute + 0.5);
+    elements.push_back(json::object(
+        {{"label", mining::label_name(element.label, mode, taxonomy, dataset)},
+         {"mean_minute", element.mean_minute},
+         {"stddev_minute", element.stddev_minute},
+         {"time", crowdweb::format("{:02}:{:02}", minute / 60, minute % 60)}}));
+  }
+  return json::object({{"elements", std::move(elements)},
+                       {"support", pattern.support},
+                       {"support_count", static_cast<std::int64_t>(pattern.support_count)}});
+}
+
+void add_degraded_marker(const CrowdView& view, json::Value& payload) {
+  if (!view.degraded) return;
+  payload.set("degraded", true);
+  json::Value missing = json::Value(json::Array{});
+  for (const std::size_t shard : view.missing_shards)
+    missing.push_back(static_cast<std::int64_t>(shard));
+  payload.set("missing_shards", std::move(missing));
+}
+
+Response crowd_handler(const CrowdView& view, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(view, *window))
+    return bad_window(params, "window", view.crowd.window_count());
+  const crowd::CrowdDistribution distribution =
+      view.crowd.distribution(static_cast<int>(*window));
+  json::Value cells = json::Value(json::Array{});
+  for (const auto& [cell, count] : distribution.top_cells(50)) {
+    const geo::LatLon center = view.grid.cell_center(cell);
+    cells.push_back(json::object({{"cell", static_cast<std::int64_t>(cell)},
+                                  {"count", static_cast<std::int64_t>(count)},
+                                  {"lat", center.lat},
+                                  {"lon", center.lon}}));
+  }
+  json::Value payload = json::object(
+      {{"window", static_cast<std::int64_t>(*window)},
+       {"label", view.crowd.window_label(static_cast<int>(*window))},
+       {"total", static_cast<std::int64_t>(distribution.total())},
+       {"occupied_cells", static_cast<std::int64_t>(distribution.occupied_cells())},
+       {"top_cells", std::move(cells)}});
+  add_degraded_marker(view, payload);
+  return Response::json(200, json::dump(payload));
+}
+
+Response crowd_map_handler(const CrowdView& view, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(view, *window))
+    return bad_window(params, "window", view.crowd.window_count());
+  const crowd::CrowdDistribution distribution =
+      view.crowd.distribution(static_cast<int>(*window));
+  viz::CityMapOptions options;
+  options.title = crowdweb::format(
+      "Crowd {} ", view.crowd.window_label(static_cast<int>(*window)));
+  return Response::svg(200, viz::render_city_map(distribution, view.grid,
+                                                 view.dataset, options));
+}
+
+Response crowd_geojson_handler(const CrowdView& view, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(view, *window))
+    return bad_window(params, "window", view.crowd.window_count());
+  const crowd::CrowdDistribution distribution =
+      view.crowd.distribution(static_cast<int>(*window));
+  json::Value payload = viz::distribution_geojson(distribution, view.grid);
+  add_degraded_marker(view, payload);
+  return Response::json(200, json::dump(payload));
+}
+
+Response groups_handler(const CrowdView& view, const PathParams& params) {
+  const auto window = int_param(params, "window");
+  if (!window || !valid_window(view, *window))
+    return bad_window(params, "window", view.crowd.window_count());
+  json::Value list = json::Value(json::Array{});
+  for (const crowd::CrowdGroup& group :
+       view.crowd.groups(static_cast<int>(*window))) {
+    json::Value members = json::Value(json::Array{});
+    for (const data::UserId user : group.users)
+      members.push_back(static_cast<std::int64_t>(user));
+    const geo::LatLon center = view.grid.cell_center(group.cell);
+    list.push_back(json::object(
+        {{"cell", static_cast<std::int64_t>(group.cell)},
+         {"label", mining::label_name(group.label, view.mode,
+                                      view.taxonomy, view.dataset)},
+         {"lat", center.lat},
+         {"lon", center.lon},
+         {"users", std::move(members)}}));
+  }
+  json::Value payload = json::object({{"groups", std::move(list)}});
+  add_degraded_marker(view, payload);
+  return Response::json(200, json::dump(payload));
+}
+
+Response flow_handler(const CrowdView& view, const PathParams& params, bool as_map) {
+  const auto from = int_param(params, "from");
+  const auto to = int_param(params, "to");
+  if (!from || !valid_window(view, *from))
+    return bad_window(params, "from", view.crowd.window_count());
+  if (!to || !valid_window(view, *to))
+    return bad_window(params, "to", view.crowd.window_count());
+  const crowd::FlowMatrix flow =
+      view.crowd.flow(static_cast<int>(*from), static_cast<int>(*to));
+  if (as_map) {
+    const crowd::CrowdDistribution destination =
+        view.crowd.distribution(static_cast<int>(*to));
+    viz::CityMapOptions options;
+    options.title = crowdweb::format(
+        "Crowd flow {} to {}", view.crowd.window_label(static_cast<int>(*from)),
+        view.crowd.window_label(static_cast<int>(*to)));
+    return Response::svg(200, viz::render_flow_map(flow, destination, view.grid,
+                                                   view.dataset, options));
+  }
+  json::Value moves = json::Value(json::Array{});
+  for (const auto& [pair, count] : flow.top_flows(50)) {
+    const geo::LatLon a = view.grid.cell_center(pair.first);
+    const geo::LatLon b = view.grid.cell_center(pair.second);
+    moves.push_back(json::object({{"from_cell", static_cast<std::int64_t>(pair.first)},
+                                  {"to_cell", static_cast<std::int64_t>(pair.second)},
+                                  {"count", static_cast<std::int64_t>(count)},
+                                  {"from", json::array({a.lon, a.lat})},
+                                  {"to", json::array({b.lon, b.lat})}}));
+  }
+  json::Value payload =
+      json::object({{"from_window", static_cast<std::int64_t>(*from)},
+                    {"to_window", static_cast<std::int64_t>(*to)},
+                    {"total", static_cast<std::int64_t>(flow.total())},
+                    {"top_flows", std::move(moves)}});
+  add_degraded_marker(view, payload);
+  return Response::json(200, json::dump(payload));
+}
+
+Response animation_handler(const CrowdView& view, const Request& request) {
+  viz::AnimationOptions options;
+  options.title = "Crowd movement across the day";
+  if (const auto seconds = request.query_param("seconds")) {
+    const auto parsed = parse_double(*seconds);
+    if (!parsed || *parsed <= 0.0 || *parsed > 60.0)
+      return Response::bad_request_400("seconds must be in (0, 60]");
+    options.seconds_per_window = *parsed;
+  }
+  return Response::svg(200, viz::render_crowd_animation(view.crowd, options));
+}
+
+Response rhythm_handler(const CrowdView& view) {
+  const crowd::CrowdModel::Rhythm rhythm = view.crowd.rhythm();
+  viz::HeatmapSpec spec;
+  spec.title = "Crowd rhythm: place type by time window";
+  spec.size.width = 900;
+  for (const mining::Item label : rhythm.labels)
+    spec.row_labels.push_back(
+        mining::label_name(label, view.mode, view.taxonomy, view.dataset));
+  for (int w = 0; w < view.crowd.window_count(); ++w)
+    spec.col_labels.push_back(
+        crowdweb::format("{:02}", w * view.crowd.options().window_minutes / 60));
+  for (const auto& row : rhythm.counts) {
+    std::vector<double> values;
+    for (const std::size_t count : row) values.push_back(static_cast<double>(count));
+    spec.values.push_back(std::move(values));
+  }
+  return Response::svg(200, viz::render_heatmap(spec));
+}
+
+Result<ParsedIngest> parse_ingest_csv(const Request& request,
+                                      const data::Taxonomy& taxonomy,
+                                      const std::function<data::UserId()>& allocate_guest) {
+  const auto rows = data::parse_csv(request.body);
+  if (!rows) return rows.status();
+  const data::CsvRow with_user{"user", "category", "lat", "lon", "timestamp"};
+  const data::CsvRow anonymous{"category", "lat", "lon", "timestamp"};
+  if (rows->empty() || ((*rows)[0] != with_user && (*rows)[0] != anonymous))
+    return invalid_argument("expected header: [user,]category,lat,lon,timestamp");
+  const bool has_user = (*rows)[0] == with_user;
+  const data::UserId guest = has_user ? 0 : allocate_guest();
+
+  ParsedIngest parsed;
+  parsed.received = rows->size() - 1;
+  parsed.events.reserve(rows->size() - 1);
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const data::CsvRow& row = (*rows)[i];
+    if (row.size() != (has_user ? 5u : 4u)) {
+      ++parsed.invalid;
+      continue;
+    }
+    std::size_t field = 0;
+    data::UserId user = guest;
+    if (has_user) {
+      const auto parsed_user = parse_int(row[field++]);
+      if (!parsed_user || *parsed_user < 0) {
+        ++parsed.invalid;
+        continue;
+      }
+      user = static_cast<data::UserId>(*parsed_user);
+    }
+    const auto category = taxonomy.find(row[field]);
+    const auto lat = parse_double(row[field + 1]);
+    const auto lon = parse_double(row[field + 2]);
+    auto timestamp = parse_timestamp(row[field + 3]);
+    if (!timestamp) timestamp = parse_int(row[field + 3]);  // raw epoch seconds
+    if (!category || !lat || !lon || !geo::is_valid({*lat, *lon}) || !timestamp ||
+        *timestamp <= 0) {
+      ++parsed.invalid;
+      continue;
+    }
+    parsed.events.push_back({user, *category, {*lat, *lon}, *timestamp});
+  }
+  return parsed;
+}
+
+Response ingest_response(const ParsedIngest& parsed, const ingest::SubmitResult& result,
+                         const ingest::IngestStats& stats,
+                         std::chrono::milliseconds rebuild_interval) {
+  const int status = (!parsed.events.empty() && result.accepted == 0) ? 429 : 200;
+  Response response = Response::json(
+      status, json::dump(json::object(
+                  {{"received", static_cast<std::int64_t>(parsed.received)},
+                   {"accepted", static_cast<std::int64_t>(result.accepted)},
+                   {"rejected", static_cast<std::int64_t>(result.rejected)},
+                   {"invalid", static_cast<std::int64_t>(parsed.invalid)},
+                   {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)},
+                   {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
+  if (status == 429) {
+    // The queue drains at least once per rebuild interval, so that is
+    // the honest earliest retry time (rounded up to whole seconds,
+    // floor 1 — Retry-After speaks seconds).
+    const std::int64_t seconds =
+        std::max<std::int64_t>(1, (rebuild_interval.count() + 999) / 1000);
+    response.headers["Retry-After"] = std::to_string(seconds);
+  }
+  return response;
+}
+
+Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
+  const auto parsed = parse_ingest_csv(
+      request, worker.taxonomy(), [&worker] { return worker.allocate_guest_id(); });
+  if (!parsed) {
+    // Bad-header bodies stay the bare message; parser errors keep their
+    // "<code>: <message>" rendition (both as before the refactor).
+    return Response::bad_request_400(
+        parsed.status().code() == StatusCode::kInvalidArgument
+            ? parsed.status().message()
+            : parsed.status().to_string());
+  }
+  if (parsed->invalid > 0) worker.note_invalid(parsed->invalid);
+  const ingest::SubmitResult result = worker.submit(parsed->events);
+  return ingest_response(*parsed, result, worker.stats(),
+                         worker.config().rebuild_interval);
+}
+
+Response ingest_stats_handler(const ingest::IngestWorker& worker) {
+  const ingest::IngestStats stats = worker.stats();
+  return Response::json(
+      200,
+      json::dump(json::object(
+          {{"running", worker.running()},
+           {"submitted", static_cast<std::int64_t>(stats.submitted)},
+           {"accepted", static_cast<std::int64_t>(stats.accepted)},
+           {"rejected", static_cast<std::int64_t>(stats.rejected)},
+           {"invalid", static_cast<std::int64_t>(stats.invalid)},
+           {"queue", json::object({{"depth", static_cast<std::int64_t>(stats.queue_depth)},
+                                   {"capacity",
+                                    static_cast<std::int64_t>(stats.queue_capacity)}})},
+           {"epoch", static_cast<std::int64_t>(stats.current_epoch)},
+           {"epochs_published", static_cast<std::int64_t>(stats.epochs_published)},
+           {"live_checkins", static_cast<std::int64_t>(stats.live_checkins)},
+           {"last_rebuild_ms", stats.last_rebuild_ms},
+           {"total_rebuild_ms", stats.total_rebuild_ms}})));
+}
+
+Response store_stats_handler(const ingest::IngestWorker& worker) {
+  const store::DurableStore* store = worker.store();
+  if (store == nullptr) {
+    return Response::json(
+        404, json::dump(json::object(
+                 {{"error", "durable store not configured (set a store directory)"}})));
+  }
+  const store::StoreStats stats = store->stats();
+  return Response::json(
+      200,
+      json::dump(json::object(
+          {{"dir", stats.dir},
+           {"fsync_policy", stats.fsync_policy},
+           {"wal",
+            json::object(
+                {{"segments", static_cast<std::int64_t>(stats.wal_segments)},
+                 {"bytes", static_cast<std::int64_t>(stats.wal_bytes)},
+                 {"bytes_since_checkpoint",
+                  static_cast<std::int64_t>(stats.wal_bytes_since_checkpoint)},
+                 {"last_record_seq", static_cast<std::int64_t>(stats.last_record_seq)}})},
+           {"appends",
+            json::object({{"records", static_cast<std::int64_t>(stats.append_records)},
+                          {"bytes", static_cast<std::int64_t>(stats.append_bytes)},
+                          {"failures", static_cast<std::int64_t>(stats.append_failures)},
+                          {"fsyncs", static_cast<std::int64_t>(stats.fsyncs)}})},
+           {"checkpoints",
+            json::object(
+                {{"written", static_cast<std::int64_t>(stats.checkpoints)},
+                 {"last_seq", static_cast<std::int64_t>(stats.last_checkpoint_seq)},
+                 {"last_epoch", static_cast<std::int64_t>(stats.last_checkpoint_epoch)}})},
+           {"recovery",
+            json::object({{"replayed_records",
+                           static_cast<std::int64_t>(stats.recovery_replayed_records)},
+                          {"truncated_bytes",
+                           static_cast<std::int64_t>(stats.recovery_truncated_bytes)}})}})));
+}
+
+Response checkpoint_handler(ingest::IngestWorker& worker) {
+  const Status status = worker.checkpoint_now(std::chrono::seconds(30));
+  if (!status.is_ok()) {
+    const int code = status.code() == StatusCode::kFailedPrecondition ? 404 : 503;
+    return Response::json(code,
+                          json::dump(json::object({{"error", status.to_string()}})));
+  }
+  const store::StoreStats stats = worker.store()->stats();
+  return Response::json(
+      200, json::dump(json::object(
+               {{"checkpoint_seq", static_cast<std::int64_t>(stats.last_checkpoint_seq)},
+                {"epoch", static_cast<std::int64_t>(stats.last_checkpoint_epoch)},
+                {"wal_segments", static_cast<std::int64_t>(stats.wal_segments)}})));
+}
+
+namespace {
+
+constexpr std::string_view kViewerHtml = R"html(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CrowdWeb - crowd mobility in a smart city</title>
+<style>
+  body { font-family: Helvetica, Arial, sans-serif; margin: 0; background: #f2f3f7; color: #23232b; }
+  header { background: #232a4d; color: #fff; padding: 12px 24px; }
+  header h1 { margin: 0; font-size: 20px; }
+  main { display: flex; gap: 16px; padding: 16px 24px; flex-wrap: wrap; }
+  section { background: #fff; border-radius: 8px; padding: 14px; box-shadow: 0 1px 4px rgba(0,0,0,.12); }
+  #map-panel { flex: 2 1 640px; } #side-panel { flex: 1 1 300px; }
+  #map { width: 100%; } #map svg { width: 100%; height: auto; }
+  label { font-size: 13px; margin-right: 8px; }
+  select, input[type=range] { margin: 4px 0; }
+  pre { background: #f6f7fa; padding: 8px; border-radius: 6px; font-size: 12px; overflow: auto; max-height: 300px; }
+</style>
+</head>
+<body>
+<header><h1>CrowdWeb &mdash; crowd mobility patterns in a smart city
+  <small style="font-size:13px;font-weight:normal;margin-left:14px">
+    <a href="/api/animation.svg" style="color:#bcd">day animation</a>
+  </small></h1></header>
+<main>
+  <section id="map-panel">
+    <label>Time window <input id="window" type="range" min="0" max="23" value="9"></label>
+    <span id="window-label"></span>
+    <div id="map"></div>
+  </section>
+  <section id="side-panel">
+    <h3>Platform</h3><pre id="status">loading...</pre>
+    <h3>User patterns</h3>
+    <label>User <select id="user"></select></label>
+    <pre id="patterns"></pre>
+    <div id="graph"></div>
+    <div id="timeline"></div>
+  </section>
+</main>
+<script>
+async function jsonOf(url) { const r = await fetch(url); return r.json(); }
+async function textOf(url) { const r = await fetch(url); return r.text(); }
+async function refreshMap() {
+  const w = document.getElementById('window').value;
+  const info = await jsonOf('/api/crowd/' + w);
+  document.getElementById('window-label').textContent =
+    info.label + ' - ' + info.total + ' users placed';
+  document.getElementById('map').innerHTML = await textOf('/api/crowd/' + w + '/map.svg');
+}
+async function refreshUser() {
+  const id = document.getElementById('user').value;
+  if (id === '') return;
+  const data = await jsonOf('/api/user/' + id + '/patterns');
+  document.getElementById('patterns').textContent = JSON.stringify(data.patterns, null, 1);
+  document.getElementById('graph').innerHTML = await textOf('/api/user/' + id + '/graph.svg');
+  document.getElementById('timeline').innerHTML =
+    await textOf('/api/user/' + id + '/timeline.svg');
+}
+async function init() {
+  document.getElementById('status').textContent =
+    JSON.stringify(await jsonOf('/api/status'), null, 1);
+  const users = (await jsonOf('/api/users')).users.filter(u => u.patterns > 0).slice(0, 200);
+  const select = document.getElementById('user');
+  for (const u of users) {
+    const option = document.createElement('option');
+    option.value = u.id;
+    option.textContent = 'user ' + u.id + ' (' + u.patterns + ' patterns)';
+    select.appendChild(option);
+  }
+  select.addEventListener('change', refreshUser);
+  document.getElementById('window').addEventListener('input', refreshMap);
+  await refreshMap();
+  if (users.length > 0) { select.value = users[0].id; await refreshUser(); }
+}
+init();
+</script>
+</body>
+</html>
+)html";
+
+}  // namespace
+
+std::string_view viewer_html() noexcept { return kViewerHtml; }
+
+}  // namespace crowdweb::core::handlers

@@ -163,6 +163,64 @@ Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
   return model;
 }
 
+Result<CrowdModel> CrowdModel::merge(std::span<const CrowdModel* const> parts) {
+  if (parts.empty()) return invalid_argument("merge needs at least one part");
+  const CrowdModel& first = *parts.front();
+  if (first.window_count() == 0)
+    return invalid_argument("cannot merge default-constructed crowd models");
+  for (const CrowdModel* part : parts) {
+    if (part->window_count() != first.window_count() ||
+        part->options_.window_minutes != first.options_.window_minutes ||
+        part->options_.min_pattern_support != first.options_.min_pattern_support)
+      return invalid_argument("crowd models disagree on windows or options");
+    if (part->grid_.bounds() != first.grid_.bounds() ||
+        part->grid_.rows() != first.grid_.rows() ||
+        part->grid_.cols() != first.grid_.cols() ||
+        part->grid_.cell_size_meters() != first.grid_.cell_size_meters())
+      return invalid_argument(
+          "crowd models disagree on grid geometry; merge requires a pinned grid");
+  }
+
+  CrowdModel model(first.grid_, first.options_);
+  const std::size_t windows = first.placements_.size();
+  model.placements_.resize(windows);
+  std::vector<const WindowPtr*> live;
+  for (std::size_t w = 0; w < windows; ++w) {
+    live.clear();
+    for (const CrowdModel* part : parts) {
+      if (!part->placements_[w]->empty()) live.push_back(&part->placements_[w]);
+    }
+    if (live.empty()) {
+      model.placements_[w] = first.placements_[w];  // any empty window serves
+      continue;
+    }
+    if (live.size() == 1) {
+      model.placements_[w] = *live.front();  // single contributor: share
+      continue;
+    }
+    // K-way merge by user id. Each user's placements come from exactly
+    // one part, so comparing the head users reproduces the global
+    // user-sorted order a single build would emit.
+    auto merged = std::make_shared<std::vector<CrowdPlacement>>();
+    std::size_t total = 0;
+    for (const WindowPtr* window : live) total += (*window)->size();
+    merged->reserve(total);
+    std::vector<std::size_t> cursor(live.size(), 0);
+    while (merged->size() < total) {
+      std::size_t pick = live.size();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (cursor[i] >= (*live[i])->size()) continue;
+        if (pick == live.size() ||
+            (**live[i])[cursor[i]].user < (**live[pick])[cursor[pick]].user)
+          pick = i;
+      }
+      merged->push_back((**live[pick])[cursor[pick]++]);
+    }
+    model.placements_[w] = std::move(merged);
+  }
+  return model;
+}
+
 Result<CrowdModel> CrowdModel::update(const CrowdModel& previous,
                                       const data::Dataset& dataset,
                                       const patterns::MobilityTable& mobility,

@@ -69,6 +69,18 @@ class CrowdModel {
                                   const geo::SpatialGrid& grid,
                                   const CrowdOptions& options = {});
 
+  /// Merges partition models whose user sets are disjoint into one model
+  /// equal to a full build over the union of their inputs. Every part
+  /// must share the grid geometry, options, and window count — sharded
+  /// deployments guarantee this by pinning each shard's grid to the same
+  /// city-wide box (ingest::IngestPipelineConfig::fixed_grid_bounds).
+  /// Each window is a k-way merge of the parts' placements by user id;
+  /// windows populated by only one part are shared with it by pointer.
+  /// Because windows are user-sorted and each user lives in exactly one
+  /// part, the result is value-identical to a single model built over
+  /// the combined corpus.
+  static Result<CrowdModel> merge(std::span<const CrowdModel* const> parts);
+
   /// Incremental form: retracts the changed users' previous placements,
   /// places them afresh from `mobility`, and shares every window no
   /// changed user appears in with `previous` by pointer. Valid only

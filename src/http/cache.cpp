@@ -102,7 +102,9 @@ std::shared_ptr<const CachedResponse> ResponseCache::insert(std::string_view met
   cached->headers = response.headers;
   cached->body = response.body;
   cached->epoch = at_epoch;
-  cached->etag = crowdweb::format("\"{}-{:x}\"", at_epoch, fnv1a(response.body));
+  const auto tag = epoch_tag();
+  cached->etag = tag ? crowdweb::format("\"{}-{:x}\"", *tag, fnv1a(response.body))
+                     : crowdweb::format("\"{}-{:x}\"", at_epoch, fnv1a(response.body));
   cached->headers["ETag"] = cached->etag;
   {  // render the keep-alive hit image once; every hit serves it verbatim
     Response hit;

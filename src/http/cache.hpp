@@ -72,7 +72,10 @@ struct CachedResponse {
   int status = 200;
   std::map<std::string, std::string> headers;  ///< includes ETag
   std::string body;
-  std::string etag;  ///< quoted strong validator, "\"<epoch>-<hash>\""
+  /// Quoted strong validator, "\"<epoch>-<hash>\"" — the epoch part is
+  /// the numeric key epoch, or the deployment's epoch tag when one is
+  /// set (sharded mode uses the dotted epoch vector, "3.5.2-<hash>").
+  std::string etag;
   std::uint64_t epoch = 0;
   /// Pre-serialized keep-alive GET hit (status line + headers with ETag
   /// and "X-Cache: hit" + body), rendered once at insert. The server's
@@ -98,6 +101,22 @@ class ResponseCache {
   /// from its publish path).
   void set_epoch(std::uint64_t epoch) noexcept {
     epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// Same, with a human-readable rendition of the epoch that replaces
+  /// the numeric epoch in ETags — a sharded deployment passes the mixed
+  /// epoch vector as `epoch` and its dotted form (e.g. "3.5.2") as
+  /// `tag`, so validators surface per-shard progress (see docs/API.md).
+  /// Safe from any thread; shard publish hooks call it concurrently.
+  void set_epoch(std::uint64_t epoch, std::string tag) {
+    epoch_tag_.store(std::make_shared<const std::string>(std::move(tag)),
+                     std::memory_order_release);
+    set_epoch(epoch);
+  }
+
+  /// The current ETag tag (null when ETags render the numeric epoch).
+  [[nodiscard]] std::shared_ptr<const std::string> epoch_tag() const noexcept {
+    return epoch_tag_.load(std::memory_order_acquire);
   }
 
   /// Looks up (method, target) at the current epoch. A hit refreshes
@@ -146,6 +165,7 @@ class ResponseCache {
   ResponseCacheConfig config_;
   std::size_t shard_budget_ = 0;
   std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::shared_ptr<const std::string>> epoch_tag_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::unique_ptr<telemetry::Registry> own_metrics_;

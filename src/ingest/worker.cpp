@@ -494,12 +494,15 @@ Status IngestWorker::rebuild_and_publish() {
   // unchanged box means an identical grid).
   telemetry::ScopedTimer grid_timer(stage_grid_seconds_);
   bool grid_rebuilt = false;
-  if (!grid_.has_value() || live_.bounds() != grid_bounds_) {
-    auto grid = geo::SpatialGrid::create(live_.bounds().inflated(0.002),
+  const geo::BoundingBox grid_source =
+      pipeline_.fixed_grid_bounds.value_or(live_.bounds());
+  if (!grid_.has_value() ||
+      (!pipeline_.fixed_grid_bounds && live_.bounds() != grid_bounds_)) {
+    auto grid = geo::SpatialGrid::create(grid_source.inflated(0.002),
                                          pipeline_.grid_cell_meters);
     if (!grid) return grid.status();
     grid_ = std::move(*grid);
-    grid_bounds_ = live_.bounds();
+    grid_bounds_ = grid_source;
     grid_rebuilt = true;
   } else {
     delta_grid_reused_->increment();

@@ -54,6 +54,13 @@ struct IngestPipelineConfig {
   /// the incremental update is exact while the grid and options are
   /// stable, so the backstop only guards against drift bugs).
   std::uint64_t crowd_full_rebuild_epochs = 64;
+  /// Pins the spatial grid to these bounds (inflated by the same margin
+  /// the dynamic path uses): the grid is created once and never rebuilt,
+  /// regardless of corpus growth. Sharded deployments set every shard's
+  /// grid to the same city-wide box so per-shard cell ids are directly
+  /// mergeable (see shard::ShardRouter); events outside the box clamp
+  /// to edge cells. Unset = the grid tracks the live corpus bounds.
+  std::optional<geo::BoundingBox> fixed_grid_bounds;
 };
 
 struct IngestWorkerConfig {

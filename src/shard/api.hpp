@@ -1,0 +1,54 @@
+// The sharded CrowdWeb HTTP API: the same surface as core/api.hpp,
+// served by scatter-gather over a ShardRouter instead of one worker.
+//
+// Crowd-facing routes (crowd/groups/flow/animation/rhythm) render the
+// router's merged view through the shared core::handlers — the bodies
+// are value-identical to a single-process deployment over the same
+// corpus (hash layout; see router.hpp for the region-mode caveat).
+// When one or more shards are down the routes still answer 200, with
+// an explicit "degraded": true marker and the missing shard ids in the
+// JSON body (SVG routes render the partial merge unmarked).
+//
+// Deviations from the single-process surface:
+//   GET  /api/status       per-shard blocks + the epoch vector (see
+//                          docs/API.md)
+//   GET  /api/shards       the static layout and per-shard health
+//   POST /api/ingest       routes rows to their owning shards; rows for
+//                          a down shard count as rejected
+//   not served             /api/user/:id/{graph,timeline}.svg,
+//                          /api/predict/:id, /api/communities, and
+//                          POST /api/analyze — they read batch-platform
+//                          state that sharding does not partition yet
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "http/cache.hpp"
+#include "http/router.hpp"
+#include "http/server.hpp"
+#include "shard/router.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace crowdweb::shard {
+
+struct ShardApiOptions {
+  /// Same contract as core::ApiOptions::server_stats.
+  std::shared_ptr<std::function<http::ServerStats()>> server_stats;
+  /// Registers GET /metrics and the /api/status telemetry block. Pass
+  /// the deployment registry (the one ShardRouterConfig::metrics uses)
+  /// so one scrape covers the router and the HTTP server.
+  telemetry::Registry* metrics = nullptr;
+  /// Cache stats block for /api/status (the cache itself is wired via
+  /// ShardRouter::rekey_cache_on_publish + ServerConfig::cache).
+  const http::ResponseCache* cache = nullptr;
+  /// Resolved ServerConfig::worker_threads for /api/status.
+  int http_workers = 0;
+};
+
+/// Builds the scatter-gather API over a started (or starting) router.
+/// The router must outlive the returned router object.
+[[nodiscard]] http::Router make_shard_api_router(ShardRouter& router,
+                                                 ShardApiOptions options = {});
+
+}  // namespace crowdweb::shard

@@ -1,0 +1,49 @@
+// Deterministic user→shard assignment.
+//
+// Shard layouts must survive restarts, crash recovery, and rebuilds on
+// different machines: the same user must land on the same shard every
+// time, or recovered WALs would replay users into foreign corpora and
+// the scatter-gather merge would double-count them. `std::hash` is
+// implementation-defined (libstdc++ hashes integers to themselves,
+// libc++ differs, and either may change between releases), so the
+// assignment uses splitmix64 — a fixed, well-mixed 64-bit permutation
+// with published constants. tests/shard_test.cpp pins known
+// assignments so any accidental change to this function fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/checkin.hpp"
+
+namespace crowdweb::shard {
+
+/// splitmix64 finalizer (Steele, Lea & Flood; public-domain constants).
+/// A bijection on 64-bit values with strong avalanche behavior.
+[[nodiscard]] constexpr std::uint64_t stable_hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The shard that owns `user` under a `shard_count`-way hash layout.
+[[nodiscard]] constexpr std::size_t shard_of_user(data::UserId user,
+                                                  std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(stable_hash64(user) % shard_count);
+}
+
+/// Mixes a per-shard epoch vector into one 64-bit cache epoch: any
+/// single shard publishing changes the result, so a ResponseCache keyed
+/// on it re-keys exactly when cross-shard state moves. Position-
+/// dependent so permuted vectors do not collide.
+[[nodiscard]] constexpr std::uint64_t mix_epoch_vector(
+    std::span<const std::uint64_t> epochs) noexcept {
+  std::uint64_t mixed = 0x243f6a8885a308d3ull;  // pi fractional bits
+  for (std::size_t i = 0; i < epochs.size(); ++i)
+    mixed = stable_hash64(mixed ^ stable_hash64(epochs[i] + i));
+  return mixed;
+}
+
+}  // namespace crowdweb::shard

@@ -1,0 +1,91 @@
+// One region shard: the unit of horizontal partitioning.
+//
+// A Shard bundles everything that used to be process-global state —
+// its slice of the corpus, a durable store directory (WAL +
+// checkpoints), an ingest queue with its IngestWorker, and the epoch
+// SnapshotHub the worker publishes through — behind one lifecycle.
+// The ShardRouter owns N of these, routes writes to the owning shard,
+// and scatter-gathers reads across their snapshots (see router.hpp).
+//
+// Each shard's worker keeps a private telemetry registry: the worker's
+// scrape-time gauges are registered by name, so N workers cannot share
+// one registry. The router re-exports the interesting per-shard series
+// as labeled crowdweb_shard_* families on the deployment registry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "geo/point.hpp"
+#include "ingest/snapshot.hpp"
+#include "ingest/worker.hpp"
+#include "patterns/mobility.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::shard {
+
+/// Static identity of one shard in the deployment layout.
+struct ShardSpec {
+  std::size_t id = 0;
+  std::string name;  ///< region name, or "hash-<id>" in hash mode
+  /// Region mode: events whose position falls in this box route here.
+  /// Unset = the shard owns a hash slice of the user space.
+  std::optional<geo::BoundingBox> region;
+};
+
+/// A started shard runs its own IngestWorker (queue -> validate ->
+/// delta merge -> epoch publish) over its slice of the corpus, with an
+/// optional durable store directory underneath. A shard that failed to
+/// start — or was deliberately left down — stays constructed: the
+/// router keeps routing around it and serves degraded reads.
+class Shard {
+ public:
+  /// `base` seeds the shard's live corpus with its slice of the batch
+  /// experiment dataset (sharing the full venue table keeps venue ids
+  /// aligned across shards); `mobility` is the matching slice of the
+  /// batch phase-2 output. `taxonomy` must outlive the shard.
+  Shard(ShardSpec spec, const data::Dataset& base,
+        std::vector<patterns::UserMobility> mobility, const data::Taxonomy& taxonomy,
+        ingest::IngestPipelineConfig pipeline, ingest::IngestWorkerConfig config);
+
+  /// Runs store recovery (when configured) and publishes the shard's
+  /// first epoch. Failure leaves the shard down, not broken: up() stays
+  /// false and start_status() reports why.
+  [[nodiscard]] Status start();
+
+  /// Stops the worker (idempotent; safe on a shard that never started).
+  void stop();
+
+  /// True between a successful start() and stop().
+  [[nodiscard]] bool up() const noexcept { return worker_->running(); }
+
+  /// Outcome of the last start() (OK before any attempt).
+  [[nodiscard]] const Status& start_status() const noexcept { return start_status_; }
+
+  /// The latest published epoch snapshot, or null while the shard is
+  /// down (a stopped shard's last snapshot is deliberately not served —
+  /// its store may be recovering elsewhere).
+  [[nodiscard]] ingest::SnapshotPtr snapshot() const noexcept {
+    return up() ? worker_->hub().current() : nullptr;
+  }
+
+  /// Published epoch (0 while down or before the first publication).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return up() ? worker_->hub().epoch() : 0;
+  }
+
+  [[nodiscard]] const ShardSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] ingest::IngestWorker& worker() noexcept { return *worker_; }
+  [[nodiscard]] const ingest::IngestWorker& worker() const noexcept { return *worker_; }
+
+ private:
+  ShardSpec spec_;
+  std::unique_ptr<ingest::IngestWorker> worker_;
+  Status start_status_;
+};
+
+}  // namespace crowdweb::shard

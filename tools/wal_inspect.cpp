@@ -12,6 +12,7 @@
 // Run:  ./wal_inspect [-v] <store-dir | wal-*.log | checkpoint-*.ckpt>...
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -114,13 +115,24 @@ void inspect_path(const std::string& path, bool verbose) {
   }
 }
 
+/// A sharded deployment's store root holds one subdirectory per shard
+/// ("<root>/shard-<k>", see shard::ShardRouterConfig::worker).
+bool is_shard_dir_name(const std::string& name) {
+  if (name.rfind("shard-", 0) != 0 || name.size() == 6) return false;
+  return std::all_of(name.begin() + 6, name.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
 void inspect_dir(const std::string& dir, bool verbose) {
   std::vector<std::string> files;
+  std::vector<std::string> shard_dirs;
   std::error_code ec;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     if (store::parse_wal_segment_name(name) || store::parse_checkpoint_file_name(name))
       files.push_back(entry.path().string());
+    else if (entry.is_directory() && is_shard_dir_name(name))
+      shard_dirs.push_back(entry.path().string());
   }
   if (ec) {
     std::printf("%s: cannot list (%s)\n", dir.c_str(), ec.message().c_str());
@@ -128,11 +140,17 @@ void inspect_dir(const std::string& dir, bool verbose) {
     return;
   }
   std::sort(files.begin(), files.end());
-  if (files.empty()) {
+  std::sort(shard_dirs.begin(), shard_dirs.end());
+  if (files.empty() && shard_dirs.empty()) {
     std::printf("%s: no store files\n", dir.c_str());
     return;
   }
   for (const std::string& file : files) inspect_path(file, verbose);
+  // Sharded layout: recurse one level, one header per shard.
+  for (const std::string& shard_dir : shard_dirs) {
+    std::printf("=== %s ===\n", shard_dir.c_str());
+    inspect_dir(shard_dir, verbose);
+  }
 }
 
 }  // namespace
