@@ -42,7 +42,7 @@ ModeResult mine_mode(mining::LabelMode mode, double min_support) {
   for (const data::UserId user : active.users()) {
     const auto sequences = mining::build_user_sequences(
         active, user, data::Taxonomy::foursquare(), sequence_options);
-    const auto patterns = mining::prefixspan(sequences.days, mining_options);
+    const auto patterns = mining::prefixspan(sequences.columns(), mining_options);
     counts.push_back(static_cast<double>(patterns.size()));
     if (!patterns.empty()) {
       double total = 0;

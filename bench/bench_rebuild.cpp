@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
       const auto start = Clock::now();
       data::DatasetBuilder scratch;
       for (const data::Venue& venue : live.dataset.venues())
-        (void)scratch.add_venue(venue);
+        (void)scratch.add_venue(live.dataset.venue_spec(venue.id));
       for (const data::CheckIn& checkin : live.dataset.checkins())
         (void)scratch.add_checkin(checkin);
       const data::Dataset rebuilt = scratch.build();

@@ -55,12 +55,9 @@ int main(int argc, char** argv) {
     }
   }
   const mining::UserSequences history = platform->sequences_for(subject);
-  const auto split = static_cast<std::size_t>(static_cast<double>(history.days.size()) * 0.7);
+  const auto split = static_cast<std::size_t>(static_cast<double>(history.day_count()) * 0.7);
 
-  mining::UserSequences train;
-  train.user = subject;
-  train.days.assign(history.days.begin(), history.days.begin() + split);
-  train.minutes.assign(history.minutes.begin(), history.minutes.begin() + split);
+  const mining::UserSequences train = history.slice_days(0, split);
 
   auto markov = predict::make_markov_predictor(1);
   auto pattern = predict::make_pattern_predictor();
@@ -68,14 +65,16 @@ int main(int argc, char** argv) {
   pattern->train(train);
 
   std::printf("replaying user %u (%zu train days, %zu test days):\n\n", subject, split,
-              history.days.size() - split);
+              history.day_count() - split);
   std::size_t shown = 0;
-  for (std::size_t d = split; d < history.days.size() && shown < 12; ++d) {
-    for (std::size_t i = 0; i < history.days[d].size() && shown < 12; ++i, ++shown) {
+  for (std::size_t d = split; d < history.day_count() && shown < 12; ++d) {
+    const auto day = history.day(d);
+    const auto minutes = history.minutes_of(d);
+    for (std::size_t i = 0; i < day.size() && shown < 12; ++i, ++shown) {
       predict::Query query;
-      query.today = std::span<const mining::Item>(history.days[d].data(), i);
-      query.minute = history.minutes[d][i];
-      const auto truth = history.days[d][i];
+      query.today = std::span<const mining::Item>(day.data(), i);
+      query.minute = minutes[i];
+      const auto truth = day[i];
       const auto name = [&](mining::Item label) {
         return mining::label_name(label, platform->config().sequences.mode, tax, active);
       };

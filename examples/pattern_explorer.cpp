@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
                                                   platform->taxonomy(), venue_mode);
     mining::MiningOptions mining_options;
     mining_options.min_support = 0.25;
-    const auto raw_patterns = mining::prefixspan(raw.days, mining_options);
+    const auto raw_patterns = mining::prefixspan(raw.columns(), mining_options);
     std::printf("  ablation: %zu patterns with labeled places vs %zu with raw venues\n",
                 user->patterns.size(), raw_patterns.size());
 

@@ -197,9 +197,9 @@ Response predict_handler(const Platform& platform, const Request& request,
   query.minute = minute;
   // "Today" context: visits of the user's last recorded day before `minute`.
   std::vector<mining::Item> today;
-  if (!history.days.empty()) {
-    const auto& last_day = history.days.back();
-    const auto& last_minutes = history.minutes.back();
+  if (!history.empty()) {
+    const auto last_day = history.day(history.day_count() - 1);
+    const auto last_minutes = history.minutes_of(history.day_count() - 1);
     for (std::size_t i = 0; i < last_day.size(); ++i) {
       if (last_minutes[i] < minute) today.push_back(last_day[i]);
     }
@@ -272,26 +272,33 @@ Response analyze_handler(const Platform& platform, const Request& request) {
 
   // Build per-day sequences (same abstraction pipeline as phase 2).
   mining::UserSequences sequences;
+  std::vector<mining::Item> day_items;
+  std::vector<int> day_minutes;
   std::int64_t current_day = 0;
   bool have_day = false;
+  const auto flush_day = [&] {
+    if (have_day) sequences.append_day(day_items, day_minutes);
+    day_items.clear();
+    day_minutes.clear();
+  };
   for (const Event& event : events) {
     const std::int64_t day = day_index(event.timestamp);
     if (!have_day || day != current_day) {
-      sequences.days.emplace_back();
-      sequences.minutes.emplace_back();
+      flush_day();
       current_day = day;
       have_day = true;
     }
-    if (!sequences.days.back().empty() && sequences.days.back().back() == event.label)
+    if (!day_items.empty() && day_items.back() == event.label)
       continue;  // collapse repeats
-    sequences.days.back().push_back(event.label);
+    day_items.push_back(event.label);
     const CivilTime civil = to_civil(event.timestamp);
-    sequences.minutes.back().push_back(civil.hour * 60 + civil.minute);
+    day_minutes.push_back(civil.hour * 60 + civil.minute);
   }
+  flush_day();
 
   mining::MiningOptions mining_options;
   mining_options.min_support = min_support;
-  const auto mined = mining::prefixspan(sequences.days, mining_options);
+  const auto mined = mining::prefixspan(sequences.columns(), mining_options);
 
   json::Value list = json::Value(json::Array{});
   for (const mining::Pattern& pattern : mined) {
@@ -302,7 +309,7 @@ Response analyze_handler(const Platform& platform, const Request& request) {
   return Response::json(
       200, json::dump(json::object(
                {{"records", static_cast<std::int64_t>(events.size())},
-                {"recorded_days", static_cast<std::int64_t>(sequences.days.size())},
+                {"recorded_days", static_cast<std::int64_t>(sequences.day_count())},
                 {"min_support", min_support},
                 {"patterns", std::move(list)}})));
 }

@@ -7,56 +7,111 @@
 
 #include "util/civil_time.hpp"
 #include "util/format.hpp"
+#include "util/parallel.hpp"
 
 namespace crowdweb::crowd {
 
 namespace {
 
+/// Label of every venue under the given mode, indexed by VenueId.
+///
+/// A check-in's label depends only on its venue (the builder guarantees
+/// checkin.category == venue.category), so the per-checkin taxonomy
+/// lookup of the old row-oriented path collapses into one table
+/// computed per build and shared by every user.
+std::vector<mining::Item> label_venues(const data::Dataset& dataset,
+                                       const data::Taxonomy& taxonomy,
+                                       mining::LabelMode mode) {
+  const std::span<const data::Venue> venues = dataset.venues();
+  std::vector<mining::Item> labels(venues.size());
+  for (std::size_t v = 0; v < venues.size(); ++v) {
+    switch (mode) {
+      case mining::LabelMode::kRootCategory:
+        labels[v] = taxonomy.root_of(venues[v].category);
+        break;
+      case mining::LabelMode::kLeafCategory:
+        labels[v] = venues[v].category;
+        break;
+      case mining::LabelMode::kVenue:
+        labels[v] = venues[v].id;
+        break;
+    }
+  }
+  return labels;
+}
+
+/// Loop-invariant lookup tables shared by every user of one build:
+/// the per-venue label column and the minute-of-day -> window map
+/// (replacing a per-record division by the runtime window size).
+struct PlacementTables {
+  std::vector<mining::Item> venue_labels;          ///< indexed by VenueId
+  std::vector<std::uint16_t> window_of_minute;     ///< 1440 entries
+};
+
+PlacementTables make_tables(const data::Dataset& dataset, const data::Taxonomy& taxonomy,
+                            mining::LabelMode mode, int window_minutes) {
+  PlacementTables tables;
+  tables.venue_labels = label_venues(dataset, taxonomy, mode);
+  tables.window_of_minute.resize(24 * 60);
+  for (int minute = 0; minute < 24 * 60; ++minute)
+    tables.window_of_minute[static_cast<std::size_t>(minute)] =
+        static_cast<std::uint16_t>(minute / window_minutes);
+  return tables;
+}
+
 /// Picks, per (label, window), the venue the user checked into most often
 /// during that window; falls back to their most-visited venue of that
 /// label at any time.
+///
+/// Columnar and demand-driven: the constructor makes one pass over the
+/// user's timestamp column to precompute each record's window, and each
+/// pick() answers by scanning the venue/window columns for the queried
+/// (label, window). A user is only ever asked about the few elements of
+/// their qualifying patterns, so two O(records) scans per query beat
+/// building any index — and replace the old per-record std::map nest.
+/// Picks are identical to the old maps': highest count wins, ties break
+/// toward the smallest venue id (the old map's ascending iteration
+/// order with a strictly-greater comparison).
 class RepresentativeVenues {
  public:
-  RepresentativeVenues(const data::Dataset& dataset, data::UserId user,
-                       const data::Taxonomy& taxonomy, int window_minutes,
-                       mining::LabelMode mode) {
-    for (const data::CheckIn& checkin : dataset.checkins_for(user)) {
-      const mining::Item label = label_of(checkin, taxonomy, mode);
-      const CivilTime civil = to_civil(checkin.timestamp);
-      const int window = (civil.hour * 60 + civil.minute) / window_minutes;
-      ++windowed_[{label, window}][checkin.venue];
-      ++overall_[label][checkin.venue];
-    }
+  RepresentativeVenues(const data::Dataset::UserColumns& records,
+                       const PlacementTables& tables)
+      : venues_(records.venues()), tables_(tables) {
+    const std::span<const std::int64_t> timestamps = records.timestamps();
+    windows_.resize(timestamps.size());
+    for (std::size_t i = 0; i < timestamps.size(); ++i)
+      windows_[i] = tables.window_of_minute[static_cast<std::size_t>(
+          minute_of_day(timestamps[i]))];
   }
 
   [[nodiscard]] std::optional<data::VenueId> pick(mining::Item label, int window) const {
-    if (const auto it = windowed_.find({label, window}); it != windowed_.end())
-      return best(it->second);
-    if (const auto it = overall_.find(label); it != overall_.end()) return best(it->second);
-    return std::nullopt;
-  }
-
-  static mining::Item label_of(const data::CheckIn& checkin, const data::Taxonomy& taxonomy,
-                               mining::LabelMode mode) {
-    switch (mode) {
-      case mining::LabelMode::kRootCategory:
-        return taxonomy.root_of(checkin.category);
-      case mining::LabelMode::kLeafCategory:
-        return checkin.category;
-      case mining::LabelMode::kVenue:
-        return checkin.venue;
+    const std::span<const mining::Item> venue_labels = tables_.venue_labels;
+    // Per-venue counts of the matching records, in first-seen order;
+    // users visit few distinct venues per label, so linear probing wins.
+    std::vector<std::pair<data::VenueId, std::size_t>> counts;
+    const auto bump = [&counts](data::VenueId venue) {
+      for (auto& [seen, count] : counts) {
+        if (seen == venue) {
+          ++count;
+          return;
+        }
+      }
+      counts.emplace_back(venue, 1);
+    };
+    for (std::size_t i = 0; i < venues_.size(); ++i) {
+      if (venue_labels[venues_[i]] == label && windows_[i] == window) bump(venues_[i]);
     }
-    return checkin.category;
-  }
-
- private:
-  using VenueCounts = std::map<data::VenueId, std::size_t>;
-
-  static data::VenueId best(const VenueCounts& counts) {
-    data::VenueId best_venue = counts.begin()->first;
+    if (counts.empty()) {
+      // Fallback: the user's most-visited venue of this label at any time.
+      for (const data::VenueId venue : venues_) {
+        if (venue_labels[venue] == label) bump(venue);
+      }
+    }
+    if (counts.empty()) return std::nullopt;
+    data::VenueId best_venue = counts.front().first;
     std::size_t best_count = 0;
     for (const auto& [venue, count] : counts) {
-      if (count > best_count) {
+      if (count > best_count || (count == best_count && venue < best_venue)) {
         best_count = count;
         best_venue = venue;
       }
@@ -64,32 +119,38 @@ class RepresentativeVenues {
     return best_venue;
   }
 
-  std::map<std::pair<mining::Item, int>, VenueCounts> windowed_;
-  std::map<mining::Item, VenueCounts> overall_;
+ private:
+  std::span<const data::VenueId> venues_;   ///< the user's venue column
+  const PlacementTables& tables_;
+  std::vector<std::uint16_t> windows_;      ///< window of each record
 };
 
-/// Appends one user's placements into per-window scratch vectors. Both
-/// the full build and the incremental update place users through this
-/// single code path, so their outputs agree element-for-element.
+/// Appends one user's placements into per-window scratch vectors. The
+/// full build, the parallel chunks, and the incremental update place
+/// users through this single code path, so their outputs agree
+/// element-for-element.
 void append_user_placements(const data::Dataset& dataset, const patterns::UserMobility& user,
                             const geo::SpatialGrid& grid, const CrowdOptions& options,
-                            const data::Taxonomy& taxonomy, mining::LabelMode mode,
+                            const PlacementTables& tables,
                             std::vector<std::vector<CrowdPlacement>>& out) {
   if (user.patterns.empty()) return;
   const int windows = static_cast<int>(out.size());
-  const RepresentativeVenues venues(dataset, user.user, taxonomy, options.window_minutes,
-                                    mode);
+  // Built on the first qualifying pattern: most users never clear the
+  // support threshold, and skipping their index build is most of the
+  // stage's win at scale.
+  std::optional<RepresentativeVenues> venues;
   // A user appears at most once per (window, label): dedupe elements of
   // different patterns that land in the same window.
   std::set<std::pair<int, mining::Item>> placed;
   for (const patterns::MobilityPattern& pattern : user.patterns) {
     if (pattern.support < options.min_pattern_support) continue;
+    if (!venues) venues.emplace(dataset.checkins_for(user.user), tables);
     for (const patterns::TimedElement& element : pattern.elements) {
       const int minute = static_cast<int>(element.mean_minute);
       const int window =
           std::clamp(minute / options.window_minutes, 0, windows - 1);
       if (!placed.insert({window, element.label}).second) continue;
-      const auto venue_id = venues.pick(element.label, window);
+      const auto venue_id = venues->pick(element.label, window);
       if (!venue_id) continue;
       const data::Venue* venue = dataset.venue(*venue_id);
       if (venue == nullptr) continue;
@@ -110,11 +171,17 @@ void append_user_placements(const data::Dataset& dataset, const patterns::UserMo
 /// UserMobility) through the shared placement path. Entries must be in
 /// ascending user order — that is what makes each window's placements
 /// user-sorted, which the incremental update relies on.
+///
+/// With threads > 1 the entries are split into contiguous chunks, each
+/// placed into its own scratch windows on the worker pool, and the
+/// per-window results are concatenated in chunk order — reproducing the
+/// sequential output exactly.
 template <typename MobilityRange>
 Result<std::vector<std::vector<CrowdPlacement>>> place_all(const data::Dataset& dataset,
                                                            const MobilityRange& mobility,
                                                            const geo::SpatialGrid& grid,
-                                                           const CrowdOptions& options) {
+                                                           const CrowdOptions& options,
+                                                           unsigned threads) {
   if (options.window_minutes <= 0 || (24 * 60) % options.window_minutes != 0)
     return invalid_argument(
         crowdweb::format("window_minutes must divide a day, got {}", options.window_minutes));
@@ -124,11 +191,35 @@ Result<std::vector<std::vector<CrowdPlacement>>> place_all(const data::Dataset& 
 
   // NOTE: synchronization assumes root-category labels, the platform
   // default; the representative-venue lookup mirrors that.
-  const mining::LabelMode mode = mining::LabelMode::kRootCategory;
-  const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+  const PlacementTables tables = make_tables(dataset, data::Taxonomy::foursquare(),
+                                             mining::LabelMode::kRootCategory,
+                                             options.window_minutes);
 
-  for (const patterns::UserMobility& user : mobility)
-    append_user_placements(dataset, user, grid, options, taxonomy, mode, scratch);
+  std::vector<const patterns::UserMobility*> entries;
+  for (const patterns::UserMobility& user : mobility) entries.push_back(&user);
+
+  const unsigned workers = util::effective_threads(threads, entries.size());
+  if (workers <= 1) {
+    for (const patterns::UserMobility* user : entries)
+      append_user_placements(dataset, *user, grid, options, tables, scratch);
+    return scratch;
+  }
+
+  std::vector<std::vector<std::vector<CrowdPlacement>>> chunk_scratch(
+      workers, std::vector<std::vector<CrowdPlacement>>(static_cast<std::size_t>(windows)));
+  util::parallel_chunks(entries.size(), workers,
+                        [&](unsigned chunk, std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i)
+                            append_user_placements(dataset, *entries[i], grid, options,
+                                                   tables, chunk_scratch[chunk]);
+                        });
+  for (std::size_t w = 0; w < scratch.size(); ++w) {
+    std::size_t total = 0;
+    for (const auto& chunk : chunk_scratch) total += chunk[w].size();
+    scratch[w].reserve(total);
+    for (auto& chunk : chunk_scratch)
+      scratch[w].insert(scratch[w].end(), chunk[w].begin(), chunk[w].end());
+  }
   return scratch;
 }
 
@@ -144,8 +235,8 @@ void CrowdModel::adopt_windows(std::vector<std::vector<CrowdPlacement>> windows)
 Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
                                      std::span<const patterns::UserMobility> mobility,
                                      const geo::SpatialGrid& grid,
-                                     const CrowdOptions& options) {
-  auto placed = place_all(dataset, mobility, grid, options);
+                                     const CrowdOptions& options, unsigned threads) {
+  auto placed = place_all(dataset, mobility, grid, options, threads);
   if (!placed) return placed.status();
   CrowdModel model(grid, options);
   model.adopt_windows(std::move(*placed));
@@ -155,8 +246,8 @@ Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
 Result<CrowdModel> CrowdModel::build(const data::Dataset& dataset,
                                      const patterns::MobilityTable& mobility,
                                      const geo::SpatialGrid& grid,
-                                     const CrowdOptions& options) {
-  auto placed = place_all(dataset, mobility, grid, options);
+                                     const CrowdOptions& options, unsigned threads) {
+  auto placed = place_all(dataset, mobility, grid, options, threads);
   if (!placed) return placed.status();
   CrowdModel model(grid, options);
   model.adopt_windows(std::move(*placed));
@@ -236,13 +327,13 @@ Result<CrowdModel> CrowdModel::update(const CrowdModel& previous,
   std::sort(changed.begin(), changed.end());
   changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
 
-  const mining::LabelMode mode = mining::LabelMode::kRootCategory;
-  const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+  const PlacementTables tables = make_tables(dataset, data::Taxonomy::foursquare(),
+                                             mining::LabelMode::kRootCategory,
+                                             model.options_.window_minutes);
   std::vector<std::vector<CrowdPlacement>> fresh(static_cast<std::size_t>(windows));
   for (const data::UserId user : changed) {
     if (const patterns::UserMobility* entry = mobility.find(user))
-      append_user_placements(dataset, *entry, model.grid_, model.options_, taxonomy, mode,
-                             fresh);
+      append_user_placements(dataset, *entry, model.grid_, model.options_, tables, fresh);
   }
 
   const auto is_changed = [&](data::UserId user) {

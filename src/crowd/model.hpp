@@ -58,16 +58,23 @@ class CrowdModel {
  public:
   /// Builds the model. `grid` is copied; `dataset` is only read during
   /// construction. Fails when window_minutes does not divide a day.
+  ///
+  /// `threads` fans user placement out over a transient worker pool
+  /// (0 = hardware concurrency, 1 = sequential). Users are split into
+  /// contiguous chunks whose per-window results are concatenated in
+  /// chunk order, so the model is identical at any thread count.
   static Result<CrowdModel> build(const data::Dataset& dataset,
                                   std::span<const patterns::UserMobility> mobility,
                                   const geo::SpatialGrid& grid,
-                                  const CrowdOptions& options = {});
+                                  const CrowdOptions& options = {},
+                                  unsigned threads = 1);
 
   /// Same, over a shared mobility table.
   static Result<CrowdModel> build(const data::Dataset& dataset,
                                   const patterns::MobilityTable& mobility,
                                   const geo::SpatialGrid& grid,
-                                  const CrowdOptions& options = {});
+                                  const CrowdOptions& options = {},
+                                  unsigned threads = 1);
 
   /// Merges partition models whose user sets are disjoint into one model
   /// equal to a full build over the union of their inputs. Every part

@@ -1,10 +1,19 @@
 // Core record types of the CrowdWeb data model.
+//
+// Identifier strings are interned at the ingest boundary: a stored
+// `Venue` carries a dense `NameId` into the dataset's StringPool
+// instead of a heap string. `VenueSpec` is the boundary type — CSV
+// loaders, the synthetic generator, and the ingest worker describe
+// venues with a real string name, and DatasetBuilder::add_venue
+// interns it on the way in. Strings come back out only at the render
+// edge, via Dataset::venue_name / the epoch's name snapshot.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "data/categories.hpp"
+#include "data/string_pool.hpp"
 #include "geo/point.hpp"
 
 namespace crowdweb::data {
@@ -12,8 +21,19 @@ namespace crowdweb::data {
 using UserId = std::uint32_t;
 using VenueId = std::uint32_t;
 
-/// A place a user can check in at (a Foursquare "venue").
+/// A place a user can check in at (a Foursquare "venue"), as stored:
+/// plain-old-data, with the display name interned to a NameId.
 struct Venue {
+  VenueId id = 0;
+  NameId name = kNoName;              ///< index into the dataset's name pool
+  CategoryId category = kNoCategory;  ///< leaf category (venue type)
+  geo::LatLon position;
+};
+
+/// A venue as described at the ingest boundary, before its name has
+/// been interned. DatasetBuilder::add_venue(VenueSpec) turns one of
+/// these into a stored Venue.
+struct VenueSpec {
   VenueId id = 0;
   std::string name;
   CategoryId category = kNoCategory;  ///< leaf category (venue type)

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "geo/kernels.hpp"
 #include "stats/summary.hpp"
 #include "util/civil_time.hpp"
 #include "util/format.hpp"
@@ -30,17 +31,28 @@ const Venue* Dataset::venue(VenueId id) const noexcept {
   return &(*venues_)[id];
 }
 
-std::span<const CheckIn> Dataset::checkins_for(UserId user) const noexcept {
+Dataset::UserColumns Dataset::checkins_for(UserId user) const noexcept {
   const auto it = std::lower_bound(users_.begin(), users_.end(), user);
   if (it == users_.end() || *it != user) return {};
   const std::size_t index = static_cast<std::size_t>(it - users_.begin());
-  return shards_[index]->checkins;
+  return UserColumns(shards_[index].get(), venues_ ? venues_.get() : nullptr);
 }
 
 Dataset::ShardPtr Dataset::shard_for(UserId user) const noexcept {
   const auto it = std::lower_bound(users_.begin(), users_.end(), user);
   if (it == users_.end() || *it != user) return nullptr;
   return shards_[static_cast<std::size_t>(it - users_.begin())];
+}
+
+VenueSpec Dataset::venue_spec(VenueId id) const {
+  const Venue* v = venue(id);
+  if (v == nullptr) return {};
+  VenueSpec spec;
+  spec.id = v->id;
+  spec.name = std::string(name(v->name));
+  spec.category = v->category;
+  spec.position = v->position;
+  return spec;
 }
 
 DatasetStats Dataset::stats() const {
@@ -53,16 +65,16 @@ DatasetStats Dataset::stats() const {
   std::vector<double> per_user;
   per_user.reserve(users_.size());
   for (const ShardPtr& shard : shards_)
-    per_user.push_back(static_cast<double>(shard->checkins.size()));
+    per_user.push_back(static_cast<double>(shard->size()));
   s.mean_records_per_user = stats::mean(per_user);
   s.median_records_per_user = stats::median(per_user);
 
-  std::int64_t first = shards_.front()->checkins.front().timestamp;
+  std::int64_t first = shards_.front()->timestamps.front();
   std::int64_t last = first;
   for (const ShardPtr& shard : shards_) {
     // Shards are time-sorted: front/back bound the user's range.
-    first = std::min(first, shard->checkins.front().timestamp);
-    last = std::max(last, shard->checkins.back().timestamp);
+    first = std::min(first, shard->timestamps.front());
+    last = std::max(last, shard->timestamps.back());
   }
   s.first_timestamp = first;
   s.last_timestamp = last;
@@ -74,18 +86,21 @@ DatasetStats Dataset::stats() const {
 }
 
 std::vector<std::pair<std::string, std::size_t>> Dataset::monthly_counts() const {
-  // Month key = year * 12 + (month - 1), kept ordered.
+  // Month key = year * 12 + (month - 1), kept ordered. Only the
+  // timestamp column matters, so walk it directly.
   std::vector<std::pair<std::int64_t, std::size_t>> keyed;
-  for (const CheckIn& c : checkins()) {
-    const CivilTime civil = to_civil(c.timestamp);
-    const std::int64_t key = static_cast<std::int64_t>(civil.year) * 12 + civil.month - 1;
-    const auto it = std::lower_bound(
-        keyed.begin(), keyed.end(), key,
-        [](const auto& entry, std::int64_t k) { return entry.first < k; });
-    if (it != keyed.end() && it->first == key) {
-      ++it->second;
-    } else {
-      keyed.insert(it, {key, 1});
+  for (const ShardPtr& shard : shards_) {
+    for (const std::int64_t timestamp : shard->timestamps) {
+      const CivilTime civil = to_civil(timestamp);
+      const std::int64_t key = static_cast<std::int64_t>(civil.year) * 12 + civil.month - 1;
+      const auto it = std::lower_bound(
+          keyed.begin(), keyed.end(), key,
+          [](const auto& entry, std::int64_t k) { return entry.first < k; });
+      if (it != keyed.end() && it->first == key) {
+        ++it->second;
+      } else {
+        keyed.insert(it, {key, 1});
+      }
     }
   }
   std::vector<std::pair<std::string, std::size_t>> out;
@@ -99,16 +114,16 @@ std::vector<std::pair<std::string, std::size_t>> Dataset::monthly_counts() const
 
 std::size_t Dataset::active_days(UserId user, std::int64_t from, std::int64_t to) const {
   std::set<std::int64_t> days;
-  for (const CheckIn& c : checkins_for(user)) {
-    if (c.timestamp < from) continue;
-    if (to != 0 && c.timestamp >= to) continue;
-    days.insert(day_index(c.timestamp));
+  for (const std::int64_t timestamp : checkins_for(user).timestamps()) {
+    if (timestamp < from) continue;
+    if (to != 0 && timestamp >= to) continue;
+    days.insert(day_index(timestamp));
   }
   return days.size();
 }
 
 bool Dataset::is_active_user(UserId user, const ActiveUserCriteria& criteria) const {
-  const auto records = checkins_for(user);
+  const auto timestamps = checkins_for(user).timestamps();
   // Count qualifying days. Records are time-sorted, so a single pass
   // suffices: a day qualifies when the gap rule is disabled (any record)
   // or when two consecutive records on that day are close enough.
@@ -116,28 +131,30 @@ bool Dataset::is_active_user(UserId user, const ActiveUserCriteria& criteria) co
   std::int64_t prev_time = 0;
   std::int64_t prev_day = -1;
   bool have_prev = false;
-  for (const CheckIn& c : records) {
-    if (c.timestamp < criteria.from || c.timestamp >= criteria.to) {
+  for (const std::int64_t timestamp : timestamps) {
+    if (timestamp < criteria.from || timestamp >= criteria.to) {
       have_prev = false;
       continue;
     }
-    const std::int64_t day = day_index(c.timestamp);
+    const std::int64_t day = day_index(timestamp);
     if (criteria.max_gap_seconds <= 0) {
       qualifying.insert(day);
     } else if (have_prev && prev_day == day &&
-               c.timestamp - prev_time <= criteria.max_gap_seconds) {
+               timestamp - prev_time <= criteria.max_gap_seconds) {
       qualifying.insert(day);
     }
-    prev_time = c.timestamp;
+    prev_time = timestamp;
     prev_day = day;
     have_prev = true;
   }
   return static_cast<int>(qualifying.size()) > criteria.min_days;
 }
 
-void Dataset::adopt(VenueTablePtr venues, std::vector<ShardPtr> shards,
-                    const geo::BoundingBox& bounds) {
+void Dataset::adopt(VenueTablePtr venues, StringPoolPtr pool, NamesPtr names,
+                    std::vector<ShardPtr> shards, const geo::BoundingBox& bounds) {
   venues_ = std::move(venues);
+  name_pool_ = std::move(pool);
+  names_ = std::move(names);
   shards_ = std::move(shards);
   users_.clear();
   offsets_.clear();
@@ -149,10 +166,8 @@ void Dataset::adopt(VenueTablePtr venues, std::vector<ShardPtr> shards,
   for (const ShardPtr& shard : shards_) {
     users_.push_back(shard->user);
     offsets_.push_back(total);
-    total += shard->checkins.size();
-    if (derive_bounds) {
-      for (const CheckIn& c : shard->checkins) bounds_.extend(c.position);
-    }
+    total += shard->size();
+    if (derive_bounds) geo::extend_bounds(bounds_, shard->lats, shard->lons);
   }
   offsets_.push_back(total);
 }
@@ -166,14 +181,23 @@ Dataset Dataset::subset(std::vector<CheckIn> keep) const {
     if (i == keep.size() || keep[i].user != keep[begin].user) {
       auto shard = std::make_shared<UserShard>();
       shard->user = keep[begin].user;
-      shard->checkins.assign(keep.begin() + static_cast<std::ptrdiff_t>(begin),
-                             keep.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t n = i - begin;
+      shard->timestamps.reserve(n);
+      shard->lats.reserve(n);
+      shard->lons.reserve(n);
+      shard->venues.reserve(n);
+      for (std::size_t k = begin; k < i; ++k) {
+        shard->timestamps.push_back(keep[k].timestamp);
+        shard->lats.push_back(keep[k].position.lat);
+        shard->lons.push_back(keep[k].position.lon);
+        shard->venues.push_back(keep[k].venue);
+      }
       shards.push_back(std::move(shard));
       begin = i;
     }
   }
   Dataset out;
-  out.adopt(venues_, std::move(shards), geo::BoundingBox{});
+  out.adopt(venues_, name_pool_, names_, std::move(shards), geo::BoundingBox{});
   return out;
 }
 
@@ -210,17 +234,46 @@ const Venue* DatasetBuilder::venue_at(VenueId id) const noexcept {
   return &new_venues_[local];
 }
 
-Status DatasetBuilder::add_venue(Venue venue) {
+void DatasetBuilder::ensure_pool() {
+  if (!pool_) pool_ = std::make_shared<StringPool>();
+}
+
+Status DatasetBuilder::validate_venue(const Venue& venue, std::string_view display_name) {
   const std::size_t next_id = base_.venue_count() + new_venues_.size();
   if (venue.id != next_id)
     return invalid_argument(
         crowdweb::format("venue ids must be dense: expected {}, got {}", next_id,
                          venue.id));
   if (!geo::is_valid(venue.position))
-    return invalid_argument(crowdweb::format("venue '{}' has an invalid position", venue.name));
+    return invalid_argument(crowdweb::format("venue '{}' has an invalid position", display_name));
   if (venue.category == kNoCategory)
-    return invalid_argument(crowdweb::format("venue '{}' has no category", venue.name));
-  new_venues_.push_back(std::move(venue));
+    return invalid_argument(crowdweb::format("venue '{}' has no category", display_name));
+  return Status::ok();
+}
+
+Status DatasetBuilder::add_venue(const VenueSpec& spec) {
+  Venue venue;
+  venue.id = spec.id;
+  venue.category = spec.category;
+  venue.position = spec.position;
+  if (Status status = validate_venue(venue, spec.name); !status.is_ok()) return status;
+  ensure_pool();
+  venue.name = pool_->intern(spec.name);
+  new_venues_.push_back(venue);
+  return Status::ok();
+}
+
+Status DatasetBuilder::add_venue(Venue venue) {
+  ensure_pool();
+  const std::string_view display_name =
+      venue.name < pool_->size() ? pool_->snapshot()->names()[venue.name]
+                                 : std::string_view{};
+  if (Status status = validate_venue(venue, display_name); !status.is_ok()) return status;
+  if (venue.name >= pool_->size())
+    return invalid_argument(crowdweb::format(
+        "venue {} references name id {} outside the pool ({} interned)", venue.id,
+        venue.name, pool_->size()));
+  new_venues_.push_back(venue);
   return Status::ok();
 }
 
@@ -242,6 +295,7 @@ Status DatasetBuilder::add_checkin(CheckIn checkin) {
 
 Dataset DatasetBuilder::build() {
   stats_ = {};
+  ensure_pool();
 
   // Venue table: copy-on-write — adopt the base table untouched unless
   // this delta introduced venues.
@@ -254,7 +308,7 @@ Dataset DatasetBuilder::build() {
     table->reserve(base_.venue_count() + new_venues_.size());
     if (base_.venues_)
       table->insert(table->end(), base_.venues_->begin(), base_.venues_->end());
-    for (Venue& v : new_venues_) table->push_back(std::move(v));
+    for (const Venue& v : new_venues_) table->push_back(v);
     venues = std::move(table);
   }
 
@@ -273,7 +327,8 @@ Dataset DatasetBuilder::build() {
 
   // Merge the base's user-sorted shards with the touched users: an
   // untouched shard is shared by pointer; a touched one is rebuilt by a
-  // stable time-merge of base records (first on ties) and the delta.
+  // stable columnar time-merge of base records (first on ties) and the
+  // delta.
   std::vector<Dataset::ShardPtr> shards;
   shards.reserve(base_.shards_.size() + touched.size());
   std::size_t bi = 0;
@@ -290,17 +345,35 @@ Dataset DatasetBuilder::build() {
     std::vector<CheckIn>& delta = pending_[user];
     auto shard = std::make_shared<Dataset::UserShard>();
     shard->user = user;
+    const Dataset::UserShard* existing = nullptr;
     if (bi < base_.shards_.size() && base_.shards_[bi]->user == user) {
-      const std::vector<CheckIn>& existing = base_.shards_[bi]->checkins;
-      shard->checkins.reserve(existing.size() + delta.size());
-      std::merge(existing.begin(), existing.end(), delta.begin(), delta.end(),
-                 std::back_inserter(shard->checkins),
-                 [](const CheckIn& a, const CheckIn& b) {
-                   return a.timestamp < b.timestamp;
-                 });
+      existing = base_.shards_[bi].get();
       ++bi;
-    } else {
-      shard->checkins = std::move(delta);
+    }
+    const std::size_t base_n = existing ? existing->size() : 0;
+    const std::size_t n = base_n + delta.size();
+    shard->timestamps.reserve(n);
+    shard->lats.reserve(n);
+    shard->lons.reserve(n);
+    shard->venues.reserve(n);
+    std::size_t i = 0;  // base cursor
+    std::size_t j = 0;  // delta cursor
+    while (i < base_n || j < delta.size()) {
+      // Base wins timestamp ties, matching std::merge's stable order.
+      if (j == delta.size() ||
+          (i < base_n && existing->timestamps[i] <= delta[j].timestamp)) {
+        shard->timestamps.push_back(existing->timestamps[i]);
+        shard->lats.push_back(existing->lats[i]);
+        shard->lons.push_back(existing->lons[i]);
+        shard->venues.push_back(existing->venues[i]);
+        ++i;
+      } else {
+        shard->timestamps.push_back(delta[j].timestamp);
+        shard->lats.push_back(delta[j].position.lat);
+        shard->lons.push_back(delta[j].position.lon);
+        shard->venues.push_back(delta[j].venue);
+        ++j;
+      }
     }
     shards.push_back(std::move(shard));
     ++stats_.shards_rebuilt;
@@ -311,7 +384,7 @@ Dataset DatasetBuilder::build() {
   bounds.extend(pending_bounds_);
 
   Dataset out;
-  out.adopt(std::move(venues), std::move(shards), bounds);
+  out.adopt(std::move(venues), pool_, pool_->snapshot(), std::move(shards), bounds);
   base_ = Dataset{};
   new_venues_.clear();
   pending_.clear();

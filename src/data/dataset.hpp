@@ -8,13 +8,25 @@
 // period" — i.e. users whose records include, on more than `min_days`
 // distinct days, check-ins less than two hours apart).
 //
-// Storage is sharded per user: each user's time-sorted records live in
-// one immutable shard held by shared_ptr, and the venue table is one
-// shared immutable vector. Copying a Dataset copies only the shard
-// pointers, and an incremental build (DatasetBuilder seeded `from` a
-// base dataset) rebuilds only the shards the delta touched — every
-// other shard is shared with the base. A dataset built incrementally is
-// value-identical to one built from scratch over the same records.
+// Storage is sharded per user and columnar: each user's time-sorted
+// records live in one immutable structure-of-arrays shard (parallel
+// timestamp / lat / lon / venue-id columns) held by shared_ptr, and
+// the venue table is one shared immutable vector of POD rows whose
+// names are interned NameIds into a shared StringPool. The category
+// column is not stored per record: add_checkin enforces that a
+// check-in's category equals its venue's, so kernels derive it from
+// the venue-id column and the venue table. Copying a Dataset copies
+// only the shard pointers, and an incremental build (DatasetBuilder
+// seeded `from` a base dataset) rebuilds only the shards the delta
+// touched — every other shard is shared with the base, and the name
+// pool is append-only so base ids never change. A dataset built
+// incrementally is value-identical to one built from scratch over the
+// same records.
+//
+// Hot paths walk the columns directly via `checkins_for` (UserColumns)
+// or `UserShard`; the record-at-a-time views (CheckInView, UserColumns
+// iteration) materialize `CheckIn` values on the fly for callers that
+// want the classic struct.
 #pragma once
 
 #include <cstdint>
@@ -23,10 +35,12 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "data/checkin.hpp"
+#include "data/string_pool.hpp"
 #include "util/status.hpp"
 
 namespace crowdweb::data {
@@ -61,38 +75,162 @@ struct ActiveUserCriteria {
 /// Build with `DatasetBuilder`; all accessors require the built state.
 class Dataset {
  public:
-  /// One user's time-sorted records, immutable and shared between the
-  /// dataset versions whose delta never touched this user.
+  /// One user's time-sorted records as structure-of-arrays columns,
+  /// immutable and shared between the dataset versions whose delta
+  /// never touched this user. All four columns have the same length;
+  /// index i across them is one check-in. The per-record category is
+  /// derived, not stored: it always equals the venue's category.
   struct UserShard {
     UserId user = 0;
-    std::vector<CheckIn> checkins;  ///< sorted by timestamp (stable)
+    std::vector<std::int64_t> timestamps;  ///< sorted ascending (stable)
+    std::vector<double> lats;
+    std::vector<double> lons;
+    std::vector<VenueId> venues;
+
+    [[nodiscard]] std::size_t size() const noexcept { return timestamps.size(); }
   };
   using ShardPtr = std::shared_ptr<const UserShard>;
   using VenueTablePtr = std::shared_ptr<const std::vector<Venue>>;
 
+  /// One user's records: raw column access for kernels, plus a
+  /// record-at-a-time view that materializes `CheckIn` values (the
+  /// category is resolved through the venue table). Valid as long as
+  /// the dataset (or a copy of it) lives.
+  class UserColumns {
+   public:
+    UserColumns() = default;
+
+    [[nodiscard]] UserId user() const noexcept { return shard_ ? shard_->user : 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return shard_ ? shard_->size() : 0; }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+    /// Raw columns (empty spans for an unknown user).
+    [[nodiscard]] std::span<const std::int64_t> timestamps() const noexcept {
+      return shard_ ? std::span<const std::int64_t>(shard_->timestamps)
+                    : std::span<const std::int64_t>{};
+    }
+    [[nodiscard]] std::span<const double> lats() const noexcept {
+      return shard_ ? std::span<const double>(shard_->lats) : std::span<const double>{};
+    }
+    [[nodiscard]] std::span<const double> lons() const noexcept {
+      return shard_ ? std::span<const double>(shard_->lons) : std::span<const double>{};
+    }
+    [[nodiscard]] std::span<const VenueId> venues() const noexcept {
+      return shard_ ? std::span<const VenueId>(shard_->venues) : std::span<const VenueId>{};
+    }
+
+    /// Per-record field accessors (no bounds check; i < size()).
+    [[nodiscard]] std::int64_t timestamp(std::size_t i) const noexcept {
+      return shard_->timestamps[i];
+    }
+    [[nodiscard]] geo::LatLon position(std::size_t i) const noexcept {
+      return {shard_->lats[i], shard_->lons[i]};
+    }
+    [[nodiscard]] VenueId venue(std::size_t i) const noexcept { return shard_->venues[i]; }
+    [[nodiscard]] CategoryId category(std::size_t i) const noexcept {
+      return venue_table_ ? (*venue_table_)[shard_->venues[i]].category : kNoCategory;
+    }
+
+    /// Materialized record i (by value — the struct does not exist in
+    /// storage).
+    [[nodiscard]] CheckIn operator[](std::size_t i) const noexcept {
+      CheckIn c;
+      c.user = shard_->user;
+      c.venue = shard_->venues[i];
+      c.category = category(i);
+      c.position = {shard_->lats[i], shard_->lons[i]};
+      c.timestamp = shard_->timestamps[i];
+      return c;
+    }
+    [[nodiscard]] CheckIn front() const noexcept { return (*this)[0]; }
+    [[nodiscard]] CheckIn back() const noexcept { return (*this)[size() - 1]; }
+
+    /// Random-access proxy iterator yielding materialized CheckIns.
+    class Iterator {
+     public:
+      using iterator_category = std::random_access_iterator_tag;
+      using value_type = CheckIn;
+      using difference_type = std::ptrdiff_t;
+      using pointer = void;
+      using reference = CheckIn;
+
+      Iterator() = default;
+
+      [[nodiscard]] CheckIn operator*() const noexcept { return (*view_)[i_]; }
+      [[nodiscard]] CheckIn operator[](difference_type n) const noexcept {
+        return (*view_)[i_ + static_cast<std::size_t>(n)];
+      }
+
+      Iterator& operator++() noexcept { ++i_; return *this; }
+      Iterator operator++(int) noexcept { Iterator out = *this; ++i_; return out; }
+      Iterator& operator--() noexcept { --i_; return *this; }
+      Iterator operator--(int) noexcept { Iterator out = *this; --i_; return out; }
+      Iterator& operator+=(difference_type n) noexcept {
+        i_ += static_cast<std::size_t>(n);
+        return *this;
+      }
+      Iterator& operator-=(difference_type n) noexcept { return *this += -n; }
+      [[nodiscard]] friend Iterator operator+(Iterator it, difference_type n) noexcept {
+        return it += n;
+      }
+      [[nodiscard]] friend Iterator operator+(difference_type n, Iterator it) noexcept {
+        return it += n;
+      }
+      [[nodiscard]] friend Iterator operator-(Iterator it, difference_type n) noexcept {
+        return it += -n;
+      }
+      [[nodiscard]] friend difference_type operator-(const Iterator& a,
+                                                     const Iterator& b) noexcept {
+        return static_cast<difference_type>(a.i_) - static_cast<difference_type>(b.i_);
+      }
+      [[nodiscard]] friend bool operator==(const Iterator& a, const Iterator& b) noexcept {
+        return a.i_ == b.i_;
+      }
+      [[nodiscard]] friend auto operator<=>(const Iterator& a, const Iterator& b) noexcept {
+        return a.i_ <=> b.i_;
+      }
+
+     private:
+      friend class UserColumns;
+      Iterator(const UserColumns* view, std::size_t i) noexcept : view_(view), i_(i) {}
+      const UserColumns* view_ = nullptr;
+      std::size_t i_ = 0;
+    };
+
+    [[nodiscard]] Iterator begin() const noexcept { return {this, 0}; }
+    [[nodiscard]] Iterator end() const noexcept { return {this, size()}; }
+
+   private:
+    friend class Dataset;
+    UserColumns(const UserShard* shard, const std::vector<Venue>* venue_table) noexcept
+        : shard_(shard), venue_table_(venue_table) {}
+    const UserShard* shard_ = nullptr;             ///< null == unknown user
+    const std::vector<Venue>* venue_table_ = nullptr;
+  };
+
   /// Random-access iterator over every check-in in (user, timestamp)
-  /// order, walking the per-user shards without materializing them.
+  /// order, walking the per-user shard columns and materializing each
+  /// record by value.
   class CheckInIterator {
    public:
     using iterator_category = std::random_access_iterator_tag;
     using value_type = CheckIn;
     using difference_type = std::ptrdiff_t;
-    using pointer = const CheckIn*;
-    using reference = const CheckIn&;
+    using pointer = void;
+    using reference = CheckIn;
 
     CheckInIterator() = default;
 
-    [[nodiscard]] reference operator*() const noexcept {
-      return dataset_->shards_[shard_]->checkins[local_];
+    [[nodiscard]] CheckIn operator*() const noexcept {
+      return dataset_->materialize(*dataset_->shards_[shard_], local_);
     }
-    [[nodiscard]] pointer operator->() const noexcept { return &**this; }
-    [[nodiscard]] reference operator[](difference_type n) const noexcept {
+    [[nodiscard]] CheckIn operator[](difference_type n) const noexcept {
       return *(*this + n);
     }
 
     CheckInIterator& operator++() noexcept {
       ++index_;
-      if (++local_ >= dataset_->shards_[shard_]->checkins.size()) {
+      if (++local_ >= dataset_->shards_[shard_]->size()) {
         ++shard_;
         local_ = 0;
       }
@@ -107,7 +245,7 @@ class Dataset {
       --index_;
       if (local_ == 0) {
         --shard_;
-        local_ = dataset_->shards_[shard_]->checkins.size() - 1;
+        local_ = dataset_->shards_[shard_]->size() - 1;
       } else {
         --local_;
       }
@@ -173,11 +311,11 @@ class Dataset {
     }
     [[nodiscard]] std::size_t size() const noexcept { return dataset_->checkin_count(); }
     [[nodiscard]] bool empty() const noexcept { return size() == 0; }
-    [[nodiscard]] const CheckIn& operator[](std::size_t index) const noexcept {
+    [[nodiscard]] CheckIn operator[](std::size_t index) const noexcept {
       return begin()[static_cast<std::ptrdiff_t>(index)];
     }
-    [[nodiscard]] const CheckIn& front() const noexcept { return (*this)[0]; }
-    [[nodiscard]] const CheckIn& back() const noexcept { return (*this)[size() - 1]; }
+    [[nodiscard]] CheckIn front() const noexcept { return (*this)[0]; }
+    [[nodiscard]] CheckIn back() const noexcept { return (*this)[size() - 1]; }
 
    private:
     friend class Dataset;
@@ -208,8 +346,8 @@ class Dataset {
   }
   [[nodiscard]] const Venue* venue(VenueId id) const noexcept;
 
-  /// This user's check-ins sorted by time (empty when unknown).
-  [[nodiscard]] std::span<const CheckIn> checkins_for(UserId user) const noexcept;
+  /// This user's records as columns (empty when unknown).
+  [[nodiscard]] UserColumns checkins_for(UserId user) const noexcept;
 
   /// The user's shard object, or null when unknown. Shards are shared
   /// between dataset versions whose delta never touched the user, so
@@ -220,6 +358,32 @@ class Dataset {
   /// The shared venue table (pointer equality across versions proves
   /// copy-on-write reuse). Null for an empty dataset.
   [[nodiscard]] VenueTablePtr venue_table() const noexcept { return venues_; }
+
+  /// The append-only pool venue names are interned into (shared across
+  /// dataset versions built from the same lineage). Null only for a
+  /// default-constructed dataset.
+  [[nodiscard]] const StringPoolPtr& name_pool() const noexcept { return name_pool_; }
+
+  /// Frozen name snapshot taken when this dataset was built — the
+  /// epoch's string table for rendering. Null only for a
+  /// default-constructed dataset.
+  [[nodiscard]] const NamesPtr& names() const noexcept { return names_; }
+
+  /// The interned string behind `id` ("" when unknown).
+  [[nodiscard]] std::string_view name(NameId id) const noexcept {
+    return names_ ? (*names_)[id] : std::string_view{};
+  }
+
+  /// Display name of a venue ("" when the venue is unknown).
+  [[nodiscard]] std::string_view venue_name(VenueId id) const noexcept {
+    const Venue* v = venue(id);
+    return v ? name(v->name) : std::string_view{};
+  }
+
+  /// Venue `id` with its name resolved back to a string — the boundary
+  /// form, suitable for feeding a fresh DatasetBuilder. Default
+  /// VenueSpec when the venue is unknown.
+  [[nodiscard]] VenueSpec venue_spec(VenueId id) const;
 
   /// Geographic extent of all check-ins (empty box for an empty dataset).
   [[nodiscard]] const geo::BoundingBox& bounds() const noexcept { return bounds_; }
@@ -252,17 +416,32 @@ class Dataset {
  private:
   friend class DatasetBuilder;
 
-  /// Adopts user-sorted shards + venue table, rebuilding users_/offsets_
-  /// and — when `bounds` is empty — deriving the bounds by scanning.
-  void adopt(VenueTablePtr venues, std::vector<ShardPtr> shards,
-             const geo::BoundingBox& bounds);
+  /// Adopts user-sorted shards + venue table + name pool, rebuilding
+  /// users_/offsets_ and — when `bounds` is empty — deriving the
+  /// bounds by scanning the coordinate columns.
+  void adopt(VenueTablePtr venues, StringPoolPtr pool, NamesPtr names,
+             std::vector<ShardPtr> shards, const geo::BoundingBox& bounds);
 
-  /// Subset sharing this dataset's venue table: `keep` holds the
-  /// records in (user, timestamp) order (any stable subsequence of
-  /// checkins() qualifies).
+  /// Materialized record `local` of `shard` (category resolved through
+  /// the venue table).
+  [[nodiscard]] CheckIn materialize(const UserShard& shard, std::size_t local) const noexcept {
+    CheckIn c;
+    c.user = shard.user;
+    c.venue = shard.venues[local];
+    c.category = venues_ ? (*venues_)[c.venue].category : kNoCategory;
+    c.position = {shard.lats[local], shard.lons[local]};
+    c.timestamp = shard.timestamps[local];
+    return c;
+  }
+
+  /// Subset sharing this dataset's venue table and name pool: `keep`
+  /// holds the records in (user, timestamp) order (any stable
+  /// subsequence of checkins() qualifies).
   [[nodiscard]] Dataset subset(std::vector<CheckIn> keep) const;
 
   VenueTablePtr venues_;             // null == empty table
+  StringPoolPtr name_pool_;          // shared, append-only (null == default-constructed)
+  NamesPtr names_;                   // frozen snapshot at build time
   std::vector<ShardPtr> shards_;     // sorted by user id
   std::vector<UserId> users_;        // distinct, ascending (parallel to shards_)
   std::vector<std::size_t> offsets_; // users_[i] owns global ranks [offsets_[i], offsets_[i+1])
@@ -281,15 +460,31 @@ class Dataset {
 /// build over an empty base — and order records identically: by user,
 /// then timestamp, ties resolved by insertion order (base records
 /// before added ones).
+///
+/// Venue names are interned here, at the build boundary: add_venue on
+/// a VenueSpec assigns the name a dense NameId from the builder's pool
+/// (the base's pool for incremental builds, so ids are stable across
+/// epochs). The pre-interned Venue overload serves recovery paths that
+/// replay rows already carrying NameIds from the same pool.
 class DatasetBuilder {
  public:
   DatasetBuilder() = default;
 
   /// Incremental form: `build()` applies the added delta to `base`.
-  explicit DatasetBuilder(const Dataset& base) : base_(base) {}
+  explicit DatasetBuilder(const Dataset& base)
+      : base_(base), pool_(base.name_pool()) {}
 
-  /// Registers a venue; its id must equal the number of venues known so
+  /// From-scratch form interning into an existing pool — for recovery
+  /// paths that rebuild a corpus whose rows already reference `pool`.
+  explicit DatasetBuilder(StringPoolPtr pool) : pool_(std::move(pool)) {}
+
+  /// Registers a venue described at the boundary (string name); the
+  /// name is interned. The id must equal the number of venues known so
   /// far, base table included (dense ids).
+  Status add_venue(const VenueSpec& spec);
+
+  /// Registers a venue whose name is already interned in this
+  /// builder's pool (recovery/replay paths).
   Status add_venue(Venue venue);
 
   /// Adds a check-in; the venue must exist, the position must be valid,
@@ -299,6 +494,13 @@ class DatasetBuilder {
   /// Number of records the built dataset will hold (base + added).
   [[nodiscard]] std::size_t checkin_count() const noexcept {
     return base_.checkin_count() + pending_count_;
+  }
+
+  /// The pool venue names are interned into (created lazily; never
+  /// null after the first add_venue or build).
+  [[nodiscard]] const StringPoolPtr& name_pool() {
+    ensure_pool();
+    return pool_;
   }
 
   /// How the last `build()` assembled its shards, for delta telemetry.
@@ -317,8 +519,11 @@ class DatasetBuilder {
 
  private:
   [[nodiscard]] const Venue* venue_at(VenueId id) const noexcept;
+  Status validate_venue(const Venue& venue, std::string_view display_name);
+  void ensure_pool();
 
   Dataset base_;
+  StringPoolPtr pool_;  ///< created lazily when null
   std::vector<Venue> new_venues_;
   /// Added records grouped per user, in arrival order.
   std::unordered_map<UserId, std::vector<CheckIn>> pending_;

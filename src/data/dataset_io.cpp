@@ -29,8 +29,9 @@ std::string venues_to_csv(const Dataset& dataset, const Taxonomy& taxonomy) {
   std::vector<CsvRow> rows;
   rows.push_back({"venue_id", "name", "category", "lat", "lon"});
   for (const Venue& v : dataset.venues()) {
-    rows.push_back({std::to_string(v.id), v.name, taxonomy.name(v.category),
-                    double_to_string(v.position.lat), double_to_string(v.position.lon)});
+    rows.push_back({std::to_string(v.id), std::string(dataset.name(v.name)),
+                    taxonomy.name(v.category), double_to_string(v.position.lat),
+                    double_to_string(v.position.lon)});
   }
   return write_csv(rows);
 }
@@ -95,12 +96,12 @@ Result<Dataset> dataset_from_csv(std::string_view venues_csv, std::string_view c
       return parse_error(crowdweb::format("venues row {} is malformed", i + 1));
     if (!category)
       return parse_error(crowdweb::format("venues row {}: unknown category '{}'", i + 1, row[2]));
-    Venue venue;
+    VenueSpec venue;
     venue.id = static_cast<VenueId>(*id);
     venue.name = row[1];
     venue.category = *category;
     venue.position = {*lat, *lon};
-    status = builder.add_venue(std::move(venue));
+    status = builder.add_venue(venue);
     if (!status.is_ok()) return status;
   }
 

@@ -1,0 +1,41 @@
+#include "data/string_pool.hpp"
+
+namespace crowdweb::data {
+
+StringPool::StringPool() : arena_(std::make_shared<std::deque<std::string>>()) {}
+
+NameId StringPool::intern(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NameId id = static_cast<NameId>(arena_->size());
+  arena_->emplace_back(name);
+  // Key the map by a view into the arena copy: deque never moves
+  // elements, so the view stays valid for the pool's lifetime.
+  index_.emplace(std::string_view(arena_->back()), id);
+  return id;
+}
+
+NameId StringPool::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  return it == index_.end() ? kNoName : it->second;
+}
+
+std::size_t StringPool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return arena_->size();
+}
+
+std::shared_ptr<const StringPool::Snapshot> StringPool::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cached_ && cached_->names_.size() == arena_->size()) return cached_;
+  auto snap = std::make_shared<Snapshot>();
+  snap->arena_ = arena_;
+  snap->names_.reserve(arena_->size());
+  for (const std::string& name : *arena_) snap->names_.emplace_back(name);
+  cached_ = snap;
+  return cached_;
+}
+
+}  // namespace crowdweb::data

@@ -1,0 +1,98 @@
+// Interning pool mapping identifier strings to dense u32 NameIds.
+//
+// Every identifier string (venue names today; any future string key)
+// is interned exactly once at the ingest boundary and replaced by a
+// dense `NameId` everywhere downstream — shards, the mining sequence
+// DB, checkpoints, and the k-way shard merge all key on the integer.
+// Strings reappear only at the JSON/CSV render edge, resolved through
+// a frozen `Snapshot` published alongside each epoch.
+//
+// The pool is append-only and thread-safe: `intern` takes a mutex,
+// dedupes against previously interned strings, and hands back the
+// existing id or the next dense one. Ids are assigned in first-intern
+// order, which makes the mapping deterministic for a fixed ingest
+// order — re-interning a checkpoint's id-ordered name table into a
+// fresh pool reproduces every id exactly.
+//
+// `snapshot()` returns an immutable, lock-free view for readers. The
+// backing storage is a std::deque whose strings never move, so a
+// snapshot stays valid forever: it shares ownership of the arena and
+// carries its own index of string_views. Snapshots are cached and only
+// rebuilt when the pool has grown, so an epoch publish with no new
+// names costs one mutex acquisition.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace crowdweb::data {
+
+/// Dense index of an interned string. Assigned in first-intern order.
+using NameId = std::uint32_t;
+
+/// Sentinel for "no interned string" (never a valid pool index).
+inline constexpr NameId kNoName = 0xFFFF'FFFFu;
+
+/// Append-only, thread-safe string interner with frozen snapshot views.
+class StringPool {
+ public:
+  /// Immutable view of the pool at some size. Lock-free to read and
+  /// valid for its whole lifetime even while the pool keeps growing
+  /// (it shares ownership of the string arena).
+  class Snapshot {
+   public:
+    /// Number of interned strings visible in this snapshot.
+    std::size_t size() const { return names_.size(); }
+    bool empty() const { return names_.empty(); }
+
+    /// The string behind `id`, or "" for out-of-range ids (including
+    /// kNoName). The view is valid as long as the snapshot lives.
+    std::string_view operator[](NameId id) const {
+      return id < names_.size() ? names_[id] : std::string_view{};
+    }
+
+    /// All strings in id order; index into the span IS the NameId.
+    std::span<const std::string_view> names() const { return names_; }
+
+   private:
+    friend class StringPool;
+    std::shared_ptr<const void> arena_;  ///< keeps the strings alive
+    std::vector<std::string_view> names_;
+  };
+
+  StringPool();
+
+  /// Interns `name`, returning its dense id. Idempotent: the same
+  /// string always maps to the same id. Safe to call concurrently.
+  NameId intern(std::string_view name);
+
+  /// The id `name` was interned under, or kNoName if it never was.
+  NameId find(std::string_view name) const;
+
+  /// Number of distinct strings interned so far.
+  std::size_t size() const;
+
+  /// Frozen view of the current contents. Cached: consecutive calls
+  /// without intervening growth return the same shared snapshot.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<std::deque<std::string>> arena_;  ///< id -> string
+  /// Keys are views into arena_ strings (stable addresses).
+  std::unordered_map<std::string_view, NameId> index_;
+  mutable std::shared_ptr<const Snapshot> cached_;  ///< guarded by mutex_
+};
+
+/// Shared handles used throughout the pipeline.
+using StringPoolPtr = std::shared_ptr<StringPool>;
+using NamesPtr = std::shared_ptr<const StringPool::Snapshot>;
+
+}  // namespace crowdweb::data

@@ -1,0 +1,80 @@
+#include "geo/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdweb::geo {
+
+void extend_bounds(BoundingBox& box, std::span<const double> lats,
+                   std::span<const double> lons) noexcept {
+  double min_lat = box.min_lat;
+  double max_lat = box.max_lat;
+  double min_lon = box.min_lon;
+  double max_lon = box.max_lon;
+  const std::size_t n = lats.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    min_lat = lats[i] < min_lat ? lats[i] : min_lat;
+    max_lat = lats[i] > max_lat ? lats[i] : max_lat;
+    min_lon = lons[i] < min_lon ? lons[i] : min_lon;
+    max_lon = lons[i] > max_lon ? lons[i] : max_lon;
+  }
+  box.min_lat = min_lat;
+  box.max_lat = max_lat;
+  box.min_lon = min_lon;
+  box.max_lon = max_lon;
+}
+
+void clamped_cells(const SpatialGrid& grid, std::span<const double> lats,
+                   std::span<const double> lons, std::span<CellId> out) noexcept {
+  // Hoisted copies of the grid geometry; the per-point arithmetic is
+  // exactly clamped_cell_of's, so the results match bit for bit.
+  const BoundingBox& bounds = grid.bounds();
+  const double min_lat = bounds.min_lat;
+  const double min_lon = bounds.min_lon;
+  const double lat_span = bounds.max_lat - bounds.min_lat;
+  const double lon_span = bounds.max_lon - bounds.min_lon;
+  const std::uint32_t rows = grid.rows();
+  const std::uint32_t cols = grid.cols();
+  const double max_row = static_cast<double>(rows - 1);
+  const double max_col = static_cast<double>(cols - 1);
+  const std::size_t n = lats.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fr = lat_span > 0.0 ? (lats[i] - min_lat) / lat_span : 0.0;
+    const double fc = lon_span > 0.0 ? (lons[i] - min_lon) / lon_span : 0.0;
+    const auto row = static_cast<std::uint32_t>(std::clamp(fr * rows, 0.0, max_row));
+    const auto col = static_cast<std::uint32_t>(std::clamp(fc * cols, 0.0, max_col));
+    out[i] = row * cols + col;
+  }
+}
+
+void jump_meters(std::span<const double> lats, std::span<const double> lons,
+                 std::span<double> out) noexcept {
+  const std::size_t n = lats.size();
+  if (n < 2) return;
+  // haversine_meters inlined with the trailing cosine carried over:
+  // cos(lat[i]) is computed once and reused as the next pair's lat1.
+  double cos_prev = std::cos(deg_to_rad(lats[0]));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double cos_next = std::cos(deg_to_rad(lats[i + 1]));
+    const double dlat = deg_to_rad(lats[i + 1] - lats[i]);
+    const double dlon = deg_to_rad(lons[i + 1] - lons[i]);
+    const double sin_dlat = std::sin(dlat / 2.0);
+    const double sin_dlon = std::sin(dlon / 2.0);
+    const double h = sin_dlat * sin_dlat + cos_prev * cos_next * sin_dlon * sin_dlon;
+    out[i] = 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h < 1.0 ? h : 1.0));
+    cos_prev = cos_next;
+  }
+}
+
+void project_xy(const Projection& projection, std::span<const double> lats,
+                std::span<const double> lons, std::span<double> xs,
+                std::span<double> ys) noexcept {
+  const std::size_t n = lats.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const XY xy = projection.to_xy({lats[i], lons[i]});
+    xs[i] = xy.x;
+    ys[i] = xy.y;
+  }
+}
+
+}  // namespace crowdweb::geo

@@ -1,0 +1,43 @@
+// Columnar geo kernels: batch operations over parallel lat/lon arrays.
+//
+// The dataset stores coordinates as structure-of-arrays columns; these
+// kernels walk those columns directly instead of materializing
+// point-at-a-time structs. Each kernel is bit-identical to the
+// point-wise primitive it batches (same operations in the same order),
+// so swapping a loop for a kernel can never perturb API output — it
+// only removes per-record struct traffic and rehoists loop-invariant
+// constants.
+#pragma once
+
+#include <span>
+
+#include "geo/grid.hpp"
+#include "geo/point.hpp"
+
+namespace crowdweb::geo {
+
+/// Extends `box` over every (lats[i], lons[i]). Equivalent to calling
+/// box.extend(p) per point.
+void extend_bounds(BoundingBox& box, std::span<const double> lats,
+                   std::span<const double> lons) noexcept;
+
+/// Bins every point into `grid`, clamping out-of-bounds points to the
+/// edge: out[i] = grid.clamped_cell_of({lats[i], lons[i]}). `out` must
+/// have the same length as the coordinate columns.
+void clamped_cells(const SpatialGrid& grid, std::span<const double> lats,
+                   std::span<const double> lons, std::span<CellId> out) noexcept;
+
+/// Great-circle distances between consecutive points of a track:
+/// out[i] = haversine_meters(p[i], p[i+1]). `out` must hold n-1
+/// entries for n-point columns (no-op for n < 2). The shared
+/// endpoint's cosine is computed once per point instead of twice.
+void jump_meters(std::span<const double> lats, std::span<const double> lons,
+                 std::span<double> out) noexcept;
+
+/// Projects every point through `projection`:
+/// (xs[i], ys[i]) = projection.to_xy({lats[i], lons[i]}).
+void project_xy(const Projection& projection, std::span<const double> lats,
+                std::span<const double> lons, std::span<double> xs,
+                std::span<double> ys) noexcept;
+
+}  // namespace crowdweb::geo

@@ -37,9 +37,16 @@ IngestWorker::IngestWorker(const data::Dataset& base,
       config_(config),
       queue_(config.queue_capacity) {
   init_metrics();
+  pool_ = base.name_pool() != nullptr ? base.name_pool()
+                                      : std::make_shared<data::StringPool>();
   venues_.assign(base.venues().begin(), base.venues().end());
   checkins_.assign(base.checkins().begin(), base.checkins().end());
   live_ = base;  // shares the base's shards and venue table
+  if (base.name_pool() == nullptr) {
+    // A default-constructed base has no pool; rebuild the (empty) live
+    // dataset around the worker's so every epoch interns into one pool.
+    live_ = data::DatasetBuilder(pool_).build();
+  }
   mobility_ = patterns::MobilityTable::from_entries(
       {base_mobility.begin(), base_mobility.end()});
   base_checkin_count_ = checkins_.size();
@@ -193,6 +200,11 @@ Status IngestWorker::recover_from_store() {
     // in the original insertion order (which venue resolution depends
     // on for deterministic ids).
     store::Checkpoint& checkpoint = *recovered.checkpoint;
+    // Rebuild the interning pool from the checkpoint's names table:
+    // interning in id order into a fresh pool reproduces every NameId
+    // exactly, so the venue rows' name ids resolve unchanged.
+    pool_ = std::make_shared<data::StringPool>();
+    for (const std::string& name : checkpoint.names) pool_->intern(name);
     venues_ = std::move(checkpoint.venues);
     checkins_ = std::move(checkpoint.checkins);
     base_checkin_count_ = checkpoint.base_checkin_count;
@@ -351,7 +363,9 @@ void IngestWorker::journal_barrier() {
 }
 
 Status IngestWorker::rebuild_live_from_flat() {
-  data::DatasetBuilder builder;  // from-scratch: empty base
+  // From-scratch (no base dataset), but against the worker's pool: the
+  // flat venue rows carry NameIds interned there.
+  data::DatasetBuilder builder(pool_);
   for (const data::Venue& venue : venues_) {
     const Status status = builder.add_venue(venue);
     if (!status.is_ok()) return status;
@@ -419,6 +433,9 @@ void IngestWorker::write_checkpoint() {
   image.epoch = epoch_;
   image.next_guest_id = next_guest_id_.load(std::memory_order_relaxed);
   image.base_checkin_count = base_checkin_count_;
+  const data::NamesPtr names = pool_->snapshot();
+  image.names.reserve(names->size());
+  for (const std::string_view name : names->names()) image.names.emplace_back(name);
   image.venues = venues_;
   image.checkins = checkins_;
   image.touched_users.assign(touched_users_.begin(), touched_users_.end());
@@ -441,7 +458,7 @@ data::VenueId IngestWorker::resolve_venue(data::CategoryId category,
   if (it != venue_index_.end()) return it->second;
   data::Venue venue;
   venue.id = static_cast<data::VenueId>(venues_.size());
-  venue.name = crowdweb::format("live-{}", venue.id);
+  venue.name = pool_->intern(crowdweb::format("live-{}", venue.id));
   venue.category = category;
   venue.position = position;
   venue_index_.emplace(key, venue.id);
@@ -519,7 +536,8 @@ Status IngestWorker::rebuild_and_publish() {
       (pipeline_.crowd_full_rebuild_epochs > 0 &&
        crowd_epochs_since_full_ + 1 >= pipeline_.crowd_full_rebuild_epochs);
   if (full_crowd) {
-    auto crowd = crowd::CrowdModel::build(live_, mobility_, *grid_, pipeline_.crowd);
+    auto crowd = crowd::CrowdModel::build(live_, mobility_, *grid_, pipeline_.crowd,
+                                          pipeline_.mining_threads);
     if (!crowd) return crowd.status();
     crowd_ = std::move(*crowd);
     crowd_epochs_since_full_ = 0;

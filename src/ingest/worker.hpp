@@ -45,9 +45,10 @@ struct IngestPipelineConfig {
   crowd::CrowdOptions crowd;
   mining::SequenceOptions sequences;
   mining::MiningOptions mining;
-  /// Worker threads for delta re-mining (0 = hardware concurrency).
-  /// Epochs re-mine only the users the delta touched, sharded across
-  /// this many threads.
+  /// Worker threads for delta re-mining and crowd placement
+  /// (0 = hardware concurrency). Epochs re-mine only the users the
+  /// delta touched, sharded across this many threads; full crowd
+  /// rebuilds fan user placement across the same pool.
   unsigned mining_threads = 0;
   /// Rebuild the crowd model from scratch every N epochs as a
   /// correctness backstop for the incremental update path (0 = never;
@@ -215,6 +216,13 @@ class IngestWorker {
   // maintained incrementally: each epoch applies `delta_venues_` +
   // `delta_checkins_` through data::DatasetBuilder's incremental path
   // instead of re-feeding the whole corpus.
+  //
+  // `pool_` interns venue names at this boundary: it starts as the base
+  // corpus's pool (shared — base NameIds stay valid) and every venue a
+  // live event registers interns its generated name here. The pool is
+  // append-only, so ids never move across epochs; checkpoint adoption
+  // replaces it with one rebuilt from the checkpoint's names table.
+  data::StringPoolPtr pool_;
   std::vector<data::Venue> venues_;
   std::vector<data::CheckIn> checkins_;
   data::Dataset live_;

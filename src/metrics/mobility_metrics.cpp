@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "geo/kernels.hpp"
 #include "geo/point.hpp"
 
 namespace crowdweb::metrics {
@@ -11,25 +12,29 @@ namespace crowdweb::metrics {
 double radius_of_gyration(const data::Dataset& dataset, data::UserId user) {
   const auto records = dataset.checkins_for(user);
   if (records.empty()) return 0.0;
+  const std::span<const double> lats = records.lats();
+  const std::span<const double> lons = records.lons();
 
   // Center of mass in a local projection anchored at the first record
   // (city-scale distances, so the flat approximation is exact enough).
   const geo::Projection projection(records.front().position);
+  std::vector<double> xs(records.size());
+  std::vector<double> ys(records.size());
+  geo::project_xy(projection, lats, lons, xs, ys);
+
   double cx = 0.0, cy = 0.0;
-  for (const data::CheckIn& record : records) {
-    const geo::XY p = projection.to_xy(record.position);
-    cx += p.x;
-    cy += p.y;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cx += xs[i];
+    cy += ys[i];
   }
   const auto n = static_cast<double>(records.size());
   cx /= n;
   cy /= n;
 
   double sum_sq = 0.0;
-  for (const data::CheckIn& record : records) {
-    const geo::XY p = projection.to_xy(record.position);
-    const double dx = p.x - cx;
-    const double dy = p.y - cy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - cx;
+    const double dy = ys[i] - cy;
     sum_sq += dx * dx + dy * dy;
   }
   return std::sqrt(sum_sq / n);
@@ -47,9 +52,8 @@ std::vector<double> jump_lengths(const data::Dataset& dataset, data::UserId user
   const auto records = dataset.checkins_for(user);
   std::vector<double> out;
   if (records.size() < 2) return out;
-  out.reserve(records.size() - 1);
-  for (std::size_t i = 1; i < records.size(); ++i)
-    out.push_back(geo::haversine_meters(records[i - 1].position, records[i].position));
+  out.resize(records.size() - 1);
+  geo::jump_meters(records.lats(), records.lons(), out);
   return out;
 }
 
@@ -65,7 +69,7 @@ std::vector<double> all_jump_lengths(const data::Dataset& dataset) {
 std::vector<std::size_t> visitation_frequency(const data::Dataset& dataset,
                                               data::UserId user) {
   std::map<data::VenueId, std::size_t> counts;
-  for (const data::CheckIn& record : dataset.checkins_for(user)) ++counts[record.venue];
+  for (const data::VenueId venue : dataset.checkins_for(user).venues()) ++counts[venue];
   std::vector<std::size_t> frequencies;
   frequencies.reserve(counts.size());
   for (const auto& [venue, count] : counts) frequencies.push_back(count);
@@ -90,8 +94,8 @@ std::vector<std::size_t> distinct_locations_over_time(const data::Dataset& datas
                                                       data::UserId user) {
   std::vector<std::size_t> out;
   std::map<data::VenueId, bool> seen;
-  for (const data::CheckIn& record : dataset.checkins_for(user)) {
-    seen.emplace(record.venue, true);
+  for (const data::VenueId venue : dataset.checkins_for(user).venues()) {
+    seen.emplace(venue, true);
     out.push_back(seen.size());
   }
   return out;

@@ -21,6 +21,14 @@ std::size_t count_support(std::span<const Item> pattern, const SequenceDb& db) {
   return count;
 }
 
+std::size_t count_support(std::span<const Item> pattern, const SequenceColumns& db) {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < db.size(); ++s) {
+    if (is_subsequence(pattern, db.sequence(s))) ++count;
+  }
+  return count;
+}
+
 void sort_patterns(std::vector<Pattern>& patterns) {
   std::sort(patterns.begin(), patterns.end(), [](const Pattern& a, const Pattern& b) {
     if (a.items.size() != b.items.size()) return a.items.size() < b.items.size();

@@ -19,6 +19,26 @@ using Item = std::uint32_t;
 /// One sequence database: items[d] is day d's time-ordered label sequence.
 using SequenceDb = std::vector<std::vector<Item>>;
 
+/// Columnar (structure-of-arrays) view of a sequence database: every
+/// sequence's items live in one contiguous array, and sequence `s`
+/// spans items[offsets[s], offsets[s+1]). `offsets` holds size()+1
+/// entries (or none for an empty database). The miners walk this view
+/// directly; UserSequences::columns() produces one with no copying.
+struct SequenceColumns {
+  std::span<const Item> items;
+  std::span<const std::uint32_t> offsets;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Sequence `s` as a contiguous span (no bounds check).
+  [[nodiscard]] std::span<const Item> sequence(std::size_t s) const noexcept {
+    return items.subspan(offsets[s], offsets[s + 1] - offsets[s]);
+  }
+};
+
 /// A frequent sequential pattern.
 struct Pattern {
   std::vector<Item> items;
@@ -35,6 +55,10 @@ struct Pattern {
 
 /// Number of sequences in `db` containing `pattern` (each counts once).
 [[nodiscard]] std::size_t count_support(std::span<const Item> pattern, const SequenceDb& db);
+
+/// Columnar overload of count_support.
+[[nodiscard]] std::size_t count_support(std::span<const Item> pattern,
+                                        const SequenceColumns& db);
 
 /// Canonical order: by length, then lexicographically by items. Makes
 /// miner outputs directly comparable.

@@ -9,7 +9,8 @@ namespace crowdweb::mining {
 namespace {
 
 /// One entry of a pseudo-projected database: the suffix of sequence
-/// `sequence` starting at `offset`.
+/// `sequence` starting at element `offset` (an index local to the
+/// sequence, not into the flat item array).
 struct Projection {
   std::uint32_t sequence;
   std::uint32_t offset;
@@ -17,7 +18,7 @@ struct Projection {
 
 class Miner {
  public:
-  Miner(const SequenceDb& db, const MiningOptions& options)
+  Miner(const SequenceColumns& db, const MiningOptions& options)
       : db_(db), options_(options) {
     min_count_ = static_cast<std::size_t>(
         std::ceil(options.min_support * static_cast<double>(db.size())));
@@ -40,10 +41,11 @@ class Miner {
     if (prefix_.size() >= options_.max_pattern_length) return;
     if (results_.size() >= options_.max_patterns) return;
 
-    // Count each item once per projected sequence.
+    // Count each item once per projected sequence, walking the flat
+    // item column directly.
     counts_.clear();
     for (const Projection& p : projection) {
-      const auto& sequence = db_[p.sequence];
+      const auto sequence = db_.sequence(p.sequence);
       seen_.clear();
       for (std::size_t i = p.offset; i < sequence.size(); ++i) {
         const Item item = sequence[i];
@@ -73,7 +75,7 @@ class Miner {
       std::vector<Projection> next;
       next.reserve(count);
       for (const Projection& p : projection) {
-        const auto& sequence = db_[p.sequence];
+        const auto sequence = db_.sequence(p.sequence);
         for (std::size_t i = p.offset; i < sequence.size(); ++i) {
           if (sequence[i] == item) {
             next.push_back({p.sequence, static_cast<std::uint32_t>(i + 1)});
@@ -86,7 +88,7 @@ class Miner {
     }
   }
 
-  const SequenceDb& db_;
+  const SequenceColumns& db_;
   const MiningOptions& options_;
   std::size_t min_count_ = 1;
   std::vector<Item> prefix_;
@@ -107,9 +109,27 @@ class Miner {
 
 }  // namespace
 
-std::vector<Pattern> prefixspan(const SequenceDb& db, const MiningOptions& options) {
+std::vector<Pattern> prefixspan(const SequenceColumns& db, const MiningOptions& options) {
   if (db.empty()) return {};
   return Miner(db, options).run();
+}
+
+std::vector<Pattern> prefixspan(const SequenceDb& db, const MiningOptions& options) {
+  if (db.empty()) return {};
+  // Flatten once; the miner only ever reads through the view.
+  std::vector<Item> items;
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(db.size() + 1);
+  std::size_t total = 0;
+  for (const auto& sequence : db) total += sequence.size();
+  items.reserve(total);
+  offsets.push_back(0);
+  for (const auto& sequence : db) {
+    items.insert(items.end(), sequence.begin(), sequence.end());
+    offsets.push_back(static_cast<std::uint32_t>(items.size()));
+  }
+  const SequenceColumns view{items, offsets};
+  return Miner(view, options).run();
 }
 
 }  // namespace crowdweb::mining

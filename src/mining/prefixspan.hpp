@@ -7,6 +7,10 @@
 // no sequence data is ever copied, which is the algorithm's contribution
 // over Apriori/GSP-style candidate generation.
 //
+// The miner walks the columnar SequenceColumns view (one contiguous
+// item array + offsets), so projections index straight into a flat
+// buffer; the nested SequenceDb overload flattens once and delegates.
+//
 // This is the miner behind the paper's "modified PrefixSpan" (the
 // modifications — location abstraction, per-day sequences, relative
 // support, time annotation — live in `seqdb` and `patterns`).
@@ -20,6 +24,10 @@ namespace crowdweb::mining {
 
 /// Mines all frequent sequential patterns of `db` at `options.min_support`
 /// (relative). Results are in canonical order (see sort_patterns).
+[[nodiscard]] std::vector<Pattern> prefixspan(const SequenceColumns& db,
+                                              const MiningOptions& options = {});
+
+/// Nested-vector convenience overload: flattens `db` and delegates.
 [[nodiscard]] std::vector<Pattern> prefixspan(const SequenceDb& db,
                                               const MiningOptions& options = {});
 

@@ -9,19 +9,35 @@ namespace crowdweb::mining {
 
 namespace {
 
-Item label_of(const data::CheckIn& checkin, LabelMode mode, const data::Taxonomy& taxonomy) {
+Item label_of(data::VenueId venue, data::CategoryId category, LabelMode mode,
+              const data::Taxonomy& taxonomy) {
   switch (mode) {
     case LabelMode::kRootCategory:
-      return taxonomy.root_of(checkin.category);
+      return taxonomy.root_of(category);
     case LabelMode::kLeafCategory:
-      return checkin.category;
+      return category;
     case LabelMode::kVenue:
-      return checkin.venue;
+      return venue;
   }
-  return checkin.category;
+  return category;
 }
 
 }  // namespace
+
+void UserSequences::append_day(std::span<const Item> day_items,
+                               std::span<const int> day_minutes) {
+  if (day_offsets.empty()) day_offsets.push_back(0);
+  items.insert(items.end(), day_items.begin(), day_items.end());
+  item_minutes.insert(item_minutes.end(), day_minutes.begin(), day_minutes.end());
+  day_offsets.push_back(static_cast<std::uint32_t>(items.size()));
+}
+
+UserSequences UserSequences::slice_days(std::size_t begin, std::size_t end) const {
+  UserSequences out;
+  out.user = user;
+  for (std::size_t d = begin; d < end; ++d) out.append_day(day(d), minutes_of(d));
+  return out;
+}
 
 UserSequences build_user_sequences(const data::Dataset& dataset, data::UserId user,
                                    const data::Taxonomy& taxonomy,
@@ -30,32 +46,31 @@ UserSequences build_user_sequences(const data::Dataset& dataset, data::UserId us
   out.user = user;
 
   const auto records = dataset.checkins_for(user);  // already time-sorted
+  const auto timestamps = records.timestamps();
+  const auto venues = records.venues();
   std::vector<Item> day_items;
   std::vector<int> day_minutes;
   std::int64_t current_day = 0;
   bool have_day = false;
 
   const auto flush = [&] {
-    if (have_day && day_items.size() >= std::max<std::size_t>(1, options.min_day_length)) {
-      out.days.push_back(day_items);
-      out.minutes.push_back(day_minutes);
-    }
+    if (have_day && day_items.size() >= std::max<std::size_t>(1, options.min_day_length))
+      out.append_day(day_items, day_minutes);
     day_items.clear();
     day_minutes.clear();
   };
 
-  for (const data::CheckIn& checkin : records) {
-    const std::int64_t day = day_index(checkin.timestamp);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const std::int64_t day = day_index(timestamps[i]);
     if (!have_day || day != current_day) {
       flush();
       current_day = day;
       have_day = true;
     }
-    const Item item = label_of(checkin, options.mode, taxonomy);
+    const Item item = label_of(venues[i], records.category(i), options.mode, taxonomy);
     if (options.collapse_repeats && !day_items.empty() && day_items.back() == item) continue;
     day_items.push_back(item);
-    const CivilTime civil = to_civil(checkin.timestamp);
-    day_minutes.push_back(civil.hour * 60 + civil.minute);
+    day_minutes.push_back(minute_of_day(timestamps[i]));
   }
   flush();
   return out;
@@ -79,8 +94,8 @@ std::string label_name(Item item, LabelMode mode, const data::Taxonomy& taxonomy
       if (item < taxonomy.size()) return taxonomy.name(static_cast<data::CategoryId>(item));
       return crowdweb::format("category#{}", item);
     case LabelMode::kVenue:
-      if (const data::Venue* venue = dataset.venue(static_cast<data::VenueId>(item)))
-        return venue->name;
+      if (dataset.venue(static_cast<data::VenueId>(item)) != nullptr)
+        return std::string(dataset.venue_name(static_cast<data::VenueId>(item)));
       return crowdweb::format("venue#{}", item);
   }
   return crowdweb::format("label#{}", item);

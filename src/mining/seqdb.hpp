@@ -11,8 +11,15 @@
 //   3. *Time retention*: the minute-of-day of every element is kept so
 //      mined patterns can be annotated with representative time windows
 //      (needed later for crowd synchronization).
+//
+// The per-user database is stored flat (structure-of-arrays): all days'
+// labels in one contiguous `items` array with parallel minutes, and a
+// `day_offsets` index delimiting days — the same layout the miners
+// consume via SequenceColumns, so mining never re-packs anything.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,12 +44,42 @@ struct SequenceOptions {
   std::size_t min_day_length = 1;
 };
 
-/// A user's mineable history: one entry per day with >= min_day_length
-/// check-ins; `days[i]` and `minutes[i]` are parallel.
+/// A user's mineable history in columnar form: one sequence per day
+/// with >= min_day_length check-ins. `items` and `item_minutes` are
+/// parallel flat arrays over all days; day `d` spans
+/// [day_offsets[d], day_offsets[d+1]).
 struct UserSequences {
   data::UserId user = 0;
-  SequenceDb days;                         ///< label sequences
-  std::vector<std::vector<int>> minutes;   ///< minute-of-day per element
+  std::vector<Item> items;                 ///< all days' labels, concatenated
+  std::vector<int> item_minutes;           ///< minute-of-day per element
+  std::vector<std::uint32_t> day_offsets;  ///< day_count()+1 entries (or none)
+
+  [[nodiscard]] std::size_t day_count() const noexcept {
+    return day_offsets.empty() ? 0 : day_offsets.size() - 1;
+  }
+  [[nodiscard]] bool empty() const noexcept { return day_count() == 0; }
+
+  /// Day `d`'s label sequence (no bounds check).
+  [[nodiscard]] std::span<const Item> day(std::size_t d) const noexcept {
+    return std::span<const Item>(items).subspan(day_offsets[d],
+                                                day_offsets[d + 1] - day_offsets[d]);
+  }
+  /// Day `d`'s minute-of-day values, parallel to day(d).
+  [[nodiscard]] std::span<const int> minutes_of(std::size_t d) const noexcept {
+    return std::span<const int>(item_minutes)
+        .subspan(day_offsets[d], day_offsets[d + 1] - day_offsets[d]);
+  }
+
+  /// The miner-facing view over all days (no copying).
+  [[nodiscard]] SequenceColumns columns() const noexcept {
+    return {items, day_offsets};
+  }
+
+  /// Appends one day's elements (used by the builder and by tests).
+  void append_day(std::span<const Item> day_items, std::span<const int> day_minutes);
+
+  /// Days [begin, end) as a new flat history (train/test splits).
+  [[nodiscard]] UserSequences slice_days(std::size_t begin, std::size_t end) const;
 };
 
 /// Builds the per-day sequence database of one user.

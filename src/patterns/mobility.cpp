@@ -25,9 +25,9 @@ MobilityPattern annotate_pattern(const mining::Pattern& pattern,
   std::vector<double> sum_sq(pattern.items.size(), 0.0);
   std::vector<int> embedding(pattern.items.size(), 0);
   std::size_t matched_days = 0;
-  for (std::size_t d = 0; d < sequences.days.size(); ++d) {
-    const auto& day = sequences.days[d];
-    const auto& minutes = sequences.minutes[d];
+  for (std::size_t d = 0; d < sequences.day_count(); ++d) {
+    const auto day = sequences.day(d);
+    const auto minutes = sequences.minutes_of(d);
     std::size_t position = 0;
     for (std::size_t i = 0; i < day.size() && position < pattern.items.size(); ++i) {
       if (day[i] == pattern.items[position]) {
@@ -61,11 +61,11 @@ UserMobility mine_user_mobility(const data::Dataset& dataset, data::UserId user,
   out.user = user;
   const mining::UserSequences sequences =
       mining::build_user_sequences(dataset, user, taxonomy, options.sequences);
-  out.recorded_days = sequences.days.size();
-  if (sequences.days.empty()) return out;
+  out.recorded_days = sequences.day_count();
+  if (sequences.empty()) return out;
 
   const std::vector<mining::Pattern> mined =
-      mining::prefixspan(sequences.days, options.mining);
+      mining::prefixspan(sequences.columns(), options.mining);
   out.patterns.reserve(mined.size());
   for (const mining::Pattern& pattern : mined)
     out.patterns.push_back(annotate_pattern(pattern, sequences));

@@ -33,9 +33,9 @@ PlaceGraph build_place_graph(const mining::UserSequences& sequences,
   // Node statistics.
   std::map<mining::Item, std::pair<std::size_t, double>> visit_stats;  // count, minute sum
   std::map<std::pair<mining::Item, mining::Item>, std::size_t> transition_counts;
-  for (std::size_t d = 0; d < sequences.days.size(); ++d) {
-    const auto& day = sequences.days[d];
-    const auto& minutes = sequences.minutes[d];
+  for (std::size_t d = 0; d < sequences.day_count(); ++d) {
+    const auto day = sequences.day(d);
+    const auto minutes = sequences.minutes_of(d);
     for (std::size_t i = 0; i < day.size(); ++i) {
       if (!is_allowed(day[i])) continue;
       auto& [count, minute_sum] = visit_stats[day[i]];

@@ -16,24 +16,21 @@ EvaluationResult evaluate(const data::Dataset& dataset, const data::Taxonomy& ta
   for (const data::UserId user : dataset.users()) {
     const mining::UserSequences history =
         mining::build_user_sequences(dataset, user, taxonomy, sequences);
-    if (history.days.size() < std::max<std::size_t>(2, options.min_days)) continue;
+    if (history.day_count() < std::max<std::size_t>(2, options.min_days)) continue;
 
     const auto split = static_cast<std::size_t>(
-        static_cast<double>(history.days.size()) * options.train_fraction);
-    if (split == 0 || split >= history.days.size()) continue;
+        static_cast<double>(history.day_count()) * options.train_fraction);
+    if (split == 0 || split >= history.day_count()) continue;
 
-    mining::UserSequences train;
-    train.user = user;
-    train.days.assign(history.days.begin(), history.days.begin() + split);
-    train.minutes.assign(history.minutes.begin(), history.minutes.begin() + split);
+    const mining::UserSequences train = history.slice_days(0, split);
 
     const std::unique_ptr<Predictor> predictor = factory();
     predictor->train(train);
     bool counted_user = false;
 
-    for (std::size_t d = split; d < history.days.size(); ++d) {
-      const auto& day = history.days[d];
-      const auto& minutes = history.minutes[d];
+    for (std::size_t d = split; d < history.day_count(); ++d) {
+      const auto day = history.day(d);
+      const auto minutes = history.minutes_of(d);
       for (std::size_t i = 0; i < day.size(); ++i) {
         Query query;
         query.today = std::span<const mining::Item>(day.data(), i);

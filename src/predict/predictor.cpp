@@ -28,9 +28,9 @@ std::vector<Prediction> finalize(std::map<mining::Item, double> scores) {
 class FrequencyPredictor final : public Predictor {
  public:
   void train(const mining::UserSequences& history) override {
-    for (const auto& day : history.days) {
-      for (const mining::Item item : day) counts_[item] += 1.0;
-    }
+    // Day boundaries don't matter for plain frequency: walk the flat
+    // item column.
+    for (const mining::Item item : history.items) counts_[item] += 1.0;
   }
 
   std::vector<Prediction> predict(const Query&) const override {
@@ -51,13 +51,13 @@ class TimeSlotPredictor final : public Predictor {
       : slot_minutes_(std::clamp(slot_minutes, 1, 24 * 60)) {}
 
   void train(const mining::UserSequences& history) override {
-    for (std::size_t d = 0; d < history.days.size(); ++d) {
-      for (std::size_t i = 0; i < history.days[d].size(); ++i) {
-        const mining::Item item = history.days[d][i];
-        const int slot = history.minutes[d][i] / slot_minutes_;
-        slot_counts_[slot][item] += 1.0;
-        global_[item] += 1.0;
-      }
+    // items/item_minutes are parallel flat columns; slots don't care
+    // about day boundaries.
+    for (std::size_t i = 0; i < history.items.size(); ++i) {
+      const mining::Item item = history.items[i];
+      const int slot = history.item_minutes[i] / slot_minutes_;
+      slot_counts_[slot][item] += 1.0;
+      global_[item] += 1.0;
     }
   }
 
@@ -88,7 +88,8 @@ class MarkovPredictor final : public Predictor {
   explicit MarkovPredictor(int order) : order_(std::clamp(order, 1, 4)) {}
 
   void train(const mining::UserSequences& history) override {
-    for (const auto& day : history.days) {
+    for (std::size_t d = 0; d < history.day_count(); ++d) {
+      const auto day = history.day(d);
       for (std::size_t i = 0; i < day.size(); ++i) {
         global_[day[i]] += 1.0;
         // Context of every length 1..order ending just before position i.
@@ -144,7 +145,7 @@ class PatternPredictor final : public Predictor {
     fallback_->train(history);
     mining::MiningOptions mining_options;
     mining_options.min_support = options_.min_support;
-    const auto mined = mining::prefixspan(history.days, mining_options);
+    const auto mined = mining::prefixspan(history.columns(), mining_options);
     patterns_.reserve(mined.size());
     for (const mining::Pattern& pattern : mined)
       patterns_.push_back(patterns::annotate_pattern(pattern, history));

@@ -10,17 +10,20 @@ namespace crowdweb::store {
 std::string encode_checkpoint(const Checkpoint& checkpoint) {
   std::string out;
   put_u32(out, kCheckpointMagic);
-  put_u32(out, kFormatVersion);
+  put_u32(out, kCheckpointVersion);
   put_u64(out, checkpoint.seq);
   put_u64(out, checkpoint.epoch);
   put_u64(out, checkpoint.last_record_seq);
   put_u32(out, checkpoint.next_guest_id);
   put_u64(out, checkpoint.base_checkin_count);
 
+  put_u32(out, static_cast<std::uint32_t>(checkpoint.names.size()));
+  for (const std::string& name : checkpoint.names) put_bytes(out, name);
+
   put_u32(out, static_cast<std::uint32_t>(checkpoint.venues.size()));
   for (const data::Venue& venue : checkpoint.venues) {
     put_u32(out, venue.id);
-    put_bytes(out, venue.name);
+    put_u32(out, venue.name);
     put_u16(out, venue.category);
     put_f64(out, venue.position.lat);
     put_f64(out, venue.position.lon);
@@ -65,10 +68,12 @@ Result<Checkpoint> decode_checkpoint(std::string_view bytes, const std::string& 
   Checkpoint checkpoint;
   if (!reader.read_u32(magic) || magic != kCheckpointMagic)
     return parse_error(crowdweb::format("{}: not a checkpoint file (bad magic)", path));
-  if (!reader.read_u32(version) || version != kFormatVersion) {
+  if (!reader.read_u32(version) || version != kCheckpointVersion) {
     return parse_error(crowdweb::format(
-        "{}: unsupported checkpoint format version {} (supported: {})", path,
-        version, kFormatVersion));
+        "{}: unsupported checkpoint format version {} (supported: {}); v1 "
+        "checkpoints predate interned venue names — delete the store "
+        "directory and re-ingest to produce a v{} checkpoint",
+        path, version, kCheckpointVersion, kCheckpointVersion));
   }
   reader.read_u64(checkpoint.seq);
   reader.read_u64(checkpoint.epoch);
@@ -76,16 +81,27 @@ Result<Checkpoint> decode_checkpoint(std::string_view bytes, const std::string& 
   reader.read_u32(checkpoint.next_guest_id);
   reader.read_u64(checkpoint.base_checkin_count);
 
+  std::uint32_t name_count = 0;
+  if (!reader.read_u32(name_count) || name_count > payload.size())
+    return parse_error(crowdweb::format("{}: implausible checkpoint name count", path));
+  checkpoint.names.resize(name_count);
+  for (std::string& name : checkpoint.names) reader.read_bytes(name);
+
   std::uint32_t venue_count = 0;
   if (!reader.read_u32(venue_count))
     return parse_error(crowdweb::format("{}: truncated checkpoint header", path));
   checkpoint.venues.resize(venue_count);
   for (data::Venue& venue : checkpoint.venues) {
     reader.read_u32(venue.id);
-    reader.read_bytes(venue.name);
+    reader.read_u32(venue.name);
     reader.read_u16(venue.category);
     reader.read_f64(venue.position.lat);
     reader.read_f64(venue.position.lon);
+    if (!reader.truncated() && venue.name >= name_count) {
+      return parse_error(crowdweb::format(
+          "{}: venue {} references name id {} outside the names table ({} entries)",
+          path, venue.id, venue.name, name_count));
+    }
   }
 
   std::uint64_t checkin_count = 0;

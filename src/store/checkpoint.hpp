@@ -3,8 +3,9 @@
 // A checkpoint file is one payload followed by a trailing u32 CRC-32 of
 // everything before it:
 //
-//   u32 magic "CCKP" | u32 version | u64 checkpoint_seq | u64 epoch |
+//   u32 magic "CCKP" | u32 version (2) | u64 checkpoint_seq | u64 epoch |
 //   u64 last_record_seq | u32 next_guest_id | u64 base_checkin_count |
+//   u32 name_count    | name_count    x bytes(name) |
 //   u32 venue_count   | venue_count   x venue   |
 //   u64 checkin_count | checkin_count x checkin |
 //   u32 touched_count | touched_count x u32 user |
@@ -15,6 +16,14 @@
 // it. Venues and check-ins are stored in the worker's insertion order —
 // the order the merge path depends on for deterministic venue ids — so
 // a recovered corpus is byte-identical to the one that wrote it.
+//
+// The names table is the interning pool in NameId order: entry i is the
+// string NameId i resolves to, and each venue row stores a u32 NameId
+// into it instead of an inline string. Re-interning the table in order
+// into a fresh pool reproduces every id exactly, so a recovered corpus
+// resolves names identically to the one that wrote the checkpoint.
+// Version 2 introduced the table; v1 files (inline name strings) are
+// refused with an error telling the operator to re-ingest.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +46,9 @@ struct Checkpoint {
   /// Check-ins at the front of `checkins` that came from the base
   /// corpus, not live ingestion.
   std::uint64_t base_checkin_count = 0;
+  /// Interning table in NameId order: names[i] is the string behind
+  /// NameId i. Every venue row's `name` indexes this table.
+  std::vector<std::string> names;
   std::vector<data::Venue> venues;
   std::vector<data::CheckIn> checkins;
   /// Users ever touched by live deltas (feeds incremental re-mining).

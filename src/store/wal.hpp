@@ -47,6 +47,10 @@ namespace crowdweb::store {
 inline constexpr std::uint32_t kWalMagic = 0x4C41'5743;         // "CWAL"
 inline constexpr std::uint32_t kCheckpointMagic = 0x504B'4343;  // "CCKP"
 inline constexpr std::uint32_t kFormatVersion = 1;
+/// Checkpoint payload version. v2 replaced inline venue-name strings
+/// with a names table + per-venue NameId (the interned representation);
+/// v1 files are refused with a clear error — see checkpoint.hpp.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 inline constexpr std::size_t kSegmentHeaderBytes = 16;
 inline constexpr std::size_t kRecordHeaderBytes = 8;
 

@@ -123,7 +123,7 @@ Result<City> City::generate(const CityConfig& config, const data::Taxonomy& taxo
             : leaves[static_cast<std::size_t>(
                   rng.uniform_int(0, static_cast<std::int64_t>(leaves.size()) - 1))];
 
-    data::Venue venue;
+    data::VenueSpec venue;
     venue.id = static_cast<data::VenueId>(v);
     venue.category = leaf;
     venue.position = position;

@@ -54,7 +54,9 @@ class City {
 
   [[nodiscard]] const CityConfig& config() const noexcept { return config_; }
   [[nodiscard]] const data::Taxonomy& taxonomy() const noexcept { return *taxonomy_; }
-  [[nodiscard]] std::span<const data::Venue> venues() const noexcept { return venues_; }
+  [[nodiscard]] std::span<const data::VenueSpec> venues() const noexcept {
+    return venues_;
+  }
   [[nodiscard]] std::span<const Neighborhood> neighborhoods() const noexcept {
     return neighborhoods_;
   }
@@ -78,7 +80,7 @@ class City {
 
   CityConfig config_;
   const data::Taxonomy* taxonomy_;
-  std::vector<data::Venue> venues_;
+  std::vector<data::VenueSpec> venues_;
   std::vector<Neighborhood> neighborhoods_;
   std::vector<std::vector<data::VenueId>> by_root_;  // indexed by root position
   std::vector<geo::QuadTree> root_trees_;            // one spatial index per root

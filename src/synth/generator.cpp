@@ -39,7 +39,7 @@ Result<SyntheticCorpus> generate_corpus(const GeneratorConfig& config,
   if (!routines) return routines.status();
 
   data::DatasetBuilder builder;
-  for (const data::Venue& venue : city->venues()) {
+  for (const data::VenueSpec& venue : city->venues()) {
     const Status status = builder.add_venue(venue);
     if (!status.is_ok()) return status;
   }
@@ -99,7 +99,7 @@ Result<SyntheticCorpus> generate_corpus(const GeneratorConfig& config,
         // The visit happened; record it only if the user checks in.
         if (!rng.bernoulli(record_probability)) continue;
 
-        const data::Venue& venue = city->venues()[venue_id];
+        const data::VenueSpec& venue = city->venues()[venue_id];
         data::CheckIn checkin;
         checkin.user = user;
         checkin.venue = venue_id;
@@ -118,7 +118,7 @@ Result<SyntheticCorpus> generate_corpus(const GeneratorConfig& config,
         const auto venue_id = city->random_venue(roots[root_pos], rng);
         if (!venue_id) continue;
         if (!rng.bernoulli(record_probability)) continue;
-        const data::Venue& venue = city->venues()[*venue_id];
+        const data::VenueSpec& venue = city->venues()[*venue_id];
         data::CheckIn checkin;
         checkin.user = user;
         checkin.venue = *venue_id;

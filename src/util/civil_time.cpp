@@ -79,6 +79,11 @@ int hour_of_day(std::int64_t epoch_seconds) noexcept {
   return to_civil(epoch_seconds).hour;
 }
 
+int minute_of_day(std::int64_t epoch_seconds) noexcept {
+  const std::int64_t days = floor_div(epoch_seconds, kSecondsPerDay);
+  return static_cast<int>((epoch_seconds - days * kSecondsPerDay) / 60);
+}
+
 std::string format_timestamp(std::int64_t epoch_seconds) {
   const CivilTime c = to_civil(epoch_seconds);
   return crowdweb::format("{:04}-{:02}-{:02} {:02}:{:02}:{:02}", c.year, c.month, c.day,

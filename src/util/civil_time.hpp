@@ -50,6 +50,11 @@ struct CivilTime {
 /// Hour of day 0..23.
 [[nodiscard]] int hour_of_day(std::int64_t epoch_seconds) noexcept;
 
+/// Minute of day 0..1439, without the full calendar breakdown. Equals
+/// `to_civil(s).hour * 60 + to_civil(s).minute` for every timestamp —
+/// the hot-path form for time-window binning.
+[[nodiscard]] int minute_of_day(std::int64_t epoch_seconds) noexcept;
+
 /// "YYYY-MM-DD HH:MM:SS".
 [[nodiscard]] std::string format_timestamp(std::int64_t epoch_seconds);
 

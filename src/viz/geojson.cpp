@@ -69,7 +69,7 @@ json::Value venues_geojson(const data::Dataset& dataset, const data::Taxonomy& t
     features.push_back(feature(
         json::object({{"type", "Point"}, {"coordinates", position(venue.position)}}),
         json::object({{"id", static_cast<std::int64_t>(venue.id)},
-                      {"name", venue.name},
+                      {"name", std::string(dataset.venue_name(venue.id))},
                       {"category", taxonomy.name(venue.category)}})));
   }
   return collection(std::move(features));

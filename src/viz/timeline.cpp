@@ -11,14 +11,14 @@ namespace crowdweb::viz {
 std::string render_timeline(const mining::UserSequences& sequences,
                             const data::Taxonomy& taxonomy, const data::Dataset& dataset,
                             mining::LabelMode mode, const TimelineOptions& options) {
-  const std::size_t total_days = sequences.days.size();
+  const std::size_t total_days = sequences.day_count();
   const std::size_t days = std::min(options.max_days, total_days);
   const std::size_t first_day = total_days - days;
 
   // Stable color per label, in order of first appearance.
   std::map<mining::Item, std::size_t> color_index;
   for (std::size_t d = first_day; d < total_days; ++d) {
-    for (const mining::Item label : sequences.days[d])
+    for (const mining::Item label : sequences.day(d))
       color_index.emplace(label, color_index.size());
   }
 
@@ -52,11 +52,13 @@ std::string render_timeline(const mining::UserSequences& sequences,
     if (row % 5 == 0)
       svg.text(left - 8, y + 3, crowdweb::format("day {}", d + 1), 9, {80, 82, 92},
                TextAnchor::kEnd);
-    for (std::size_t i = 0; i < sequences.days[d].size(); ++i) {
+    const auto day = sequences.day(d);
+    const auto minutes = sequences.minutes_of(d);
+    for (std::size_t i = 0; i < day.size(); ++i) {
       const double x =
-          left + (right - left) * static_cast<double>(sequences.minutes[d][i]) / 1440.0;
+          left + (right - left) * static_cast<double>(minutes[i]) / 1440.0;
       svg.circle(x, y, options.row_height * 0.32,
-                 fill_style(categorical(color_index[sequences.days[d][i]]), 0.9));
+                 fill_style(categorical(color_index[day[i]]), 0.9));
     }
   }
 

@@ -132,7 +132,7 @@ TEST(TimelineTest, RendersRowsMarkersAndLegend) {
   const data::UserId user = active.users()[0];
   const auto sequences = mining::build_user_sequences(
       active, user, data::Taxonomy::foursquare());
-  ASSERT_FALSE(sequences.days.empty());
+  ASSERT_FALSE(sequences.empty());
   TimelineOptions options;
   options.title = "User timeline";
   const std::string svg = render_timeline(sequences, data::Taxonomy::foursquare(),
@@ -147,9 +147,9 @@ TEST(TimelineTest, RendersRowsMarkersAndLegend) {
        pos = svg.find("<circle", pos + 1))
     ++circles;
   std::size_t visits = 0;
-  const std::size_t days = std::min<std::size_t>(options.max_days, sequences.days.size());
-  for (std::size_t d = sequences.days.size() - days; d < sequences.days.size(); ++d)
-    visits += sequences.days[d].size();
+  const std::size_t days = std::min<std::size_t>(options.max_days, sequences.day_count());
+  for (std::size_t d = sequences.day_count() - days; d < sequences.day_count(); ++d)
+    visits += sequences.day(d).size();
   EXPECT_GE(circles, visits);  // visits + legend markers
   // Legend names at least one place label.
   EXPECT_NE(svg.find("Eatery"), std::string::npos);
@@ -177,8 +177,8 @@ TEST(TimelineTest, MaxDaysCapsRows) {
        pos = svg.find("<circle", pos + 1))
     ++circles;
   std::size_t last3 = 0;
-  for (std::size_t d = sequences.days.size() - 3; d < sequences.days.size(); ++d)
-    last3 += sequences.days[d].size();
+  for (std::size_t d = sequences.day_count() - 3; d < sequences.day_count(); ++d)
+    last3 += sequences.day(d).size();
   // visits in the last 3 days + legend markers (bounded by label count).
   EXPECT_LE(circles, last3 + 12);
 }

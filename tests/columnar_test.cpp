@@ -1,0 +1,242 @@
+// Columnar-representation invariants behind the interned/SoA hot path.
+//
+// Three properties keep the refactor honest:
+//   1. Interning is a bijection — concurrent ingest threads racing on
+//      one pool still produce a one-to-one string <-> NameId mapping
+//      (this test rides the `ingest` label onto the TSan matrix).
+//   2. The SoA columns are just a transposed view: every column agrees
+//      with the record-at-a-time iteration, and venue names resolve
+//      back to the exact boundary strings.
+//   3. The checkpoint carries the interning table: names round-trip in
+//      NameId order, and a v1 image (no names table) is refused with
+//      an error that tells the operator what to do.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/checkin.hpp"
+#include "data/dataset.hpp"
+#include "data/string_pool.hpp"
+#include "store/crc32.hpp"
+#include "store/checkpoint.hpp"
+#include "store/wal.hpp"
+#include "util/civil_time.hpp"
+
+namespace crowdweb {
+namespace {
+
+// ------------------------------------------------------------ interning
+
+TEST(StringPoolBijectionTest, ConcurrentInterningIsABijection) {
+  // Eight threads intern overlapping slices of one name universe, each
+  // in its own shuffled order, racing on a shared pool. Afterwards the
+  // mapping must be a bijection: every name has exactly one id, every
+  // id resolves to exactly one name, and ids are dense.
+  constexpr std::size_t kNames = 500;
+  constexpr unsigned kThreads = 8;
+  std::vector<std::string> universe;
+  universe.reserve(kNames);
+  for (std::size_t i = 0; i < kNames; ++i)
+    universe.push_back("venue #" + std::to_string(i) + " on main st");
+
+  data::StringPool pool;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&universe, &pool, t] {
+      // Overlapping slice: thread t sees names [t*25, t*25 + 400).
+      std::vector<const std::string*> slice;
+      for (std::size_t i = t * 25; i < t * 25 + 400 && i < universe.size(); ++i)
+        slice.push_back(&universe[i]);
+      std::mt19937 rng(t);
+      std::shuffle(slice.begin(), slice.end(), rng);
+      for (const std::string* name : slice) {
+        const data::NameId id = pool.intern(*name);
+        // Read back through a snapshot taken mid-race: the id must
+        // already resolve to the string it was assigned for.
+        EXPECT_EQ((*pool.snapshot())[id], *name);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ASSERT_EQ(pool.size(), kNames);
+  const data::NamesPtr names = pool.snapshot();
+  ASSERT_EQ(names->size(), kNames);
+  // Injective: no two ids share a string.
+  std::unordered_map<std::string_view, data::NameId> seen;
+  for (data::NameId id = 0; id < kNames; ++id) {
+    const std::string_view name = (*names)[id];
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.emplace(name, id).second) << "duplicate string " << name;
+  }
+  // Surjective onto the universe, and intern stays idempotent after
+  // the race: re-interning returns the established id.
+  for (const std::string& name : universe) {
+    const data::NameId id = pool.find(name);
+    ASSERT_NE(id, data::kNoName) << name;
+    EXPECT_EQ(pool.intern(name), id);
+    EXPECT_EQ((*names)[id], name);
+  }
+}
+
+TEST(StringPoolTest, SnapshotStaysValidWhileThePoolGrows) {
+  data::StringPool pool;
+  const data::NameId first = pool.intern("Cafe Grumpy");
+  const data::NamesPtr old_snapshot = pool.snapshot();
+  for (int i = 0; i < 1000; ++i) pool.intern("filler " + std::to_string(i));
+  // The old snapshot still resolves what it saw, and sees nothing new.
+  EXPECT_EQ((*old_snapshot)[first], "Cafe Grumpy");
+  EXPECT_EQ(old_snapshot->size(), 1u);
+  EXPECT_EQ(pool.snapshot()->size(), 1001u);
+}
+
+TEST(StringPoolTest, SnapshotIsCachedUntilGrowth) {
+  data::StringPool pool;
+  pool.intern("a");
+  const data::NamesPtr one = pool.snapshot();
+  EXPECT_EQ(pool.snapshot(), one);  // no growth: same shared snapshot
+  pool.intern("b");
+  EXPECT_NE(pool.snapshot(), one);
+}
+
+// ------------------------------------------------------------ SoA views
+
+data::VenueSpec spec_of(data::VenueId id, std::string name, data::CategoryId category,
+                        double lat, double lon) {
+  data::VenueSpec spec;
+  spec.id = id;
+  spec.name = std::move(name);
+  spec.category = category;
+  spec.position = {lat, lon};
+  return spec;
+}
+
+data::Dataset small_dataset() {
+  const data::Taxonomy& taxonomy = data::Taxonomy::foursquare();
+  const data::CategoryId thai = *taxonomy.find("Thai Restaurant");
+  const data::CategoryId office = *taxonomy.find("Office");
+  data::DatasetBuilder builder;
+  EXPECT_TRUE(builder.add_venue(spec_of(0, "Thai Garden", thai, 40.70, -74.00)).is_ok());
+  EXPECT_TRUE(builder.add_venue(spec_of(1, "HQ", office, 40.75, -73.98)).is_ok());
+  // Two venues sharing one name: interning dedupes, ids stay distinct.
+  EXPECT_TRUE(builder.add_venue(spec_of(2, "Thai Garden", thai, 40.72, -73.99)).is_ok());
+  const std::int64_t base = to_epoch_seconds({2012, 4, 2, 9, 0, 0});
+  for (int i = 0; i < 8; ++i) {
+    data::CheckIn checkin;
+    checkin.user = (i % 2 == 0) ? 5 : 9;
+    checkin.venue = static_cast<data::VenueId>(i % 3);
+    checkin.category = (i % 3 == 1) ? office : thai;
+    checkin.position = {40.70 + 0.01 * i, -74.00 + 0.01 * i};
+    checkin.timestamp = base + i * 3600;
+    EXPECT_TRUE(builder.add_checkin(checkin).is_ok());
+  }
+  return builder.build();
+}
+
+TEST(ColumnarDatasetTest, ColumnsAgreeWithTheRecordView) {
+  const data::Dataset dataset = small_dataset();
+  for (const data::UserId user : dataset.users()) {
+    const auto records = dataset.checkins_for(user);
+    const auto timestamps = records.timestamps();
+    const auto venues = records.venues();
+    const auto lats = records.lats();
+    const auto lons = records.lons();
+    ASSERT_EQ(timestamps.size(), records.size());
+    ASSERT_EQ(venues.size(), records.size());
+    ASSERT_EQ(lats.size(), records.size());
+    ASSERT_EQ(lons.size(), records.size());
+    std::size_t i = 0;
+    for (const data::CheckIn checkin : records) {
+      EXPECT_EQ(checkin.user, user);
+      EXPECT_EQ(checkin.timestamp, timestamps[i]);
+      EXPECT_EQ(checkin.venue, venues[i]);
+      EXPECT_EQ(checkin.position.lat, lats[i]);
+      EXPECT_EQ(checkin.position.lon, lons[i]);
+      EXPECT_EQ(checkin.category, records.category(i));
+      ++i;
+    }
+    EXPECT_EQ(i, records.size());
+  }
+}
+
+TEST(ColumnarDatasetTest, VenueNamesResolveThroughTheSnapshot) {
+  const data::Dataset dataset = small_dataset();
+  EXPECT_EQ(dataset.venue_name(0), "Thai Garden");
+  EXPECT_EQ(dataset.venue_name(1), "HQ");
+  EXPECT_EQ(dataset.venue_name(2), "Thai Garden");
+  // Shared name, shared NameId; distinct names, distinct NameIds.
+  EXPECT_EQ(dataset.venue(0)->name, dataset.venue(2)->name);
+  EXPECT_NE(dataset.venue(0)->name, dataset.venue(1)->name);
+  // Only two distinct strings were interned.
+  EXPECT_EQ(dataset.names()->size(), 2u);
+  // venue_spec is the boundary inverse: it restores the string form.
+  EXPECT_EQ(dataset.venue_spec(2).name, "Thai Garden");
+}
+
+// --------------------------------------------------------- checkpoint v2
+
+store::Checkpoint sample_checkpoint() {
+  store::Checkpoint checkpoint;
+  checkpoint.seq = 7;
+  checkpoint.epoch = 3;
+  checkpoint.last_record_seq = 41;
+  checkpoint.next_guest_id = 2;
+  checkpoint.names = {"Thai Garden", "HQ"};
+  data::Venue venue;
+  venue.id = 0;
+  venue.name = 1;  // "HQ"
+  venue.category = 5;
+  venue.position = {40.75, -73.98};
+  checkpoint.venues.push_back(venue);
+  return checkpoint;
+}
+
+TEST(CheckpointVersionTest, NamesTableRoundTripsInIdOrder) {
+  const store::Checkpoint original = sample_checkpoint();
+  const auto decoded = store::decode_checkpoint(store::encode_checkpoint(original), "t");
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->names, original.names);
+  ASSERT_EQ(decoded->venues.size(), 1u);
+  EXPECT_EQ(decoded->venues[0].name, 1u);
+}
+
+TEST(CheckpointVersionTest, VenueNameOutsideTheTableIsRefused) {
+  store::Checkpoint checkpoint = sample_checkpoint();
+  checkpoint.venues[0].name = 9;  // only 2 names in the table
+  const auto decoded = store::decode_checkpoint(store::encode_checkpoint(checkpoint), "t");
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_NE(decoded.status().message().find("names table"), std::string::npos);
+}
+
+TEST(CheckpointVersionTest, V1ImagesAreRefusedWithAnActionableError) {
+  // Forge a v1 image: patch the version word of a valid v2 encoding
+  // and restamp the trailing CRC so only the version check can object.
+  std::string bytes = store::encode_checkpoint(sample_checkpoint());
+  ASSERT_GE(bytes.size(), 12u);
+  bytes[4] = 1;  // little-endian u32 version at offset 4
+  bytes[5] = bytes[6] = bytes[7] = 0;
+  const std::uint32_t crc = store::crc32(std::string_view(bytes).substr(0, bytes.size() - 4));
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+
+  const auto decoded = store::decode_checkpoint(bytes, "store/checkpoint-000001.ckpt");
+  ASSERT_FALSE(decoded.is_ok());
+  const std::string message = decoded.status().message();
+  EXPECT_NE(message.find("unsupported checkpoint format version 1"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("re-ingest"), std::string::npos) << message;
+  // And the supported version is named, so operators know the target.
+  EXPECT_NE(message.find("supported: 2"), std::string::npos) << message;
+}
+
+}  // namespace
+}  // namespace crowdweb

@@ -75,7 +75,7 @@ TEST(PlatformTest, SequencesMatchMobilityDayCount) {
   const Platform& p = platform();
   const data::UserId user = p.experiment_dataset().users()[0];
   const auto sequences = p.sequences_for(user);
-  EXPECT_EQ(sequences.days.size(), p.user_mobility(user)->recorded_days);
+  EXPECT_EQ(sequences.day_count(), p.user_mobility(user)->recorded_days);
 }
 
 TEST(PlatformTest, PlaceGraphForPatternUser) {

@@ -73,8 +73,9 @@ TEST(TaxonomyTest, CreateValidation) {
 
 // -------------------------------------------------------- DatasetBuilder
 
-Venue make_venue(VenueId id, CategoryId category, double lat = 40.7, double lon = -74.0) {
-  Venue v;
+VenueSpec make_venue(VenueId id, CategoryId category, double lat = 40.7,
+                     double lon = -74.0) {
+  VenueSpec v;
   v.id = id;
   v.name = "venue " + std::to_string(id);
   v.category = category;
@@ -106,7 +107,7 @@ TEST(DatasetBuilderTest, RejectsNonDenseVenueIds) {
 TEST(DatasetBuilderTest, RejectsBadVenues) {
   DatasetBuilder builder;
   EXPECT_FALSE(builder.add_venue(make_venue(0, thai(), 95.0, 0.0)).is_ok());  // bad lat
-  Venue no_category = make_venue(0, thai());
+  VenueSpec no_category = make_venue(0, thai());
   no_category.category = kNoCategory;
   EXPECT_FALSE(builder.add_venue(no_category).is_ok());
 }

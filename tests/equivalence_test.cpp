@@ -133,7 +133,7 @@ void expect_dataset_eq(const data::Dataset& a, const data::Dataset& b) {
     const data::Venue& va = a.venues()[v];
     const data::Venue& vb = b.venues()[v];
     ASSERT_EQ(va.id, vb.id);
-    ASSERT_EQ(va.name, vb.name);
+    ASSERT_EQ(a.venue_name(va.id), b.venue_name(vb.id));
     ASSERT_EQ(va.category, vb.category);
     ASSERT_EQ(va.position.lat, vb.position.lat);
     ASSERT_EQ(va.position.lon, vb.position.lon);
@@ -221,7 +221,7 @@ double metric_value(const std::string& text, const std::string& name) {
 
 /// A small hand-built corpus: four venues, three users.
 struct Corpus {
-  std::vector<data::Venue> venues;
+  std::vector<data::VenueSpec> venues;
   std::vector<data::CheckIn> checkins;
 };
 
@@ -231,7 +231,7 @@ Corpus base_corpus() {
                    {1, "bar", 2, {40.72, -73.99}},
                    {2, "park", 3, {40.74, -73.98}}};
   const auto at = [&](data::UserId user, data::VenueId venue, std::int64_t ts) {
-    const data::Venue& v = corpus.venues[venue];
+    const data::VenueSpec& v = corpus.venues[venue];
     corpus.checkins.push_back({user, venue, v.category, v.position, ts});
   };
   at(1, 0, 1'000);
@@ -256,7 +256,7 @@ Corpus delta_corpus() {
 
 data::Dataset build_dataset(const Corpus& corpus, const data::Dataset* base = nullptr) {
   data::DatasetBuilder builder = base ? data::DatasetBuilder(*base) : data::DatasetBuilder();
-  for (const data::Venue& venue : corpus.venues)
+  for (const data::VenueSpec& venue : corpus.venues)
     EXPECT_TRUE(builder.add_venue(venue).is_ok());
   for (const data::CheckIn& checkin : corpus.checkins)
     EXPECT_TRUE(builder.add_checkin(checkin).is_ok());

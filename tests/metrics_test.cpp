@@ -30,7 +30,7 @@ data::Dataset two_point_dataset(double meters, int visits) {
   const geo::LatLon a{40.70, -74.00};
   const geo::LatLon b = geo::offset_meters(a, meters, 0.0);
   for (int i = 0; i < 2; ++i) {
-    data::Venue v;
+    data::VenueSpec v;
     v.id = static_cast<data::VenueId>(i);
     v.name = i == 0 ? "A" : "B";
     v.category = *tax().find("Coffee Shop");

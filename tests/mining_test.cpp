@@ -71,7 +71,7 @@ TEST(PatternTest, ClosedAndMaximalFilters) {
 // ------------------------------------------------------------- PrefixSpan
 
 TEST(PrefixSpanTest, EmptyDatabase) {
-  EXPECT_TRUE(prefixspan({}, {}).empty());
+  EXPECT_TRUE(prefixspan(SequenceDb{}, {}).empty());
 }
 
 TEST(PrefixSpanTest, TextbookExample) {
@@ -322,26 +322,26 @@ TEST(SpadeTest, RespectsCaps) {
 data::Dataset day_pattern_dataset() {
   const data::Taxonomy& tax = data::Taxonomy::foursquare();
   data::DatasetBuilder builder;
-  data::Venue coffee;
+  data::VenueSpec coffee;
   coffee.id = 0;
   coffee.name = "Corner Coffee";
   coffee.category = *tax.find("Coffee Shop");
   coffee.position = {40.71, -74.00};
   EXPECT_TRUE(builder.add_venue(coffee).is_ok());
-  data::Venue office;
+  data::VenueSpec office;
   office.id = 1;
   office.name = "HQ";
   office.category = *tax.find("Office");
   office.position = {40.75, -73.98};
   EXPECT_TRUE(builder.add_venue(office).is_ok());
-  data::Venue thai;
+  data::VenueSpec thai;
   thai.id = 2;
   thai.name = "Thai Pothong";
   thai.category = *tax.find("Thai Restaurant");
   thai.position = {40.76, -73.99};
   EXPECT_TRUE(builder.add_venue(thai).is_ok());
 
-  const auto add = [&](int day, int hour, int minute, const data::Venue& venue) {
+  const auto add = [&](int day, int hour, int minute, const data::VenueSpec& venue) {
     data::CheckIn c;
     c.user = 1;
     c.venue = venue.id;
@@ -360,30 +360,35 @@ data::Dataset day_pattern_dataset() {
   return builder.build();
 }
 
+std::vector<Item> day_vec(const UserSequences& sequences, std::size_t d) {
+  const auto day = sequences.day(d);
+  return {day.begin(), day.end()};
+}
+
 TEST(SeqDbTest, RootCategoryAbstraction) {
   const data::Dataset dataset = day_pattern_dataset();
   const data::Taxonomy& tax = data::Taxonomy::foursquare();
   const UserSequences sequences = build_user_sequences(dataset, 1, tax);
-  ASSERT_EQ(sequences.days.size(), 3u);
+  ASSERT_EQ(sequences.day_count(), 3u);
   const Item eatery = *tax.find("Eatery");
   const Item professional = *tax.find("Professional & Other Places");
   // Day 2: Eatery(coffee), Professional, Eatery(thai).
-  EXPECT_EQ(sequences.days[0], (std::vector<Item>{eatery, professional, eatery}));
+  EXPECT_EQ(day_vec(sequences, 0), (std::vector<Item>{eatery, professional, eatery}));
   // Day 3: Eatery, Professional.
-  EXPECT_EQ(sequences.days[1], (std::vector<Item>{eatery, professional}));
+  EXPECT_EQ(day_vec(sequences, 1), (std::vector<Item>{eatery, professional}));
   // Day 5: Eatery.
-  EXPECT_EQ(sequences.days[2], (std::vector<Item>{eatery}));
+  EXPECT_EQ(day_vec(sequences, 2), (std::vector<Item>{eatery}));
 }
 
 TEST(SeqDbTest, MinutesParallelToItems) {
   const data::Dataset dataset = day_pattern_dataset();
   const UserSequences sequences =
       build_user_sequences(dataset, 1, data::Taxonomy::foursquare());
-  ASSERT_EQ(sequences.minutes.size(), sequences.days.size());
-  for (std::size_t d = 0; d < sequences.days.size(); ++d)
-    ASSERT_EQ(sequences.minutes[d].size(), sequences.days[d].size());
-  EXPECT_EQ(sequences.minutes[0][0], 8 * 60 + 30);
-  EXPECT_EQ(sequences.minutes[0][1], 9 * 60 + 5);
+  ASSERT_EQ(sequences.item_minutes.size(), sequences.items.size());
+  for (std::size_t d = 0; d < sequences.day_count(); ++d)
+    ASSERT_EQ(sequences.minutes_of(d).size(), sequences.day(d).size());
+  EXPECT_EQ(sequences.minutes_of(0)[0], 8 * 60 + 30);
+  EXPECT_EQ(sequences.minutes_of(0)[1], 9 * 60 + 5);
 }
 
 TEST(SeqDbTest, VenueModeKeepsDistinctVenues) {
@@ -392,7 +397,7 @@ TEST(SeqDbTest, VenueModeKeepsDistinctVenues) {
   options.mode = LabelMode::kVenue;
   const UserSequences sequences =
       build_user_sequences(dataset, 1, data::Taxonomy::foursquare(), options);
-  EXPECT_EQ(sequences.days[0], (std::vector<Item>{0, 1, 2}));
+  EXPECT_EQ(day_vec(sequences, 0), (std::vector<Item>{0, 1, 2}));
 }
 
 TEST(SeqDbTest, LeafModeKeepsVenueTypes) {
@@ -401,20 +406,20 @@ TEST(SeqDbTest, LeafModeKeepsVenueTypes) {
   SequenceOptions options;
   options.mode = LabelMode::kLeafCategory;
   const UserSequences sequences = build_user_sequences(dataset, 1, tax, options);
-  EXPECT_EQ(sequences.days[0][0], *tax.find("Coffee Shop"));
-  EXPECT_EQ(sequences.days[0][2], *tax.find("Thai Restaurant"));
+  EXPECT_EQ(sequences.day(0)[0], *tax.find("Coffee Shop"));
+  EXPECT_EQ(sequences.day(0)[2], *tax.find("Thai Restaurant"));
 }
 
 TEST(SeqDbTest, CollapseRepeats) {
   const data::Taxonomy& tax = data::Taxonomy::foursquare();
   data::DatasetBuilder builder;
-  data::Venue a;
+  data::VenueSpec a;
   a.id = 0;
   a.name = "A";
   a.category = *tax.find("Coffee Shop");
   a.position = {40.7, -74.0};
   ASSERT_TRUE(builder.add_venue(a).is_ok());
-  data::Venue b = a;
+  data::VenueSpec b = a;
   b.id = 1;
   b.name = "B";
   b.category = *tax.find("Pizza Place");
@@ -431,11 +436,11 @@ TEST(SeqDbTest, CollapseRepeats) {
   }
   const data::Dataset dataset = builder.build();
   const UserSequences collapsed = build_user_sequences(dataset, 1, tax);
-  EXPECT_EQ(collapsed.days[0].size(), 1u);  // Eatery,Eatery -> Eatery
+  EXPECT_EQ(collapsed.day(0).size(), 1u);  // Eatery,Eatery -> Eatery
   SequenceOptions keep;
   keep.collapse_repeats = false;
   const UserSequences raw = build_user_sequences(dataset, 1, tax, keep);
-  EXPECT_EQ(raw.days[0].size(), 2u);
+  EXPECT_EQ(raw.day(0).size(), 2u);
 }
 
 TEST(SeqDbTest, MinDayLengthDropsShortDays) {
@@ -444,14 +449,14 @@ TEST(SeqDbTest, MinDayLengthDropsShortDays) {
   options.min_day_length = 2;
   const UserSequences sequences =
       build_user_sequences(dataset, 1, data::Taxonomy::foursquare(), options);
-  EXPECT_EQ(sequences.days.size(), 2u);  // the single-visit day is dropped
+  EXPECT_EQ(sequences.day_count(), 2u);  // the single-visit day is dropped
 }
 
 TEST(SeqDbTest, UnknownUserYieldsEmpty) {
   const data::Dataset dataset = day_pattern_dataset();
   const UserSequences sequences =
       build_user_sequences(dataset, 42, data::Taxonomy::foursquare());
-  EXPECT_TRUE(sequences.days.empty());
+  EXPECT_TRUE(sequences.empty());
 }
 
 TEST(SeqDbTest, BuildAllCoversEveryUser) {
@@ -477,7 +482,7 @@ TEST(SeqDbTest, LocationAbstractionRecoversFlexiblePatterns) {
   data::DatasetBuilder builder;
   // Three different Thai restaurants.
   for (int i = 0; i < 3; ++i) {
-    data::Venue v;
+    data::VenueSpec v;
     v.id = static_cast<data::VenueId>(i);
     v.name = "Thai " + std::to_string(i);
     v.category = *tax.find("Thai Restaurant");
@@ -502,10 +507,10 @@ TEST(SeqDbTest, LocationAbstractionRecoversFlexiblePatterns) {
   SequenceOptions venue_mode;
   venue_mode.mode = LabelMode::kVenue;
   const auto raw = build_user_sequences(dataset, 1, tax, venue_mode);
-  EXPECT_TRUE(prefixspan(raw.days, mining).empty());  // no venue repeats
+  EXPECT_TRUE(prefixspan(raw.columns(), mining).empty());  // no venue repeats
 
   const auto abstracted = build_user_sequences(dataset, 1, tax);  // root mode
-  const auto patterns = prefixspan(abstracted.days, mining);
+  const auto patterns = prefixspan(abstracted.columns(), mining);
   ASSERT_EQ(patterns.size(), 1u);  // "Eatery" every day
   EXPECT_EQ(patterns[0].items, (std::vector<Item>{*tax.find("Eatery")}));
   EXPECT_EQ(patterns[0].support_count, 3u);

@@ -15,26 +15,26 @@ const data::Taxonomy& tax() { return data::Taxonomy::foursquare(); }
 /// thai lunch ~12:20 on most days.
 data::Dataset routine_dataset(int days = 10) {
   data::DatasetBuilder builder;
-  data::Venue coffee;
+  data::VenueSpec coffee;
   coffee.id = 0;
   coffee.name = "Corner Coffee";
   coffee.category = *tax().find("Coffee Shop");
   coffee.position = {40.71, -74.00};
   EXPECT_TRUE(builder.add_venue(coffee).is_ok());
-  data::Venue office;
+  data::VenueSpec office;
   office.id = 1;
   office.name = "HQ";
   office.category = *tax().find("Office");
   office.position = {40.75, -73.98};
   EXPECT_TRUE(builder.add_venue(office).is_ok());
-  data::Venue thai;
+  data::VenueSpec thai;
   thai.id = 2;
   thai.name = "Thai Pothong";
   thai.category = *tax().find("Thai Restaurant");
   thai.position = {40.76, -73.99};
   EXPECT_TRUE(builder.add_venue(thai).is_ok());
 
-  const auto add = [&](int day, int hour, int minute, const data::Venue& venue) {
+  const auto add = [&](int day, int hour, int minute, const data::VenueSpec& venue) {
     data::CheckIn c;
     c.user = 7;
     c.venue = venue.id;

@@ -30,8 +30,7 @@ mining::UserSequences routine_history(std::size_t days) {
       items.push_back(30);  // Gym
       minutes.push_back(1100);
     }
-    history.days.push_back(std::move(items));
-    history.minutes.push_back(std::move(minutes));
+    history.append_day(items, minutes);
   }
   return history;
 }
@@ -165,8 +164,11 @@ TEST(PatternPredictorTest, FallsBackWhenNoPatternApplies) {
   // singletons; after exhausting them the fallback still answers.
   mining::UserSequences history;
   history.user = 2;
-  history.days = {{1}, {2}, {3}, {4}};
-  history.minutes = {{600}, {610}, {620}, {630}};
+  for (mining::Item item = 1; item <= 4; ++item) {
+    const std::vector<mining::Item> items{item};
+    const std::vector<int> minutes{600 + 10 * static_cast<int>(item - 1)};
+    history.append_day(items, minutes);
+  }
   predictor->train(history);
   Query query;
   query.minute = 615;
@@ -192,15 +194,17 @@ TEST(EnsemblePredictorTest, AtLeastAsGoodAsFrequencyOnRoutine) {
   frequency->train(history);
   // Score both on the deterministic routine events.
   int ensemble_hits = 0, frequency_hits = 0, events = 0;
-  for (std::size_t d = 0; d < history.days.size(); ++d) {
-    for (std::size_t i = 0; i < history.days[d].size(); ++i) {
+  for (std::size_t d = 0; d < history.day_count(); ++d) {
+    const auto day = history.day(d);
+    const auto minutes = history.minutes_of(d);
+    for (std::size_t i = 0; i < day.size(); ++i) {
       Query query;
-      query.today = std::span<const mining::Item>(history.days[d].data(), i);
-      query.minute = history.minutes[d][i];
+      query.today = std::span<const mining::Item>(day.data(), i);
+      query.minute = minutes[i];
       const auto e = ensemble->predict(query);
       const auto f = frequency->predict(query);
-      ensemble_hits += !e.empty() && e[0].label == history.days[d][i] ? 1 : 0;
-      frequency_hits += !f.empty() && f[0].label == history.days[d][i] ? 1 : 0;
+      ensemble_hits += !e.empty() && e[0].label == day[i] ? 1 : 0;
+      frequency_hits += !f.empty() && f[0].label == day[i] ? 1 : 0;
       ++events;
     }
   }
@@ -214,13 +218,13 @@ TEST(EvaluateTest, PerfectlyRegularUserIsPredictable) {
   // Build a dataset where one user repeats the same day 30 times.
   const data::Taxonomy& tax = data::Taxonomy::foursquare();
   data::DatasetBuilder builder;
-  data::Venue coffee;
+  data::VenueSpec coffee;
   coffee.id = 0;
   coffee.name = "C";
   coffee.category = *tax.find("Coffee Shop");
   coffee.position = {40.7, -74.0};
   ASSERT_TRUE(builder.add_venue(coffee).is_ok());
-  data::Venue office;
+  data::VenueSpec office;
   office.id = 1;
   office.name = "O";
   office.category = *tax.find("Office");
@@ -251,7 +255,7 @@ TEST(EvaluateTest, PerfectlyRegularUserIsPredictable) {
 TEST(EvaluateTest, SkipsUsersWithTooFewDays) {
   const data::Taxonomy& tax = data::Taxonomy::foursquare();
   data::DatasetBuilder builder;
-  data::Venue v;
+  data::VenueSpec v;
   v.id = 0;
   v.name = "X";
   v.category = *tax.find("Coffee Shop");

@@ -254,8 +254,9 @@ store::Checkpoint sample_checkpoint() {
   checkpoint.last_record_seq = 42;
   checkpoint.next_guest_id = 3'000'000'002u;
   checkpoint.base_checkin_count = 2;
-  checkpoint.venues.push_back({0, "Cafe Grumpy", 4, {40.75, -73.98}});
-  checkpoint.venues.push_back({1, "live: Eatery @40.74,-73.99", 2, {40.74, -73.99}});
+  checkpoint.names = {"Cafe Grumpy", "live: Eatery @40.74,-73.99"};
+  checkpoint.venues.push_back({0, 0, 4, {40.75, -73.98}});
+  checkpoint.venues.push_back({1, 1, 2, {40.74, -73.99}});
   checkpoint.checkins.push_back({7, 0, 4, {40.75, -73.98}, 1'000});
   checkpoint.checkins.push_back({8, 1, 2, {40.74, -73.99}, 2'000});
   checkpoint.checkins.push_back({9, 1, 2, {40.74, -73.99}, 3'000});
@@ -273,6 +274,7 @@ TEST(CheckpointTest, EncodeDecodeRoundTripPreservesEveryField) {
   EXPECT_EQ(decoded->last_record_seq, original.last_record_seq);
   EXPECT_EQ(decoded->next_guest_id, original.next_guest_id);
   EXPECT_EQ(decoded->base_checkin_count, original.base_checkin_count);
+  EXPECT_EQ(decoded->names, original.names);
   EXPECT_EQ(decoded->touched_users, original.touched_users);
   // Byte-identical re-encode proves venue/check-in order and values
   // survived exactly — the property venue-id re-derivation depends on.

@@ -41,7 +41,7 @@ TEST(CityTest, VenuesInsideBoundsWithValidCategories) {
   const auto city = City::generate(config, tax);
   ASSERT_TRUE(city.is_ok());
   EXPECT_EQ(city->venues().size(), 1000u);
-  for (const data::Venue& venue : city->venues()) {
+  for (const data::VenueSpec& venue : city->venues()) {
     EXPECT_TRUE(config.bounds.contains(venue.position));
     ASSERT_LT(venue.category, tax.size());
     EXPECT_FALSE(tax.category(venue.category).is_root());  // leaves only

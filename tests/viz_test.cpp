@@ -343,7 +343,7 @@ TEST(GeoJsonTest, FlowLineStringsSkipStays) {
 TEST(GeoJsonTest, VenuePoints) {
   const data::Taxonomy& tax = data::Taxonomy::foursquare();
   data::DatasetBuilder builder;
-  data::Venue v;
+  data::VenueSpec v;
   v.id = 0;
   v.name = "Thai Pothong";
   v.category = *tax.find("Thai Restaurant");

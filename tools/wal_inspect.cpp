@@ -92,12 +92,12 @@ void inspect_checkpoint(const std::string& path) {
   std::printf(
       "%s: checkpoint %llu, %zu bytes, crc ok\n"
       "  epoch %llu, covers WAL through record %llu\n"
-      "  %zu venue(s), %zu check-in(s) (%llu from the base corpus), "
-      "%zu touched user(s), next guest id %u\n",
+      "  %zu interned name(s), %zu venue(s), %zu check-in(s) (%llu from the base "
+      "corpus), %zu touched user(s), next guest id %u\n",
       path.c_str(), static_cast<unsigned long long>(checkpoint->seq), bytes->size(),
       static_cast<unsigned long long>(checkpoint->epoch),
       static_cast<unsigned long long>(checkpoint->last_record_seq),
-      checkpoint->venues.size(), checkpoint->checkins.size(),
+      checkpoint->names.size(), checkpoint->venues.size(), checkpoint->checkins.size(),
       static_cast<unsigned long long>(checkpoint->base_checkin_count),
       checkpoint->touched_users.size(), checkpoint->next_guest_id);
 }
