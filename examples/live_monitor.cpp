@@ -13,7 +13,15 @@
 // write-ahead log; run it twice with the same directory and the second
 // run recovers the first run's live corpus before the feed starts.
 //
+// The transport subsystem (src/transport) is on display end to end:
+// --transport binary replays through the framed TCP listener instead of
+// CSV-over-HTTP, --spool-dir absorbs queue-rejected bursts onto disk,
+// and the dashboard subscribes to GET /api/stream/epochs (SSE) so epoch
+// lines arrive as pushes, not polls (it falls back to polling if the
+// subscribe fails).
+//
 // Run:  ./live_monitor [--seed N] [--rate R] [--duration S] [--port P]
+//                      [--transport csv|binary] [--spool-dir DIR]
 //                      [--store-dir DIR [--fsync every_batch|interval|never]]
 //                      [--http-workers N] [--http-cache-mb MB]
 
@@ -22,6 +30,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +44,10 @@
 #include "json/json.hpp"
 #include "synth/generator.hpp"
 #include "telemetry/metrics.hpp"
+#include "transport/frame_client.hpp"
+#include "transport/frame_server.hpp"
+#include "transport/pipeline.hpp"
+#include "transport/sse.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -46,6 +59,7 @@ namespace {
 int usage(const char* name) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--rate R] [--duration S] [--port P] "
+               "[--transport csv|binary] [--spool-dir DIR] "
                "[--store-dir DIR [--fsync every_batch|interval|never]] "
                "[--http-workers N] [--http-cache-mb MB]\n",
                name);
@@ -61,6 +75,8 @@ int main(int argc, char** argv) {
   double duration = 10.0;    // replay wall-clock budget, seconds
   std::uint16_t port = 0;    // 0 = ephemeral
   std::string store_dir;     // empty = ephemeral live corpus
+  std::string spool_dir;     // empty = no burst spool
+  bool binary = false;       // producer path: CSV-over-HTTP or framed TCP
   store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
   int http_workers = -1;            // -1 = hardware concurrency, 0 = inline
   std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
@@ -84,6 +100,12 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(*parsed);
     } else if (flag == "--store-dir" && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (flag == "--spool-dir" && i + 1 < argc) {
+      spool_dir = argv[++i];
+    } else if (flag == "--transport" && i + 1 < argc) {
+      const std::string_view mode = argv[++i];
+      if (mode == "binary") binary = true;
+      else if (mode != "csv") return usage(argv[0]);
     } else if (flag == "--fsync" && i + 1 < argc) {
       const auto policy = store::parse_fsync_policy(argv[++i]);
       if (!policy) return usage(argv[0]);
@@ -147,12 +169,35 @@ int main(int argc, char** argv) {
   const int resolved_workers =
       http_workers < 0 ? std::max(1, static_cast<int>(std::thread::hardware_concurrency()))
                        : http_workers;
+
+  // Transport funnel: every producer path (HTTP CSV route, framed TCP
+  // listener) submits through one pipeline; with --spool-dir the queue's
+  // rejected suffixes spill to disk and drain back as capacity frees.
+  ingest::IngestWorker* worker_ptr = worker.get();
+  transport::PipelineConfig pipeline_config;
+  pipeline_config.spool.dir = spool_dir;
+  pipeline_config.metrics = &metrics;
+  pipeline_config.note_invalid = [worker_ptr](std::uint64_t count) {
+    worker_ptr->note_invalid(count);
+  };
+  transport::IngestPipeline pipeline(
+      [worker_ptr](std::span<const ingest::IngestEvent> events) {
+        return worker_ptr->submit(events);
+      },
+      std::move(pipeline_config));
+  if (const Status status = pipeline.start(); !status.is_ok()) {
+    std::fprintf(stderr, "spool failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
   core::ApiOptions api_options;
   api_options.ingest = worker.get();
   api_options.server_stats = std::make_shared<std::function<http::ServerStats()>>();
   api_options.metrics = &metrics;
   api_options.cache = cache.get();
   api_options.http_workers = resolved_workers;
+  api_options.pipeline = &pipeline;
+  api_options.stream = true;
   http::ServerConfig server_config;
   server_config.port = port;
   server_config.metrics = &metrics;
@@ -164,6 +209,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   *api_options.server_stats = [&server] { return server.stats(); };
+  // Epoch publications now fan out to the SSE routes; destroyed before
+  // the server (its hook flips inactive, so late publishes are no-ops).
+  auto publisher =
+      core::attach_stream_publisher(server, *platform, *worker, cache.get());
+
+  // Binary producer edge: the framed TCP listener feeding the same
+  // pipeline (and spool) as the HTTP route.
+  std::unique_ptr<transport::FrameServer> frame_server;
+  if (binary) {
+    transport::FrameServerConfig frame_config;
+    frame_config.metrics = &metrics;
+    frame_server = std::make_unique<transport::FrameServer>(pipeline, frame_config);
+    if (const Status status = frame_server->start(); !status.is_ok()) {
+      std::fprintf(stderr, "frame listener failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("binary frame listener on 127.0.0.1:%u\n", frame_server->port());
+  }
   std::printf("live API on http://127.0.0.1:%u (epoch %llu published, %d worker(s), "
               "cache %s)\n",
               server.port(), static_cast<unsigned long long>(worker->hub().epoch()),
@@ -195,14 +258,22 @@ int main(int argc, char** argv) {
   ingest::ReplayOptions replay_options;
   replay_options.events_per_second = rate;
   replay_options.max_seconds = duration;
+  ingest::ReplaySink sink;
+  if (binary) {
+    auto client = std::make_shared<transport::FrameClient>();
+    if (const Status status = client->connect_tcp("127.0.0.1", frame_server->port());
+        !status.is_ok()) {
+      std::fprintf(stderr, "frame client failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    sink = transport::frame_sink(std::move(client));
+  } else {
+    sink = ingest::http_sink("127.0.0.1", server.port(), platform->taxonomy());
+  }
   Result<ingest::ReplayReport> report = ingest::ReplayReport{};
-  std::thread feeder([&] {
-    report = ingest::replay(stream, replay_options,
-                            ingest::http_sink("127.0.0.1", server.port(),
-                                              platform->taxonomy()));
-  });
+  std::thread feeder([&] { report = ingest::replay(stream, replay_options, sink); });
 
-  // Dashboard: poll the stats route once a second while the feed runs.
+  std::printf("feeding over %s\n", binary ? "binary TCP frames" : "CSV over HTTP");
   std::printf("%8s %8s %8s %8s %8s %6s %12s\n", "accepted", "rejected", "invalid",
               "depth", "epoch", "live", "rebuild ms");
   const auto poll = [&]() -> bool {
@@ -227,13 +298,68 @@ int main(int argc, char** argv) {
                 rebuild != nullptr ? rebuild->as_double() : 0.0);
     return true;
   };
-  const int ticks = static_cast<int>(duration) + 1;
-  for (int tick = 0; tick < ticks; ++tick) {
-    std::this_thread::sleep_for(std::chrono::seconds(1));
-    if (!poll()) std::fprintf(stderr, "stats poll failed\n");
+  // Dashboard: subscribe to the epoch stream — lines arrive when the
+  // worker publishes, no polling. Falls back to 1 Hz stats polling if
+  // the subscribe fails.
+  transport::SseClient epochs;
+  const bool streaming =
+      epochs.connect("127.0.0.1", server.port(), "/api/stream/epochs").is_ok();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<std::int64_t>(duration * 1000.0) + 1500);
+  if (streaming) {
+    std::printf("(epoch rows pushed via /api/stream/epochs)\n");
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto event = epochs.next_event(std::chrono::milliseconds(500));
+      if (!event) {
+        if (event.status().code() == StatusCode::kUnavailable) continue;  // quiet tick
+        break;  // server closed the stream
+      }
+      if (event->event != "epoch") continue;
+      const auto payload = json::parse(event->data);
+      if (!payload) continue;
+      const auto field = [&](const char* name) -> std::int64_t {
+        const json::Value* value = payload->find(name);
+        return value != nullptr ? value->as_int() : 0;
+      };
+      const json::Value* rebuild = payload->find("rebuild_ms");
+      std::printf("%8s %8s %8s %8s %8lld %6lld %12.1f\n", "-", "-", "-", "-",
+                  static_cast<long long>(field("epoch")),
+                  static_cast<long long>(field("live_checkins")),
+                  rebuild != nullptr ? rebuild->as_double() : 0.0);
+    }
+  } else {
+    std::fprintf(stderr, "SSE subscribe failed; polling /api/ingest/stats\n");
+    const int ticks = static_cast<int>(duration) + 1;
+    for (int tick = 0; tick < ticks; ++tick) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      if (!poll()) std::fprintf(stderr, "stats poll failed\n");
+    }
   }
   feeder.join();
   poll();
+
+  // Let the spool finish feeding spilled bursts back into the queue
+  // before reading final counters.
+  if (pipeline.spool() != nullptr) {
+    if (!pipeline.wait_until_drained(std::chrono::seconds(10)))
+      std::fprintf(stderr, "spool not fully drained before shutdown\n");
+    const transport::SpoolStats spool_stats = pipeline.spool()->stats();
+    std::printf("spool: %llu frame(s) spooled, %llu drained, %llu dropped, "
+                "%zu frame(s) / %zu byte(s) left\n",
+                static_cast<unsigned long long>(spool_stats.frames_spooled),
+                static_cast<unsigned long long>(spool_stats.frames_drained),
+                static_cast<unsigned long long>(spool_stats.frames_dropped),
+                spool_stats.depth_frames, spool_stats.depth_bytes);
+  }
+  if (frame_server != nullptr) {
+    const transport::SourceStats frame_stats = frame_server->stats();
+    std::printf("frames: %llu frame(s), %llu event(s), %llu accepted, %llu spooled\n",
+                static_cast<unsigned long long>(frame_stats.frames),
+                static_cast<unsigned long long>(frame_stats.events),
+                static_cast<unsigned long long>(frame_stats.accepted),
+                static_cast<unsigned long long>(frame_stats.spooled));
+  }
 
   if (!report) {
     std::fprintf(stderr, "replay failed: %s\n", report.status().to_string().c_str());
@@ -255,6 +381,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(final_stats.epochs_published),
               static_cast<unsigned long long>(final_stats.current_epoch),
               final_stats.total_rebuild_ms);
+  if (frame_server != nullptr) frame_server->stop();
+  pipeline.stop();
+  publisher.reset();
   server.stop();
   return 0;
 }

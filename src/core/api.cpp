@@ -11,6 +11,8 @@
 #include "ingest/snapshot.hpp"
 #include "mining/prefixspan.hpp"
 #include "predict/predictor.hpp"
+#include "transport/csv_source.hpp"
+#include "transport/sse.hpp"
 #include "json/json.hpp"
 #include "telemetry/exposition.hpp"
 #include "util/civil_time.hpp"
@@ -410,9 +412,58 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
     return predict_handler(*p, request, params);
   });
   if (w != nullptr) {
-    router.post("/api/ingest", [w](const Request& request, const PathParams&) {
-      return handlers::ingest_handler(*w, request);
-    });
+    if (options.pipeline != nullptr) {
+      // Spool-backed route: the shared pipeline absorbs rejected
+      // suffixes onto disk, and the route's accounting lands on the
+      // crowdweb_transport_* families alongside the binary listeners.
+      transport::HttpCsvSource::Config source_config;
+      source_config.taxonomy = &w->taxonomy();
+      source_config.allocate_guest = [w] { return w->allocate_guest_id(); };
+      source_config.stats = [w] { return w->stats(); };
+      source_config.rebuild_interval = w->config().rebuild_interval;
+      auto source = std::make_shared<transport::HttpCsvSource>(
+          *options.pipeline, std::move(source_config));
+      (void)source->start();
+      router.post("/api/ingest", [source](const Request& request, const PathParams&) {
+        return source->handle(request);
+      });
+    } else {
+      router.post("/api/ingest", [w](const Request& request, const PathParams&) {
+        return handlers::ingest_handler(*w, request);
+      });
+    }
+    if (options.stream) {
+      // The SSE subscribe routes. They only open the stream (the server
+      // subscribes the connection when it flushes the response); events
+      // arrive once attach_stream_publisher() hooks the snapshot hub.
+      router.get("/api/stream/epochs", [w](const Request&, const PathParams&) {
+        std::string initial = "retry: 2000\n\n";
+        initial += transport::sse_comment("subscribed epochs");
+        if (const ingest::SnapshotPtr snapshot = w->hub().current()) {
+          initial += transport::sse_event(
+              "epoch", transport::EpochStreamPublisher::epoch_event_json(*snapshot));
+        }
+        return transport::sse_response(std::string(transport::kEpochChannel),
+                                       std::move(initial));
+      });
+      router.get("/api/stream/crowd/:window",
+                 [p, w](const Request&, const PathParams& params) {
+        return with_crowd_view(*p, w, [&](const CrowdView& view) {
+          const auto window = int_param(params, "window");
+          if (!window || !handlers::valid_window(view, *window))
+            return handlers::bad_window(params, "window", view.crowd.window_count());
+          std::string initial = "retry: 2000\n\n";
+          initial += transport::sse_comment("subscribed crowd window");
+          // Seed the stream with the current state so a consumer needs
+          // no separate GET before the next epoch arrives.
+          http::Response current = handlers::crowd_handler(view, params);
+          if (current.status == 200)
+            initial += transport::sse_event("crowd", current.body);
+          return transport::sse_response(
+              transport::crowd_channel(static_cast<int>(*window)), std::move(initial));
+        });
+      });
+    }
     router.get("/api/ingest/stats", [w](const Request&, const PathParams&) {
       return handlers::ingest_stats_handler(*w);
     });
@@ -430,6 +481,28 @@ http::Router make_api_router(const Platform& platform, ApiOptions options) {
     });
   }
   return router;
+}
+
+std::unique_ptr<transport::EpochStreamPublisher> attach_stream_publisher(
+    http::Server& server, const Platform& platform, ingest::IngestWorker& worker,
+    http::ResponseCache* cache) {
+  const Platform* p = &platform;
+  ingest::IngestWorker* w = &worker;
+  transport::EpochStreamOptions options;
+  options.cache = cache;
+  return std::make_unique<transport::EpochStreamPublisher>(
+      server, worker.hub(),
+      [p, w](const ingest::PlatformSnapshot& snapshot, int window) {
+        // Same render as GET /api/crowd/:window over the same snapshot,
+        // so the streamed bytes match what a poller would fetch.
+        const CrowdView view{snapshot.dataset, snapshot.grid, snapshot.crowd,
+                             p->config().sequences.mode, w->taxonomy(),
+                             /*degraded=*/false, /*missing_shards=*/{}};
+        PathParams params;
+        params.emplace("window", std::to_string(window));
+        return handlers::crowd_handler(view, params);
+      },
+      options);
 }
 
 std::unique_ptr<ingest::IngestWorker> make_ingest_worker(const Platform& platform,

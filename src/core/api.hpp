@@ -32,6 +32,12 @@
 //   GET /api/ingest/stats           queue depth, accept/reject/invalid
 //                                   counts, epochs, rebuild latency
 //
+// and with ApiOptions::stream the push routes (SSE; transport/sse.hpp):
+//
+//   GET /api/stream/epochs          one "epoch" event per published epoch
+//   GET /api/stream/crowd/:window   that window's crowd distribution,
+//                                   re-sent on every epoch
+//
 // and every crowd-facing route (crowd/groups/flow/animation/rhythm)
 // reads the worker's latest published snapshot instead of the batch
 // platform: handlers load one atomic shared_ptr per request — no locks —
@@ -55,6 +61,8 @@
 #include "http/server.hpp"
 #include "ingest/worker.hpp"
 #include "telemetry/metrics.hpp"
+#include "transport/pipeline.hpp"
+#include "transport/sse.hpp"
 
 namespace crowdweb::core {
 
@@ -82,11 +90,35 @@ struct ApiOptions {
   /// Resolved ServerConfig::worker_threads, reported as "http.workers"
   /// in /api/status (0 = inline handlers on the event loop).
   int http_workers = 0;
+  /// Transport pipeline for POST /api/ingest (live mode only). When set,
+  /// the route is served through a transport::HttpCsvSource, so bursts
+  /// the queue rejects spill to the pipeline's disk spool instead of
+  /// bouncing back as 429s, and the route shares the
+  /// crowdweb_transport_* accounting with the binary listeners. Must
+  /// outlive the router. Null = direct worker submit (no spool).
+  transport::IngestPipeline* pipeline = nullptr;
+  /// Registers the SSE routes GET /api/stream/epochs and
+  /// GET /api/stream/crowd/:window (live mode only). The routes only
+  /// subscribe connections; pair with attach_stream_publisher() once the
+  /// Server exists so published epochs actually fan out.
+  bool stream = false;
 };
 
 /// Builds the full API router over a platform.
 [[nodiscard]] http::Router make_api_router(const Platform& platform,
                                            ApiOptions options = {});
+
+/// Hooks the worker's snapshot hub and fans one "epoch" event (plus a
+/// "crowd" event per subscribed window channel) into the server's SSE
+/// streams on every publication. Call after constructing the Server
+/// whose router was built with ApiOptions::stream; destroy the returned
+/// publisher before the server. With `cache` (the same object as
+/// ServerConfig::cache), crowd payloads are rendered through it, so the
+/// SSE event and the GET /api/crowd/:window body are one render —
+/// register the cache's set_epoch hook before calling this.
+[[nodiscard]] std::unique_ptr<transport::EpochStreamPublisher> attach_stream_publisher(
+    http::Server& server, const Platform& platform, ingest::IngestWorker& worker,
+    http::ResponseCache* cache = nullptr);
 
 /// Builds an ingestion worker seeded with the platform's experiment
 /// corpus and mined mobility (copied), inheriting its phase-2/3

@@ -6,6 +6,7 @@
 
 #include "data/csv.hpp"
 #include "ingest/event.hpp"
+#include "transport/csv_source.hpp"
 #include "util/civil_time.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
@@ -215,90 +216,17 @@ Response rhythm_handler(const CrowdView& view) {
   return Response::svg(200, viz::render_heatmap(spec));
 }
 
-Result<ParsedIngest> parse_ingest_csv(const Request& request,
-                                      const data::Taxonomy& taxonomy,
-                                      const std::function<data::UserId()>& allocate_guest) {
-  const auto rows = data::parse_csv(request.body);
-  if (!rows) return rows.status();
-  const data::CsvRow with_user{"user", "category", "lat", "lon", "timestamp"};
-  const data::CsvRow anonymous{"category", "lat", "lon", "timestamp"};
-  if (rows->empty() || ((*rows)[0] != with_user && (*rows)[0] != anonymous))
-    return invalid_argument("expected header: [user,]category,lat,lon,timestamp");
-  const bool has_user = (*rows)[0] == with_user;
-  const data::UserId guest = has_user ? 0 : allocate_guest();
-
-  ParsedIngest parsed;
-  parsed.received = rows->size() - 1;
-  parsed.events.reserve(rows->size() - 1);
-  for (std::size_t i = 1; i < rows->size(); ++i) {
-    const data::CsvRow& row = (*rows)[i];
-    if (row.size() != (has_user ? 5u : 4u)) {
-      ++parsed.invalid;
-      continue;
-    }
-    std::size_t field = 0;
-    data::UserId user = guest;
-    if (has_user) {
-      const auto parsed_user = parse_int(row[field++]);
-      if (!parsed_user || *parsed_user < 0) {
-        ++parsed.invalid;
-        continue;
-      }
-      user = static_cast<data::UserId>(*parsed_user);
-    }
-    const auto category = taxonomy.find(row[field]);
-    const auto lat = parse_double(row[field + 1]);
-    const auto lon = parse_double(row[field + 2]);
-    auto timestamp = parse_timestamp(row[field + 3]);
-    if (!timestamp) timestamp = parse_int(row[field + 3]);  // raw epoch seconds
-    if (!category || !lat || !lon || !geo::is_valid({*lat, *lon}) || !timestamp ||
-        *timestamp <= 0) {
-      ++parsed.invalid;
-      continue;
-    }
-    parsed.events.push_back({user, *category, {*lat, *lon}, *timestamp});
-  }
-  return parsed;
-}
-
-Response ingest_response(const ParsedIngest& parsed, const ingest::SubmitResult& result,
-                         const ingest::IngestStats& stats,
-                         std::chrono::milliseconds rebuild_interval) {
-  const int status = (!parsed.events.empty() && result.accepted == 0) ? 429 : 200;
-  Response response = Response::json(
-      status, json::dump(json::object(
-                  {{"received", static_cast<std::int64_t>(parsed.received)},
-                   {"accepted", static_cast<std::int64_t>(result.accepted)},
-                   {"rejected", static_cast<std::int64_t>(result.rejected)},
-                   {"invalid", static_cast<std::int64_t>(parsed.invalid)},
-                   {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)},
-                   {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
-  if (status == 429) {
-    // The queue drains at least once per rebuild interval, so that is
-    // the honest earliest retry time (rounded up to whole seconds,
-    // floor 1 — Retry-After speaks seconds).
-    const std::int64_t seconds =
-        std::max<std::int64_t>(1, (rebuild_interval.count() + 999) / 1000);
-    response.headers["Retry-After"] = std::to_string(seconds);
-  }
-  return response;
-}
-
 Response ingest_handler(ingest::IngestWorker& worker, const Request& request) {
-  const auto parsed = parse_ingest_csv(
+  // The spool-less path: CSV parsing and the response body live in
+  // transport/csv_source.hpp now; this wrapper submits straight to the
+  // worker's queue (PipelineOutcome.spooled stays 0).
+  const auto parsed = transport::parse_ingest_csv(
       request, worker.taxonomy(), [&worker] { return worker.allocate_guest_id(); });
-  if (!parsed) {
-    // Bad-header bodies stay the bare message; parser errors keep their
-    // "<code>: <message>" rendition (both as before the refactor).
-    return Response::bad_request_400(
-        parsed.status().code() == StatusCode::kInvalidArgument
-            ? parsed.status().message()
-            : parsed.status().to_string());
-  }
+  if (!parsed) return transport::bad_ingest_request(parsed.status());
   if (parsed->invalid > 0) worker.note_invalid(parsed->invalid);
   const ingest::SubmitResult result = worker.submit(parsed->events);
-  return ingest_response(*parsed, result, worker.stats(),
-                         worker.config().rebuild_interval);
+  return transport::ingest_response(*parsed, {result.accepted, result.rejected, 0},
+                                    worker.stats(), worker.config().rebuild_interval);
 }
 
 Response ingest_stats_handler(const ingest::IngestWorker& worker) {

@@ -88,35 +88,12 @@ void add_degraded_marker(const CrowdView& view, json::Value& payload);
                                                const http::Request& request);
 [[nodiscard]] http::Response rhythm_handler(const CrowdView& view);
 
-/// The parsed body of a POST /api/ingest request.
-struct ParsedIngest {
-  std::vector<ingest::IngestEvent> events;
-  std::uint64_t received = 0;  ///< data rows in the body
-  std::uint64_t invalid = 0;   ///< rows that failed validation
-};
-
-/// Parses the ingest CSV body ("[user,]category,lat,lon,timestamp").
-/// `allocate_guest` is invoked once iff the anonymous header form is
-/// used; its id substitutes for the missing user column. Callers must
-/// account `invalid` themselves (IngestWorker::note_invalid). A non-OK
-/// status is kInvalidArgument for a bad header (message is the body to
-/// serve) or the CSV parser's own error.
-[[nodiscard]] Result<ParsedIngest> parse_ingest_csv(
-    const http::Request& request, const data::Taxonomy& taxonomy,
-    const std::function<data::UserId()>& allocate_guest);
-
-/// Renders the POST /api/ingest response: 200, or — when rows were
-/// submitted and none were accepted — 429 with a Retry-After of one
-/// rebuild interval (rounded up to whole seconds, floor 1).
-[[nodiscard]] http::Response ingest_response(const ParsedIngest& parsed,
-                                             const ingest::SubmitResult& result,
-                                             const ingest::IngestStats& stats,
-                                             std::chrono::milliseconds rebuild_interval);
-
 /// Live ingestion: parses CSV check-ins and submits them to the worker's
 /// queue (see core/api.hpp for the accepted headers and status codes).
-/// parse_ingest_csv + submit + ingest_response; the sharded API runs the
-/// same pieces around a ShardRouter submit instead.
+/// CSV parsing and response rendering moved to transport/csv_source.hpp
+/// (transport::parse_ingest_csv / transport::ingest_response); this
+/// wrapper runs them around a direct worker submit — no spool — and the
+/// sharded API runs the same pieces around a ShardRouter submit.
 [[nodiscard]] http::Response ingest_handler(ingest::IngestWorker& worker,
                                             const http::Request& request);
 [[nodiscard]] http::Response ingest_stats_handler(const ingest::IngestWorker& worker);

@@ -91,9 +91,12 @@ std::string serialize(const Response& response, bool keep_alive) {
     out += crowdweb::format("{}: {}\r\n", name, value);
     if (to_lower(name) == "content-length") has_content_length = true;
   }
-  if (!has_content_length)
+  // Streaming responses have no fixed length: the connection itself is
+  // the framing, so Content-Length is omitted and keep-alive is forced.
+  const bool streaming = !response.stream_channel.empty();
+  if (!has_content_length && !streaming)
     out += crowdweb::format("Content-Length: {}\r\n", response.body.size());
-  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += (keep_alive || streaming) ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
   return out;

@@ -37,6 +37,11 @@ struct Response {
   int status = 200;
   std::map<std::string, std::string> headers;
   std::string body;
+  /// Non-empty turns this into a streaming response: the server keeps
+  /// the connection open after writing `body` (the initial payload) and
+  /// fans subsequent Server::publish_stream(channel, ...) bytes into
+  /// it. Serialized without Content-Length and always keep-alive.
+  std::string stream_channel;
 
   static Response text(int status, std::string body,
                        std::string content_type = "text/plain; charset=utf-8");

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -71,6 +72,9 @@ struct Completion {
   int status = 0;
   double seconds = 0.0;     ///< handler wall time
   bool count_route = false;  ///< false for parse errors (no route to label)
+  /// Non-empty: this response opened a stream — after its bytes flush,
+  /// the connection subscribes to the channel instead of closing.
+  std::string stream_channel;
 };
 
 struct Connection {
@@ -83,6 +87,12 @@ struct Connection {
   std::uint64_t next_seq = 0;    ///< assigned to parsed requests
   std::uint64_t next_flush = 0;  ///< next seq to append to the outbox
   std::map<std::uint64_t, Completion> ready;  ///< completed out of order
+  /// Channel this connection streams (empty = a plain request cycle).
+  /// Once set, no further requests are parsed from the socket.
+  std::string stream_channel;
+  /// Last socket traffic (bytes read, or response bytes written) — the
+  /// idle sweep's clock.
+  std::chrono::steady_clock::time_point last_activity;
 
   /// Requests parsed but not yet flushed to the outbox.
   [[nodiscard]] std::uint64_t inflight() const noexcept { return next_seq - next_flush; }
@@ -147,6 +157,10 @@ struct Server::Impl {
   telemetry::Gauge* connections_active = nullptr;
   telemetry::Gauge* queue_depth = nullptr;
   telemetry::Gauge* workers_gauge = nullptr;
+  telemetry::Counter* idle_closed_total = nullptr;
+  telemetry::GaugeFamily* sse_subscribers_family = nullptr;
+  telemetry::CounterFamily* sse_events_family = nullptr;
+  telemetry::Counter* sse_evictions_total = nullptr;
 
   struct RouteMetrics {
     telemetry::Counter* requests;
@@ -204,6 +218,18 @@ struct Server::Impl {
     workers_gauge = &metrics->gauge(
         "crowdweb_http_worker_threads",
         "Handler threads executing requests off the event loop (0 = inline).");
+    idle_closed_total =
+        &metrics->counter("crowdweb_http_idle_closed_total",
+                          "Connections closed by the idle-timeout sweep.");
+    sse_subscribers_family = &metrics->gauge_family(
+        "crowdweb_transport_sse_subscribers",
+        "Connections subscribed to a server-sent-event channel.", {"channel"});
+    sse_events_family = &metrics->counter_family(
+        "crowdweb_transport_sse_events_total",
+        "Event payloads published to a server-sent-event channel.", {"channel"});
+    sse_evictions_total = &metrics->counter(
+        "crowdweb_transport_sse_evictions_total",
+        "Streaming subscribers evicted for exceeding the send-buffer cap.");
   }
 
   RouteMetrics& route_metrics(std::string_view method, const std::string& pattern) {
@@ -237,6 +263,52 @@ struct Server::Impl {
   std::map<int, Connection> connections;                  // by fd; loop thread only
   std::unordered_map<std::uint64_t, int> conn_by_id;      // loop thread only
   std::uint64_t next_conn_id = 1;
+
+  // Streaming state. Subscriptions live on the loop thread
+  // (stream_subs); publishers on any thread enqueue payloads under
+  // stream_mutex and poke the eventfd. stream_counts mirrors the
+  // per-channel subscriber counts for cross-thread reads.
+  std::map<std::string, std::vector<std::uint64_t>> stream_subs;  // loop thread only
+  mutable std::mutex stream_mutex;
+  std::map<std::string, std::size_t> stream_counts;           // guarded by stream_mutex
+  std::vector<std::pair<std::string, std::string>> stream_queue;  // guarded by stream_mutex
+  std::chrono::steady_clock::time_point next_ping = std::chrono::steady_clock::now();
+
+  void publish_counts(const std::string& channel) {
+    const auto it = stream_subs.find(channel);
+    const std::size_t count = it == stream_subs.end() ? 0 : it->second.size();
+    {
+      std::lock_guard<std::mutex> lock(stream_mutex);
+      if (count == 0)
+        stream_counts.erase(channel);
+      else
+        stream_counts[channel] = count;
+    }
+    sse_subscribers_family->with_labels({channel})
+        .set(static_cast<double>(count));
+  }
+
+  void subscribe(Connection& connection, const std::string& channel) {
+    connection.stream_channel = channel;
+    connection.stop_parsing = true;  // the socket now only carries the stream
+    stream_subs[channel].push_back(connection.id);
+    publish_counts(channel);
+  }
+
+  void unsubscribe(const Connection& connection) {
+    if (connection.stream_channel.empty()) return;
+    const auto it = stream_subs.find(connection.stream_channel);
+    if (it != stream_subs.end()) {
+      std::erase(it->second, connection.id);
+      if (it->second.empty()) {
+        const std::string channel = it->first;
+        stream_subs.erase(it);
+        publish_counts(channel);
+        return;
+      }
+    }
+    publish_counts(connection.stream_channel);
+  }
 
   Status bind_and_listen() {
     listener = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
@@ -289,6 +361,7 @@ struct Server::Impl {
   void close_connection(int fd) {
     ::epoll_ctl(epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
     if (const auto it = connections.find(fd); it != connections.end()) {
+      unsubscribe(it->second);
       conn_by_id.erase(it->second.id);
       connections.erase(it);  // Fd destructor closes
     }
@@ -311,6 +384,7 @@ struct Server::Impl {
       Connection connection;
       connection.fd = Fd(fd);
       connection.id = next_conn_id++;
+      connection.last_activity = std::chrono::steady_clock::now();
       if (!watch(fd, EPOLLIN)) {
         continue;  // connection's Fd closes on scope exit
       }
@@ -390,9 +464,16 @@ struct Server::Impl {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     done->pattern = std::move(pattern);
     done->status = response.status;
-    if (request.method == "HEAD") response.body.clear();
+    if (request.method == "HEAD") {
+      // HEAD must not subscribe: it gets the stream's headers + no body
+      // and a normal framed response.
+      response.body.clear();
+      response.stream_channel.clear();
+    }
+    const bool streaming = !response.stream_channel.empty();
+    done->stream_channel = response.stream_channel;
     done->bytes = serialize(response, keep_alive);
-    done->close_after = !keep_alive;
+    done->close_after = !keep_alive && !streaming;
   }
 
   /// Loop-thread fast path: in pooled mode, a cache hit is answered
@@ -472,6 +553,9 @@ struct Server::Impl {
       if (it == connection.ready.end()) break;
       connection.outbox += it->second.bytes;
       if (it->second.close_after) connection.close_after_write = true;
+      if (!it->second.stream_channel.empty() && !connection.close_after_write &&
+          connection.stream_channel.empty())
+        subscribe(connection, it->second.stream_channel);
       connection.ready.erase(it);
       ++connection.next_flush;
     }
@@ -539,6 +623,7 @@ struct Server::Impl {
       const ssize_t n = ::read(connection.fd.get(), buffer, sizeof buffer);
       if (n > 0) {
         connection.inbox.append(buffer, static_cast<std::size_t>(n));
+        connection.last_activity = std::chrono::steady_clock::now();
         continue;
       }
       if (n == 0) {  // peer closed its write side; answer what we have
@@ -559,6 +644,7 @@ struct Server::Impl {
       if (n > 0) {
         bytes_total->increment(static_cast<std::uint64_t>(n));
         connection.outbox.erase(0, static_cast<std::size_t>(n));
+        connection.last_activity = std::chrono::steady_clock::now();
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // wait for EPOLLOUT
@@ -570,6 +656,11 @@ struct Server::Impl {
   /// Advances a connection after any state change (bytes read, work
   /// completed): parse, flush, then close or re-arm epoll interest.
   void service(int fd, Connection& connection) {
+    const bool streaming = !connection.stream_channel.empty();
+    // A subscribed socket only carries the stream; anything the client
+    // sends after the subscribing request is discarded so the inbox
+    // cannot grow unboundedly (EPOLLIN stays armed to detect FIN).
+    if (streaming) connection.inbox.clear();
     parse_available(connection);
     if (!flush_outbox(connection)) {
       close_connection(fd);
@@ -581,9 +672,12 @@ struct Server::Impl {
       return;
     }
     // Read only while we accept new requests; wait for writability only
-    // while output is pending.
-    const bool want_read = !connection.stop_parsing &&
-                           connection.inflight() < kMaxInflightPerConnection;
+    // while output is pending. Streaming connections stay readable for
+    // FIN detection (recomputed: the subscription may have just
+    // happened inside parse_available above).
+    const bool want_read = !connection.stream_channel.empty() ||
+                           (!connection.stop_parsing &&
+                            connection.inflight() < kMaxInflightPerConnection);
     const std::uint32_t wanted =
         (want_read ? static_cast<std::uint32_t>(EPOLLIN) : 0u) |
         (connection.outbox.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
@@ -607,6 +701,107 @@ struct Server::Impl {
       if (it == connections.end()) continue;
       deliver(it->second, std::move(done));
       service(fd, it->second);
+    }
+  }
+
+  /// Loop thread: appends `bytes` to one subscriber of `channel`,
+  /// collecting ids that must be evicted (behind the buffer cap).
+  void fan_out(const std::string& channel, std::string_view bytes,
+               std::vector<int>* evict) {
+    const auto subs = stream_subs.find(channel);
+    if (subs == stream_subs.end()) return;
+    for (const std::uint64_t id : subs->second) {
+      const auto id_it = conn_by_id.find(id);
+      if (id_it == conn_by_id.end()) continue;
+      const int fd = id_it->second;
+      const auto it = connections.find(fd);
+      if (it == connections.end()) continue;
+      Connection& connection = it->second;
+      if (connection.outbox.size() + bytes.size() > config.stream_buffer_bytes) {
+        sse_evictions_total->increment();
+        evict->push_back(fd);
+        continue;
+      }
+      connection.outbox += bytes;
+    }
+  }
+
+  /// Loop thread: delivers queued publishes to their subscribers.
+  /// Eviction closes after the fan-out loop so subscriber lists are
+  /// never mutated mid-iteration.
+  void drain_streams() {
+    std::vector<std::pair<std::string, std::string>> batch;
+    {
+      std::lock_guard<std::mutex> lock(stream_mutex);
+      batch.swap(stream_queue);
+    }
+    if (batch.empty()) return;
+    std::vector<int> evict;
+    for (const auto& [channel, bytes] : batch) {
+      sse_events_family->with_labels({channel}).increment();
+      fan_out(channel, bytes, &evict);
+    }
+    for (const int fd : evict) close_connection(fd);
+    // Flush what fits now; the rest rides on EPOLLOUT. (Collect fds
+    // first: service() may close a connection and unsubscribe it.)
+    service_stream_connections();
+  }
+
+  void service_stream_connections() {
+    std::vector<int> touched;
+    for (const auto& [channel, subs] : stream_subs)
+      for (const std::uint64_t id : subs)
+        if (const auto id_it = conn_by_id.find(id); id_it != conn_by_id.end())
+          touched.push_back(id_it->second);
+    for (const int fd : touched)
+      if (const auto it = connections.find(fd); it != connections.end())
+        service(fd, it->second);
+  }
+
+  /// Loop thread: ": ping" comments keep proxies from timing streams
+  /// out and surface dead peers as write errors.
+  void send_pings() {
+    if (config.stream_ping_interval.count() <= 0 || stream_subs.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_ping) return;
+    next_ping = now + config.stream_ping_interval;
+    std::vector<int> evict;
+    for (const auto& [channel, subs] : stream_subs) fan_out(channel, ": ping\n\n", &evict);
+    for (const int fd : evict) close_connection(fd);
+    service_stream_connections();
+  }
+
+  /// Loop thread: closes connections with no socket traffic inside the
+  /// idle window. Requests still executing (inflight) are exempt — a
+  /// slow handler is not an idle peer.
+  void sweep_idle() {
+    if (config.idle_timeout.count() <= 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<int> stale;
+    for (const auto& [fd, connection] : connections) {
+      if (connection.inflight() > 0) continue;
+      if (now - connection.last_activity > config.idle_timeout) stale.push_back(fd);
+    }
+    for (const int fd : stale) {
+      idle_closed_total->increment();
+      close_connection(fd);
+    }
+  }
+
+  /// Loop thread, shutdown path: tells every streaming subscriber the
+  /// stream is ending and gives the socket one best-effort flush, so
+  /// well-behaved clients see a clean end instead of a reset.
+  void drain_streams_for_shutdown() {
+    for (auto& [fd, connection] : connections) {
+      if (connection.stream_channel.empty()) continue;
+      connection.outbox += "event: bye\ndata: {}\n\n";
+      flush_outbox(connection);
+    }
+    stream_subs.clear();
+    {
+      std::lock_guard<std::mutex> lock(stream_mutex);
+      stream_counts.clear();
+      stream_queue.clear();
     }
   }
 
@@ -635,8 +830,17 @@ struct Server::Impl {
 
   void loop() {
     epoll_event events[64];
+    // The sweep and ping cadence bound the wait; 500 ms remains the
+    // ceiling so stop() stays responsive either way.
+    int wait_ms = 500;
+    if (config.idle_timeout.count() > 0)
+      wait_ms = static_cast<int>(std::min<std::int64_t>(
+          wait_ms, std::max<std::int64_t>(1, config.idle_timeout.count() / 2)));
+    if (config.stream_ping_interval.count() > 0)
+      wait_ms = static_cast<int>(std::min<std::int64_t>(
+          wait_ms, std::max<std::int64_t>(1, config.stream_ping_interval.count() / 2)));
     while (!stop_requested.load(std::memory_order_acquire)) {
-      const int n = ::epoll_wait(epoll.get(), events, std::size(events), 500);
+      const int n = ::epoll_wait(epoll.get(), events, std::size(events), wait_ms);
       if (n < 0) {
         if (errno == EINTR) continue;
         log_error("epoll_wait failed: {}", std::strerror(errno));
@@ -649,6 +853,7 @@ struct Server::Impl {
           [[maybe_unused]] const ssize_t r =
               ::read(wakeup.get(), &drained, sizeof drained);
           drain_done();
+          drain_streams();
           continue;
         }
         if (fd == listener.get()) {
@@ -665,7 +870,10 @@ struct Server::Impl {
         if ((events[i].events & EPOLLIN) != 0) read_socket(connection);
         service(fd, connection);
       }
+      send_pings();
+      sweep_idle();
     }
+    drain_streams_for_shutdown();
     connections.clear();
     conn_by_id.clear();
     connections_active->set(0.0);
@@ -749,6 +957,42 @@ bool Server::running() const noexcept {
 std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
 
 int Server::worker_threads() const noexcept { return impl_->resolved_workers; }
+
+void Server::publish_stream(const std::string& channel, std::string_view bytes) {
+  if (!impl_->running.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->stream_mutex);
+    if (impl_->stream_counts.find(channel) == impl_->stream_counts.end()) return;
+    impl_->stream_queue.emplace_back(channel, std::string(bytes));
+  }
+  const std::uint64_t one = 1;
+  if (impl_->wakeup.valid()) {
+    [[maybe_unused]] const ssize_t r = ::write(impl_->wakeup.get(), &one, sizeof one);
+  }
+}
+
+std::size_t Server::stream_subscribers(const std::string& channel) const {
+  std::lock_guard<std::mutex> lock(impl_->stream_mutex);
+  const auto it = impl_->stream_counts.find(channel);
+  return it == impl_->stream_counts.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Server::stream_channels() const {
+  std::vector<std::string> channels;
+  std::lock_guard<std::mutex> lock(impl_->stream_mutex);
+  channels.reserve(impl_->stream_counts.size());
+  for (const auto& [channel, count] : impl_->stream_counts)
+    if (count > 0) channels.push_back(channel);
+  return channels;
+}
+
+std::uint64_t Server::idle_closed() const noexcept {
+  return impl_->idle_closed_total->value();
+}
+
+std::uint64_t Server::stream_evictions() const noexcept {
+  return impl_->sse_evictions_total->value();
+}
 
 ServerStats Server::stats() const noexcept {
   ServerStats stats;

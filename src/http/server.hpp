@@ -19,9 +19,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -59,6 +61,17 @@ struct ServerConfig {
   /// Upper bounds (seconds) of the request-latency histogram; empty =
   /// telemetry::default_latency_buckets().
   std::vector<double> latency_buckets;
+  /// Connections (keep-alive or streaming) with no socket traffic for
+  /// this long are closed by the loop's sweep. Zero disables the sweep.
+  /// Connections with a request still executing are never reaped.
+  std::chrono::milliseconds idle_timeout{60'000};
+  /// Per-connection cap on buffered unsent stream bytes; a subscriber
+  /// that falls further behind than this is evicted (closed) so one
+  /// slow consumer cannot pin memory.
+  std::size_t stream_buffer_bytes = 256 * 1024;
+  /// Interval between ": ping" comment frames on streaming connections
+  /// (liveness for proxies and dead-peer detection). Zero disables.
+  std::chrono::milliseconds stream_ping_interval{15'000};
 };
 
 /// Monotonic counters exposed by a running server. Since the telemetry
@@ -99,6 +112,27 @@ class Server {
 
   /// Lifetime counters (monotonic across restarts of the same Server).
   [[nodiscard]] ServerStats stats() const noexcept;
+
+  /// Fans `bytes` (already SSE-framed; see transport/sse.hpp) out to
+  /// every connection subscribed to `channel`. Thread-safe and
+  /// non-blocking: bytes are queued for the loop thread, which appends
+  /// them to each subscriber's send buffer and evicts consumers that
+  /// fall behind stream_buffer_bytes. A no-op while the server is
+  /// stopped or the channel has no subscribers.
+  void publish_stream(const std::string& channel, std::string_view bytes);
+
+  /// Connections currently subscribed to `channel`. Thread-safe;
+  /// publishers use it to skip rendering for silent channels.
+  [[nodiscard]] std::size_t stream_subscribers(const std::string& channel) const;
+
+  /// Channels with at least one subscriber. Thread-safe.
+  [[nodiscard]] std::vector<std::string> stream_channels() const;
+
+  /// Connections closed by the idle-timeout sweep (lifetime count).
+  [[nodiscard]] std::uint64_t idle_closed() const noexcept;
+
+  /// Streaming subscribers evicted for falling behind (lifetime count).
+  [[nodiscard]] std::uint64_t stream_evictions() const noexcept;
 
  private:
   struct Impl;

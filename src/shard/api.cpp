@@ -7,6 +7,7 @@
 
 #include "core/handlers.hpp"
 #include "json/json.hpp"
+#include "transport/csv_source.hpp"
 #include "telemetry/exposition.hpp"
 
 namespace crowdweb::shard {
@@ -272,20 +273,18 @@ Response ingest_stats_handler(const ShardRouter& router) {
 }
 
 Response ingest_handler(ShardRouter& router, const Request& request) {
-  const auto parsed = core::handlers::parse_ingest_csv(
+  const auto parsed = transport::parse_ingest_csv(
       request, router.taxonomy(), [&router] { return router.allocate_guest_id(); });
-  if (!parsed) {
-    return Response::bad_request_400(
-        parsed.status().code() == StatusCode::kInvalidArgument
-            ? parsed.status().message()
-            : parsed.status().to_string());
-  }
+  if (!parsed) return transport::bad_ingest_request(parsed.status());
   if (parsed->invalid > 0) router.note_invalid(parsed->invalid);
   const ingest::SubmitResult result = router.submit(parsed->events);
   // aggregated_stats' epoch is the max shard epoch — a small monotonic
   // number like the single-process response, not the opaque cache key.
-  return core::handlers::ingest_response(*parsed, result, router.aggregated_stats(),
-                                         router.config().worker.rebuild_interval);
+  // Shard submits partition across queues rather than filling a suffix,
+  // so the sharded route stays spool-less (PipelineOutcome.spooled = 0).
+  return transport::ingest_response(*parsed, {result.accepted, result.rejected, 0},
+                                    router.aggregated_stats(),
+                                    router.config().worker.rebuild_interval);
 }
 
 Response checkpoint_handler(ShardRouter& router) {

@@ -1,0 +1,114 @@
+#include "shard/transport.hpp"
+
+#include <span>
+#include <utility>
+
+#include "ingest/event.hpp"
+#include "ingest/worker.hpp"
+
+namespace crowdweb::shard {
+
+ShardTransport::ShardTransport(ShardRouter& router, ShardTransportConfig config)
+    : router_(router), config_(std::move(config)) {}
+
+ShardTransport::~ShardTransport() { stop(); }
+
+Status ShardTransport::start() {
+  if (running_) return Status::ok();
+  listeners_.clear();
+
+  const auto add_listener = [&](std::size_t shard, transport::SubmitFn submit,
+                                std::uint16_t port) -> Status {
+    Listener listener;
+    listener.shard = shard;
+    transport::PipelineConfig pipeline_config;
+    pipeline_config.metrics = config_.metrics;
+    listener.pipeline = std::make_unique<transport::IngestPipeline>(
+        std::move(submit), std::move(pipeline_config));
+    transport::FrameServerConfig server_config;
+    server_config.address = config_.address;
+    server_config.port = port;
+    server_config.idle_timeout = config_.idle_timeout;
+    server_config.metrics = config_.metrics;
+    listener.server = std::make_unique<transport::FrameServer>(*listener.pipeline,
+                                                               server_config);
+    const Status started = listener.server->start();
+    if (!started.is_ok()) return started;
+    listeners_.push_back(std::move(listener));
+    return Status::ok();
+  };
+
+  Status status = Status::ok();
+  if (config_.per_shard_listeners) {
+    std::size_t bound = 0;
+    for (std::size_t id = 0; id < router_.shard_count(); ++id) {
+      if (!router_.shard(id).up()) continue;
+      ingest::IngestWorker* worker = &router_.shard(id).worker();
+      const std::uint16_t port =
+          config_.base_port == 0
+              ? std::uint16_t{0}
+              : static_cast<std::uint16_t>(config_.base_port + bound);
+      status = add_listener(
+          id,
+          [worker](std::span<const ingest::IngestEvent> events) {
+            return worker->submit(events);
+          },
+          port);
+      if (!status.is_ok()) break;
+      ++bound;
+    }
+    if (status.is_ok() && listeners_.empty())
+      status = failed_precondition("no live shard to bind a listener to");
+  } else {
+    ShardRouter* router = &router_;
+    status = add_listener(
+        0,
+        [router](std::span<const ingest::IngestEvent> events) {
+          return router->submit(events);
+        },
+        config_.base_port);
+  }
+  if (!status.is_ok()) {
+    stop();
+    return status;
+  }
+  running_ = true;
+  return Status::ok();
+}
+
+void ShardTransport::stop() {
+  for (Listener& listener : listeners_) {
+    if (listener.server) listener.server->stop();
+  }
+  listeners_.clear();
+  running_ = false;
+}
+
+std::size_t ShardTransport::listener_count() const noexcept {
+  return listeners_.size();
+}
+
+std::uint16_t ShardTransport::port(std::size_t index) const {
+  return listeners_[index].server->port();
+}
+
+std::size_t ShardTransport::shard_of(std::size_t index) const {
+  return listeners_[index].shard;
+}
+
+transport::SourceStats ShardTransport::stats() const {
+  transport::SourceStats total;
+  for (const Listener& listener : listeners_) {
+    const transport::SourceStats stats = listener.server->stats();
+    total.frames += stats.frames;
+    total.events += stats.events;
+    total.accepted += stats.accepted;
+    total.rejected += stats.rejected;
+    total.spooled += stats.spooled;
+    total.invalid += stats.invalid;
+    total.decode_errors += stats.decode_errors;
+  }
+  return total;
+}
+
+}  // namespace crowdweb::shard

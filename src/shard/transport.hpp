@@ -1,0 +1,89 @@
+// Binary frame ingestion for the sharded deployment.
+//
+// Two layouts over the same transport pieces (src/transport):
+//
+//   - routed (default): one FrameServer whose pipeline submits through
+//     ShardRouter::submit — every frame is partitioned across owning
+//     shards exactly like a POST /api/ingest body. Producers need no
+//     knowledge of the layout.
+//   - per-shard listeners: one FrameServer per live shard, each
+//     submitting straight to that shard's worker queue. A producer that
+//     already partitions by the layout (or a shard-local collector)
+//     connects to its shard's port and skips the routing hop.
+//
+// Both run spool-less: ShardRouter::submit partitions batches rather
+// than rejecting a suffix (the IngestPipeline spool contract needs a
+// suffix), and per-shard bursts are the queue's own backpressure story.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/router.hpp"
+#include "telemetry/metrics.hpp"
+#include "transport/frame_server.hpp"
+#include "transport/pipeline.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::shard {
+
+struct ShardTransportConfig {
+  std::string address = "127.0.0.1";
+  /// true = one listener per live shard; false = one routed listener.
+  bool per_shard_listeners = false;
+  /// First listener port; listener k binds base_port + k. 0 binds
+  /// ephemeral ports throughout (read back via port(k)).
+  std::uint16_t base_port = 0;
+  /// Idle-producer reap timeout for every listener (0 disables).
+  std::chrono::milliseconds idle_timeout{60'000};
+  /// Registry for the crowdweb_transport_* families. Per-shard
+  /// listeners share it: series stay distinct only by source label, so
+  /// attach a registry per transport if per-listener series matter.
+  telemetry::Registry* metrics = nullptr;
+};
+
+/// The sharded deployment's frame ingest edge. Create after the router,
+/// start after ShardRouter::start (listeners bind to live shards),
+/// destroy before the router.
+class ShardTransport {
+ public:
+  /// `router` must outlive the transport.
+  ShardTransport(ShardRouter& router, ShardTransportConfig config = {});
+  ~ShardTransport();
+  ShardTransport(const ShardTransport&) = delete;
+  ShardTransport& operator=(const ShardTransport&) = delete;
+
+  [[nodiscard]] Status start();
+  void stop();
+
+  /// Listeners actually bound: 1 (routed) or the live-shard count.
+  [[nodiscard]] std::size_t listener_count() const noexcept;
+
+  /// The bound port of listener `index` (routed mode: index 0). The
+  /// shard a per-shard listener feeds is shard_of(index).
+  [[nodiscard]] std::uint16_t port(std::size_t index) const;
+
+  /// The shard id listener `index` submits to (routed mode: every
+  /// listener routes, the value is meaningless and returns 0).
+  [[nodiscard]] std::size_t shard_of(std::size_t index) const;
+
+  /// Summed listener stats across all listeners.
+  [[nodiscard]] transport::SourceStats stats() const;
+
+ private:
+  struct Listener {
+    std::size_t shard = 0;
+    std::unique_ptr<transport::IngestPipeline> pipeline;
+    std::unique_ptr<transport::FrameServer> server;
+  };
+
+  ShardRouter& router_;
+  ShardTransportConfig config_;
+  std::vector<Listener> listeners_;
+  bool running_ = false;
+};
+
+}  // namespace crowdweb::shard

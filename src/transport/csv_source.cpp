@@ -1,0 +1,135 @@
+#include "transport/csv_source.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "data/csv.hpp"
+#include "geo/grid.hpp"
+#include "json/json.hpp"
+#include "util/civil_time.hpp"
+#include "util/strings.hpp"
+
+namespace crowdweb::transport {
+
+using http::Request;
+using http::Response;
+
+Result<ParsedIngest> parse_ingest_csv(const Request& request,
+                                      const data::Taxonomy& taxonomy,
+                                      const std::function<data::UserId()>& allocate_guest) {
+  const auto rows = data::parse_csv(request.body);
+  if (!rows) return rows.status();
+  const data::CsvRow with_user{"user", "category", "lat", "lon", "timestamp"};
+  const data::CsvRow anonymous{"category", "lat", "lon", "timestamp"};
+  if (rows->empty() || ((*rows)[0] != with_user && (*rows)[0] != anonymous))
+    return invalid_argument("expected header: [user,]category,lat,lon,timestamp");
+  const bool has_user = (*rows)[0] == with_user;
+  const data::UserId guest = has_user ? 0 : allocate_guest();
+
+  ParsedIngest parsed;
+  parsed.received = rows->size() - 1;
+  parsed.events.reserve(rows->size() - 1);
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    const data::CsvRow& row = (*rows)[i];
+    if (row.size() != (has_user ? 5u : 4u)) {
+      ++parsed.invalid;
+      continue;
+    }
+    std::size_t field = 0;
+    data::UserId user = guest;
+    if (has_user) {
+      const auto parsed_user = parse_int(row[field++]);
+      if (!parsed_user || *parsed_user < 0) {
+        ++parsed.invalid;
+        continue;
+      }
+      user = static_cast<data::UserId>(*parsed_user);
+    }
+    const auto category = taxonomy.find(row[field]);
+    const auto lat = parse_double(row[field + 1]);
+    const auto lon = parse_double(row[field + 2]);
+    auto timestamp = parse_timestamp(row[field + 3]);
+    if (!timestamp) timestamp = parse_int(row[field + 3]);  // raw epoch seconds
+    if (!category || !lat || !lon || !geo::is_valid({*lat, *lon}) || !timestamp ||
+        *timestamp <= 0) {
+      ++parsed.invalid;
+      continue;
+    }
+    parsed.events.push_back({user, *category, {*lat, *lon}, *timestamp});
+  }
+  return parsed;
+}
+
+Response bad_ingest_request(const Status& status) {
+  return Response::bad_request_400(status.code() == StatusCode::kInvalidArgument
+                                       ? status.message()
+                                       : status.to_string());
+}
+
+Response ingest_response(const ParsedIngest& parsed, const PipelineOutcome& outcome,
+                         const ingest::IngestStats& stats,
+                         std::chrono::milliseconds rebuild_interval) {
+  const bool taken = outcome.accepted > 0 || outcome.spooled > 0;
+  const int status = (!parsed.events.empty() && !taken) ? 429 : 200;
+  Response response = Response::json(
+      status,
+      json::dump(json::object(
+          {{"received", static_cast<std::int64_t>(parsed.received)},
+           {"accepted", static_cast<std::int64_t>(outcome.accepted)},
+           {"rejected", static_cast<std::int64_t>(outcome.rejected)},
+           {"spooled", static_cast<std::int64_t>(outcome.spooled)},
+           {"invalid", static_cast<std::int64_t>(parsed.invalid)},
+           {"queue_depth", static_cast<std::int64_t>(stats.queue_depth)},
+           {"queue_capacity", static_cast<std::int64_t>(stats.queue_capacity)},
+           {"epoch", static_cast<std::int64_t>(stats.current_epoch)}})));
+  if (status == 429) {
+    // The queue drains at least once per rebuild interval, so that is
+    // the honest earliest retry time (rounded up to whole seconds,
+    // floor 1 — Retry-After speaks seconds).
+    const std::int64_t seconds =
+        std::max<std::int64_t>(1, (rebuild_interval.count() + 999) / 1000);
+    response.headers["Retry-After"] = std::to_string(seconds);
+  }
+  return response;
+}
+
+HttpCsvSource::HttpCsvSource(IngestPipeline& pipeline, Config config)
+    : pipeline_(pipeline), config_(std::move(config)) {}
+
+HttpCsvSource::~HttpCsvSource() = default;
+
+Response HttpCsvSource::handle(const Request& request) {
+  const auto parsed =
+      parse_ingest_csv(request, *config_.taxonomy, config_.allocate_guest);
+  if (!parsed.is_ok()) {
+    counters_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    pipeline_.note_decode_error(name());
+    return bad_ingest_request(parsed.status());
+  }
+  counters_.frames.fetch_add(1, std::memory_order_relaxed);
+  counters_.events.fetch_add(parsed->received, std::memory_order_relaxed);
+  if (parsed->invalid > 0) {
+    counters_.invalid.fetch_add(parsed->invalid, std::memory_order_relaxed);
+    pipeline_.note_invalid(parsed->invalid, name());
+  }
+  const PipelineOutcome outcome = pipeline_.submit(parsed->events, name());
+  counters_.accepted.fetch_add(outcome.accepted, std::memory_order_relaxed);
+  counters_.rejected.fetch_add(outcome.rejected, std::memory_order_relaxed);
+  counters_.spooled.fetch_add(outcome.spooled, std::memory_order_relaxed);
+  return ingest_response(*parsed, outcome, config_.stats(), config_.rebuild_interval);
+}
+
+std::string_view HttpCsvSource::name() const noexcept { return "http_csv"; }
+
+Status HttpCsvSource::start() {
+  running_.store(true);
+  return Status::ok();
+}
+
+void HttpCsvSource::stop() { running_.store(false); }
+
+bool HttpCsvSource::running() const noexcept { return running_.load(); }
+
+SourceStats HttpCsvSource::stats() const noexcept { return counters_.snapshot(); }
+
+}  // namespace crowdweb::transport

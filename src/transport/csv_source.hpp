@@ -1,0 +1,98 @@
+// The CSV-over-HTTP ingest source.
+//
+// POST /api/ingest bodies ("[user,]category,lat,lon,timestamp") are the
+// original, human-debuggable transport; this refactor moves the body
+// parsing and response rendering out of core/handlers so the route is
+// just one IngestSource among several feeding the same pipeline. The
+// response body reports the full outcome split — accepted, rejected,
+// spooled, invalid — plus queue depth and capacity so producers can
+// pace themselves, and a 429 carries Retry-After of one rebuild
+// interval.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "http/message.hpp"
+#include "ingest/event.hpp"
+#include "ingest/worker.hpp"
+#include "transport/pipeline.hpp"
+#include "transport/source.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::transport {
+
+/// The parsed body of a POST /api/ingest request.
+struct ParsedIngest {
+  std::vector<ingest::IngestEvent> events;
+  std::uint64_t received = 0;  ///< data rows in the body
+  std::uint64_t invalid = 0;   ///< rows that failed validation
+};
+
+/// Parses the ingest CSV body ("[user,]category,lat,lon,timestamp").
+/// `allocate_guest` is invoked once iff the anonymous header form is
+/// used; its id substitutes for the missing user column. Callers must
+/// account `invalid` themselves (IngestWorker::note_invalid or
+/// IngestPipeline::note_invalid). A non-OK status is kInvalidArgument
+/// for a bad header (message is the body to serve) or the CSV parser's
+/// own error.
+[[nodiscard]] Result<ParsedIngest> parse_ingest_csv(
+    const http::Request& request, const data::Taxonomy& taxonomy,
+    const std::function<data::UserId()>& allocate_guest);
+
+/// The 400 for a parse_ingest_csv failure: bad-header bodies stay the
+/// bare message; parser errors keep their "<code>: <message>" form.
+[[nodiscard]] http::Response bad_ingest_request(const Status& status);
+
+/// Renders the POST /api/ingest response. 200 when anything was taken
+/// (spooled counts: those events are the deployment's responsibility
+/// now); 429 — with Retry-After of one rebuild interval, rounded up to
+/// whole seconds, floor 1 — when rows were submitted and none were.
+/// The body always carries queue_depth and queue_capacity so a
+/// backpressured producer can size its retry.
+[[nodiscard]] http::Response ingest_response(const ParsedIngest& parsed,
+                                             const PipelineOutcome& outcome,
+                                             const ingest::IngestStats& stats,
+                                             std::chrono::milliseconds rebuild_interval);
+
+/// The HTTP CSV route viewed as an IngestSource: passive (the HTTP
+/// server owns the sockets), it parses bodies and funnels them through
+/// the shared pipeline. Register handle() as the POST /api/ingest
+/// target.
+class HttpCsvSource final : public IngestSource {
+ public:
+  struct Config {
+    /// Must outlive the source (category names -> ids).
+    const data::Taxonomy* taxonomy = nullptr;
+    /// Guest id allocator for the anonymous header form.
+    std::function<data::UserId()> allocate_guest;
+    /// Snapshot of worker/router stats for the response body.
+    std::function<ingest::IngestStats()> stats;
+    /// Retry-After basis for 429s.
+    std::chrono::milliseconds rebuild_interval{2'000};
+  };
+
+  /// `pipeline` must outlive the source.
+  HttpCsvSource(IngestPipeline& pipeline, Config config);
+  ~HttpCsvSource() override;
+
+  [[nodiscard]] http::Response handle(const http::Request& request);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] Status start() override;
+  void stop() override;
+  [[nodiscard]] bool running() const noexcept override;
+  [[nodiscard]] SourceStats stats() const noexcept override;
+
+ private:
+  IngestPipeline& pipeline_;
+  Config config_;
+  SourceCounters counters_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace crowdweb::transport

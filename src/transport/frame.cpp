@@ -1,0 +1,138 @@
+#include "transport/frame.hpp"
+
+#include "store/crc32.hpp"
+#include "store/format.hpp"
+#include "util/format.hpp"
+
+namespace crowdweb::transport {
+
+namespace {
+
+/// The header bytes the checksum covers (everything before the CRC).
+constexpr std::size_t kCrcOffset = 20;
+
+std::string encode_frame(FrameType type, std::uint64_t seq, std::string_view payload) {
+  std::string head;
+  head.reserve(kCrcOffset);
+  store::put_u32(head, kFrameMagic);
+  head.push_back(static_cast<char>(kFrameVersion));
+  head.push_back(static_cast<char>(type));
+  store::put_u16(head, 0);  // flags, reserved
+  store::put_u64(head, seq);
+  store::put_u32(head, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = store::crc32(head);
+  crc = store::crc32(payload, crc);
+
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out += head;
+  store::put_u32(out, crc);
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+std::string encode_data_frame(std::uint64_t seq,
+                              std::span<const ingest::IngestEvent> events) {
+  std::string payload;
+  payload.reserve(4 + events.size() * kFrameEventBytes);
+  store::put_u32(payload, static_cast<std::uint32_t>(events.size()));
+  for (const ingest::IngestEvent& event : events) {
+    store::put_u32(payload, event.user);
+    store::put_u16(payload, event.category);
+    store::put_f64(payload, event.position.lat);
+    store::put_f64(payload, event.position.lon);
+    store::put_i64(payload, event.timestamp);
+  }
+  return encode_frame(FrameType::kData, seq, payload);
+}
+
+std::string encode_ack_frame(std::uint64_t seq, const FrameAck& ack) {
+  std::string payload;
+  payload.reserve(16);
+  store::put_u32(payload, ack.accepted);
+  store::put_u32(payload, ack.rejected);
+  store::put_u32(payload, ack.spooled);
+  store::put_u32(payload, ack.invalid);
+  return encode_frame(FrameType::kAck, seq, payload);
+}
+
+FrameDecodeResult decode_frame(std::string_view buffer, std::size_t max_payload_bytes) {
+  FrameDecodeResult result;
+  const auto fail = [&result](std::string message) -> FrameDecodeResult& {
+    result.state = FrameState::kError;
+    result.error = std::move(message);
+    return result;
+  };
+
+  if (buffer.size() < kFrameHeaderBytes) return result;  // kNeedMore
+  store::ByteReader reader(buffer);
+  std::uint32_t magic = 0;
+  std::uint16_t version_and_type = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc = 0;
+  reader.read_u32(magic);
+  reader.read_u16(version_and_type);
+  reader.read_u16(flags);
+  reader.read_u64(seq);
+  reader.read_u32(payload_bytes);
+  reader.read_u32(crc);
+  if (magic != kFrameMagic)
+    return fail(crowdweb::format("bad frame magic {:08x}", magic));
+  const auto version = static_cast<std::uint8_t>(version_and_type & 0xFF);
+  const auto type = static_cast<std::uint8_t>(version_and_type >> 8);
+  if (version != kFrameVersion)
+    return fail(crowdweb::format("unsupported frame version {}", version));
+  if (type != static_cast<std::uint8_t>(FrameType::kData) &&
+      type != static_cast<std::uint8_t>(FrameType::kAck))
+    return fail(crowdweb::format("unknown frame type {}", type));
+  if (flags != 0) return fail(crowdweb::format("reserved frame flags {:04x}", flags));
+  if (payload_bytes > max_payload_bytes)
+    return fail(crowdweb::format("frame payload {} exceeds cap {}", payload_bytes,
+                                 max_payload_bytes));
+  const std::size_t total = kFrameHeaderBytes + payload_bytes;
+  if (buffer.size() < total) return result;  // kNeedMore
+  const std::string_view payload = buffer.substr(kFrameHeaderBytes, payload_bytes);
+  std::uint32_t computed = store::crc32(buffer.substr(0, kCrcOffset));
+  computed = store::crc32(payload, computed);
+  if (computed != crc)
+    return fail(crowdweb::format("frame checksum mismatch (stored {:08x}, computed {:08x})",
+                                 crc, computed));
+
+  result.frame.type = static_cast<FrameType>(type);
+  result.frame.seq = seq;
+  store::ByteReader body(payload);
+  if (result.frame.type == FrameType::kData) {
+    std::uint32_t count = 0;
+    if (!body.read_u32(count) ||
+        payload_bytes != 4 + static_cast<std::size_t>(count) * kFrameEventBytes)
+      return fail("data frame payload length does not match its event count");
+    result.frame.events.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ingest::IngestEvent event;
+      std::uint16_t category = 0;
+      body.read_u32(event.user);
+      body.read_u16(category);
+      body.read_f64(event.position.lat);
+      body.read_f64(event.position.lon);
+      body.read_i64(event.timestamp);
+      if (body.truncated()) return fail("data frame payload truncated");  // unreachable
+      event.category = category;
+      result.frame.events.push_back(event);
+    }
+  } else {
+    if (payload_bytes != 16) return fail("ack frame payload must be 16 bytes");
+    body.read_u32(result.frame.ack.accepted);
+    body.read_u32(result.frame.ack.rejected);
+    body.read_u32(result.frame.ack.spooled);
+    body.read_u32(result.frame.ack.invalid);
+  }
+  result.state = FrameState::kComplete;
+  result.consumed = total;
+  return result;
+}
+
+}  // namespace crowdweb::transport

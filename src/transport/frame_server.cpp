@@ -1,0 +1,369 @@
+#include "transport/frame_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::transport {
+
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+struct FrameServer::Impl {
+  IngestPipeline& pipeline;
+  FrameServerConfig config;
+  std::string source_name;  // "tcp" or "uds"
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread loop_thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stop_requested{false};
+
+  struct Connection {
+    std::string inbox;
+    std::string outbox;
+    std::size_t outbox_offset = 0;
+    std::chrono::steady_clock::time_point last_activity;
+    bool want_write = false;
+  };
+  std::unordered_map<int, Connection> connections;  // loop thread only
+
+  SourceCounters counters;
+  std::atomic<std::size_t> connection_count{0};
+  std::atomic<std::uint64_t> idle_closed{0};
+  telemetry::Gauge* connections_gauge = nullptr;
+
+  explicit Impl(IngestPipeline& pipeline_ref) : pipeline(pipeline_ref) {}
+
+  void init_metrics() {
+    if (config.metrics == nullptr) return;
+    connections_gauge =
+        &config.metrics
+             ->gauge_family("crowdweb_transport_connections",
+                            "Open producer sockets on a frame listener.", {"source"})
+             .with_labels({source_name});
+  }
+
+  void set_connection_count(std::size_t n) {
+    connection_count.store(n, std::memory_order_relaxed);
+    if (connections_gauge != nullptr) connections_gauge->set(static_cast<double>(n));
+  }
+
+  Status bind_listener() {
+    if (!config.uds_path.empty()) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (config.uds_path.size() >= sizeof(addr.sun_path))
+        return invalid_argument("uds path too long");
+      std::memcpy(addr.sun_path, config.uds_path.c_str(), config.uds_path.size() + 1);
+      ::unlink(config.uds_path.c_str());
+      listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (listen_fd < 0) return io_error("cannot create uds socket");
+      if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        close_fd(listen_fd);
+        return io_error(crowdweb::format("cannot bind uds socket {}: {}",
+                                         config.uds_path, std::strerror(errno)));
+      }
+    } else {
+      listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (listen_fd < 0) return io_error("cannot create tcp socket");
+      const int enable = 1;
+      ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(config.port);
+      if (::inet_pton(AF_INET, config.address.c_str(), &addr.sin_addr) != 1) {
+        close_fd(listen_fd);
+        return invalid_argument(
+            crowdweb::format("bad listen address {}", config.address));
+      }
+      if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        close_fd(listen_fd);
+        return io_error(crowdweb::format("cannot bind {}:{}: {}", config.address,
+                                         config.port, std::strerror(errno)));
+      }
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+        bound_port = ntohs(bound.sin_port);
+    }
+    if (::listen(listen_fd, 128) != 0) {
+      close_fd(listen_fd);
+      return io_error(crowdweb::format("cannot listen: {}", std::strerror(errno)));
+    }
+    return Status::ok();
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+
+  bool update_epoll(int fd, Connection& conn) {
+    epoll_event event{};
+    event.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+    event.data.fd = fd;
+    return ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &event) == 0;
+  }
+
+  void close_connection(int fd) {
+    connections.erase(fd);
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    set_connection_count(connections.size());
+  }
+
+  void accept_ready() {
+    while (true) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient accept failure
+      }
+      if (config.uds_path.empty()) {
+        const int enable = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+      }
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.fd = fd;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+        ::close(fd);
+        continue;
+      }
+      Connection& conn = connections[fd];
+      conn.last_activity = std::chrono::steady_clock::now();
+      set_connection_count(connections.size());
+    }
+  }
+
+  /// Writes as much pending ack bytes as the socket takes. False when
+  /// the connection died.
+  bool flush_outbox(int fd, Connection& conn) {
+    while (conn.outbox_offset < conn.outbox.size()) {
+      const ssize_t n = ::send(fd, conn.outbox.data() + conn.outbox_offset,
+                               conn.outbox.size() - conn.outbox_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+      }
+      conn.outbox_offset += static_cast<std::size_t>(n);
+    }
+    if (conn.outbox_offset >= conn.outbox.size()) {
+      conn.outbox.clear();
+      conn.outbox_offset = 0;
+    }
+    const bool want_write = !conn.outbox.empty();
+    if (want_write != conn.want_write) {
+      conn.want_write = want_write;
+      if (!update_epoll(fd, conn)) return false;
+    }
+    return true;
+  }
+
+  /// Decodes every complete frame in the inbox. False when the
+  /// connection must close (EOF-worthy protocol damage).
+  bool drain_inbox(int fd, Connection& conn) {
+    std::size_t offset = 0;
+    while (true) {
+      const FrameDecodeResult decoded =
+          decode_frame(std::string_view(conn.inbox).substr(offset),
+                       config.max_frame_payload_bytes);
+      if (decoded.state == FrameState::kNeedMore) break;
+      if (decoded.state == FrameState::kError) {
+        counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+        pipeline.note_decode_error(source_name);
+        log_warn("{} producer sent a bad frame, closing: {}", source_name,
+                 decoded.error);
+        return false;
+      }
+      offset += decoded.consumed;
+      if (decoded.frame.type != FrameType::kData) continue;  // acks are ignored
+      counters.frames.fetch_add(1, std::memory_order_relaxed);
+      counters.events.fetch_add(decoded.frame.events.size(), std::memory_order_relaxed);
+      const PipelineOutcome outcome =
+          pipeline.submit(decoded.frame.events, source_name);
+      counters.accepted.fetch_add(outcome.accepted, std::memory_order_relaxed);
+      counters.rejected.fetch_add(outcome.rejected, std::memory_order_relaxed);
+      counters.spooled.fetch_add(outcome.spooled, std::memory_order_relaxed);
+      FrameAck ack;
+      ack.accepted = static_cast<std::uint32_t>(outcome.accepted);
+      ack.rejected = static_cast<std::uint32_t>(outcome.rejected);
+      ack.spooled = static_cast<std::uint32_t>(outcome.spooled);
+      conn.outbox += encode_ack_frame(decoded.frame.seq, ack);
+    }
+    conn.inbox.erase(0, offset);
+    return flush_outbox(fd, conn);
+  }
+
+  bool read_ready(int fd, Connection& conn) {
+    char chunk[kReadChunkBytes];
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        conn.inbox.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // producer closed
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    conn.last_activity = std::chrono::steady_clock::now();
+    return drain_inbox(fd, conn);
+  }
+
+  void sweep_idle() {
+    if (config.idle_timeout.count() <= 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<int> stale;
+    for (const auto& [fd, conn] : connections)
+      if (now - conn.last_activity > config.idle_timeout) stale.push_back(fd);
+    for (const int fd : stale) {
+      idle_closed.fetch_add(1, std::memory_order_relaxed);
+      close_connection(fd);
+    }
+  }
+
+  void loop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    int timeout_ms = 500;
+    if (config.idle_timeout.count() > 0)
+      timeout_ms = static_cast<int>(
+          std::min<std::int64_t>(250, config.idle_timeout.count() / 2 + 1));
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      const int ready = ::epoll_wait(epoll_fd, events, kMaxEvents, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        log_error("{} listener epoll_wait failed: {}", source_name,
+                  std::strerror(errno));
+        break;
+      }
+      for (int i = 0; i < ready; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd) {
+          std::uint64_t drained = 0;
+          [[maybe_unused]] const ssize_t n = ::read(wake_fd, &drained, sizeof(drained));
+          continue;
+        }
+        if (fd == listen_fd) {
+          accept_ready();
+          continue;
+        }
+        const auto it = connections.find(fd);
+        if (it == connections.end()) continue;
+        bool alive = true;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) alive = false;
+        if (alive && (events[i].events & EPOLLIN) != 0)
+          alive = read_ready(fd, it->second);
+        if (alive && (events[i].events & EPOLLOUT) != 0)
+          alive = flush_outbox(fd, it->second);
+        if (!alive) close_connection(fd);
+      }
+      sweep_idle();
+    }
+  }
+
+  Status start() {
+    if (running.load()) return Status::ok();
+    if (Status status = bind_listener(); !status.is_ok()) return status;
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epoll_fd < 0 || wake_fd < 0) {
+      close_fd(listen_fd);
+      close_fd(epoll_fd);
+      close_fd(wake_fd);
+      return io_error("cannot create epoll/eventfd for frame listener");
+    }
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = listen_fd;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &event);
+    event.data.fd = wake_fd;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &event);
+    stop_requested.store(false);
+    loop_thread = std::thread([this] { loop(); });
+    running.store(true);
+    if (config.uds_path.empty())
+      log_info("frame listener on {}:{}", config.address, bound_port);
+    else
+      log_info("frame listener on {}", config.uds_path);
+    return Status::ok();
+  }
+
+  void stop() {
+    if (!running.load()) return;
+    stop_requested.store(true, std::memory_order_release);
+    wake();
+    if (loop_thread.joinable()) loop_thread.join();
+    for (const auto& [fd, conn] : connections) ::close(fd);
+    connections.clear();
+    set_connection_count(0);
+    close_fd(listen_fd);
+    close_fd(epoll_fd);
+    close_fd(wake_fd);
+    if (!config.uds_path.empty()) ::unlink(config.uds_path.c_str());
+    running.store(false);
+  }
+};
+
+FrameServer::FrameServer(IngestPipeline& pipeline, FrameServerConfig config)
+    : impl_(std::make_unique<Impl>(pipeline)) {
+  impl_->config = std::move(config);
+  impl_->source_name = impl_->config.uds_path.empty() ? "tcp" : "uds";
+  impl_->init_metrics();
+}
+
+FrameServer::~FrameServer() { stop(); }
+
+std::string_view FrameServer::name() const noexcept { return impl_->source_name; }
+
+Status FrameServer::start() { return impl_->start(); }
+
+void FrameServer::stop() { impl_->stop(); }
+
+bool FrameServer::running() const noexcept { return impl_->running.load(); }
+
+SourceStats FrameServer::stats() const noexcept { return impl_->counters.snapshot(); }
+
+std::uint16_t FrameServer::port() const noexcept { return impl_->bound_port; }
+
+std::size_t FrameServer::connections() const noexcept {
+  return impl_->connection_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FrameServer::idle_closed() const noexcept {
+  return impl_->idle_closed.load(std::memory_order_relaxed);
+}
+
+}  // namespace crowdweb::transport

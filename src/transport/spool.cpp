@@ -1,0 +1,347 @@
+#include "transport/spool.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+
+#include "data/dataset_io.hpp"
+#include "store/format.hpp"
+#include "transport/frame.hpp"
+#include "util/format.hpp"
+#include "util/log.hpp"
+
+namespace crowdweb::transport {
+
+namespace fs = std::filesystem;
+
+std::optional<std::uint64_t> parse_spool_segment_name(std::string_view name) {
+  constexpr std::string_view prefix = "spool-";
+  constexpr std::string_view suffix = ".spl";
+  if (name.size() != prefix.size() + 16 + suffix.size()) return std::nullopt;
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  if (name.substr(name.size() - suffix.size()) != suffix) return std::nullopt;
+  const std::string_view digits = name.substr(prefix.size(), 16);
+  std::uint64_t seq = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), seq, 16);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) return std::nullopt;
+  return seq;
+}
+
+std::string spool_segment_name(std::uint64_t seq) {
+  return crowdweb::format("spool-{:016x}.spl", seq);
+}
+
+namespace {
+
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::write(fd, bytes.data(), bytes.size());
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string spool_header() {
+  std::string head;
+  store::put_u32(head, kSpoolMagic);
+  head.push_back(static_cast<char>(kSpoolVersion));
+  head.append(3, '\0');
+  return head;
+}
+
+}  // namespace
+
+struct Spool::Impl {
+  SpoolConfig config;
+
+  struct Segment {
+    std::uint64_t seq = 0;
+    std::string path;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::deque<Segment> segments;  // oldest first; back may be the write segment
+  int write_fd = -1;             // -1 = no open write segment
+  std::uint64_t next_segment_seq = 1;
+  std::uint64_t next_frame_seq = 1;
+  std::size_t total_bytes = 0;
+
+  // Read cursor over the front segment.
+  bool read_loaded = false;
+  std::string read_buffer;
+  std::size_t read_offset = 0;
+  std::size_t peek_consumed = 0;  ///< bytes of the frame peek() decoded
+  std::size_t peek_events = 0;
+
+  SpoolStats counters;  // depth fields filled at stats() time
+
+  telemetry::Gauge* depth_bytes_gauge = nullptr;
+  telemetry::Gauge* depth_frames_gauge = nullptr;
+  telemetry::Counter* spooled_total = nullptr;
+  telemetry::Counter* drained_total = nullptr;
+  telemetry::Counter* dropped_total = nullptr;
+  std::size_t depth_frames = 0;
+
+  ~Impl() { close_write(); }
+
+  void init_metrics() {
+    telemetry::Registry* metrics = config.metrics;
+    if (metrics == nullptr) return;
+    depth_bytes_gauge = &metrics->gauge("crowdweb_transport_spool_depth_bytes",
+                                        "On-disk bytes across spool segments.");
+    depth_frames_gauge =
+        &metrics->gauge("crowdweb_transport_spool_depth_frames",
+                        "Spooled frames waiting to be drained into the queue.");
+    spooled_total = &metrics->counter("crowdweb_transport_spool_frames_spooled_total",
+                                      "Frames absorbed by the disk spool.");
+    drained_total = &metrics->counter("crowdweb_transport_spool_frames_drained_total",
+                                      "Spooled frames drained into the ingest queue.");
+    dropped_total = &metrics->counter(
+        "crowdweb_transport_spool_frames_dropped_total",
+        "Corrupt or torn spool content skipped on drain (counted per gap).");
+  }
+
+  void refresh_gauges() {
+    if (depth_bytes_gauge != nullptr)
+      depth_bytes_gauge->set(static_cast<double>(total_bytes));
+    if (depth_frames_gauge != nullptr)
+      depth_frames_gauge->set(static_cast<double>(depth_frames));
+  }
+
+  void close_write() {
+    if (write_fd >= 0) ::close(write_fd);
+    write_fd = -1;
+  }
+
+  /// Counts the decodable frames of an adopted segment (open()-time
+  /// scan, so depth_frames is honest after a restart).
+  static std::size_t count_frames(std::string_view bytes) {
+    std::size_t frames = 0;
+    std::string_view rest = bytes.size() >= kSpoolHeaderBytes
+                                ? bytes.substr(kSpoolHeaderBytes)
+                                : std::string_view{};
+    while (!rest.empty()) {
+      const FrameDecodeResult decoded = decode_frame(rest);
+      if (decoded.state != FrameState::kComplete) break;
+      if (decoded.frame.type == FrameType::kData) ++frames;
+      rest.remove_prefix(decoded.consumed);
+    }
+    return frames;
+  }
+
+  Status open() {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::error_code ec;
+    fs::create_directories(config.dir, ec);
+    if (ec)
+      return io_error(crowdweb::format("cannot create spool dir {}: {}", config.dir,
+                                       ec.message()));
+    std::vector<Segment> adopted;
+    for (const fs::directory_entry& entry : fs::directory_iterator(config.dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      const auto seq = parse_spool_segment_name(name);
+      if (!seq) continue;
+      Segment segment;
+      segment.seq = *seq;
+      segment.path = entry.path().string();
+      std::error_code size_ec;
+      segment.bytes = static_cast<std::size_t>(fs::file_size(entry.path(), size_ec));
+      adopted.push_back(std::move(segment));
+    }
+    if (ec)
+      return io_error(
+          crowdweb::format("cannot list spool dir {}: {}", config.dir, ec.message()));
+    std::sort(adopted.begin(), adopted.end(),
+              [](const Segment& a, const Segment& b) { return a.seq < b.seq; });
+    for (Segment& segment : adopted) {
+      total_bytes += segment.bytes;
+      if (const auto bytes = data::read_file(segment.path))
+        depth_frames += count_frames(*bytes);
+      next_segment_seq = std::max(next_segment_seq, segment.seq + 1);
+      segments.push_back(std::move(segment));
+    }
+    if (!segments.empty())
+      log_info("spool adopted {} segment(s), {} frame(s), {} byte(s) from {}",
+               segments.size(), depth_frames, total_bytes, config.dir);
+    refresh_gauges();
+    return Status::ok();
+  }
+
+  bool append(std::span<const ingest::IngestEvent> events) {
+    const std::string frame = encode_data_frame(next_frame_seq, events);
+    std::lock_guard<std::mutex> lock(mutex);
+    ++next_frame_seq;
+    std::size_t needed = frame.size();
+    const bool rotate = write_fd < 0 || segments.empty() ||
+                        segments.back().bytes >= config.segment_bytes;
+    if (rotate) needed += kSpoolHeaderBytes;
+    if (total_bytes + needed > config.max_bytes) return false;
+    if (rotate) {
+      close_write();
+      Segment segment;
+      segment.seq = next_segment_seq++;
+      segment.path = (fs::path(config.dir) / spool_segment_name(segment.seq)).string();
+      write_fd = ::open(segment.path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
+                        0644);
+      if (write_fd < 0) {
+        log_error("spool cannot open {}: {}", segment.path, std::strerror(errno));
+        return false;
+      }
+      if (!write_all(write_fd, spool_header())) {
+        close_write();
+        return false;
+      }
+      segment.bytes = kSpoolHeaderBytes;
+      total_bytes += kSpoolHeaderBytes;
+      segments.push_back(std::move(segment));
+    }
+    if (!write_all(write_fd, frame)) {
+      close_write();  // next append rotates past the damaged segment
+      return false;
+    }
+    segments.back().bytes += frame.size();
+    total_bytes += frame.size();
+    ++depth_frames;
+    ++counters.frames_spooled;
+    counters.events_spooled += events.size();
+    if (spooled_total != nullptr) spooled_total->increment();
+    refresh_gauges();
+    return true;
+  }
+
+  /// Drops the front segment (read side) and resets the read cursor.
+  void drop_front_segment() {
+    std::error_code ec;
+    fs::remove(segments.front().path, ec);
+    total_bytes -= std::min(total_bytes, segments.front().bytes);
+    segments.pop_front();
+    read_loaded = false;
+    read_buffer.clear();
+    read_offset = 0;
+  }
+
+  bool peek(std::vector<ingest::IngestEvent>& events) {
+    std::lock_guard<std::mutex> lock(mutex);
+    while (true) {
+      if (!read_loaded) {
+        if (segments.empty()) {
+          refresh_gauges();
+          return false;
+        }
+        // Reading the segment still being written: seal it so frames
+        // appended after this load go to a fresh segment.
+        if (segments.size() == 1 && write_fd >= 0) close_write();
+        const auto bytes = data::read_file(segments.front().path);
+        if (!bytes || bytes->size() < kSpoolHeaderBytes) {
+          note_drop("unreadable or truncated segment header");
+          drop_front_segment();
+          continue;
+        }
+        store::ByteReader head(*bytes);
+        std::uint32_t magic = 0;
+        head.read_u32(magic);
+        if (magic != kSpoolMagic || (*bytes)[4] != static_cast<char>(kSpoolVersion)) {
+          note_drop("bad segment magic/version");
+          drop_front_segment();
+          continue;
+        }
+        read_buffer = *bytes;
+        read_offset = kSpoolHeaderBytes;
+        read_loaded = true;
+      }
+      if (read_offset >= read_buffer.size()) {
+        drop_front_segment();
+        continue;
+      }
+      const FrameDecodeResult decoded =
+          decode_frame(std::string_view(read_buffer).substr(read_offset));
+      if (decoded.state == FrameState::kComplete) {
+        if (decoded.frame.type != FrameType::kData) {
+          note_drop("non-data frame in spool");
+          read_offset += decoded.consumed;
+          continue;
+        }
+        events = decoded.frame.events;
+        peek_consumed = decoded.consumed;
+        peek_events = events.size();
+        return true;
+      }
+      // Torn tail (kNeedMore on a fully loaded segment) or a corrupt
+      // frame: there is no resync point past a bad header, so the rest
+      // of this segment is skipped, counted as one gap.
+      note_drop(decoded.state == FrameState::kNeedMore
+                    ? "torn tail"
+                    : decoded.error.c_str());
+      read_offset = read_buffer.size();
+    }
+  }
+
+  void note_drop(const char* why) {
+    log_warn("spool skipping damaged content in {}: {}",
+             segments.empty() ? "?" : segments.front().path, why);
+    ++counters.frames_dropped;
+    if (dropped_total != nullptr) dropped_total->increment();
+  }
+
+  void pop() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!read_loaded || peek_consumed == 0) return;
+    read_offset += peek_consumed;
+    peek_consumed = 0;
+    ++counters.frames_drained;
+    counters.events_drained += peek_events;
+    if (depth_frames > 0) --depth_frames;
+    if (drained_total != nullptr) drained_total->increment();
+    if (read_offset >= read_buffer.size()) drop_front_segment();
+    refresh_gauges();
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return segments.empty();
+  }
+
+  SpoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    SpoolStats stats = counters;
+    stats.depth_frames = depth_frames;
+    stats.depth_bytes = total_bytes;
+    stats.segments = segments.size();
+    return stats;
+  }
+};
+
+Spool::Spool(SpoolConfig config) : impl_(std::make_unique<Impl>()) {
+  impl_->config = std::move(config);
+  impl_->init_metrics();
+}
+
+Spool::~Spool() = default;
+
+Status Spool::open() { return impl_->open(); }
+
+bool Spool::append(std::span<const ingest::IngestEvent> events) {
+  return impl_->append(events);
+}
+
+bool Spool::peek(std::vector<ingest::IngestEvent>& events) { return impl_->peek(events); }
+
+void Spool::pop() { impl_->pop(); }
+
+bool Spool::empty() const { return impl_->empty(); }
+
+SpoolStats Spool::stats() const { return impl_->stats(); }
+
+}  // namespace crowdweb::transport

@@ -1,0 +1,92 @@
+// Disk spool: absorbs producer bursts the ingest queue rejects.
+//
+// The WAL records what the worker *accepted*; the spool holds what the
+// queue could not take yet, so a saturated deployment degrades to
+// "delayed" instead of "429 everything". Frames are appended to
+// segment files ("spool-<seq>.spl": an 8-byte header + concatenated
+// binary data frames, see frame.hpp) and drained oldest-first by the
+// pipeline's spool source. Segments are deleted once fully drained.
+//
+// Durability is best-effort at-least-once: appends are buffered writes
+// (no fsync — the WAL is the durability story once events are
+// accepted); after a crash, open() re-adopts whatever segments survive
+// and a torn tail is truncated exactly like a WAL tail. Frames that
+// fail their checksum are counted and skipped, never replayed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ingest/event.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::transport {
+
+struct SpoolConfig {
+  /// Directory for segment files; empty disables the spool.
+  std::string dir;
+  /// Total on-disk byte cap across segments; appends past it fail (the
+  /// caller reports the events rejected).
+  std::size_t max_bytes = 64 * 1024 * 1024;
+  /// Segment rotation threshold.
+  std::size_t segment_bytes = 4 * 1024 * 1024;
+  /// Optional registry for the crowdweb_transport_spool_* families.
+  /// Must outlive the spool.
+  telemetry::Registry* metrics = nullptr;
+};
+
+struct SpoolStats {
+  std::uint64_t frames_spooled = 0;
+  std::uint64_t events_spooled = 0;
+  std::uint64_t frames_drained = 0;
+  std::uint64_t events_drained = 0;
+  std::uint64_t frames_dropped = 0;  ///< corrupt frames skipped on drain
+  std::size_t depth_frames = 0;      ///< spooled, not yet drained
+  std::size_t depth_bytes = 0;       ///< on-disk bytes across segments
+  std::size_t segments = 0;
+};
+
+/// "spool-<16 hex digits>.spl" -> its sequence number.
+[[nodiscard]] std::optional<std::uint64_t> parse_spool_segment_name(
+    std::string_view name);
+[[nodiscard]] std::string spool_segment_name(std::uint64_t seq);
+
+inline constexpr std::uint32_t kSpoolMagic = 0x31535743u;  // "CWS1"
+inline constexpr std::uint8_t kSpoolVersion = 1;
+inline constexpr std::size_t kSpoolHeaderBytes = 8;
+
+class Spool {
+ public:
+  explicit Spool(SpoolConfig config);
+  ~Spool();
+  Spool(const Spool&) = delete;
+  Spool& operator=(const Spool&) = delete;
+
+  /// Creates the directory if needed and adopts surviving segments
+  /// (oldest first) for draining.
+  [[nodiscard]] Status open();
+
+  /// Appends one data frame holding `events`. False when the byte cap
+  /// would be exceeded or a write fails. Thread-safe.
+  [[nodiscard]] bool append(std::span<const ingest::IngestEvent> events);
+
+  /// Decodes the oldest undrained frame into `events` (true), skipping
+  /// and counting corrupt frames. False when the spool is empty.
+  /// Thread-safe; pop() consumes the peeked frame.
+  [[nodiscard]] bool peek(std::vector<ingest::IngestEvent>& events);
+  void pop();
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] SpoolStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crowdweb::transport

@@ -1,0 +1,126 @@
+// Server-sent events: the outbound half of the transport subsystem.
+//
+// Inbound transports feed epochs in; SSE pushes them back out. A
+// browser (or the live_monitor example) opens GET /api/stream/epochs
+// or /api/stream/crowd/:window and receives an event per published
+// epoch instead of polling. The EpochStreamPublisher hooks
+// SnapshotHub::on_publish and renders each subscribed crowd window
+// exactly once per epoch — through the response cache, so the SSE
+// payload and the GET /api/crowd/:window body are the same bytes and
+// the cache is pre-warmed for free. Fan-out, per-connection send
+// buffers, slow-consumer eviction, and the shutdown "bye" event live
+// in http::Server (publish_stream).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/cache.hpp"
+#include "http/message.hpp"
+#include "http/server.hpp"
+#include "ingest/snapshot.hpp"
+#include "util/status.hpp"
+
+namespace crowdweb::transport {
+
+/// Channel names. The epoch channel carries one "epoch" event per
+/// publication; each crowd channel carries that window's refreshed
+/// distribution as a "crowd" event.
+inline constexpr std::string_view kEpochChannel = "epochs";
+[[nodiscard]] std::string crowd_channel(int window);
+/// Parses "crowd/<window>" back to the window index (nullopt otherwise).
+[[nodiscard]] std::optional<int> crowd_channel_window(std::string_view channel);
+
+/// One wire-framed SSE event: "event: <event>\ndata: <line>\n...\n\n".
+/// Newlines inside `data` become multiple data: lines, per the spec.
+[[nodiscard]] std::string sse_event(std::string_view event, std::string_view data);
+/// A comment frame (": <text>\n\n") — keep-alive/noise, ignored by
+/// EventSource clients.
+[[nodiscard]] std::string sse_comment(std::string_view text);
+
+/// The subscribing response for `channel`: text/event-stream headers,
+/// `initial` as the first bytes on the wire, and the stream_channel
+/// marker that makes http::Server keep the socket open and fan
+/// publish_stream(channel, ...) into it.
+[[nodiscard]] http::Response sse_response(std::string channel, std::string initial);
+
+/// Renders the GET /api/crowd/:window response for a snapshot — the
+/// publisher calls it (through the cache) once per subscribed window
+/// per epoch. Wired to core::handlers::crowd_handler by the API layer.
+using CrowdRenderFn =
+    std::function<http::Response(const ingest::PlatformSnapshot&, int window)>;
+
+struct EpochStreamOptions {
+  /// Epoch-keyed response cache shared with the GET routes. When set,
+  /// crowd payloads are looked up / inserted at the snapshot's epoch,
+  /// so SSE and HTTP serve identical bytes from one render. The
+  /// cache-epoch bump hook must be registered before the publisher
+  /// (core::api does both in order).
+  http::ResponseCache* cache = nullptr;
+};
+
+/// Bridges SnapshotHub publications onto the server's SSE channels.
+///
+/// SnapshotHub hooks cannot be removed, so the hook holds a shared
+/// state block with an active flag the destructor flips — destroying
+/// the publisher (before the server, after the worker stops) makes the
+/// orphaned hook a no-op rather than a dangling call.
+class EpochStreamPublisher {
+ public:
+  EpochStreamPublisher(http::Server& server, ingest::SnapshotHub& hub,
+                       CrowdRenderFn render_crowd, EpochStreamOptions options = {});
+  ~EpochStreamPublisher();
+  EpochStreamPublisher(const EpochStreamPublisher&) = delete;
+  EpochStreamPublisher& operator=(const EpochStreamPublisher&) = delete;
+
+  /// Epoch events published so far (test hook).
+  [[nodiscard]] std::uint64_t epochs_published() const noexcept;
+
+  /// The JSON body of an "epoch" event for `snapshot`.
+  [[nodiscard]] static std::string epoch_event_json(
+      const ingest::PlatformSnapshot& snapshot);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Minimal blocking SSE consumer for tests and examples: opens the
+/// stream with one GET, then yields parsed events as they arrive.
+class SseClient {
+ public:
+  SseClient();
+  ~SseClient();
+  SseClient(const SseClient&) = delete;
+  SseClient& operator=(const SseClient&) = delete;
+
+  struct Event {
+    std::string event;  ///< "event:" field ("message" when absent)
+    std::string data;   ///< joined "data:" lines
+  };
+
+  /// Sends `GET path` and consumes the response head. Non-2xx statuses
+  /// are reported as errors (the stream never starts).
+  [[nodiscard]] Status connect(const std::string& host, std::uint16_t port,
+                               const std::string& path);
+  void close();
+  [[nodiscard]] bool connected() const noexcept;
+  /// HTTP status of the subscribe response (0 before connect).
+  [[nodiscard]] int status() const noexcept;
+
+  /// Blocks until the next event frame (comments are skipped) or the
+  /// timeout (kUnavailable). kIoError once the server closes the
+  /// stream.
+  [[nodiscard]] Result<Event> next_event(std::chrono::milliseconds timeout);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crowdweb::transport
