@@ -20,6 +20,7 @@
 // Run:  ./city_dashboard [--seed N] [--port P] [--paper-scale] [--offline DIR]
 //                        [--shards N] [--store-dir DIR [--fsync every_batch|interval|never]]
 //                        [--http-workers N] [--http-cache-mb MB]
+//                        [--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F]
 
 #include <csignal>
 #include <cstdio>
@@ -36,6 +37,7 @@
 #include "http/cache.hpp"
 #include "http/server.hpp"
 #include "json/json.hpp"
+#include "mining/registry.hpp"
 #include "shard/api.hpp"
 #include "shard/router.hpp"
 #include "telemetry/metrics.hpp"
@@ -63,6 +65,8 @@ struct Args {
   store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
   int http_workers = -1;         // -1 = hardware concurrency, 0 = inline
   std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
+  std::string miner = "prefixspan";  // registered mining algorithm
+  double min_support = 0.25;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -113,6 +117,19 @@ bool parse_args(int argc, char** argv, Args& args) {
       const auto parsed = v != nullptr ? parse_int(v) : Result<std::int64_t>(parse_error(""));
       if (!parsed || *parsed < 0) return false;
       args.http_cache_mb = *parsed;
+    } else if (flag == "--miner") {
+      const char* v = next();
+      if (v == nullptr || mining::find_miner(v) == nullptr) {
+        if (v != nullptr)
+          std::fprintf(stderr, "%s\n", mining::resolve_miner(v).status().to_string().c_str());
+        return false;
+      }
+      args.miner = v;
+    } else if (flag == "--min-support") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_double(v) : Result<double>(parse_error(""));
+      if (!parsed || *parsed <= 0.0 || *parsed > 1.0) return false;
+      args.min_support = *parsed;
     } else {
       return false;
     }
@@ -183,7 +200,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--seed N] [--port P] [--paper-scale] [--offline DIR] "
                  "[--data DIR] [--shards N] "
                  "[--store-dir DIR [--fsync every_batch|interval|never]] "
-                 "[--http-workers N] [--http-cache-mb MB]\n",
+                 "[--http-workers N] [--http-cache-mb MB] "
+                 "[--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F]\n",
                  argv[0]);
     return 2;
   }
@@ -196,7 +214,8 @@ int main(int argc, char** argv) {
   config.seed = args.seed;
   config.small_corpus = !args.paper_scale;
   config.min_active_days = args.paper_scale ? 50 : 20;
-  config.mining.min_support = 0.25;
+  config.mining.min_support = args.min_support;
+  config.mining.algorithm = args.miner;
   config.metrics = &metrics;
   config.store.dir = args.store_dir;
   config.store.fsync = args.fsync;

@@ -24,6 +24,7 @@
 //                      [--transport csv|binary] [--spool-dir DIR]
 //                      [--store-dir DIR [--fsync every_batch|interval|never]]
 //                      [--http-workers N] [--http-cache-mb MB]
+//                      [--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F]
 
 #include <algorithm>
 #include <chrono>
@@ -42,6 +43,7 @@
 #include "http/server.hpp"
 #include "ingest/replay.hpp"
 #include "json/json.hpp"
+#include "mining/registry.hpp"
 #include "synth/generator.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/frame_client.hpp"
@@ -61,7 +63,8 @@ int usage(const char* name) {
                "usage: %s [--seed N] [--rate R] [--duration S] [--port P] "
                "[--transport csv|binary] [--spool-dir DIR] "
                "[--store-dir DIR [--fsync every_batch|interval|never]] "
-               "[--http-workers N] [--http-cache-mb MB]\n",
+               "[--http-workers N] [--http-cache-mb MB] "
+               "[--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F]\n",
                name);
   return 2;
 }
@@ -80,6 +83,8 @@ int main(int argc, char** argv) {
   store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
   int http_workers = -1;            // -1 = hardware concurrency, 0 = inline
   std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
+  std::string miner = "prefixspan";  // registered mining algorithm
+  double min_support = 0.5;
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
@@ -118,6 +123,16 @@ int main(int argc, char** argv) {
       const auto parsed = parse_int(argv[++i]);
       if (!parsed || *parsed < 0) return usage(argv[0]);
       http_cache_mb = *parsed;
+    } else if (flag == "--miner" && i + 1 < argc) {
+      miner = argv[++i];
+      if (mining::find_miner(miner) == nullptr) {
+        std::fprintf(stderr, "%s\n", mining::resolve_miner(miner).status().to_string().c_str());
+        return usage(argv[0]);
+      }
+    } else if (flag == "--min-support" && i + 1 < argc) {
+      const auto parsed = parse_double(argv[++i]);
+      if (!parsed || *parsed <= 0.0 || *parsed > 1.0) return usage(argv[0]);
+      min_support = *parsed;
     } else {
       return usage(argv[0]);
     }
@@ -132,6 +147,8 @@ int main(int argc, char** argv) {
   config.seed = seed;
   config.small_corpus = true;
   config.min_active_days = 20;
+  config.mining.algorithm = miner;
+  config.mining.min_support = min_support;
   config.metrics = &metrics;
   config.store.dir = store_dir;
   config.store.fsync = fsync;

@@ -9,7 +9,7 @@
 #include "data/csv.hpp"
 #include "ingest/queue.hpp"
 #include "ingest/snapshot.hpp"
-#include "mining/prefixspan.hpp"
+#include "mining/registry.hpp"
 #include "predict/predictor.hpp"
 #include "transport/csv_source.hpp"
 #include "transport/sse.hpp"
@@ -57,7 +57,13 @@ Response status_handler(const Platform& platform, const ApiOptions& options) {
        {"placements", static_cast<std::int64_t>(platform.crowd_model().total_placements())},
        {"timings_ms", json::object({{"acquisition", platform.timings().acquisition_ms},
                                     {"mining", platform.timings().mining_ms},
-                                    {"crowd", platform.timings().crowd_ms}})}});
+                                    {"crowd", platform.timings().crowd_ms}})},
+       {"mining",
+        json::object({{"algorithm", platform.config().mining.algorithm},
+                      {"min_support", platform.config().mining.min_support},
+                      {"expand_closed", platform.config().mining.expand_closed},
+                      {"max_patterns",
+                       static_cast<std::int64_t>(platform.config().mining.max_patterns)}})}});
   if (options.server_stats != nullptr && *options.server_stats) {
     const http::ServerStats stats = (*options.server_stats)();
     payload.set(
@@ -235,6 +241,12 @@ Response analyze_handler(const Platform& platform, const Request& request) {
       return Response::bad_request_400("support must be in (0, 1]");
     min_support = *parsed;
   }
+  std::string algorithm = platform.config().mining.algorithm;
+  if (const auto requested = request.query_param("algorithm")) {
+    if (const auto miner = mining::resolve_miner(*requested); !miner)
+      return Response::bad_request_400(miner.status().message());
+    algorithm = std::string(*requested);
+  }
 
   const auto rows = data::parse_csv(request.body);
   if (!rows) return Response::bad_request_400(rows.status().to_string());
@@ -298,12 +310,13 @@ Response analyze_handler(const Platform& platform, const Request& request) {
   }
   flush_day();
 
-  mining::MiningOptions mining_options;
+  mining::MiningOptions mining_options = platform.config().mining;
   mining_options.min_support = min_support;
-  const auto mined = mining::prefixspan(sequences.columns(), mining_options);
+  mining_options.algorithm = algorithm;
+  const mining::MiningResult mined = mining::mine_with(sequences.columns(), mining_options);
 
   json::Value list = json::Value(json::Array{});
-  for (const mining::Pattern& pattern : mined) {
+  for (const mining::Pattern& pattern : mined.patterns) {
     const patterns::MobilityPattern annotated =
         patterns::annotate_pattern(pattern, sequences);
     list.push_back(pattern_json(annotated, platform));
@@ -313,6 +326,8 @@ Response analyze_handler(const Platform& platform, const Request& request) {
                {{"records", static_cast<std::int64_t>(events.size())},
                 {"recorded_days", static_cast<std::int64_t>(sequences.day_count())},
                 {"min_support", min_support},
+                {"algorithm", algorithm},
+                {"truncated", mined.stats.truncated},
                 {"patterns", std::move(list)}})));
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "data/dataset_io.hpp"
+#include "mining/registry.hpp"
 #include "util/log.hpp"
 
 namespace crowdweb::core {
@@ -85,6 +86,10 @@ Result<Platform> Platform::restore(data::Dataset dataset,
 Status Platform::run_pipeline(data::Dataset full,
                               std::vector<patterns::UserMobility>* precomputed) {
   if (full.empty()) return failed_precondition("dataset is empty");
+  // Fail fast on a miner name nothing downstream could resolve (the
+  // ingest worker and shard workers inherit this config verbatim).
+  if (const auto miner = mining::resolve_miner(config_.mining.algorithm); !miner)
+    return miner.status();
   full_ = std::move(full);
 
   // Phase 1: window restriction + active-user selection.
@@ -125,6 +130,14 @@ Status Platform::run_pipeline(data::Dataset full,
   }
   timings_.mining_ms = ms_since(phase2_start);
   observe_stage(config_.metrics, "mining", timings_.mining_ms);
+  mining::MiningStats mining_totals;
+  for (const patterns::UserMobility& entry : mobility_) mining_totals.merge(entry.mining_stats);
+  if (mining_totals.truncated) {
+    log_warn(
+        "miner '{}' hit the max_patterns cap ({}) for at least one user; "
+        "mined tables are incomplete — raise max_patterns or min_support",
+        config_.mining.algorithm, config_.mining.max_patterns);
+  }
 
   // Phase 3: crowd synchronization and aggregation.
   const auto phase3_start = Clock::now();

@@ -110,6 +110,18 @@ void IngestWorker::init_metrics() {
   delta_last_events_ =
       &metrics_->gauge("crowdweb_ingest_delta_last_events",
                        "Check-ins merged by the most recent epoch's delta.");
+  mining_emitted_ = &metrics_->counter(
+      "crowdweb_mining_patterns_emitted_total",
+      "Patterns returned by per-user re-mines across all epochs (after closed-set "
+      "expansion when enabled).");
+  mining_pruned_ = &metrics_->counter(
+      "crowdweb_mining_pruned_total",
+      "Search subtrees/candidates the miner cut without counting (BackScan, "
+      "equivalent projections, apriori).");
+  mining_truncated_ = &metrics_->counter(
+      "crowdweb_mining_truncated_total",
+      "Per-user re-mines whose pattern set was cut short by the max_patterns cap "
+      "(the published tables are incomplete for those users).");
   // Scrape-time gauges: sampled when /metrics renders, so readers see
   // live queue state without the worker pushing updates.
   metrics_->gauge_callback("crowdweb_ingest_queue_depth", "Events waiting in the queue.",
@@ -501,8 +513,26 @@ Status IngestWorker::rebuild_and_publish() {
   std::vector<data::UserId> changed(pending_users_.begin(), pending_users_.end());
   std::sort(changed.begin(), changed.end());
   if (!changed.empty()) {
-    mobility_ = mobility_.with_updates(patterns::mine_users_mobility_parallel(
-        live_, changed, taxonomy_, mobility_options, pipeline_.mining_threads));
+    std::vector<patterns::UserMobility> updates = patterns::mine_users_mobility_parallel(
+        live_, changed, taxonomy_, mobility_options, pipeline_.mining_threads);
+    mining::MiningStats epoch_mining;
+    std::size_t truncated_users = 0;
+    for (const patterns::UserMobility& entry : updates) {
+      epoch_mining.merge(entry.mining_stats);
+      if (entry.mining_stats.truncated) ++truncated_users;
+    }
+    mining_emitted_->increment(epoch_mining.emitted);
+    mining_pruned_->increment(epoch_mining.pruned);
+    if (truncated_users > 0) {
+      mining_truncated_->increment(truncated_users);
+      // Once per epoch, not per user: the cap repeats until raised.
+      log_warn(
+          "epoch {}: miner '{}' truncated {} of {} re-mined users at max_patterns={}; "
+          "their published tables are incomplete",
+          epoch_ + 1, pipeline_.mining.algorithm, truncated_users, updates.size(),
+          pipeline_.mining.max_patterns);
+    }
+    mobility_ = mobility_.with_updates(std::move(updates));
   }
   mine_timer.stop();
 

@@ -273,6 +273,12 @@ class IngestWorker {
   telemetry::Counter* delta_grid_reused_ = nullptr;
   telemetry::Counter* delta_crowd_full_rebuilds_ = nullptr;
   telemetry::Gauge* delta_last_events_ = nullptr;
+  // Mining accounting (crowdweb_mining_*): what the per-user re-mines of
+  // each epoch emitted, pruned, and — the one worth alerting on —
+  // truncated at the max_patterns cap.
+  telemetry::Counter* mining_emitted_ = nullptr;
+  telemetry::Counter* mining_pruned_ = nullptr;
+  telemetry::Counter* mining_truncated_ = nullptr;
   std::vector<std::string> callback_gauge_names_;  ///< removed on destruction
 
   std::atomic<std::uint64_t> snapshot_live_{0};

@@ -1,4 +1,4 @@
-#include "mining/prefixspan.hpp"
+#include "mining/clospan.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -9,8 +9,7 @@ namespace crowdweb::mining {
 namespace {
 
 /// One entry of a pseudo-projected database: the suffix of sequence
-/// `sequence` starting at element `offset` (an index local to the
-/// sequence, not into the flat item array).
+/// `sequence` starting at element `offset`.
 struct Projection {
   std::uint32_t sequence;
   std::uint32_t offset;
@@ -26,11 +25,13 @@ class Miner {
   }
 
   std::vector<Pattern> run(MiningStats* stats) {
-    // Root projection: every sequence from offset 0.
     std::vector<Projection> root;
     root.reserve(db_.size());
     for (std::uint32_t i = 0; i < db_.size(); ++i) root.push_back({i, 0});
     grow(root);
+    // The tree collects the (pruned) frequent set in DFS order; close it
+    // and restore the canonical order every miner promises.
+    results_ = closed_patterns(std::move(results_));
     sort_patterns(results_);
     if (stats != nullptr) {
       stats_.emitted = results_.size();
@@ -40,14 +41,26 @@ class Miner {
   }
 
  private:
-  /// Extends the current prefix by every frequent item of `projection`.
+  /// Projected-database footprint: each entry counts its remaining items
+  /// plus one for the entry itself. The +1 matters — suffix lengths alone
+  /// cannot tell two exhausted suffixes from one, and a sub-pattern can
+  /// out-support its super-pattern purely on empty-suffix entries. With
+  /// entries counted, equal footprints plus a sub-pattern relation imply
+  /// *identical* projected databases (CloSpan's equivalence lemma), which
+  /// is what licenses the prune.
+  std::size_t footprint_of(const std::vector<Projection>& projection) const {
+    std::size_t total = 0;
+    for (const Projection& p : projection)
+      total += db_.sequence(p.sequence).size() - p.offset + 1;
+    return total;
+  }
+
   void grow(const std::vector<Projection>& projection) {
     if (prefix_.size() >= options_.max_pattern_length) return;
-    if (stats_.truncated) return;  // cap already hit; nothing more can be emitted
-
-    // Count each item once per projected sequence, walking the flat
-    // item column directly.
+    if (stats_.truncated) return;
     ++stats_.explored;
+
+    // Count forward items, once per projected sequence.
     counts_.clear();
     for (const Projection& p : projection) {
       const auto sequence = db_.sequence(p.sequence);
@@ -57,9 +70,6 @@ class Miner {
         if (seen_.insert(item).second) ++counts_[item];
       }
     }
-
-    // Deterministic order: ascending item id. Local because the recursive
-    // grow() below reuses the shared scratch buffers.
     std::vector<std::pair<Item, std::size_t>> frequent;
     for (const auto& [item, count] : counts_) {
       if (count >= min_count_) frequent.push_back({item, count});
@@ -67,21 +77,7 @@ class Miner {
     std::sort(frequent.begin(), frequent.end());
 
     for (const auto& [item, count] : frequent) {
-      if (results_.size() >= options_.max_patterns) {
-        // A frequent extension exists but the cap refuses it: the
-        // returned set is incomplete, and callers deserve to know.
-        stats_.truncated = true;
-        return;
-      }
       prefix_.push_back(item);
-      Pattern pattern;
-      pattern.items = prefix_;
-      pattern.support_count = count;
-      pattern.support =
-          db_.empty() ? 0.0 : static_cast<double>(count) / static_cast<double>(db_.size());
-      results_.push_back(std::move(pattern));
-
-      // Project: advance each sequence past its first occurrence of item.
       std::vector<Projection> next;
       next.reserve(count);
       for (const Projection& p : projection) {
@@ -93,8 +89,39 @@ class Miner {
           }
         }
       }
-      grow(next);
+
+      // Equivalent-projection prune: an already-explored super-pattern
+      // with the same footprint has an identical projected database, so
+      // this subtree can only repeat supports that subtree produced (and
+      // every pattern here is a same-support sub-pattern of one there —
+      // non-closed by construction).
+      const std::size_t footprint = footprint_of(next);
+      auto& peers = history_[footprint];
+      bool prunable = false;
+      for (const std::vector<Item>& earlier : peers) {
+        if (earlier.size() >= prefix_.size() && is_subsequence(prefix_, earlier)) {
+          prunable = true;
+          break;
+        }
+      }
+      if (prunable) {
+        ++stats_.pruned;
+      } else {
+        peers.push_back(prefix_);
+        if (results_.size() >= options_.max_patterns) {
+          stats_.truncated = true;
+        } else {
+          Pattern pattern;
+          pattern.items = prefix_;
+          pattern.support_count = count;
+          pattern.support =
+              static_cast<double>(count) / static_cast<double>(db_.size());
+          results_.push_back(std::move(pattern));
+          grow(next);
+        }
+      }
       prefix_.pop_back();
+      if (stats_.truncated) return;
     }
   }
 
@@ -104,8 +131,10 @@ class Miner {
   std::vector<Item> prefix_;
   std::vector<Pattern> results_;
   MiningStats stats_;
-  // Scratch buffers reused across calls to avoid churn; only used before
-  // the recursion point of grow().
+  // footprint -> explored prefixes with that footprint.
+  std::unordered_map<std::size_t, std::vector<std::vector<Item>>> history_;
+  // Scratch buffers reused across calls; only live before the recursion
+  // point of grow().
   std::unordered_map<Item, std::size_t> counts_;
   struct SeenSet {
     std::vector<Item> items;
@@ -120,18 +149,17 @@ class Miner {
 
 }  // namespace
 
-std::vector<Pattern> prefixspan(const SequenceColumns& db, const MiningOptions& options,
-                                MiningStats* stats) {
+std::vector<Pattern> clospan(const SequenceColumns& db, const MiningOptions& options,
+                             MiningStats* stats) {
   if (stats != nullptr) *stats = {};
   if (db.empty()) return {};
   return Miner(db, options).run(stats);
 }
 
-std::vector<Pattern> prefixspan(const SequenceDb& db, const MiningOptions& options,
-                                MiningStats* stats) {
+std::vector<Pattern> clospan(const SequenceDb& db, const MiningOptions& options,
+                             MiningStats* stats) {
   if (stats != nullptr) *stats = {};
   if (db.empty()) return {};
-  // Flatten once; the miner only ever reads through the view.
   std::vector<Item> items;
   std::vector<std::uint32_t> offsets;
   offsets.reserve(db.size() + 1);

@@ -45,8 +45,13 @@ bool all_subpatterns_frequent(const std::vector<Item>& candidate,
 
 }  // namespace
 
-std::vector<Pattern> gsp(const SequenceDb& db, const MiningOptions& options) {
-  if (db.empty()) return {};
+std::vector<Pattern> gsp(const SequenceDb& db, const MiningOptions& options,
+                         MiningStats* stats) {
+  MiningStats local;
+  if (db.empty()) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
   std::size_t min_count = static_cast<std::size_t>(
       std::ceil(options.min_support * static_cast<double>(db.size())));
   if (min_count == 0) min_count = 1;
@@ -66,6 +71,7 @@ std::vector<Pattern> gsp(const SequenceDb& db, const MiningOptions& options) {
   }
   std::vector<std::vector<Item>> level;
   for (const auto& [item, count] : item_counts) {
+    local.explored += 1;
     if (count >= min_count) level.push_back({item});
   }
   std::sort(level.begin(), level.end());
@@ -73,7 +79,10 @@ std::vector<Pattern> gsp(const SequenceDb& db, const MiningOptions& options) {
   std::set<std::vector<Item>> frequent_set;
   const auto emit_level = [&](const std::vector<std::vector<Item>>& patterns) {
     for (const auto& items : patterns) {
-      if (results.size() >= options.max_patterns) return;
+      if (results.size() >= options.max_patterns) {
+        local.truncated = true;
+        return;
+      }
       Pattern p;
       p.items = items;
       p.support_count = count_support(items, db);
@@ -84,15 +93,18 @@ std::vector<Pattern> gsp(const SequenceDb& db, const MiningOptions& options) {
   emit_level(level);
 
   std::size_t length = 1;
-  while (!level.empty() && length < options.max_pattern_length &&
-         results.size() < options.max_patterns) {
+  while (!level.empty() && length < options.max_pattern_length && !local.truncated) {
     frequent_set.clear();
     frequent_set.insert(level.begin(), level.end());
 
     std::vector<std::vector<Item>> candidates = join_level(level);
     std::vector<std::vector<Item>> next;
     for (auto& candidate : candidates) {
-      if (!all_subpatterns_frequent(candidate, frequent_set)) continue;
+      if (!all_subpatterns_frequent(candidate, frequent_set)) {
+        ++local.pruned;  // apriori: cut before the counting scan
+        continue;
+      }
+      ++local.explored;
       if (count_support(candidate, db) >= min_count) next.push_back(std::move(candidate));
     }
     emit_level(next);
@@ -101,6 +113,8 @@ std::vector<Pattern> gsp(const SequenceDb& db, const MiningOptions& options) {
   }
 
   sort_patterns(results);
+  local.emitted = results.size();
+  if (stats != nullptr) *stats = local;
   return results;
 }
 

@@ -10,19 +10,25 @@ namespace {
 
 void extend(const SequenceDb& db, const std::vector<Item>& alphabet, std::size_t min_count,
             const MiningOptions& options, std::vector<Item>& prefix,
-            std::vector<Pattern>& results) {
+            std::vector<Pattern>& results, MiningStats& stats) {
   if (prefix.size() >= options.max_pattern_length) return;
+  if (stats.truncated) return;
+  ++stats.explored;
   for (const Item item : alphabet) {
-    if (results.size() >= options.max_patterns) return;
     prefix.push_back(item);
     const std::size_t count = count_support(prefix, db);
     if (count >= min_count) {
+      if (results.size() >= options.max_patterns) {
+        stats.truncated = true;
+        prefix.pop_back();
+        return;
+      }
       Pattern p;
       p.items = prefix;
       p.support_count = count;
       p.support = static_cast<double>(count) / static_cast<double>(db.size());
       results.push_back(std::move(p));
-      extend(db, alphabet, min_count, options, prefix, results);
+      extend(db, alphabet, min_count, options, prefix, results, stats);
     }
     prefix.pop_back();
   }
@@ -30,8 +36,13 @@ void extend(const SequenceDb& db, const std::vector<Item>& alphabet, std::size_t
 
 }  // namespace
 
-std::vector<Pattern> naive_miner(const SequenceDb& db, const MiningOptions& options) {
-  if (db.empty()) return {};
+std::vector<Pattern> naive_miner(const SequenceDb& db, const MiningOptions& options,
+                                 MiningStats* stats) {
+  MiningStats local;
+  if (db.empty()) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
   std::size_t min_count = static_cast<std::size_t>(
       std::ceil(options.min_support * static_cast<double>(db.size())));
   if (min_count == 0) min_count = 1;
@@ -56,8 +67,10 @@ std::vector<Pattern> naive_miner(const SequenceDb& db, const MiningOptions& opti
 
   std::vector<Pattern> results;
   std::vector<Item> prefix;
-  extend(db, alphabet, min_count, options, prefix, results);
+  extend(db, alphabet, min_count, options, prefix, results, local);
   sort_patterns(results);
+  local.emitted = results.size();
+  if (stats != nullptr) *stats = local;
   return results;
 }
 

@@ -14,7 +14,10 @@
 namespace crowdweb::mining {
 
 /// Mines the same pattern set as `prefixspan` (identical output order).
+/// `stats` (optional) receives emitted/explored counts and the
+/// max_patterns truncation flag.
 [[nodiscard]] std::vector<Pattern> naive_miner(const SequenceDb& db,
-                                               const MiningOptions& options = {});
+                                               const MiningOptions& options = {},
+                                               MiningStats* stats = nullptr);
 
 }  // namespace crowdweb::mining

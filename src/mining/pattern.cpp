@@ -1,6 +1,8 @@
 #include "mining/pattern.hpp"
 
 #include <algorithm>
+#include <map>
+#include <unordered_map>
 
 namespace crowdweb::mining {
 
@@ -36,29 +38,136 @@ void sort_patterns(std::vector<Pattern>& patterns) {
   });
 }
 
+namespace {
+
+/// Candidate indices bucketed by pattern length, ascending. A subsuming
+/// super-pattern is strictly longer than its victim, so each candidate
+/// only ever scans the buckets above its own length — the sweep that
+/// used to be a full O(n^2) pass over the set now touches only the
+/// (typically thin) longer tail, which is what lets the post-filters
+/// serve as a cross-check oracle against the native closed miners at
+/// corpus scale.
+std::map<std::size_t, std::vector<std::size_t>> bucket_by_length(
+    const std::vector<Pattern>& patterns) {
+  std::map<std::size_t, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    buckets[patterns[i].items.size()].push_back(i);
+  return buckets;
+}
+
+}  // namespace
+
 std::vector<Pattern> closed_patterns(std::vector<Pattern> patterns) {
+  const auto buckets = bucket_by_length(patterns);
   std::vector<Pattern> out;
   for (const Pattern& candidate : patterns) {
-    const bool subsumed = std::any_of(
-        patterns.begin(), patterns.end(), [&](const Pattern& other) {
-          return other.items.size() > candidate.items.size() &&
-                 other.support_count == candidate.support_count &&
-                 is_subsequence(candidate.items, other.items);
-        });
+    bool subsumed = false;
+    for (auto it = buckets.upper_bound(candidate.items.size());
+         it != buckets.end() && !subsumed; ++it) {
+      for (const std::size_t other_index : it->second) {
+        const Pattern& other = patterns[other_index];
+        // Equal support first: it rejects most pairs without touching
+        // the items at all (closure only cares about support-preserving
+        // super-patterns).
+        if (other.support_count != candidate.support_count) continue;
+        if (is_subsequence(candidate.items, other.items)) {
+          subsumed = true;
+          break;
+        }
+      }
+    }
     if (!subsumed) out.push_back(candidate);
   }
   return out;
 }
 
 std::vector<Pattern> maximal_patterns(std::vector<Pattern> patterns) {
+  const auto buckets = bucket_by_length(patterns);
   std::vector<Pattern> out;
   for (const Pattern& candidate : patterns) {
-    const bool subsumed = std::any_of(
-        patterns.begin(), patterns.end(), [&](const Pattern& other) {
-          return other.items.size() > candidate.items.size() &&
-                 is_subsequence(candidate.items, other.items);
-        });
+    bool subsumed = false;
+    for (auto it = buckets.upper_bound(candidate.items.size());
+         it != buckets.end() && !subsumed; ++it) {
+      for (const std::size_t other_index : it->second) {
+        if (is_subsequence(candidate.items, patterns[other_index].items)) {
+          subsumed = true;
+          break;
+        }
+      }
+    }
     if (!subsumed) out.push_back(candidate);
+  }
+  return out;
+}
+
+namespace {
+
+/// Hash for item vectors (FNV-1a over the raw items).
+struct ItemsHash {
+  std::size_t operator()(const std::vector<Item>& items) const noexcept {
+    std::size_t hash = 1469598103934665603ull;
+    for (const Item item : items) {
+      hash ^= item;
+      hash *= 1099511628211ull;
+    }
+    return hash;
+  }
+};
+
+}  // namespace
+
+std::vector<Pattern> expand_closed_patterns(std::span<const Pattern> closed,
+                                            std::size_t db_size,
+                                            const MiningOptions& options,
+                                            MiningStats* stats) {
+  // support(s) = max over closed q >= s of support(q): enumerating every
+  // subsequence of every closed pattern and keeping the max per distinct
+  // item vector computes exactly that, with no database scans at all —
+  // the reason closed mining plus expansion can undercut a full miner
+  // even when the caller wants the full set back.
+  std::unordered_map<std::vector<Item>, std::size_t, ItemsHash> best;
+  bool truncated = false;
+  std::vector<Item> scratch;
+  for (const Pattern& pattern : closed) {
+    scratch.clear();
+    // Include/exclude DFS over positions; duplicates (the same
+    // subsequence reachable through different position sets) collapse in
+    // the map.
+    const auto enumerate = [&](auto&& self, std::size_t position) -> void {
+      if (position == pattern.items.size()) {
+        if (scratch.empty() || scratch.size() > options.max_pattern_length) return;
+        const auto it = best.find(scratch);
+        if (it != best.end()) {
+          it->second = std::max(it->second, pattern.support_count);
+        } else if (best.size() < options.max_patterns) {
+          best.emplace(scratch, pattern.support_count);
+        } else {
+          truncated = true;  // cap: supports of admitted patterns stay exact
+        }
+        return;
+      }
+      scratch.push_back(pattern.items[position]);
+      self(self, position + 1);
+      scratch.pop_back();
+      self(self, position + 1);
+    };
+    enumerate(enumerate, 0);
+  }
+  std::vector<Pattern> out;
+  out.reserve(best.size());
+  for (auto& [items, support_count] : best) {
+    Pattern pattern;
+    pattern.items = items;
+    pattern.support_count = support_count;
+    pattern.support = db_size == 0
+                          ? 0.0
+                          : static_cast<double>(support_count) / static_cast<double>(db_size);
+    out.push_back(std::move(pattern));
+  }
+  sort_patterns(out);
+  if (stats != nullptr) {
+    stats->emitted = out.size();
+    stats->truncated = stats->truncated || truncated;
   }
   return out;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace crowdweb::mining {
@@ -65,12 +66,39 @@ struct Pattern {
 void sort_patterns(std::vector<Pattern>& patterns);
 
 /// Keeps only *closed* patterns: those with no super-pattern of equal
-/// support in `patterns`.
+/// support in `patterns`. Candidates are bucketed by length (and, within
+/// a length, only equal-support candidates are swept), so the filter is
+/// usable as a cross-check oracle against native closed miners even on
+/// large pattern sets.
 [[nodiscard]] std::vector<Pattern> closed_patterns(std::vector<Pattern> patterns);
 
 /// Keeps only *maximal* patterns: those with no frequent super-pattern in
-/// `patterns` at all.
+/// `patterns` at all. Bucketed by length like closed_patterns.
 [[nodiscard]] std::vector<Pattern> maximal_patterns(std::vector<Pattern> patterns);
+
+/// What one mine() call did, beyond the patterns it returned. Every
+/// miner fills one of these (through the optional out-params below or
+/// through the registry interface), so callers can tell a complete
+/// result from a capped one instead of silently losing patterns.
+struct MiningStats {
+  std::size_t emitted = 0;   ///< patterns returned to the caller
+  std::size_t explored = 0;  ///< search nodes / candidates support-counted
+  /// Search work cut before counting: BackScan subtrees (BIDE),
+  /// equivalent-projection subtrees (CloSpan), apriori-rejected
+  /// candidates (GSP), and non-closed patterns a closed miner skipped.
+  std::size_t pruned = 0;
+  /// True when the max_patterns cap suppressed at least one emission —
+  /// the returned set is incomplete.
+  bool truncated = false;
+
+  /// Accumulates another mine's stats (counts add, truncated ORs).
+  void merge(const MiningStats& other) noexcept {
+    emitted += other.emitted;
+    explored += other.explored;
+    pruned += other.pruned;
+    truncated = truncated || other.truncated;
+  }
+};
 
 /// Shared mining parameters.
 struct MiningOptions {
@@ -81,6 +109,30 @@ struct MiningOptions {
   std::size_t max_pattern_length = 12;
   /// Hard cap on emitted patterns (safety valve for tiny supports).
   std::size_t max_patterns = 200'000;
+  /// Which registered miner the pipeline runs (see mining/registry.hpp):
+  /// "prefixspan" (default), "gsp", "spade", "naive", "bide", "clospan".
+  /// Carried inside MiningOptions so it flows through MobilityOptions ->
+  /// PlatformConfig -> IngestPipelineConfig -> shard workers untouched.
+  std::string algorithm = "prefixspan";
+  /// Closed-set miners only: recover the full frequent set (items and
+  /// supports) from the closed set after mining, so annotation, crowd
+  /// placement, and /api bytes are identical to a full miner's. Off
+  /// keeps the closed set itself — same information, much smaller
+  /// tables, but time annotations (and thus crowd placements) may
+  /// differ on patterns whose embeddings shift.
+  bool expand_closed = true;
 };
+
+/// Recovers the full frequent set from a *closed* pattern set: every
+/// subsequence of a closed pattern is frequent, and its support is the
+/// maximum support over the closed patterns containing it. With an
+/// uncapped closed set this reproduces the full miner's output exactly
+/// (same items, same supports, canonical order). Stops admitting new
+/// patterns at options.max_patterns (flagged via stats->truncated);
+/// supports of admitted patterns stay exact.
+[[nodiscard]] std::vector<Pattern> expand_closed_patterns(std::span<const Pattern> closed,
+                                                          std::size_t db_size,
+                                                          const MiningOptions& options,
+                                                          MiningStats* stats = nullptr);
 
 }  // namespace crowdweb::mining

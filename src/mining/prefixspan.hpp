@@ -23,12 +23,16 @@
 namespace crowdweb::mining {
 
 /// Mines all frequent sequential patterns of `db` at `options.min_support`
-/// (relative). Results are in canonical order (see sort_patterns).
+/// (relative). Results are in canonical order (see sort_patterns). When
+/// `stats` is non-null it receives emitted/explored counts and the
+/// truncated flag (max_patterns suppressed an emission).
 [[nodiscard]] std::vector<Pattern> prefixspan(const SequenceColumns& db,
-                                              const MiningOptions& options = {});
+                                              const MiningOptions& options = {},
+                                              MiningStats* stats = nullptr);
 
 /// Nested-vector convenience overload: flattens `db` and delegates.
 [[nodiscard]] std::vector<Pattern> prefixspan(const SequenceDb& db,
-                                              const MiningOptions& options = {});
+                                              const MiningOptions& options = {},
+                                              MiningStats* stats = nullptr);
 
 }  // namespace crowdweb::mining

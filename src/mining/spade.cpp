@@ -66,13 +66,18 @@ IdList temporal_join(const IdList& prefix, const IdList& item) {
 void grow(const std::vector<Item>& prefix, const IdList& prefix_list,
           const std::vector<std::pair<Item, const IdList*>>& frequent_items,
           std::size_t min_count, std::size_t db_size, const MiningOptions& options,
-          std::vector<Pattern>& results) {
+          std::vector<Pattern>& results, MiningStats& stats) {
   if (prefix.size() >= options.max_pattern_length) return;
+  if (stats.truncated) return;
+  ++stats.explored;
   for (const auto& [item, item_list] : frequent_items) {
-    if (results.size() >= options.max_patterns) return;
     IdList joined = temporal_join(prefix_list, *item_list);
     const std::size_t count = support_of(joined);
     if (count < min_count) continue;
+    if (results.size() >= options.max_patterns) {
+      stats.truncated = true;
+      return;
+    }
     std::vector<Item> extended = prefix;
     extended.push_back(item);
     Pattern pattern;
@@ -80,14 +85,19 @@ void grow(const std::vector<Item>& prefix, const IdList& prefix_list,
     pattern.support_count = count;
     pattern.support = static_cast<double>(count) / static_cast<double>(db_size);
     results.push_back(std::move(pattern));
-    grow(extended, joined, frequent_items, min_count, db_size, options, results);
+    grow(extended, joined, frequent_items, min_count, db_size, options, results, stats);
   }
 }
 
 }  // namespace
 
-std::vector<Pattern> spade(const SequenceDb& db, const MiningOptions& options) {
-  if (db.empty()) return {};
+std::vector<Pattern> spade(const SequenceDb& db, const MiningOptions& options,
+                           MiningStats* stats) {
+  MiningStats local;
+  if (db.empty()) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
   std::size_t min_count = static_cast<std::size_t>(
       std::ceil(options.min_support * static_cast<double>(db.size())));
   if (min_count == 0) min_count = 1;
@@ -107,17 +117,23 @@ std::vector<Pattern> spade(const SequenceDb& db, const MiningOptions& options) {
   // std::map iterates ascending, so frequent_items is already in the
   // deterministic item order the other miners use.
 
+  local.explored = 1;  // the root (empty-prefix) expansion
   for (const auto& [item, list] : frequent_items) {
-    if (results.size() >= options.max_patterns) break;
+    if (results.size() >= options.max_patterns) {
+      local.truncated = true;
+      break;
+    }
     Pattern pattern;
     pattern.items = {item};
     pattern.support_count = support_of(*list);
     pattern.support =
         static_cast<double>(pattern.support_count) / static_cast<double>(db.size());
     results.push_back(pattern);
-    grow({item}, *list, frequent_items, min_count, db.size(), options, results);
+    grow({item}, *list, frequent_items, min_count, db.size(), options, results, local);
   }
   sort_patterns(results);
+  local.emitted = results.size();
+  if (stats != nullptr) *stats = local;
   return results;
 }
 

@@ -6,7 +6,7 @@
 #include <memory>
 #include <thread>
 
-#include "mining/prefixspan.hpp"
+#include "mining/registry.hpp"
 #include "util/format.hpp"
 
 namespace crowdweb::patterns {
@@ -64,10 +64,10 @@ UserMobility mine_user_mobility(const data::Dataset& dataset, data::UserId user,
   out.recorded_days = sequences.day_count();
   if (sequences.empty()) return out;
 
-  const std::vector<mining::Pattern> mined =
-      mining::prefixspan(sequences.columns(), options.mining);
-  out.patterns.reserve(mined.size());
-  for (const mining::Pattern& pattern : mined)
+  const mining::MiningResult mined = mining::mine_with(sequences.columns(), options.mining);
+  out.mining_stats = mined.stats;
+  out.patterns.reserve(mined.patterns.size());
+  for (const mining::Pattern& pattern : mined.patterns)
     out.patterns.push_back(annotate_pattern(pattern, sequences));
   return out;
 }

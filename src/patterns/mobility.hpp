@@ -41,6 +41,10 @@ struct UserMobility {
   data::UserId user = 0;
   std::size_t recorded_days = 0;  ///< sequences in the user's database
   std::vector<MobilityPattern> patterns;
+  /// What the miner did for this user (explored/pruned counts and the
+  /// max_patterns truncation flag). Carried per user so the pipeline can
+  /// aggregate an epoch's mining telemetry from the entries it re-mined.
+  mining::MiningStats mining_stats;
 };
 
 struct MobilityOptions {
@@ -49,7 +53,10 @@ struct MobilityOptions {
 };
 
 /// Phase 2 of the framework: builds the user's day-sequence database and
-/// mines it with PrefixSpan, annotating each pattern with times.
+/// mines it with the miner named by options.mining.algorithm (see
+/// mining/registry.hpp; closed-output miners expand back to the full
+/// frequent set under options.mining.expand_closed), annotating each
+/// pattern with times.
 [[nodiscard]] UserMobility mine_user_mobility(const data::Dataset& dataset,
                                               data::UserId user,
                                               const data::Taxonomy& taxonomy,

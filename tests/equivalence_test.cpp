@@ -494,6 +494,84 @@ TEST(WorkerEquivalenceTest, UntouchedUsersShareStateAcrossEpochs) {
   worker->stop();
 }
 
+// --------------------------------------------------- miner equivalence
+
+core::Platform make_platform_with_miner(const std::string& algorithm) {
+  core::PlatformConfig config;
+  config.small_corpus = true;
+  config.min_active_days = 20;
+  config.mining.algorithm = algorithm;
+  auto result = core::Platform::create(config);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  if (!result.is_ok()) std::abort();
+  return std::move(result).value();
+}
+
+TEST(MinerEquivalenceTest, ClosedMinerPublishesByteIdenticalCrowdJson) {
+  // A platform mining with BIDE (closed output expanded back to the full
+  // frequent set, the default) must be indistinguishable from the
+  // PrefixSpan baseline everywhere the crowd model surfaces: the batch
+  // mobility tables, every live epoch — the worker re-mines changed
+  // users with the configured miner in parallel, which is what puts this
+  // test's `ingest` label on the TSan matrix — and every byte of
+  // /api/crowd/:window.
+  const core::Platform baseline = make_platform_with_miner("prefixspan");
+  const core::Platform closed = make_platform_with_miner("bide");
+
+  // Batch phase: identical per-user pattern tables.
+  const std::span<const patterns::UserMobility> ma = baseline.mobility();
+  const std::span<const patterns::UserMobility> mb = closed.mobility();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) expect_mobility_entry_eq(ma[i], mb[i]);
+
+  // Live phase: same traffic through both workers, then byte-compare
+  // the crowd endpoints.
+  auto worker_a = core::make_ingest_worker(baseline, worker_config());
+  auto worker_b = core::make_ingest_worker(closed, worker_config());
+  ASSERT_TRUE(worker_a->start().is_ok());
+  ASSERT_TRUE(worker_b->start().is_ok());
+  const std::vector<ingest::IngestEvent> events = live_traffic(44);
+  for (std::size_t offset = 0; offset < events.size(); offset += 11) {
+    const std::span<const ingest::IngestEvent> chunk(events.data() + offset, 11);
+    feed_and_settle(*worker_a, chunk, offset + 11);
+    feed_and_settle(*worker_b, chunk, offset + 11);
+  }
+  const ingest::SnapshotPtr a = worker_a->hub().current();
+  const ingest::SnapshotPtr b = worker_b->hub().current();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  expect_mobility_eq(a->mobility, b->mobility);
+  expect_crowd_eq(a->crowd, b->crowd);
+
+  http::Server server_a(core::make_api_router(baseline, {worker_a.get(), nullptr}));
+  http::Server server_b(core::make_api_router(closed, {worker_b.get(), nullptr}));
+  ASSERT_TRUE(server_a.start().is_ok());
+  ASSERT_TRUE(server_b.start().is_ok());
+  for (int w = 0; w < a->crowd.window_count(); ++w) {
+    const std::string path = "/api/crowd/" + std::to_string(w);
+    const auto from_a = http::get("127.0.0.1", server_a.port(), path);
+    const auto from_b = http::get("127.0.0.1", server_b.port(), path);
+    ASSERT_TRUE(from_a.is_ok());
+    ASSERT_TRUE(from_b.is_ok());
+    ASSERT_EQ(from_a->status, 200) << path;
+    EXPECT_EQ(from_a->body, from_b->body) << path;
+  }
+  server_a.stop();
+  server_b.stop();
+  worker_a->stop();
+  worker_b->stop();
+}
+
+TEST(MinerEquivalenceTest, UnknownMinerIsRejectedAtPlatformCreation) {
+  core::PlatformConfig config;
+  config.small_corpus = true;
+  config.mining.algorithm = "apriori";
+  const auto result = core::Platform::create(config);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("apriori"), std::string::npos);
+}
+
 // ------------------------------------------------- crash-recovery replay
 
 TEST(RecoveryEquivalenceTest, ReplayedStateMatchesThePreCrashEpoch) {

@@ -4,10 +4,13 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "mining/bide.hpp"
+#include "mining/clospan.hpp"
 #include "mining/gsp.hpp"
 #include "mining/naive.hpp"
 #include "mining/pattern.hpp"
 #include "mining/prefixspan.hpp"
+#include "mining/registry.hpp"
 #include "mining/seqdb.hpp"
 #include "mining/spade.hpp"
 #include "util/civil_time.hpp"
@@ -514,6 +517,222 @@ TEST(SeqDbTest, LocationAbstractionRecoversFlexiblePatterns) {
   ASSERT_EQ(patterns.size(), 1u);  // "Eatery" every day
   EXPECT_EQ(patterns[0].items, (std::vector<Item>{*tax.find("Eatery")}));
   EXPECT_EQ(patterns[0].support_count, 3u);
+}
+
+// ---------------------------------------------------- Closed miners (BIDE)
+
+SequenceDb random_db(Rng& rng, int sequences, int alphabet, int max_length) {
+  SequenceDb db;
+  for (int s = 0; s < sequences; ++s) {
+    std::vector<Item> sequence;
+    const int length = static_cast<int>(rng.uniform_int(0, max_length));
+    for (int i = 0; i < length; ++i)
+      sequence.push_back(static_cast<Item>(rng.uniform_int(0, alphabet - 1)));
+    db.push_back(std::move(sequence));
+  }
+  return db;
+}
+
+/// Owning flattened form of a SequenceDb, for the columns-only registry
+/// interface.
+struct OwnedColumns {
+  std::vector<Item> items;
+  std::vector<std::uint32_t> offsets;
+  [[nodiscard]] SequenceColumns view() const noexcept { return {items, offsets}; }
+};
+
+OwnedColumns columns_of(const SequenceDb& db) {
+  OwnedColumns out;
+  out.offsets.push_back(0);
+  for (const auto& sequence : db) {
+    out.items.insert(out.items.end(), sequence.begin(), sequence.end());
+    out.offsets.push_back(static_cast<std::uint32_t>(out.items.size()));
+  }
+  return out;
+}
+
+TEST(BideTest, EmptyDatabase) {
+  EXPECT_TRUE(bide(SequenceDb{}, {}).empty());
+  EXPECT_TRUE(clospan(SequenceDb{}, {}).empty());
+}
+
+TEST(BideTest, TextbookClosedSet) {
+  // db: {a b} x2, {a} x1 -> frequent: a(3), b(2), ab(2); closed: a, ab.
+  const SequenceDb db{{1, 2}, {1, 2}, {1}};
+  MiningOptions options;
+  options.min_support = 0.5;
+  const auto closed = bide(db, options);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].items, (std::vector<Item>{1}));
+  EXPECT_EQ(closed[0].support_count, 3u);
+  EXPECT_EQ(closed[1].items, (std::vector<Item>{1, 2}));
+  EXPECT_EQ(closed[1].support_count, 2u);
+}
+
+TEST(BideTest, BackwardExtensionDetected) {
+  // Every occurrence of b is preceded by a, so [b] is not closed (its
+  // backward extension [a b] has the same support) — a forward-only
+  // check would miss this.
+  const SequenceDb db{{1, 2}, {3, 1, 2}, {1, 3, 2}};
+  MiningOptions options;
+  options.min_support = 1.0;
+  const auto closed = bide(db, options);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].items, (std::vector<Item>{1, 2}));
+  EXPECT_EQ(closed[0].support_count, 3u);
+}
+
+TEST(BideTest, MatchesPostfilteredPrefixSpanOnRandomDbs) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    const SequenceDb db = random_db(rng, 25, 4, 8);
+    MiningOptions options;
+    options.min_support = 0.1 + 0.2 * static_cast<double>(trial % 4);
+    const auto oracle = closed_patterns(prefixspan(db, options));
+    EXPECT_EQ(bide(db, options), oracle) << "trial " << trial;
+    EXPECT_EQ(clospan(db, options), oracle) << "trial " << trial;
+  }
+}
+
+TEST(BideTest, ClosedIsSubsetOfFrequentWithEqualSupports) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SequenceDb db = random_db(rng, 30, 5, 9);
+    MiningOptions options;
+    options.min_support = 0.2;
+    const auto frequent = prefixspan(db, options);
+    for (const Pattern& p : bide(db, options)) {
+      const auto it = std::find_if(frequent.begin(), frequent.end(),
+                                   [&](const Pattern& q) { return q.items == p.items; });
+      ASSERT_NE(it, frequent.end());
+      EXPECT_EQ(it->support_count, p.support_count);
+    }
+  }
+}
+
+TEST(BideTest, ExpansionRecoversFullFrequentSetExactly) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SequenceDb db = random_db(rng, 20, 4, 8);
+    MiningOptions options;
+    options.min_support = 0.15 + 0.1 * static_cast<double>(trial % 5);
+    const auto full = prefixspan(db, options);
+    const auto expanded = expand_closed_patterns(bide(db, options), db.size(), options);
+    EXPECT_EQ(expanded, full) << "trial " << trial;  // items, supports, order
+  }
+}
+
+TEST(BideTest, ExpansionHonorsMaxPatternsCap) {
+  const SequenceDb db{{1, 2, 3, 4}, {1, 2, 3, 4}};
+  MiningOptions options;
+  options.min_support = 1.0;
+  const auto closed = bide(db, options);  // just [1 2 3 4]
+  ASSERT_EQ(closed.size(), 1u);
+  options.max_patterns = 5;
+  MiningStats stats;
+  const auto expanded = expand_closed_patterns(closed, db.size(), options, &stats);
+  EXPECT_EQ(expanded.size(), 5u);
+  EXPECT_TRUE(stats.truncated);
+  for (const Pattern& p : expanded) EXPECT_EQ(p.support_count, 2u);
+}
+
+TEST(MiningStatsTest, TruncationFlagTracksMaxPatternsCap) {
+  Rng rng(7);
+  const SequenceDb db = random_db(rng, 20, 3, 8);
+  MiningOptions options;
+  options.min_support = 0.1;
+  MiningStats stats;
+  const auto full = prefixspan(db, options, &stats);
+  ASSERT_GT(full.size(), 3u);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.emitted, full.size());
+
+  options.max_patterns = 3;
+  for (const auto* name : {"prefixspan", "gsp", "spade", "naive", "bide", "clospan"}) {
+    options.algorithm = name;
+    const auto capped = mining::find_miner(name)->mine(columns_of(db).view(), options);
+    EXPECT_LE(capped.patterns.size(), 3u) << name;
+    EXPECT_TRUE(capped.stats.truncated) << name;
+  }
+}
+
+TEST(MiningStatsTest, MergeAccumulates) {
+  MiningStats a{10, 5, 2, false};
+  const MiningStats b{1, 2, 3, true};
+  a.merge(b);
+  EXPECT_EQ(a.emitted, 11u);
+  EXPECT_EQ(a.explored, 7u);
+  EXPECT_EQ(a.pruned, 5u);
+  EXPECT_TRUE(a.truncated);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(RegistryTest, NamesRoundTrip) {
+  const auto names = miner_names();
+  ASSERT_GE(names.size(), 6u);
+  EXPECT_EQ(names.front(), "prefixspan");
+  for (const std::string_view name : names) {
+    const IMiningAlgorithm* miner = find_miner(name);
+    ASSERT_NE(miner, nullptr) << name;
+    EXPECT_EQ(miner->name(), name);
+    const auto resolved = resolve_miner(name);
+    ASSERT_TRUE(resolved.is_ok()) << name;
+    EXPECT_EQ(*resolved, miner);
+  }
+  EXPECT_TRUE(find_miner("bide")->closed_output());
+  EXPECT_TRUE(find_miner("clospan")->closed_output());
+  EXPECT_FALSE(find_miner("prefixspan")->closed_output());
+}
+
+TEST(RegistryTest, UnknownNameIsAnError) {
+  EXPECT_EQ(find_miner("apriori"), nullptr);
+  const auto resolved = resolve_miner("apriori");
+  ASSERT_FALSE(resolved.is_ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
+  // The message names the offender and the registered algorithms.
+  EXPECT_NE(resolved.status().message().find("apriori"), std::string::npos);
+  EXPECT_NE(resolved.status().message().find("prefixspan"), std::string::npos);
+  EXPECT_NE(resolved.status().message().find("bide"), std::string::npos);
+}
+
+TEST(RegistryTest, AllMinersAgreeThroughTheInterface) {
+  Rng rng(555);
+  const SequenceDb db = random_db(rng, 30, 5, 8);
+  MiningOptions options;
+  options.min_support = 0.2;
+  const auto full = prefixspan(db, options);
+  const auto closed_oracle = closed_patterns(full);
+  for (const std::string_view name : miner_names()) {
+    const IMiningAlgorithm* miner = find_miner(name);
+    const MiningResult result = miner->mine(columns_of(db).view(), options);
+    if (miner->closed_output()) {
+      EXPECT_EQ(result.patterns, closed_oracle) << name;
+    } else {
+      EXPECT_EQ(result.patterns, full) << name;
+    }
+    EXPECT_EQ(result.stats.emitted, result.patterns.size()) << name;
+  }
+}
+
+TEST(RegistryTest, MineWithExpandsClosedMiners) {
+  Rng rng(777);
+  const SequenceDb db = random_db(rng, 25, 4, 8);
+  MiningOptions options;
+  options.min_support = 0.2;
+  const auto full = prefixspan(db, options);
+
+  options.algorithm = "bide";
+  options.expand_closed = true;
+  EXPECT_EQ(mine_with(columns_of(db).view(), options).patterns, full);
+
+  options.expand_closed = false;
+  EXPECT_EQ(mine_with(columns_of(db).view(), options).patterns, closed_patterns(full));
+
+  // Non-closed miners ignore expand_closed entirely.
+  options.algorithm = "spade";
+  options.expand_closed = true;
+  EXPECT_EQ(mine_with(columns_of(db).view(), options).patterns, full);
 }
 
 }  // namespace
