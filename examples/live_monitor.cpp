@@ -25,6 +25,7 @@
 //                      [--store-dir DIR [--fsync every_batch|interval|never]]
 //                      [--http-workers N] [--http-cache-mb MB]
 //                      [--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F]
+//                      [--expand-closed 0|1]
 
 #include <algorithm>
 #include <chrono>
@@ -64,7 +65,8 @@ int usage(const char* name) {
                "[--transport csv|binary] [--spool-dir DIR] "
                "[--store-dir DIR [--fsync every_batch|interval|never]] "
                "[--http-workers N] [--http-cache-mb MB] "
-               "[--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F]\n",
+               "[--miner prefixspan|gsp|spade|naive|bide|clospan] [--min-support F] "
+               "[--expand-closed 0|1]\n",
                name);
   return 2;
 }
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   std::int64_t http_cache_mb = 64;  // response cache byte budget; 0 = off
   std::string miner = "prefixspan";  // registered mining algorithm
   double min_support = 0.5;
+  bool expand_closed = true;  // 0 with a closed miner = compact serving mode
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
@@ -133,6 +136,10 @@ int main(int argc, char** argv) {
       const auto parsed = parse_double(argv[++i]);
       if (!parsed || *parsed <= 0.0 || *parsed > 1.0) return usage(argv[0]);
       min_support = *parsed;
+    } else if (flag == "--expand-closed" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed || (*parsed != 0 && *parsed != 1)) return usage(argv[0]);
+      expand_closed = *parsed == 1;
     } else {
       return usage(argv[0]);
     }
@@ -149,6 +156,7 @@ int main(int argc, char** argv) {
   config.min_active_days = 20;
   config.mining.algorithm = miner;
   config.mining.min_support = min_support;
+  config.mining.expand_closed = expand_closed;
   config.metrics = &metrics;
   config.store.dir = store_dir;
   config.store.fsync = fsync;

@@ -40,6 +40,43 @@ json::Value pattern_json(const patterns::MobilityPattern& pattern, const Platfor
 Response status_handler(const Platform& platform, const ApiOptions& options) {
   const data::DatasetStats full = platform.full_dataset().stats();
   const data::DatasetStats experiment = platform.experiment_dataset().stats();
+
+  // The mining block: active miner + the serving mode, plus the resident
+  // pattern-set footprint of the epoch this process is serving (the live
+  // worker's published epoch when one is attached, the batch build
+  // otherwise). "closed" means compact tables + placement indexes are
+  // what the crowd layer reads.
+  const mining::IMiningAlgorithm* miner =
+      mining::find_miner(platform.config().mining.algorithm);
+  const bool closed_mode = miner != nullptr && miner->closed_output() &&
+                           !platform.config().mining.expand_closed;
+  patterns::MobilityStats set_stats;
+  bool have_stats = false;
+  if (options.ingest != nullptr) {
+    if (const ingest::SnapshotPtr snapshot = options.ingest->hub().current()) {
+      set_stats = snapshot->mobility.stats();
+      have_stats = true;
+    }
+  }
+  if (!have_stats) {
+    for (const patterns::UserMobility& entry : platform.mobility()) set_stats.add(entry);
+  }
+  json::Value mining_block =
+      json::object({{"algorithm", platform.config().mining.algorithm},
+                    {"min_support", platform.config().mining.min_support},
+                    {"expand_closed", platform.config().mining.expand_closed},
+                    {"max_patterns",
+                     static_cast<std::int64_t>(platform.config().mining.max_patterns)},
+                    {"mode", closed_mode ? "closed" : "expanded"},
+                    {"pattern_set",
+                     json::object({{"entries", static_cast<std::int64_t>(set_stats.entries)},
+                                   {"compact_entries",
+                                    static_cast<std::int64_t>(set_stats.compact_entries)},
+                                   {"patterns", static_cast<std::int64_t>(set_stats.patterns)},
+                                   {"placement_candidates",
+                                    static_cast<std::int64_t>(set_stats.placement_candidates)},
+                                   {"bytes", static_cast<std::int64_t>(set_stats.bytes)}})}});
+
   json::Value payload = json::object(
       {{"full",
         json::object({{"checkins", static_cast<std::int64_t>(full.checkin_count)},
@@ -58,12 +95,7 @@ Response status_handler(const Platform& platform, const ApiOptions& options) {
        {"timings_ms", json::object({{"acquisition", platform.timings().acquisition_ms},
                                     {"mining", platform.timings().mining_ms},
                                     {"crowd", platform.timings().crowd_ms}})},
-       {"mining",
-        json::object({{"algorithm", platform.config().mining.algorithm},
-                      {"min_support", platform.config().mining.min_support},
-                      {"expand_closed", platform.config().mining.expand_closed},
-                      {"max_patterns",
-                       static_cast<std::int64_t>(platform.config().mining.max_patterns)}})}});
+       {"mining", std::move(mining_block)}});
   if (options.server_stats != nullptr && *options.server_stats) {
     const http::ServerStats stats = (*options.server_stats)();
     payload.set(
@@ -110,10 +142,12 @@ Response status_handler(const Platform& platform, const ApiOptions& options) {
 Response users_handler(const Platform& platform) {
   json::Value users = json::Value(json::Array{});
   for (const patterns::UserMobility& mobility : platform.mobility()) {
+    // served_pattern_count keeps the reported count equal to expanded
+    // mode's even when the entry stores only the closed set.
     users.push_back(json::object(
         {{"id", static_cast<std::int64_t>(mobility.user)},
          {"recorded_days", static_cast<std::int64_t>(mobility.recorded_days)},
-         {"patterns", static_cast<std::int64_t>(mobility.patterns.size())}}));
+         {"patterns", static_cast<std::int64_t>(mobility.served_pattern_count())}}));
   }
   return Response::json(200, json::dump(json::object({{"users", std::move(users)}})));
 }
@@ -125,8 +159,19 @@ Response user_patterns_handler(const Platform& platform, const PathParams& param
       platform.user_mobility(static_cast<data::UserId>(*id));
   if (mobility == nullptr) return Response::not_found_404();
   json::Value list = json::Value(json::Array{});
-  for (const patterns::MobilityPattern& pattern : mobility->patterns)
-    list.push_back(pattern_json(pattern, platform));
+  if (mobility->closed_only) {
+    // The route's wire contract is the full frequent set; compact
+    // entries expand lazily per request (the response cache absorbs
+    // repeats), so the body is byte-identical to expanded mode's.
+    const std::vector<patterns::MobilityPattern> expanded = patterns::expand_user_patterns(
+        *mobility, platform.sequences_for(static_cast<data::UserId>(*id)),
+        platform.config().mining);
+    for (const patterns::MobilityPattern& pattern : expanded)
+      list.push_back(pattern_json(pattern, platform));
+  } else {
+    for (const patterns::MobilityPattern& pattern : mobility->patterns)
+      list.push_back(pattern_json(pattern, platform));
+  }
   return Response::json(
       200, json::dump(json::object(
                {{"user", static_cast<std::int64_t>(mobility->user)},
@@ -328,6 +373,7 @@ Response analyze_handler(const Platform& platform, const Request& request) {
                 {"min_support", min_support},
                 {"algorithm", algorithm},
                 {"truncated", mined.stats.truncated},
+                {"closed", mined.closed},
                 {"patterns", std::move(list)}})));
 }
 

@@ -176,8 +176,17 @@ patterns::PlaceGraph Platform::place_graph(data::UserId user) const {
   const mining::UserSequences sequences = sequences_for(user);
   patterns::PlaceGraphOptions options;
   const patterns::UserMobility* mobility = user_mobility(user);
-  if (mobility != nullptr && !mobility->patterns.empty())
+  // Closed-mode entries expand lazily for this request: the graph's
+  // pattern restriction keys on consecutive element pairs, which the
+  // closed set does not preserve, so restricting to it directly would
+  // change the rendered graph.
+  std::vector<patterns::MobilityPattern> expanded;
+  if (mobility != nullptr && mobility->closed_only) {
+    expanded = patterns::expand_user_patterns(*mobility, sequences, config_.mining);
+    if (!expanded.empty()) options.restrict_to_patterns = &expanded;
+  } else if (mobility != nullptr && !mobility->patterns.empty()) {
     options.restrict_to_patterns = &mobility->patterns;
+  }
   return patterns::build_place_graph(sequences, taxonomy(), experiment_,
                                      config_.sequences.mode, options);
 }

@@ -23,10 +23,30 @@ json::Value mobility_to_json(std::span<const patterns::UserMobility> mobility) {
            {"support_count", static_cast<std::int64_t>(pattern.support_count)},
            {"support", pattern.support}}));
     }
-    users.push_back(json::object(
+    json::Value user_value = json::object(
         {{"user", static_cast<std::int64_t>(user.user)},
          {"recorded_days", static_cast<std::int64_t>(user.recorded_days)},
-         {"patterns", std::move(pattern_list)}}));
+         {"patterns", std::move(pattern_list)}});
+    if (user.closed_only) {
+      // Compact entries persist their closed-mode sidecar (frequent-set
+      // size + placement index) so a restore serves identical bytes
+      // without re-expanding. Expanded entries omit the fields entirely,
+      // keeping default-mode snapshots byte-identical to version 1.
+      user_value.set("closed", true);
+      user_value.set("frequent_patterns",
+                     static_cast<std::int64_t>(user.frequent_patterns));
+      json::Value index = json::Value(json::Array{});
+      for (const patterns::PlacementCandidate& candidate : user.placement_index) {
+        index.push_back(json::object(
+            {{"label", static_cast<std::int64_t>(candidate.label)},
+             {"minute", static_cast<std::int64_t>(candidate.minute)},
+             {"rank", static_cast<std::int64_t>(candidate.rank)},
+             {"support_count", static_cast<std::int64_t>(candidate.support_count)},
+             {"support", candidate.support}}));
+      }
+      user_value.set("placement_index", std::move(index));
+    }
+    users.push_back(std::move(user_value));
   }
   return json::object({{"version", 1}, {"users", std::move(users)}});
 }
@@ -88,6 +108,37 @@ Result<std::vector<patterns::UserMobility>> mobility_from_json(const json::Value
         pattern.elements.push_back(element);
       }
       user.patterns.push_back(std::move(pattern));
+    }
+    if (const json::Value* closed = user_value.find("closed"); closed != nullptr) {
+      if (!closed->is_bool()) return parse_error("snapshot: 'closed' must be a bool");
+      user.closed_only = closed->as_bool();
+    }
+    if (user.closed_only) {
+      auto frequent = member(user_value, "frequent_patterns");
+      auto index = member(user_value, "placement_index");
+      if (!frequent || !index) return parse_error("snapshot: malformed compact entry");
+      if (!(*frequent)->is_int() || !(*index)->is_array())
+        return parse_error("snapshot: malformed compact entry");
+      user.frequent_patterns = static_cast<std::size_t>((*frequent)->as_int());
+      for (const json::Value& candidate_value : (*index)->as_array()) {
+        auto label = member(candidate_value, "label");
+        auto minute = member(candidate_value, "minute");
+        auto rank = member(candidate_value, "rank");
+        auto count = member(candidate_value, "support_count");
+        auto support = member(candidate_value, "support");
+        if (!label || !minute || !rank || !count || !support)
+          return parse_error("snapshot: malformed placement candidate");
+        if (!(*label)->is_int() || !(*minute)->is_int() || !(*rank)->is_int() ||
+            !(*count)->is_int() || !(*support)->is_number())
+          return parse_error("snapshot: malformed placement candidate");
+        patterns::PlacementCandidate candidate;
+        candidate.label = static_cast<mining::Item>((*label)->as_int());
+        candidate.minute = static_cast<std::uint16_t>((*minute)->as_int());
+        candidate.rank = static_cast<std::uint32_t>((*rank)->as_int());
+        candidate.support_count = static_cast<std::uint32_t>((*count)->as_int());
+        candidate.support = (*support)->as_double();
+        user.placement_index.push_back(candidate);
+      }
     }
     out.push_back(std::move(user));
   }

@@ -112,8 +112,13 @@ void IngestWorker::init_metrics() {
                        "Check-ins merged by the most recent epoch's delta.");
   mining_emitted_ = &metrics_->counter(
       "crowdweb_mining_patterns_emitted_total",
-      "Patterns returned by per-user re-mines across all epochs (after closed-set "
-      "expansion when enabled).");
+      "Patterns the miner itself returned in per-user re-mines across all epochs "
+      "(for closed miners this is the closed set, before any expansion).");
+  mining_expanded_ = &metrics_->counter(
+      "crowdweb_mining_patterns_expanded_total",
+      "Frequent patterns reconstructed from closed sets by expansion across all "
+      "epochs — materialized into the tables when expand_closed is on, streamed "
+      "through the placement-index build when it is off. 0 for full miners.");
   mining_pruned_ = &metrics_->counter(
       "crowdweb_mining_pruned_total",
       "Search subtrees/candidates the miner cut without counting (BackScan, "
@@ -522,6 +527,7 @@ Status IngestWorker::rebuild_and_publish() {
       if (entry.mining_stats.truncated) ++truncated_users;
     }
     mining_emitted_->increment(epoch_mining.emitted);
+    mining_expanded_->increment(epoch_mining.expanded);
     mining_pruned_->increment(epoch_mining.pruned);
     if (truncated_users > 0) {
       mining_truncated_->increment(truncated_users);

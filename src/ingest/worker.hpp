@@ -274,9 +274,11 @@ class IngestWorker {
   telemetry::Counter* delta_crowd_full_rebuilds_ = nullptr;
   telemetry::Gauge* delta_last_events_ = nullptr;
   // Mining accounting (crowdweb_mining_*): what the per-user re-mines of
-  // each epoch emitted, pruned, and — the one worth alerting on —
+  // each epoch emitted (the miner's own output), reconstructed by
+  // closed-set expansion, pruned, and — the one worth alerting on —
   // truncated at the max_patterns cap.
   telemetry::Counter* mining_emitted_ = nullptr;
+  telemetry::Counter* mining_expanded_ = nullptr;
   telemetry::Counter* mining_pruned_ = nullptr;
   telemetry::Counter* mining_truncated_ = nullptr;
   std::vector<std::string> callback_gauge_names_;  ///< removed on destruction

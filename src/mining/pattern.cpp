@@ -166,10 +166,21 @@ std::vector<Pattern> expand_closed_patterns(std::span<const Pattern> closed,
   }
   sort_patterns(out);
   if (stats != nullptr) {
-    stats->emitted = out.size();
+    stats->expanded = out.size();
     stats->truncated = stats->truncated || truncated;
   }
   return out;
+}
+
+std::size_t subsumed_support_count(std::span<const Item> items,
+                                   std::span<const Pattern> closed) noexcept {
+  std::size_t best = 0;
+  for (const Pattern& pattern : closed) {
+    if (pattern.support_count <= best) continue;  // cannot improve the max
+    if (pattern.items.size() < items.size()) continue;
+    if (is_subsequence(items, pattern.items)) best = pattern.support_count;
+  }
+  return best;
 }
 
 }  // namespace crowdweb::mining

@@ -81,12 +81,17 @@ void sort_patterns(std::vector<Pattern>& patterns);
 /// through the registry interface), so callers can tell a complete
 /// result from a capped one instead of silently losing patterns.
 struct MiningStats {
-  std::size_t emitted = 0;   ///< patterns returned to the caller
+  std::size_t emitted = 0;   ///< patterns the miner itself returned
   std::size_t explored = 0;  ///< search nodes / candidates support-counted
   /// Search work cut before counting: BackScan subtrees (BIDE),
   /// equivalent-projection subtrees (CloSpan), apriori-rejected
   /// candidates (GSP), and non-closed patterns a closed miner skipped.
   std::size_t pruned = 0;
+  /// Frequent patterns reconstructed by expand_closed_patterns from a
+  /// closed set — 0 for full miners and for closed mines that were never
+  /// expanded. Kept separate from `emitted` so the miner's true output
+  /// size is visible even when the pipeline expands behind it.
+  std::size_t expanded = 0;
   /// True when the max_patterns cap suppressed at least one emission —
   /// the returned set is incomplete.
   bool truncated = false;
@@ -96,6 +101,7 @@ struct MiningStats {
     emitted += other.emitted;
     explored += other.explored;
     pruned += other.pruned;
+    expanded += other.expanded;
     truncated = truncated || other.truncated;
   }
 };
@@ -134,5 +140,15 @@ struct MiningOptions {
                                                           std::size_t db_size,
                                                           const MiningOptions& options,
                                                           MiningStats* stats = nullptr);
+
+/// Exact support count of `items` answered from a *closed* pattern set
+/// by subsumption: the maximum support over the closed patterns that
+/// contain `items` as a subsequence. Closure guarantees every frequent
+/// sequence has a closed super-pattern of equal support, so for any
+/// frequent `items` this equals the full miner's count; infrequent
+/// sequences return 0. Also correct over a full frequent set (a pattern
+/// subsumes itself).
+[[nodiscard]] std::size_t subsumed_support_count(std::span<const Item> items,
+                                                 std::span<const Pattern> closed) noexcept;
 
 }  // namespace crowdweb::mining

@@ -142,12 +142,16 @@ MiningResult mine_with(const SequenceColumns& db, const MiningOptions& options) 
   const IMiningAlgorithm* miner = find_miner(options.algorithm);
   if (miner == nullptr) miner = find_miner("prefixspan");
   MiningResult result = miner->mine(db, options);
-  if (miner->closed_output() && options.expand_closed) {
-    MiningStats expand_stats;
-    result.patterns =
-        expand_closed_patterns(result.patterns, db.size(), options, &expand_stats);
-    result.stats.emitted = expand_stats.emitted;
-    result.stats.truncated = result.stats.truncated || expand_stats.truncated;
+  if (miner->closed_output()) {
+    if (options.expand_closed) {
+      MiningStats expand_stats;
+      result.patterns =
+          expand_closed_patterns(result.patterns, db.size(), options, &expand_stats);
+      result.stats.expanded = expand_stats.expanded;
+      result.stats.truncated = result.stats.truncated || expand_stats.truncated;
+    } else {
+      result.closed = true;
+    }
   }
   return result;
 }

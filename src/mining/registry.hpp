@@ -23,6 +23,12 @@ namespace crowdweb::mining {
 struct MiningResult {
   std::vector<Pattern> patterns;
   MiningStats stats;
+  /// True when `patterns` is a *closed* set the pipeline chose not to
+  /// expand (closed-output miner with MiningOptions::expand_closed off).
+  /// Downstream layers that need any subsequence's support answer it by
+  /// subsumption (see subsumed_support_count) instead of assuming the
+  /// full frequent set is materialized.
+  bool closed = false;
 };
 
 /// One registered mining algorithm. Implementations are stateless
@@ -58,10 +64,12 @@ class IMiningAlgorithm {
 /// Resolves options.algorithm, mines, and — for closed-output miners
 /// with options.expand_closed set — expands the closed set back to the
 /// full frequent set so annotation and crowd placement match a full
-/// miner byte for byte. Stats are the miner's with the expansion folded
-/// in (emitted reflects the returned set). An unknown algorithm name
-/// falls back to "prefixspan"; validate the name up front (see
-/// resolve_miner) where an error can still be reported.
+/// miner byte for byte. Stats keep the miner's own `emitted` count and
+/// record the reconstruction separately in `expanded`. With
+/// expand_closed off a closed miner's result carries `closed = true`
+/// and the patterns stay compact. An unknown algorithm name falls back
+/// to "prefixspan"; validate the name up front (see resolve_miner)
+/// where an error can still be reported.
 [[nodiscard]] MiningResult mine_with(const SequenceColumns& db, const MiningOptions& options);
 
 }  // namespace crowdweb::mining

@@ -7,6 +7,8 @@
 
 #include "core/handlers.hpp"
 #include "json/json.hpp"
+#include "mining/registry.hpp"
+#include "patterns/mobility.hpp"
 #include "transport/csv_source.hpp"
 #include "telemetry/exposition.hpp"
 
@@ -90,7 +92,7 @@ Response users_handler(ShardRouter& router) {
     users.push_back(json::object(
         {{"id", static_cast<std::int64_t>(mobility.user)},
          {"recorded_days", static_cast<std::int64_t>(mobility.recorded_days)},
-         {"patterns", static_cast<std::int64_t>(mobility.patterns.size())}}));
+         {"patterns", static_cast<std::int64_t>(mobility.served_pattern_count())}}));
   });
   json::Value payload = json::object({{"users", std::move(users)}});
   mark_degraded(*view, payload);
@@ -118,8 +120,21 @@ Response user_patterns_handler(ShardRouter& router, const PathParams& params) {
   }
   if (mobility == nullptr) return Response::not_found_404();
 
+  // Closed-mode entries expand lazily for this request: the wire
+  // contract lists the full frequent set regardless of how the owning
+  // shard stores it, so the bytes match the expanded-mode response.
+  const std::vector<patterns::MobilityPattern>* listed = &mobility->patterns;
+  std::vector<patterns::MobilityPattern> expanded;
+  if (mobility->closed_only) {
+    patterns::MobilityOptions mobility_options;
+    mobility_options.sequences = router.platform().config().sequences;
+    mobility_options.mining = router.platform().config().mining;
+    expanded = patterns::expand_user_patterns(*mobility, home->dataset,
+                                              router.taxonomy(), mobility_options);
+    listed = &expanded;
+  }
   json::Value list = json::Value(json::Array{});
-  for (const patterns::MobilityPattern& pattern : mobility->patterns)
+  for (const patterns::MobilityPattern& pattern : *listed)
     list.push_back(core::handlers::pattern_json(
         pattern, router.platform().config().sequences.mode, router.taxonomy(),
         home->dataset));
@@ -199,6 +214,33 @@ Response status_handler(ShardRouter& router, const ShardApiOptions& options) {
                               {"cols", static_cast<std::int64_t>(view->grid->cols())},
                               {"cell_meters", view->grid->cell_size_meters()}}));
   }
+  // Mining block, same shape as the single-process API: the configured
+  // miner + serving mode, with the pattern-set footprint aggregated
+  // across every shard epoch this view pins.
+  const mining::MiningOptions& mining_config = router.platform().config().mining;
+  const mining::IMiningAlgorithm* miner = mining::find_miner(mining_config.algorithm);
+  const bool closed_mode =
+      miner != nullptr && miner->closed_output() && !mining_config.expand_closed;
+  patterns::MobilityStats set_stats;
+  for (const ingest::SnapshotPtr& pin : view->pins)
+    if (pin != nullptr) set_stats.merge(pin->mobility.stats());
+  payload.set(
+      "mining",
+      json::object(
+          {{"algorithm", mining_config.algorithm},
+           {"min_support", mining_config.min_support},
+           {"expand_closed", mining_config.expand_closed},
+           {"max_patterns", static_cast<std::int64_t>(mining_config.max_patterns)},
+           {"mode", closed_mode ? "closed" : "expanded"},
+           {"pattern_set",
+            json::object({{"entries", static_cast<std::int64_t>(set_stats.entries)},
+                          {"compact_entries",
+                           static_cast<std::int64_t>(set_stats.compact_entries)},
+                          {"patterns", static_cast<std::int64_t>(set_stats.patterns)},
+                          {"placement_candidates",
+                           static_cast<std::int64_t>(set_stats.placement_candidates)},
+                          {"bytes", static_cast<std::int64_t>(set_stats.bytes)}})}}));
+
   // Aggregate ingest block, same shape as the single-process API so
   // existing dashboards (examples/live_monitor) keep working; the epoch
   // is the max shard epoch (the vector above is the precise answer).

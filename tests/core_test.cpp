@@ -197,6 +197,48 @@ TEST(SnapshotTest, SaveAndLoadRebuildsIdenticalPlatform) {
   EXPECT_LT(restored->timings().mining_ms, original.timings().mining_ms + 1.0);
 }
 
+TEST(SnapshotTest, CompactMobilityEntriesRoundTripWithTheirSidecar) {
+  // A closed-mode platform's snapshot carries the compact sidecar
+  // (closed flag, frequent-set size, placement index) and restores it
+  // exactly; default-mode snapshots never emit those fields.
+  PlatformConfig config = small_config();
+  config.mining.algorithm = "bide";
+  config.mining.expand_closed = false;
+  const auto compact = Platform::create(config);
+  ASSERT_TRUE(compact.is_ok()) << compact.status().to_string();
+  const json::Value doc = mobility_to_json(compact->mobility());
+  const auto reparsed = json::parse(json::dump(doc));
+  ASSERT_TRUE(reparsed.is_ok());
+  const auto restored = mobility_from_json(*reparsed);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  ASSERT_EQ(restored->size(), compact->mobility().size());
+  for (std::size_t i = 0; i < restored->size(); ++i) {
+    const patterns::UserMobility& a = (*restored)[i];
+    const patterns::UserMobility& b = compact->mobility()[i];
+    EXPECT_TRUE(a.closed_only);
+    EXPECT_EQ(a.frequent_patterns, b.frequent_patterns);
+    ASSERT_EQ(a.placement_index.size(), b.placement_index.size());
+    for (std::size_t j = 0; j < a.placement_index.size(); ++j)
+      EXPECT_EQ(a.placement_index[j], b.placement_index[j]);
+  }
+
+  // The default-mode document is untouched by the new fields.
+  const json::Value plain = mobility_to_json(platform().mobility());
+  EXPECT_EQ(json::dump(plain).find("placement_index"), std::string::npos);
+  EXPECT_EQ(json::dump(plain).find("\"closed\""), std::string::npos);
+
+  // A save/load cycle of the compact platform restores compact serving
+  // with an identical crowd model.
+  const std::string dir = ::testing::TempDir() + "/crowdweb_snapshot_compact";
+  ASSERT_TRUE(save_snapshot(*compact, dir).is_ok());
+  auto reloaded = load_snapshot(dir);
+  ASSERT_TRUE(reloaded.is_ok()) << reloaded.status().to_string();
+  EXPECT_EQ(reloaded->crowd_model().total_placements(),
+            compact->crowd_model().total_placements());
+  for (const patterns::UserMobility& entry : reloaded->mobility())
+    EXPECT_TRUE(entry.closed_only);
+}
+
 TEST(SnapshotTest, LoadRejectsMissingDirectory) {
   EXPECT_FALSE(load_snapshot("/nonexistent/snapshot/dir").is_ok());
 }

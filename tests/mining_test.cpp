@@ -657,12 +657,13 @@ TEST(MiningStatsTest, TruncationFlagTracksMaxPatternsCap) {
 }
 
 TEST(MiningStatsTest, MergeAccumulates) {
-  MiningStats a{10, 5, 2, false};
-  const MiningStats b{1, 2, 3, true};
+  MiningStats a{10, 5, 2, 4, false};
+  const MiningStats b{1, 2, 3, 6, true};
   a.merge(b);
   EXPECT_EQ(a.emitted, 11u);
   EXPECT_EQ(a.explored, 7u);
   EXPECT_EQ(a.pruned, 5u);
+  EXPECT_EQ(a.expanded, 10u);
   EXPECT_TRUE(a.truncated);
 }
 
@@ -724,15 +725,53 @@ TEST(RegistryTest, MineWithExpandsClosedMiners) {
 
   options.algorithm = "bide";
   options.expand_closed = true;
-  EXPECT_EQ(mine_with(columns_of(db).view(), options).patterns, full);
+  const MiningResult expanded = mine_with(columns_of(db).view(), options);
+  EXPECT_EQ(expanded.patterns, full);
+  EXPECT_FALSE(expanded.closed);
+  // The stats split: `emitted` stays the miner's own (closed) output,
+  // the reconstruction is accounted separately in `expanded`.
+  EXPECT_EQ(expanded.stats.emitted, closed_patterns(full).size());
+  EXPECT_EQ(expanded.stats.expanded, full.size());
 
   options.expand_closed = false;
-  EXPECT_EQ(mine_with(columns_of(db).view(), options).patterns, closed_patterns(full));
+  const MiningResult compact = mine_with(columns_of(db).view(), options);
+  EXPECT_EQ(compact.patterns, closed_patterns(full));
+  EXPECT_TRUE(compact.closed);
+  EXPECT_EQ(compact.stats.emitted, compact.patterns.size());
+  EXPECT_EQ(compact.stats.expanded, 0u);
 
   // Non-closed miners ignore expand_closed entirely.
   options.algorithm = "spade";
   options.expand_closed = true;
-  EXPECT_EQ(mine_with(columns_of(db).view(), options).patterns, full);
+  const MiningResult spade = mine_with(columns_of(db).view(), options);
+  EXPECT_EQ(spade.patterns, full);
+  EXPECT_FALSE(spade.closed);
+  EXPECT_EQ(spade.stats.expanded, 0u);
+}
+
+TEST(RegistryTest, SubsumedSupportAnswersExactlyFromClosedSets) {
+  // Ten days of 1→2→3 plus five days of 1→2: the full frequent set has
+  // seven patterns but only {1,2} (15) and {1,2,3} (10) are closed.
+  SequenceDb db;
+  for (int i = 0; i < 10; ++i) db.push_back({1, 2, 3});
+  for (int i = 0; i < 5; ++i) db.push_back({1, 2});
+  MiningOptions options;
+  options.min_support = 0.2;
+  const auto full = prefixspan(db, options);
+  const auto closed = closed_patterns(full);
+  ASSERT_EQ(full.size(), 7u);
+  ASSERT_EQ(closed.size(), 2u);
+  // Every frequent pattern's support is answered exactly by subsumption
+  // over the closed set (closure: some closed super-pattern shares it).
+  for (const Pattern& pattern : full)
+    EXPECT_EQ(subsumed_support_count(pattern.items, closed), pattern.support_count)
+        << "pattern of length " << pattern.items.size();
+  // A full set answers via self-subsumption too.
+  for (const Pattern& pattern : full)
+    EXPECT_EQ(subsumed_support_count(pattern.items, full), pattern.support_count);
+  // An infrequent / unknown sequence has no subsuming pattern.
+  const std::vector<Item> absent{901, 902, 903, 904};
+  EXPECT_EQ(subsumed_support_count(absent, closed), 0u);
 }
 
 }  // namespace

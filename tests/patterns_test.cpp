@@ -192,6 +192,122 @@ TEST(MobilityTest, ParallelMiningMatchesSequential) {
   }
 }
 
+// --------------------------------------------------- Compact (closed) mode
+
+/// Mines the routine user in both serving modes of the same closed miner.
+struct BothModes {
+  UserMobility expanded;
+  UserMobility compact;
+};
+
+BothModes mine_both_modes(const data::Dataset& dataset, double min_support = 0.4) {
+  MobilityOptions options;
+  options.mining.algorithm = "bide";
+  options.mining.min_support = min_support;
+  options.mining.expand_closed = true;
+  BothModes modes;
+  modes.expanded = mine_user_mobility(dataset, 7, tax(), options);
+  options.mining.expand_closed = false;
+  modes.compact = mine_user_mobility(dataset, 7, tax(), options);
+  return modes;
+}
+
+TEST(CompactMobilityTest, ClosedModeStoresOnlyClosedPatterns) {
+  const data::Dataset dataset = routine_dataset();
+  const BothModes modes = mine_both_modes(dataset);
+  ASSERT_FALSE(modes.expanded.closed_only);
+  ASSERT_TRUE(modes.compact.closed_only);
+  EXPECT_LT(modes.compact.patterns.size(), modes.expanded.patterns.size());
+  // Served counts stay byte-identical: the compact entry remembers the
+  // size of the frequent set it stands in for.
+  EXPECT_EQ(modes.compact.frequent_patterns, modes.expanded.patterns.size());
+  EXPECT_EQ(modes.compact.served_pattern_count(), modes.expanded.served_pattern_count());
+  // The sidecar index never grows past the expanded element count.
+  std::size_t expanded_elements = 0;
+  for (const MobilityPattern& pattern : modes.expanded.patterns)
+    expanded_elements += pattern.elements.size();
+  EXPECT_LE(modes.compact.placement_index.size(), expanded_elements);
+  EXPECT_FALSE(modes.compact.placement_index.empty());
+  // The expansion work is accounted in the stats split.
+  EXPECT_EQ(modes.compact.mining_stats.expanded, modes.expanded.patterns.size());
+}
+
+TEST(CompactMobilityTest, SupportQueriesMatchAcrossModes) {
+  const data::Dataset dataset = routine_dataset();
+  const BothModes modes = mine_both_modes(dataset);
+  ASSERT_TRUE(modes.compact.closed_only);
+  // Every frequent pattern's support is answered exactly by subsumption
+  // over the compact entry's closed set.
+  for (const MobilityPattern& pattern : modes.expanded.patterns) {
+    std::vector<mining::Item> labels;
+    for (const TimedElement& element : pattern.elements) labels.push_back(element.label);
+    EXPECT_EQ(modes.compact.support_count_of(labels), pattern.support_count);
+    EXPECT_DOUBLE_EQ(modes.compact.support_of(labels), pattern.support);
+    EXPECT_EQ(modes.expanded.support_count_of(labels), pattern.support_count);
+  }
+  const std::vector<mining::Item> absent{991, 992, 993};
+  EXPECT_EQ(modes.compact.support_count_of(absent), 0u);
+  EXPECT_DOUBLE_EQ(modes.compact.support_of(absent), 0.0);
+}
+
+TEST(CompactMobilityTest, ExpandUserPatternsReproducesTheExpandedTable) {
+  const data::Dataset dataset = routine_dataset();
+  MobilityOptions options;
+  options.mining.algorithm = "bide";
+  options.mining.min_support = 0.4;
+  const BothModes modes = mine_both_modes(dataset);
+  ASSERT_TRUE(modes.compact.closed_only);
+  options.mining.expand_closed = false;
+  const std::vector<MobilityPattern> lazily =
+      expand_user_patterns(modes.compact, dataset, tax(), options);
+  EXPECT_EQ(lazily, modes.expanded.patterns);
+  // An expanded entry passes through untouched.
+  EXPECT_EQ(expand_user_patterns(modes.expanded, dataset, tax(), options),
+            modes.expanded.patterns);
+}
+
+TEST(CompactMobilityTest, PlacementIndexKeepsTheSupportFrontierInRankOrder) {
+  const data::Dataset dataset = routine_dataset();
+  const BothModes modes = mine_both_modes(dataset);
+  ASSERT_TRUE(modes.compact.closed_only);
+  const auto& index = modes.compact.placement_index;
+  for (std::size_t i = 1; i < index.size(); ++i)
+    EXPECT_LT(index[i - 1].rank, index[i].rank);  // canonical emission order
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    EXPECT_LT(index[i].minute, 24 * 60);
+    // Frontier property: among earlier-rank candidates with the same
+    // (label, minute) key, each survivor strictly raises the support.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (index[j].label != index[i].label || index[j].minute != index[i].minute)
+        continue;
+      EXPECT_GT(index[i].support_count, index[j].support_count);
+    }
+  }
+}
+
+TEST(CompactMobilityTest, ResidentBytesShrinkWithTheClosedSet) {
+  const data::Dataset dataset = routine_dataset(12);
+  const BothModes modes = mine_both_modes(dataset, 0.25);
+  ASSERT_TRUE(modes.compact.closed_only);
+  const MobilityStats expanded_stats = [&] {
+    MobilityStats stats;
+    stats.add(modes.expanded);
+    return stats;
+  }();
+  const MobilityStats compact_stats = [&] {
+    MobilityStats stats;
+    stats.add(modes.compact);
+    return stats;
+  }();
+  EXPECT_EQ(expanded_stats.compact_entries, 0u);
+  EXPECT_EQ(compact_stats.compact_entries, 1u);
+  EXPECT_LT(compact_stats.patterns, expanded_stats.patterns);
+  // On this dense routine the closed set + sidecar index is smaller than
+  // the expanded table (sparse corpora can invert this — see
+  // docs/PERFORMANCE.md).
+  EXPECT_LT(compact_stats.bytes, expanded_stats.bytes);
+}
+
 TEST(MobilityTest, ParallelMiningEmptyDataset) {
   const data::Dataset empty;
   EXPECT_TRUE(mine_all_mobility_parallel(empty, tax(), {}, 4).empty());
